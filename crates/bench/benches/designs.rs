@@ -1,0 +1,102 @@
+//! Criterion bench: architecture-simulation throughput for the three BLAS
+//! designs (the workloads behind Tables 3 and 4, at bench-friendly sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fblas_bench::synth_int;
+use fblas_core::dot::{DotParams, DotProductDesign};
+use fblas_core::mm::{BlockEngine, MmParams};
+use fblas_core::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_sparse::{SpmvDesign, SpmvParams};
+use std::hint::black_box;
+
+fn bench_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("design_simulations");
+    g.sample_size(10);
+
+    // Level 1: dot product, k = 2, n = 4096.
+    let u = synth_int(1, 4096, 8);
+    let v = synth_int(2, 4096, 8);
+    let dot = DotProductDesign::standalone(DotParams::table3(), 170.0);
+    g.bench_function("dot_k2_n4096", |b| b.iter(|| black_box(dot.run(&u, &v))));
+
+    // Level 2: both architectures, k = 4, n = 256.
+    let n = 256;
+    let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
+    let x = synth_int(4, n, 8);
+    let row = RowMajorMvm::standalone(MvmParams::table3(), 170.0);
+    let col = ColMajorMvm::standalone(MvmParams::table3(), 170.0);
+    g.bench_function("mvm_row_major_k4_n256", |b| b.iter(|| black_box(row.run(&a, &x))));
+    g.bench_function("mvm_col_major_k4_n256", |b| b.iter(|| black_box(col.run(&a, &x))));
+
+    // Level 3: one 32×32 block multiply on the PE array, k = 4.
+    let m = 32;
+    let ba = DenseMatrix::from_rows(m, m, synth_int(5, m * m, 4));
+    let bb = DenseMatrix::from_rows(m, m, synth_int(6, m * m, 4));
+    let engine = BlockEngine::new(MmParams::test(4, m));
+    g.bench_function("mm_block_k4_m32", |b| {
+        b.iter(|| {
+            let mut cblk = vec![0.0; m * m];
+            engine.multiply_accumulate(&ba, &bb, &mut cblk);
+            black_box(cblk)
+        })
+    });
+
+    // Extension: SpMV on an irregular 256-row matrix.
+    let spmv = SpmvDesign::new(SpmvParams::with_k(4));
+    let mut trip = Vec::new();
+    for i in 0..256usize {
+        trip.push((i, i, 4.0));
+        for d in 1..=(i % 7) {
+            if i + d < 256 {
+                trip.push((i, i + d, (d % 3) as f64 + 1.0));
+            }
+        }
+    }
+    let csr = fblas_sparse::CsrMatrix::from_triplets(256, 256, &trip);
+    let xs = synth_int(7, 256, 8);
+    g.bench_function("spmv_k4_n256", |b| b.iter(|| black_box(spmv.run(&csr, &xs))));
+
+    g.finish();
+}
+
+/// The Figure 9 family: block-engine simulation cost as k varies.
+fn bench_mm_k_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mm_block_k_sweep_m32");
+    g.sample_size(10);
+    let m = 32;
+    let ba = DenseMatrix::from_rows(m, m, synth_int(11, m * m, 4));
+    let bb = DenseMatrix::from_rows(m, m, synth_int(12, m * m, 4));
+    for k in [2usize, 4, 8] {
+        let engine = BlockEngine::new(MmParams::test(k, m));
+        g.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                let mut cblk = vec![0.0; m * m];
+                engine.multiply_accumulate(&ba, &bb, &mut cblk);
+                black_box(cblk)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Reduction-circuit cost inside a full design: proposed vs stalling.
+fn bench_reducer_in_design(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_reducer_ablation_n2048");
+    g.sample_size(10);
+    let u = synth_int(13, 2048, 8);
+    let v = synth_int(14, 2048, 8);
+    let design = DotProductDesign::standalone(DotParams::table3(), 170.0);
+    g.bench_function("proposed_single_adder", |b| {
+        b.iter(|| black_box(design.run(&u, &v)))
+    });
+    g.bench_function("stalling_baseline", |b| {
+        b.iter(|| {
+            let mut r = fblas_core::reduce::StallingReducer::new(14);
+            black_box(design.run_with_reducer(&u, &v, &mut r))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_designs, bench_mm_k_sweep, bench_reducer_in_design);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: the software gemm ladder (§6.3's CPU side).
+//!
+//! naive → cache-blocked → multithreaded, n = 256, measured on this host.
+//! Criterion's throughput reporting turns the times into element rates;
+//! `--bin cpu_compare` prints the same ladder in GFLOPS at n = 512.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fblas_bench::synth;
+use fblas_sw::{gemm_blocked, gemm_naive, gemm_parallel};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let n = 256usize;
+    let a = synth(1, n * n);
+    let b = synth(2, n * n);
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+
+    let mut g = c.benchmark_group("sw_gemm_n256");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+
+    g.bench_function("naive", |bch| bch.iter(|| black_box(gemm_naive(&a, &b, n))));
+    g.bench_function("blocked_64", |bch| {
+        bch.iter(|| black_box(gemm_blocked(&a, &b, n, 64)))
+    });
+    g.bench_function(format!("parallel_{threads}t"), |bch| {
+        bch.iter(|| black_box(gemm_parallel(&a, &b, n, 64, threads)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation: the reduction circuit's buffer and latency claims as the
+//! adder pipeline depth α varies.
+//!
+//! The paper's claims are parametric in α — buffers of 2α² words, total
+//! latency under Σsᵢ + 2α². This sweep measures both for α from 2 (a
+//! barely pipelined adder) to 28 (double the paper's core), on the
+//! irregular sparse workload, showing how much of the 2α² budget the
+//! greedy schedule actually touches.
+
+use fblas_bench::{print_table, synth_int};
+use fblas_core::reduce::{run_sets, SingleAdderReducer};
+
+fn main() {
+    let sets: Vec<Vec<f64>> = (0..200)
+        .map(|i| {
+            let s = 1 + (i * 37 + 11) % 97;
+            synth_int(i as u64, s, 16)
+        })
+        .collect();
+    let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+
+    let rows: Vec<Vec<String>> = [2usize, 4, 8, 14, 20, 28]
+        .iter()
+        .map(|&alpha| {
+            let mut r = SingleAdderReducer::new(alpha);
+            let run = run_sets(&mut r, &sets);
+            assert_eq!(run.stall_cycles, 0);
+            let budget = 2 * alpha * alpha;
+            let bound = total + budget as u64;
+            let p99 = r.occupancy_histogram().percentile(0.99);
+            vec![
+                alpha.to_string(),
+                budget.to_string(),
+                run.buffer_high_water.to_string(),
+                p99.to_string(),
+                format!(
+                    "{:.0}%",
+                    run.buffer_high_water as f64 / budget as f64 * 100.0
+                ),
+                run.total_cycles.to_string(),
+                format!("{:.4}", run.total_cycles as f64 / total as f64),
+                bound.to_string(),
+            ]
+        })
+        .collect();
+
+    print_table(
+        &format!(
+            "Reduction-circuit α sweep ({} sets, {total} values, sizes 1..97)",
+            sets.len()
+        ),
+        &[
+            "α",
+            "2α² budget",
+            "buffer peak",
+            "p99 occupancy",
+            "budget used",
+            "cycles",
+            "cycles/input",
+            "Σs + 2α² bound",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nAll α: zero input stalls; latency stays within the paper's bound and the\n\
+         greedy availability-driven schedule touches only a fraction of the 2α²\n\
+         buffer budget the hardware must still provision for the worst case."
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates the **§6.3 CPU comparison**: the paper quotes vendor
+//! `dgemm` at 4.1 GFLOPS (2.6 GHz Opteron/ACML), 5.5 GFLOPS (3.2 GHz
+//! Xeon/MKL) and 5.0 GFLOPS (3 GHz P4/MKL) against the FPGA design's
+//! 2.06 GFLOPS.
+//!
+//! This binary measures our own software gemm ladder on the current host
+//! — absolute numbers differ from 2005 hardware, but the comparison
+//! structure (optimized CPU code vs the simulated FPGA design) is
+//! preserved.
+
+use fblas_bench::{print_table, synth};
+use fblas_sw::{gemm_blocked, gemm_naive, gemm_parallel, gemm_transposed};
+use std::time::Instant;
+
+fn time_gflops(f: impl Fn() -> Vec<f64>, n: usize, reps: usize) -> f64 {
+    // Warm-up.
+    let _ = f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    let secs = start.elapsed().as_secs_f64() / reps as f64;
+    2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+fn main() {
+    let n = 512usize;
+    let a = synth(1, n * n);
+    let b = synth(2, n * n);
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+
+    println!("Measuring 64-bit gemm at n = {n} on this host ({threads} threads available)...");
+
+    let naive = time_gflops(|| gemm_naive(&a, &b, n), n, 1);
+    let transposed = time_gflops(|| gemm_transposed(&a, &b, n), n, 3);
+    let blocked = time_gflops(|| gemm_blocked(&a, &b, n, 64), n, 3);
+    let parallel = time_gflops(|| gemm_parallel(&a, &b, n, 64, threads), n, 3);
+
+    let rows = vec![
+        vec!["naive triple loop (this host)".into(), format!("{naive:.2}")],
+        vec!["transposed-B streams (this host)".into(), format!("{transposed:.2}")],
+        vec!["cache-blocked (this host)".into(), format!("{blocked:.2}")],
+        vec![
+            format!("blocked + {threads} threads (this host)"),
+            format!("{parallel:.2}"),
+        ],
+        vec!["--- paper's 2005 reference points ---".into(), String::new()],
+        vec!["2.6 GHz Opteron, ACML dgemm".into(), "4.1".into()],
+        vec!["3.2 GHz Xeon, MKL dgemm".into(), "5.5".into()],
+        vec!["3.0 GHz Pentium 4, MKL dgemm".into(), "5.0".into()],
+        vec!["XC2VP50 FPGA design (simulated, Table 4)".into(), "2.06".into()],
+        vec!["XD1 chassis, 6 FPGAs (projected)".into(), "12.4".into()],
+    ];
+    print_table("§6.3: 64-bit matrix multiply comparison", &["implementation", "GFLOPS"], &rows);
+
+    println!(
+        "\nShape check: one 2005 FPGA lands within ~2× of one 2005 CPU socket, and the\n\
+         chassis-level design overtakes it — the paper's scaling argument. The blocked\n\
+         variant should beat naive by a wide margin on any host (here: {:.1}×).",
+        blocked / naive
+    );
+}

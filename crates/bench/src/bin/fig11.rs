@@ -1,0 +1,50 @@
+//! Regenerates **Figure 11**: projected sustained performance of the
+//! matrix-multiply design using one chassis of XD1 (XC2VP50), as a
+//! function of PE area (1600–2000 slices) and PE clock (160–200 MHz),
+//! with the 25 % routing deduction.
+
+use fblas_bench::print_table;
+use fblas_system::{ChassisProjection, XC2VP50};
+
+fn main() {
+    let proj = ChassisProjection::xd1(XC2VP50);
+
+    let clocks: Vec<u32> = (160..=200).step_by(10).collect();
+    let mut headers: Vec<String> = vec!["PE area (slices)".into()];
+    headers.extend(clocks.iter().map(|c| format!("{c} MHz")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let rows: Vec<Vec<String>> = (1600..=2000u32)
+        .step_by(100)
+        .map(|pe| {
+            let mut row = vec![format!("{pe} ({} PEs)", proj.point(pe, 160.0).pes_per_device)];
+            row.extend(
+                clocks
+                    .iter()
+                    .map(|&c| format!("{:.1}", proj.point(pe, c as f64).chassis_gflops)),
+            );
+            row
+        })
+        .collect();
+
+    print_table(
+        "Figure 11: Projected chassis GFLOPS, XC2VP50 (6 FPGAs, 25% routing derate)",
+        &headers_ref,
+        &rows,
+    );
+
+    let best = proj.point(1600, 200.0);
+    println!(
+        "\nBest point (1600 slices @ 200 MHz): {:.1} GFLOPS (paper: \"more than 27\" with \
+         fractional PEs; flooring to {} whole PEs gives the value above).",
+        best.chassis_gflops, best.pes_per_device
+    );
+    println!(
+        "Bandwidth at the best point: SRAM {:.1} GB/s (paper 2.5), DRAM {:.0} MB/s \
+         (paper 147.7) — both within XD1's 12.8 GB/s and 3.2 GB/s.",
+        best.required_sram_bytes_per_s / 1e9,
+        best.required_dram_bytes_per_s / 1e6
+    );
+    assert!(best.required_sram_bytes_per_s < 12.8e9);
+    assert!(best.required_dram_bytes_per_s < 3.2e9);
+}

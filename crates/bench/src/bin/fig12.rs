@@ -1,0 +1,53 @@
+//! Regenerates **Figure 12**: the Figure 11 projection sweep with the
+//! larger Xilinx Virtex-II Pro XC2VP100 in place of the XC2VP50 — about
+//! twice the slices, hence about twice the projected performance
+//! (≈50 GFLOPS per chassis at the best point).
+
+use fblas_bench::print_table;
+use fblas_system::{ChassisProjection, XC2VP100, XC2VP50};
+
+fn main() {
+    let proj = ChassisProjection::xd1(XC2VP100);
+
+    let clocks: Vec<u32> = (160..=200).step_by(10).collect();
+    let mut headers: Vec<String> = vec!["PE area (slices)".into()];
+    headers.extend(clocks.iter().map(|c| format!("{c} MHz")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let rows: Vec<Vec<String>> = (1600..=2000u32)
+        .step_by(100)
+        .map(|pe| {
+            let mut row = vec![format!("{pe} ({} PEs)", proj.point(pe, 160.0).pes_per_device)];
+            row.extend(
+                clocks
+                    .iter()
+                    .map(|&c| format!("{:.1}", proj.point(pe, c as f64).chassis_gflops)),
+            );
+            row
+        })
+        .collect();
+
+    print_table(
+        "Figure 12: Projected chassis GFLOPS, XC2VP100 (6 FPGAs, 25% routing derate)",
+        &headers_ref,
+        &rows,
+    );
+
+    let best = proj.point(1600, 200.0);
+    let best50 = ChassisProjection::xd1(XC2VP50).point(1600, 200.0);
+    println!(
+        "\nBest point: {:.1} GFLOPS — {:.2}× the XC2VP50 chassis ({:.1} GFLOPS); \
+         the paper predicts ≈2× and \"about 50 GFLOPS\".",
+        best.chassis_gflops,
+        best.chassis_gflops / best50.chassis_gflops,
+        best50.chassis_gflops
+    );
+    println!(
+        "Bandwidth at the best point: SRAM {:.1} GB/s (paper 2.7), DRAM {:.0} MB/s \
+         (paper 284.8) — met by XD1.",
+        best.required_sram_bytes_per_s / 1e9,
+        best.required_dram_bytes_per_s / 1e6
+    );
+    assert!(best.required_sram_bytes_per_s < 12.8e9);
+    assert!(best.required_dram_bytes_per_s < 3.2e9);
+}

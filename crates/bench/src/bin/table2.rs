@@ -1,0 +1,69 @@
+//! Regenerates **Table 2**: characteristics of the 64-bit floating-point
+//! units and the reduction circuit.
+//!
+//! Also validates the reduction circuit's functional claims at the
+//! paper's α = 14: never stalls, buffer within 2α², latency within
+//! Σsᵢ + 2α².
+
+use fblas_bench::print_table;
+use fblas_core::reduce::{run_sets, Reducer, SingleAdderReducer};
+use fblas_fpu::{FP_ADDER, FP_MULTIPLIER};
+use fblas_system::AreaModel;
+
+fn main() {
+    let area = AreaModel::default();
+    let rows = vec![
+        vec![
+            "Number of pipeline stages".to_string(),
+            FP_ADDER.pipeline_stages.to_string(),
+            FP_MULTIPLIER.pipeline_stages.to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "Area (slices)".to_string(),
+            FP_ADDER.area_slices.to_string(),
+            FP_MULTIPLIER.area_slices.to_string(),
+            area.reduction_slices.to_string(),
+        ],
+        vec![
+            "Clock speed (MHz)".to_string(),
+            format!("{:.0}", FP_ADDER.clock_mhz),
+            format!("{:.0}", FP_MULTIPLIER.clock_mhz),
+            format!("{:.0}", FP_ADDER.clock_mhz),
+        ],
+    ];
+    print_table(
+        "Table 2: 64-bit floating-point units and reduction circuit",
+        &["", "Adder", "Multiplier", "Reduction circuit"],
+        &rows,
+    );
+
+    // Functional validation of the circuit at the paper's α.
+    let alpha = FP_ADDER.pipeline_stages;
+    let sizes: Vec<usize> = (0..200).map(|i| 1 + (i * 37 + 11) % 97).collect();
+    let sets: Vec<Vec<f64>> = sizes
+        .iter()
+        .map(|&s| fblas_bench::synth_int(s as u64, s, 16))
+        .collect();
+    let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let mut r = SingleAdderReducer::new(alpha);
+    let run = run_sets(&mut r, &sets);
+
+    println!("\nReduction-circuit validation (α = {alpha}, {} sets, {total} values):", sets.len());
+    println!("  adders used:           {}", r.adders());
+    println!("  input stall cycles:    {} (claim: 0)", run.stall_cycles);
+    println!(
+        "  buffer high water:     {} words (claim: ≤ 2α² = {})",
+        run.buffer_high_water,
+        2 * alpha * alpha
+    );
+    println!(
+        "  total latency:         {} cycles (claim: < Σsᵢ + 2α² = {})",
+        run.total_cycles,
+        total + 2 * (alpha * alpha) as u64
+    );
+    assert_eq!(run.stall_cycles, 0);
+    assert!(run.buffer_high_water <= 2 * alpha * alpha);
+    assert!(run.total_cycles < total + 2 * (alpha * alpha) as u64);
+    println!("  all claims hold.");
+}

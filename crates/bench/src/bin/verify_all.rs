@@ -1,0 +1,159 @@
+//! One-shot artifact check: re-derives every headline number of the paper
+//! and prints a PASS/FAIL line per claim. Exit status is non-zero if any
+//! claim fails its tolerance.
+//!
+//! ```sh
+//! cargo run --release -p fblas-bench --bin verify_all
+//! ```
+
+use fblas_bench::synth_int;
+use fblas_core::dot::{DotParams, DotProductDesign};
+use fblas_core::mm::{HierarchicalMm, HierarchicalParams};
+use fblas_core::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_core::reduce::{run_sets, Reducer, SingleAdderReducer};
+use fblas_mem::DmaModel;
+use fblas_system::projection::scaled_sustained_gflops;
+use fblas_system::{
+    device_peak_flops, io_bound_peak_mvm, AreaModel, ChassisProjection, ClockModel, Xd1Chassis,
+    Xd1Node, XC2VP100, XC2VP50,
+};
+
+struct Check {
+    failures: u32,
+}
+
+impl Check {
+    fn assert(&mut self, name: &str, measured: f64, paper: f64, tol_frac: f64) {
+        let delta = (measured - paper).abs() / paper.abs();
+        let ok = delta <= tol_frac;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "[{}] {name}: measured {measured:.4}, paper {paper:.4} ({:+.1}%, tol ±{:.0}%)",
+            if ok { "PASS" } else { "FAIL" },
+            (measured - paper) / paper * 100.0,
+            tol_frac * 100.0
+        );
+    }
+
+    fn assert_true(&mut self, name: &str, cond: bool) {
+        if !cond {
+            self.failures += 1;
+        }
+        println!("[{}] {name}", if cond { "PASS" } else { "FAIL" });
+    }
+}
+
+fn main() {
+    let mut c = Check { failures: 0 };
+    let node = Xd1Node::default();
+    let area = AreaModel::default();
+    let clocks = ClockModel::default();
+
+    println!("== Reduction circuit (§4.3) ==");
+    let alpha = 14usize;
+    let sets: Vec<Vec<f64>> = (0..150)
+        .map(|i| synth_int(i as u64, 1 + (i * 53 + 7) % 211, 16))
+        .collect();
+    let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+    let mut red = SingleAdderReducer::new(alpha);
+    let run = run_sets(&mut red, &sets);
+    c.assert_true("one floating-point adder", red.adders() == 1);
+    c.assert_true("zero input stalls", run.stall_cycles == 0);
+    c.assert_true(
+        "buffer within 2α²",
+        run.buffer_high_water <= 2 * alpha * alpha,
+    );
+    c.assert_true(
+        "latency under Σs + 2α²",
+        run.total_cycles < total + 2 * (alpha as u64).pow(2),
+    );
+
+    println!("\n== Table 3: Level 1 & 2 (n = 2048) ==");
+    let n = 2048usize;
+    let dot = DotProductDesign::new(DotParams::table3(), &node);
+    let dout = dot.run(&synth_int(1, n, 8), &synth_int(2, n, 8));
+    c.assert(
+        "dot sustained MFLOPS",
+        dout.report.sustained_flops(&dout.clock) / 1e6,
+        557.0,
+        0.15,
+    );
+    let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
+    let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
+    let mout = mvm.run(&a, &synth_int(4, n, 8));
+    c.assert(
+        "mvm sustained MFLOPS",
+        mout.report.sustained_flops(&mout.clock) / 1e6,
+        1355.0,
+        0.05,
+    );
+    c.assert("dot area (slices)", area.dot_design(2) as f64, 5210.0, 0.01);
+    c.assert("mvm area (slices)", area.mvm_design(4) as f64, 9669.0, 0.01);
+
+    println!("\n== Figure 9 ==");
+    c.assert("clock at k=1 (MHz)", clocks.mm_mhz(1), 155.0, 0.001);
+    c.assert("clock at k=10 (MHz)", clocks.mm_mhz(10), 125.0, 0.001);
+    c.assert("max PEs on XC2VP50", area.max_pes(&XC2VP50) as f64, 10.0, 0.001);
+
+    println!("\n== Table 4 (Level 2: n = 1024; Level 3: n = 512) ==");
+    let l2_clock = clocks.xd1_l2();
+    let mvm164 = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
+    let n2 = 1024usize;
+    let a2 = DenseMatrix::from_rows(n2, n2, synth_int(5, n2 * n2, 8));
+    let o2 = mvm164.run(&a2, &synth_int(6, n2, 8));
+    let staging = DmaModel::xd1_dram().transfer_seconds_words((n2 * n2 + n2) as u64);
+    let total_s = o2.report.latency_seconds(&l2_clock) + staging;
+    c.assert("L2 total latency (ms)", total_s * 1e3, 8.0, 0.05);
+    c.assert("L2 sustained (MFLOPS)", o2.report.flops as f64 / total_s / 1e6, 262.0, 0.05);
+    c.assert(
+        "L2 % of 325 MFLOPS peak",
+        o2.report.flops as f64 / total_s / io_bound_peak_mvm(1.3e9) * 100.0,
+        80.6,
+        0.05,
+    );
+
+    let mm = HierarchicalMm::new(HierarchicalParams::xd1_single_node());
+    let n3 = 512usize;
+    let ma = DenseMatrix::from_rows(n3, n3, synth_int(7, n3 * n3, 4));
+    let mb = DenseMatrix::from_rows(n3, n3, synth_int(8, n3 * n3, 4));
+    let o3 = mm.run(&ma, &mb);
+    c.assert("L3 sustained (GFLOPS)", o3.sustained_gflops(), 2.06, 0.02);
+    c.assert(
+        "L3 latency (ms)",
+        o3.report.latency_seconds(&o3.clock) * 1e3,
+        131.0,
+        0.03,
+    );
+    c.assert(
+        "device peak (GFLOPS)",
+        device_peak_flops(&XC2VP50, &area, 170.0) / 1e9,
+        4.42,
+        0.01,
+    );
+
+    println!("\n== §6.4 projections ==");
+    c.assert("chassis GFLOPS", scaled_sustained_gflops(2.06, 6), 12.4, 0.01);
+    c.assert(
+        "12-chassis GFLOPS",
+        scaled_sustained_gflops(2.06, 72),
+        148.3,
+        0.01,
+    );
+    let best50 = ChassisProjection::xd1(XC2VP50).point(1600, 200.0);
+    let best100 = ChassisProjection::xd1(XC2VP100).point(1600, 200.0);
+    c.assert("Fig 11 best point (GFLOPS)", best50.chassis_gflops, 27.0, 0.10);
+    c.assert("Fig 12 best point (GFLOPS)", best100.chassis_gflops, 50.0, 0.05);
+    let fits = HierarchicalMm::new(HierarchicalParams::xd1_chassis())
+        .check_platform(&node, &Xd1Chassis::default())
+        .is_ok();
+    c.assert_true("chassis bandwidth requirements met by XD1", fits);
+
+    println!(
+        "\n{} checks failed.{}",
+        c.failures,
+        if c.failures == 0 { " All claims reproduce." } else { "" }
+    );
+    std::process::exit(if c.failures == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,111 @@
+//! Shared infrastructure for the table/figure regeneration binaries.
+//!
+//! Every table and figure of the SC'05 paper has a binary in `src/bin/`
+//! that re-derives it from the architecture simulations and cost models:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | memory characteristics of SRC and Cray platforms |
+//! | `table2` | floating-point unit and reduction-circuit cost sheet |
+//! | `table3` | Level-1/2 design characteristics and sustained MFLOPS |
+//! | `fig9`   | matrix-multiply area & clock vs number of PEs |
+//! | `table4` | Level-2/3 BLAS on one XD1 FPGA |
+//! | `fig11`  | projected chassis GFLOPS sweep (XC2VP50) |
+//! | `fig12`  | projected chassis GFLOPS sweep (XC2VP100) |
+//! | `chassis`| §6.4 single-chassis and 12-chassis predictions |
+//! | `cpu_compare` | §6.3 CPU dgemm comparison (measured on this host) |
+//! | `ablation` | reduction-circuit and design-choice ablations |
+//! | `alpha_sweep` | buffer/latency bounds vs adder depth α |
+//! | `verify_all` | PASS/FAIL re-derivation of every headline claim |
+//!
+//! Run them with `cargo run --release -p fblas-bench --bin <name>`.
+
+pub mod workloads;
+
+/// Render a fixed-width text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    println!("\n{title}");
+    println!("+{line}+");
+    let hdr: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    println!("|{}|", hdr.join("|"));
+    println!("+{line}+");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        println!("|{}|", cells.join("|"));
+    }
+    println!("+{line}+");
+}
+
+/// Format "measured (paper: X, Δ%)" for a paper-reported value.
+pub fn vs_paper(measured: f64, paper: f64, unit: &str) -> String {
+    let delta = (measured - paper) / paper * 100.0;
+    format!("{measured:.3} {unit} (paper {paper:.3}, {delta:+.1}%)")
+}
+
+/// Deterministic pseudo-random matrix data in [-1, 1) without pulling a
+/// generator into the hot path (xorshift on the index).
+pub fn synth(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Integer-valued synthetic data (exact summation in any order).
+pub fn synth_int(seed: u64, len: usize, modulus: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 17) % modulus) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_is_deterministic_and_bounded() {
+        let a = synth(42, 100);
+        let b = synth(42, 100);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_ne!(a, synth(43, 100));
+    }
+
+    #[test]
+    fn synth_int_in_range() {
+        let v = synth_int(7, 1000, 8);
+        assert!(v.iter().all(|x| (0.0..8.0).contains(x) && x.fract() == 0.0));
+    }
+
+    #[test]
+    fn vs_paper_formats_delta() {
+        let s = vs_paper(110.0, 100.0, "MFLOPS");
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Smoke tests: the fast table/figure binaries must run to completion
+//! (their internal assertions re-check the paper claims on every run).
+//! The heavyweight ones (`table3`, `table4`, `chassis`, `cpu_compare`)
+//! are exercised by `cargo run --release`; in debug-mode tests they would
+//! dominate the suite's runtime.
+
+use std::process::Command;
+
+fn run(bin: &str) {
+    let status = Command::new(bin)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} exited with {status}");
+}
+
+#[test]
+fn table1_runs() {
+    run(env!("CARGO_BIN_EXE_table1"));
+}
+
+#[test]
+fn table2_runs() {
+    run(env!("CARGO_BIN_EXE_table2"));
+}
+
+#[test]
+fn fig9_runs() {
+    run(env!("CARGO_BIN_EXE_fig9"));
+}
+
+#[test]
+fn fig11_runs() {
+    run(env!("CARGO_BIN_EXE_fig11"));
+}
+
+#[test]
+fn fig12_runs() {
+    run(env!("CARGO_BIN_EXE_fig12"));
+}
+
+#[test]
+fn alpha_sweep_runs() {
+    run(env!("CARGO_BIN_EXE_alpha_sweep"));
+}

@@ -1,0 +1,325 @@
+//! End-to-end XD1 deployments: the §6.1 design flow around the kernels.
+//!
+//! On XD1 a design is not just the datapath: the FPGA carries an RT
+//! (RapidArray Transport) core, SRAM memory controllers and an
+//! application-specific `Rt_Client` (paper Figure 10), and the host
+//! processor drives the run through a handful of *status registers* —
+//! "the processor and the FPGA communicate through several status
+//! registers about the problem size n and completion of initialization
+//! and computation" (§6.2). This module models that harness:
+//!
+//! * [`StatusRegisters`] — the named register file both sides poll.
+//! * [`Level2Deployment`] — the full Table-4 matrix-vector run: stage A
+//!   from DRAM into the four SRAM banks, initialize the x stores, run the
+//!   tree design, write y back; reports a per-phase latency breakdown
+//!   (the 8.0 ms total vs 1.6 ms compute split).
+//! * [`Level3Deployment`] — the Table-4 matrix multiply run, where I/O
+//!   overlaps compute and only the phase accounting differs.
+
+use crate::mm::{HierarchicalMm, HierarchicalParams};
+use crate::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
+use crate::report::SimReport;
+use fblas_mem::{DmaModel, SramBanks};
+use fblas_sim::ClockDomain;
+use fblas_system::{ClockModel, Xd1Node};
+use std::collections::BTreeMap;
+
+/// The processor↔FPGA status-register file of §6.2.
+#[derive(Debug, Clone, Default)]
+pub struct StatusRegisters {
+    regs: BTreeMap<&'static str, u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl StatusRegisters {
+    /// Create an empty register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write a register (either side).
+    pub fn write(&mut self, name: &'static str, value: u64) {
+        self.regs.insert(name, value);
+        self.writes += 1;
+    }
+
+    /// Read a register; unset registers read as zero (hardware reset).
+    pub fn read(&mut self, name: &'static str) -> u64 {
+        self.reads += 1;
+        *self.regs.get(name).unwrap_or(&0)
+    }
+
+    /// Total register accesses (the control-path traffic §6.2 mentions;
+    /// negligible against the data path, which the models confirm).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// One named phase of a deployment and its wall-clock cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name ("stage A", "compute", …).
+    pub name: &'static str,
+    /// Seconds spent.
+    pub seconds: f64,
+    /// Whether the phase overlaps the compute phase (overlapped phases
+    /// do not add to the critical path).
+    pub overlapped: bool,
+}
+
+/// Outcome of an end-to-end deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentOutcome {
+    /// The result vector (Level 2) flattened, or the C matrix (Level 3)
+    /// in row-major order.
+    pub result: Vec<f64>,
+    /// Per-phase latency breakdown.
+    pub phases: Vec<Phase>,
+    /// Critical-path latency in seconds (non-overlapped phases).
+    pub total_seconds: f64,
+    /// The compute kernel's own accounting.
+    pub kernel_report: SimReport,
+    /// Kernel clock domain.
+    pub clock: ClockDomain,
+    /// Status-register accesses performed.
+    pub register_accesses: u64,
+}
+
+impl DeploymentOutcome {
+    /// Sustained FLOPS over the whole deployment (the paper's Table-4
+    /// accounting: flops over *total* latency including staging).
+    pub fn sustained_flops(&self) -> f64 {
+        self.kernel_report.flops as f64 / self.total_seconds
+    }
+
+    /// The named phase, if present.
+    pub fn phase(&self, name: &str) -> Option<&Phase> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+/// The Table-4 Level-2 deployment: k = 4 matrix-vector on one XD1 blade.
+#[derive(Debug, Clone)]
+pub struct Level2Deployment {
+    node: Xd1Node,
+    design: RowMajorMvm,
+    clock: ClockDomain,
+}
+
+impl Level2Deployment {
+    /// Instantiate on a node with the Table-4 clock (164 MHz).
+    pub fn new(node: Xd1Node) -> Self {
+        let clock = ClockModel::default().xd1_l2();
+        Self {
+            design: RowMajorMvm::standalone(MvmParams::table3(), clock.mhz()),
+            node,
+            clock,
+        }
+    }
+
+    /// Run y = A·x end to end: stage, initialize, compute, write back.
+    pub fn run(&self, a: &DenseMatrix, x: &[f64]) -> DeploymentOutcome {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "square matrix");
+        assert!(
+            (n * n) as u64 <= self.node.sram_words(),
+            "matrix exceeds the node's SRAM ({} words)",
+            self.node.sram_words()
+        );
+        let mut regs = StatusRegisters::new();
+        regs.write("n", n as u64);
+
+        // Phase 1: DMA matrix A from processor DRAM into the SRAM banks.
+        let dma = &self.node.dram;
+        let stage_a = dma.transfer_seconds_words((n * n) as u64);
+        // Striping across the four banks is part of the same transfer;
+        // model it to validate bank arithmetic.
+        let banks = SramBanks::striped(a.as_slice(), self.node.sram_banks);
+        assert_eq!(banks.n_banks(), self.node.sram_banks);
+
+        // Phase 2: the processor initializes the x local stores.
+        let init_x = dma.transfer_seconds_words(n as u64);
+        regs.write("init_done", 1);
+
+        // Phase 3: compute on the FPGA.
+        let out = self.design.run(a, x);
+        let compute = out.report.latency_seconds(&self.clock);
+        regs.write("compute_done", 1);
+
+        // Phase 4: y writeback to DRAM.
+        let writeback = dma.transfer_seconds_words(n as u64);
+        assert_eq!(regs.read("compute_done"), 1);
+
+        let phases = vec![
+            Phase { name: "stage A (DRAM→SRAM)", seconds: stage_a, overlapped: false },
+            Phase { name: "initialize x", seconds: init_x, overlapped: false },
+            Phase { name: "compute", seconds: compute, overlapped: false },
+            Phase { name: "write back y", seconds: writeback, overlapped: false },
+        ];
+        let total_seconds = phases
+            .iter()
+            .filter(|p| !p.overlapped)
+            .map(|p| p.seconds)
+            .sum();
+        DeploymentOutcome {
+            result: out.y,
+            phases,
+            total_seconds,
+            kernel_report: out.report,
+            clock: self.clock,
+            register_accesses: regs.accesses(),
+        }
+    }
+
+    /// The DMA engine used for staging.
+    pub fn dma(&self) -> &DmaModel {
+        &self.node.dram
+    }
+}
+
+/// The Table-4 Level-3 deployment: k = m = 8 matrix multiply, I/O
+/// overlapped with compute.
+#[derive(Debug, Clone)]
+pub struct Level3Deployment {
+    node: Xd1Node,
+    mm: HierarchicalMm,
+}
+
+impl Level3Deployment {
+    /// Instantiate with the §6.3 parameters (b = 512 unless n is smaller).
+    pub fn new(node: Xd1Node, n: usize) -> Self {
+        let mut p = HierarchicalParams::xd1_single_node();
+        if n < p.b {
+            p.b = n;
+        }
+        Self {
+            mm: HierarchicalMm::new(p),
+            node,
+        }
+    }
+
+    /// Run C = A·B end to end.
+    pub fn run(&self, a: &DenseMatrix, b: &DenseMatrix) -> DeploymentOutcome {
+        let mut regs = StatusRegisters::new();
+        regs.write("n", a.rows() as u64);
+        let out = self.mm.run(a, b);
+        let clock = out.clock;
+        let compute = out.report.latency_seconds(&clock);
+        // Block streaming overlaps compute (§6.3: "during most of the
+        // time, the floating-point operations are performed concurrently
+        // with the I/O operations"); only the first block's fetch and the
+        // last C block's writeback are exposed.
+        let io_total = self
+            .node
+            .dram
+            .transfer_seconds_words(out.report.words_in + out.report.words_out);
+        let bb = self.mm.params().b as u64;
+        let exposed = self
+            .node
+            .dram
+            .transfer_seconds_words(2 * bb * bb / 64 + bb * bb / 64);
+        regs.write("compute_done", 1);
+
+        let phases = vec![
+            Phase { name: "stream blocks (overlapped)", seconds: io_total, overlapped: true },
+            Phase { name: "exposed I/O (first/last block)", seconds: exposed, overlapped: false },
+            Phase { name: "compute", seconds: compute, overlapped: false },
+        ];
+        let total_seconds = phases
+            .iter()
+            .filter(|p| !p.overlapped)
+            .map(|p| p.seconds)
+            .sum();
+        DeploymentOutcome {
+            result: out.c.as_slice().to_vec(),
+            phases,
+            total_seconds,
+            kernel_report: out.report,
+            clock,
+            register_accesses: regs.accesses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_mat(seed: usize, n: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(n, n, |i, j| ((i * 3 + j * 7 + seed) % 8) as f64)
+    }
+
+    #[test]
+    fn level2_phase_breakdown_reproduces_table4() {
+        // n = 1024: staging ≈ 6.45 ms dominates the 1.6 ms compute; total
+        // ≈ 8 ms and 262 MFLOPS sustained.
+        let n = 1024;
+        let a = int_mat(1, n);
+        let x: Vec<f64> = (0..n).map(|j| ((j * 5) % 8) as f64).collect();
+        let d = Level2Deployment::new(Xd1Node::default());
+        let out = d.run(&a, &x);
+        assert_eq!(out.result, a.ref_mvm(&x));
+        assert!((out.total_seconds * 1e3 - 8.0).abs() < 0.3, "total {}", out.total_seconds);
+        let compute = out.phase("compute").expect("compute phase").seconds;
+        assert!((compute * 1e3 - 1.6).abs() < 0.05, "compute {compute}");
+        let sustained = out.sustained_flops() / 1e6;
+        assert!((sustained - 262.0).abs() < 10.0, "sustained {sustained}");
+    }
+
+    #[test]
+    fn level2_register_protocol_exercised() {
+        let n = 64;
+        let d = Level2Deployment::new(Xd1Node::default());
+        let out = d.run(&int_mat(2, n), &vec![1.0; n]);
+        // n, init_done, compute_done writes plus the completion poll.
+        assert!(out.register_accesses >= 4);
+    }
+
+    #[test]
+    fn level2_rejects_oversized_matrices() {
+        let d = Level2Deployment::new(Xd1Node::default());
+        let n = 2048; // 4M words > 2M SRAM words
+        let a = int_mat(3, n);
+        let x = vec![1.0; n];
+        assert!(std::panic::catch_unwind(|| d.run(&a, &x)).is_err());
+    }
+
+    #[test]
+    fn level3_io_mostly_overlapped() {
+        let n = 128;
+        let d = Level3Deployment::new(Xd1Node::default(), n);
+        let a = int_mat(4, n);
+        let b = int_mat(5, n);
+        let out = d.run(&a, &b);
+        let compute = out.phase("compute").expect("phase").seconds;
+        let exposed = out
+            .phase("exposed I/O (first/last block)")
+            .expect("phase")
+            .seconds;
+        // §6.3: I/O is a tiny fraction of the total.
+        assert!(exposed < 0.05 * compute, "exposed {exposed} vs compute {compute}");
+        assert_eq!(out.result.len(), n * n);
+    }
+
+    #[test]
+    fn level3_result_correct() {
+        let n = 64;
+        let d = Level3Deployment::new(Xd1Node::default(), n);
+        let a = int_mat(6, n);
+        let b = int_mat(7, n);
+        let out = d.run(&a, &b);
+        let expect = crate::mm::ref_matmul(&a, &b);
+        assert_eq!(out.result, expect.as_slice());
+    }
+
+    #[test]
+    fn status_registers_reset_to_zero() {
+        let mut r = StatusRegisters::new();
+        assert_eq!(r.read("anything"), 0);
+        r.write("n", 42);
+        assert_eq!(r.read("n"), 42);
+        assert_eq!(r.accesses(), 3);
+    }
+}

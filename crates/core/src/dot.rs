@@ -1,0 +1,429 @@
+//! Level-1 BLAS: the tree-based dot-product architecture (paper §4.1).
+//!
+//! k multipliers accept one element of each vector per cycle; an adder
+//! tree of k−1 pipelined adders sums the k products; because k < n, a
+//! reduction circuit accumulates the tree's output stream into the final
+//! scalar. The operation is I/O bound: performance is set by the rate at
+//! which the two vectors stream in (2k words per cycle), and the paper
+//! picks k to match the available memory bandwidth (k = 2 on XD1, Table 3).
+//!
+//! All k lanes operate in lockstep, so the multiplier bank and the adder
+//! tree are modelled as a single delay line of latency
+//! `mult_stages + lg(k)·adder_stages` carrying the balanced-tree partial
+//! sum of each group of k products — cycle-exact and bit-exact with the
+//! lane-by-lane hardware (the combine uses the same balanced association).
+
+use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
+use crate::report::SimReport;
+use fblas_fpu::softfloat::{add_f64, mul_f64};
+use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
+use fblas_mem::ReadChannel;
+use fblas_sim::{ClockDomain, DelayLine};
+use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
+
+/// Parameters of the tree-based dot-product design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DotParams {
+    /// Number of multipliers (must be a power of two).
+    pub k: usize,
+    /// Pipeline depth of each adder (α).
+    pub adder_stages: usize,
+    /// Pipeline depth of each multiplier.
+    pub mult_stages: usize,
+    /// Words per cycle each vector stream delivers (the design consumes
+    /// 2·k words per cycle total when both streams sustain k).
+    pub words_per_cycle_per_vector: f64,
+}
+
+impl DotParams {
+    /// The paper's Table 3 configuration: k = 2 at 170 MHz, constrained by
+    /// the 6.4 GB/s SRAM read path (2k = 4 words/cycle ⇒ 5.5 GB/s used).
+    pub fn table3() -> Self {
+        Self {
+            k: 2,
+            adder_stages: ADDER_STAGES,
+            mult_stages: MULTIPLIER_STAGES,
+            words_per_cycle_per_vector: 2.0,
+        }
+    }
+
+    /// A configuration with `k` lanes fed at full rate.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            adder_stages: ADDER_STAGES,
+            mult_stages: MULTIPLIER_STAGES,
+            words_per_cycle_per_vector: k as f64,
+        }
+    }
+
+    /// Latency of the lockstep multiplier + adder-tree front end.
+    pub fn tree_latency(&self) -> usize {
+        self.mult_stages + self.k.ilog2() as usize * self.adder_stages
+    }
+}
+
+/// Result of one dot-product run.
+#[derive(Debug, Clone)]
+pub struct DotOutcome {
+    /// The computed dot product.
+    pub result: f64,
+    /// Cycle/flop/word accounting.
+    pub report: SimReport,
+    /// The clock domain the design closes timing at (170 MHz).
+    pub clock: ClockDomain,
+    /// Peak FLOPS permitted by the exercised memory bandwidth (§4.4).
+    pub peak_flops: f64,
+    /// Buffered words observed inside the reduction circuit.
+    pub reduction_buffer_high_water: usize,
+}
+
+impl DotOutcome {
+    /// Fraction of the I/O-bound peak the run sustained (paper: 80 %).
+    pub fn fraction_of_peak(&self) -> f64 {
+        self.report.fraction_of_peak(&self.clock, self.peak_flops)
+    }
+}
+
+/// The tree-based dot-product design instance.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_core::dot::{DotParams, DotProductDesign};
+/// use fblas_system::Xd1Node;
+///
+/// let design = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
+/// let u = vec![1.0, 2.0, 3.0, 4.0];
+/// let v = vec![4.0, 3.0, 2.0, 1.0];
+/// let out = design.run(&u, &v);
+/// assert_eq!(out.result, 20.0);
+/// assert!(out.report.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DotProductDesign {
+    params: DotParams,
+    clock: ClockDomain,
+}
+
+impl DotProductDesign {
+    /// Instantiate the design on an XD1 node (fixes the clock at the
+    /// tree-design rate and checks the bandwidth demand is available).
+    pub fn new(params: DotParams, node: &Xd1Node) -> Self {
+        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        let clock = ClockModel::default().tree_design();
+        let demand = 2.0 * params.words_per_cycle_per_vector;
+        let supply = node.sram_words_per_cycle(clock.mhz());
+        assert!(
+            demand <= supply + 1e-9,
+            "design demands {demand} words/cycle but the SRAM path supplies {supply}"
+        );
+        Self { params, clock }
+    }
+
+    /// Instantiate on an SRC MAPstation user FPGA: the 4.8 GB/s SRAM path
+    /// sustains only ≈3.5 words/cycle at 170 MHz, so the two vector
+    /// streams are derated to share it — the §3.2 computational model
+    /// applied to the paper's second platform.
+    pub fn on_src(k: usize, station: &fblas_system::src_station::SrcMapStation) -> Self {
+        assert!(k.is_power_of_two(), "adder tree needs power-of-two k");
+        let clock = ClockModel::default().tree_design();
+        let supply = station.sram_words_per_cycle(clock.mhz());
+        let params = DotParams {
+            k,
+            adder_stages: fblas_fpu::ADDER_STAGES,
+            mult_stages: fblas_fpu::MULTIPLIER_STAGES,
+            // Each stream gets half the read path, capped at k words.
+            words_per_cycle_per_vector: (supply / 2.0).min(k as f64),
+        };
+        Self { params, clock }
+    }
+
+    /// Instantiate without a platform check (for ablations).
+    pub fn standalone(params: DotParams, clock_mhz: f64) -> Self {
+        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        Self {
+            params,
+            clock: ClockDomain::from_mhz(clock_mhz),
+        }
+    }
+
+    /// The design parameters.
+    pub fn params(&self) -> &DotParams {
+        &self.params
+    }
+
+    /// The clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Memory bandwidth the run exercises, in bytes/s.
+    pub fn bandwidth_bytes_per_s(&self) -> f64 {
+        2.0 * self.params.words_per_cycle_per_vector * 8.0 * self.clock.hz()
+    }
+
+    /// Run `u · v` through the paper's reduction circuit.
+    pub fn run(&self, u: &[f64], v: &[f64]) -> DotOutcome {
+        self.run_with_reducer(u, v, &mut SingleAdderReducer::new(self.params.adder_stages))
+    }
+
+    /// Run with an explicit reduction circuit (ablation hook).
+    pub fn run_with_reducer<R: Reducer>(&self, u: &[f64], v: &[f64], reducer: &mut R) -> DotOutcome {
+        assert_eq!(u.len(), v.len(), "dot product needs equal-length vectors");
+        assert!(!u.is_empty(), "empty vectors have no dot product");
+        let k = self.params.k;
+        let n = u.len();
+        let groups = n.div_ceil(k);
+
+        let mut u_ch = ReadChannel::new(u.to_vec(), self.params.words_per_cycle_per_vector);
+        let mut v_ch = ReadChannel::new(v.to_vec(), self.params.words_per_cycle_per_vector);
+        let mut tree: DelayLine<(f64, bool)> = DelayLine::new(self.params.tree_latency());
+        let mut u_buf = Vec::with_capacity(k);
+        let mut v_buf = Vec::with_capacity(k);
+        // Values that left the tree while the reduction circuit exerted
+        // back-pressure (empty forever with the proposed circuit; grows
+        // only for stalling baselines, which also gate the front end).
+        let mut backlog: std::collections::VecDeque<(f64, bool)> = std::collections::VecDeque::new();
+
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        let mut groups_in = 0usize;
+        let mut result = None;
+        let limit = (n as u64 + 64) * 32 + 100_000;
+
+        while result.is_none() {
+            cycles += 1;
+            assert!(cycles < limit, "dot simulation exceeded cycle budget");
+            let mut cycle_busy = false;
+
+            // Front end: pull up to k element pairs from the streams. A
+            // back-pressured reduction circuit stalls the whole front end.
+            u_ch.tick();
+            v_ch.tick();
+            let tree_in = if groups_in < groups && backlog.len() < 2 {
+                u_ch.read_up_to(k - u_buf.len(), &mut u_buf);
+                v_ch.read_up_to(k - v_buf.len(), &mut v_buf);
+                let last_group = groups_in + 1 == groups;
+                let full = u_buf.len() == k && v_buf.len() == k;
+                let tail = last_group
+                    && u_ch.exhausted()
+                    && v_ch.exhausted()
+                    && !u_buf.is_empty()
+                    && u_buf.len() == v_buf.len();
+                if full || tail {
+                    // All k lanes fire in lockstep: multiply and combine in
+                    // balanced-tree order (bit-exact with the lane tree).
+                    let products: Vec<f64> = u_buf
+                        .drain(..)
+                        .zip(v_buf.drain(..))
+                        .map(|(a, b)| mul_f64(a, b))
+                        .collect();
+                    groups_in += 1;
+                    cycle_busy = true;
+                    Some((balanced_sum(&products), last_group))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+
+            // Adder tree latency.
+            if let Some(out) = tree.step(tree_in) {
+                backlog.push_back(out);
+            }
+
+            // Reduction circuit consumes the tree's output stream.
+            let red_in = if reducer.ready() {
+                backlog.pop_front().map(|(value, last)| ReduceInput {
+                    set_id: 0,
+                    value,
+                    last,
+                })
+            } else {
+                None
+            };
+            if red_in.is_some() {
+                cycle_busy = true;
+            }
+            if let Some(ev) = reducer.tick(red_in) {
+                result = Some(ev.value);
+            }
+            if cycle_busy {
+                busy += 1;
+            }
+        }
+
+        let report = SimReport {
+            cycles,
+            flops: 2 * n as u64,
+            words_in: 2 * n as u64,
+            words_out: 1,
+            busy_cycles: busy,
+        };
+        DotOutcome {
+            result: result.expect("loop exits on result"),
+            report,
+            clock: self.clock,
+            peak_flops: io_bound_peak_dot(self.bandwidth_bytes_per_s()),
+            reduction_buffer_high_water: reducer.buffer_high_water(),
+        }
+    }
+}
+
+/// Balanced-tree summation, the association order of a k-leaf adder tree.
+fn balanced_sum(vals: &[f64]) -> f64 {
+    match vals.len() {
+        0 => 0.0,
+        1 => vals[0],
+        n => {
+            let mid = n / 2;
+            add_f64(balanced_sum(&vals[..mid]), balanced_sum(&vals[mid..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        // Small integers: sums are exact under any association.
+        let u: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 16) as f64).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 3 + 2) % 16) as f64).collect();
+        (u, v)
+    }
+
+    fn reference(u: &[f64], v: &[f64]) -> f64 {
+        u.iter().zip(v).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn result_exact_for_integer_vectors() {
+        let (u, v) = vecs(2048);
+        let d = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
+        let out = d.run(&u, &v);
+        assert_eq!(out.result, reference(&u, &v));
+    }
+
+    #[test]
+    fn table3_shape_high_fraction_of_peak() {
+        // Table 3: k=2, n=2048 sustains ≥80 % of the I/O-bound peak. The
+        // overhead is the reduction drain, amortized over n/k cycles.
+        let (u, v) = vecs(2048);
+        let d = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
+        let out = d.run(&u, &v);
+        let frac = out.fraction_of_peak();
+        assert!(frac >= 0.80, "fraction of peak {frac}");
+        assert!(frac <= 1.0, "cannot exceed peak, got {frac}");
+    }
+
+    #[test]
+    fn bandwidth_of_table3_design_is_5_5_gbs() {
+        let d = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
+        let bw = d.bandwidth_bytes_per_s();
+        assert!((bw / 1e9 - 5.44).abs() < 0.1, "got {bw}");
+    }
+
+    #[test]
+    fn n_not_multiple_of_k() {
+        let (u, v) = vecs(1023);
+        let d = DotProductDesign::standalone(DotParams::with_k(4), 170.0);
+        let out = d.run(&u, &v);
+        assert_eq!(out.result, reference(&u, &v));
+    }
+
+    #[test]
+    fn single_element_vectors() {
+        let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+        let out = d.run(&[3.0], &[4.0]);
+        assert_eq!(out.result, 12.0);
+    }
+
+    #[test]
+    fn larger_k_reduces_cycles() {
+        let (u, v) = vecs(4096);
+        let d2 = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+        let d8 = DotProductDesign::standalone(DotParams::with_k(8), 170.0);
+        let c2 = d2.run(&u, &v).report.cycles;
+        let c8 = d8.run(&u, &v).report.cycles;
+        assert!(
+            c8 * 3 < c2,
+            "k=8 ({c8} cycles) should be ~4x faster than k=2 ({c2})"
+        );
+    }
+
+    #[test]
+    fn cycles_close_to_io_lower_bound() {
+        // The stream takes n/k cycles; everything else is pipeline fill
+        // and reduction drain, bounded by 2α² + tree latency.
+        let (u, v) = vecs(2048);
+        let p = DotParams::table3();
+        let d = DotProductDesign::new(p, &Xd1Node::default());
+        let out = d.run(&u, &v);
+        let lower = 2048 / p.k as u64;
+        let slack = 2 * (p.adder_stages * p.adder_stages) as u64 + p.tree_latency() as u64 + 4;
+        assert!(out.report.cycles >= lower);
+        assert!(
+            out.report.cycles <= lower + slack,
+            "cycles {} exceed bound {}",
+            out.report.cycles,
+            lower + slack
+        );
+    }
+
+    #[test]
+    fn ablation_stalling_reducer_is_much_slower() {
+        use crate::reduce::StallingReducer;
+        let (u, v) = vecs(512);
+        let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+        let fast = d.run(&u, &v).report.cycles;
+        let mut stall = StallingReducer::new(ADDER_STAGES);
+        let slow = d.run_with_reducer(&u, &v, &mut stall).report.cycles;
+        assert!(
+            slow > 3 * fast,
+            "stalling ({slow}) should dwarf proposed ({fast})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_rejected() {
+        let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+        d.run(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "words/cycle")]
+    fn bandwidth_overdemand_rejected() {
+        // k=8 needs 16 words/cycle; the XD1 SRAM path supplies ~4.7.
+        DotProductDesign::new(DotParams::with_k(8), &Xd1Node::default());
+    }
+
+    #[test]
+    fn src_mapstation_deployment_fractional_bandwidth() {
+        // The SRC SRAM path forces a fractional per-stream rate (~1.76
+        // words/cycle for k = 2); the design still computes exactly and
+        // stays I/O-bound efficient relative to ITS available bandwidth.
+        use fblas_system::src_station::SrcMapStation;
+        let station = SrcMapStation::default();
+        let d = DotProductDesign::on_src(2, &station);
+        assert!(d.params().words_per_cycle_per_vector < 2.0);
+        let (u, v) = vecs(2048);
+        let out = d.run(&u, &v);
+        assert_eq!(out.result, reference(&u, &v));
+        assert!(out.fraction_of_peak() > 0.85, "got {}", out.fraction_of_peak());
+        // Slower than the XD1 deployment, as Table 1's bandwidths dictate.
+        let xd1 = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
+        assert!(out.report.cycles > xd1.run(&u, &v).report.cycles);
+    }
+
+    #[test]
+    fn balanced_sum_association() {
+        // ((1+2)+(3+4)) for four leaves.
+        assert_eq!(balanced_sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(balanced_sum(&[]), 0.0);
+        assert_eq!(balanced_sum(&[7.5]), 7.5);
+    }
+}

@@ -1,0 +1,434 @@
+//! Additional Level-1 BLAS streaming designs: axpy, scal, asum, nrm2.
+//!
+//! The paper studies dot product as *the* representative Level-1
+//! operation (§4.1) because it is the only one that needs the reduction
+//! circuit; a usable BLAS library also ships the other Level-1 routines,
+//! and on the reconfigurable-system model they are straightforward
+//! streaming designs built from the same parts:
+//!
+//! * [`AxpyDesign`] — y ← a·x + y: k multiplier/adder lanes, 2k words in
+//!   and k words out per cycle (the most bandwidth-hungry Level-1 op:
+//!   3 words of traffic per 2 flops).
+//! * [`ScalDesign`] — x ← a·x: k multiplier lanes, k words each way.
+//! * [`AsumDesign`] — Σ|xᵢ|: magnitude extraction is free in hardware
+//!   (drop the sign bit), then the §4.1 adder tree + §4.3 reduction
+//!   circuit accumulate, exactly like dot product with one input stream.
+//! * [`nrm2`] — ‖x‖₂ via the dot-product design plus a host-side square
+//!   root (XD1's intended FPGA/processor split; a hardware sqrt unit
+//!   would pipeline the same way as the adder).
+//!
+//! These are extensions beyond the paper's evaluation; DESIGN.md lists
+//! them as such.
+
+use crate::dot::{DotOutcome, DotParams, DotProductDesign};
+use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
+use crate::report::SimReport;
+use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
+use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
+use fblas_mem::{ReadChannel, WriteChannel};
+use fblas_sim::{ClockDomain, DelayLine};
+use fblas_system::io_bound_peak_dot;
+
+/// Parameters of the streaming Level-1 designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Level1Params {
+    /// Parallel lanes.
+    pub k: usize,
+    /// Adder pipeline depth α.
+    pub adder_stages: usize,
+    /// Multiplier pipeline depth.
+    pub mult_stages: usize,
+    /// Words per cycle each input stream sustains.
+    pub words_per_cycle_per_stream: f64,
+}
+
+impl Level1Params {
+    /// A k-lane configuration fed at full rate.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            adder_stages: ADDER_STAGES,
+            mult_stages: MULTIPLIER_STAGES,
+            words_per_cycle_per_stream: k as f64,
+        }
+    }
+}
+
+/// Result of a streaming Level-1 run producing a vector.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The output vector.
+    pub result: Vec<f64>,
+    /// Cycle/flop/word accounting.
+    pub report: SimReport,
+    /// Clock domain (tree-design rate, 170 MHz).
+    pub clock: ClockDomain,
+}
+
+/// y ← a·x + y on k multiplier/adder lanes.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_core::level1::{AxpyDesign, Level1Params};
+///
+/// let axpy = AxpyDesign::new(Level1Params::with_k(2));
+/// let out = axpy.run(2.0, &[1.0, 2.0, 3.0], &[10.0, 10.0, 10.0]);
+/// assert_eq!(out.result, vec![12.0, 14.0, 16.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AxpyDesign {
+    params: Level1Params,
+    clock: ClockDomain,
+}
+
+impl AxpyDesign {
+    /// Instantiate at the tree-design clock.
+    pub fn new(params: Level1Params) -> Self {
+        Self {
+            params,
+            clock: ClockDomain::from_mhz(170.0),
+        }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &Level1Params {
+        &self.params
+    }
+
+    /// Compute `a·x + y`, cycle by cycle.
+    pub fn run(&self, a: f64, x: &[f64], y: &[f64]) -> StreamOutcome {
+        assert_eq!(x.len(), y.len(), "axpy needs equal-length vectors");
+        let k = self.params.k;
+        let n = x.len();
+        let rate = self.params.words_per_cycle_per_stream;
+        let mut x_ch = ReadChannel::new(x.to_vec(), rate);
+        let mut y_ch = ReadChannel::new(y.to_vec(), rate);
+        let mut out_ch = WriteChannel::with_capacity(rate, n);
+        // Lockstep lanes: multiply then add, one batch per cycle.
+        let mut pipe: DelayLine<Vec<f64>> =
+            DelayLine::new(self.params.mult_stages + self.params.adder_stages);
+        let mut xb = Vec::with_capacity(k);
+        let mut yb = Vec::with_capacity(k);
+        let mut fed = 0usize;
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        let limit = (n as u64 + 64) * 16 + 100_000;
+
+        while out_ch.words_written() < n {
+            cycles += 1;
+            assert!(cycles < limit, "axpy simulation exceeded cycle budget");
+            x_ch.tick();
+            y_ch.tick();
+            out_ch.tick();
+
+            let mut batch_in = None;
+            if fed < n {
+                let want = k.min(n - fed);
+                x_ch.read_up_to(want - xb.len(), &mut xb);
+                y_ch.read_up_to(want - yb.len(), &mut yb);
+                if xb.len() == want && yb.len() == want {
+                    let batch: Vec<f64> = xb
+                        .drain(..)
+                        .zip(yb.drain(..))
+                        .map(|(xi, yi)| add_f64(mul_f64(a, xi), yi))
+                        .collect();
+                    fed += want;
+                    busy += 1;
+                    batch_in = Some(batch);
+                }
+            }
+            if let Some(batch) = pipe.step(batch_in) {
+                for v in batch {
+                    assert!(out_ch.write(v), "output bandwidth must match input");
+                }
+            }
+        }
+
+        StreamOutcome {
+            result: out_ch.into_data(),
+            report: SimReport {
+                cycles,
+                flops: 2 * n as u64,
+                words_in: 2 * n as u64,
+                words_out: n as u64,
+                busy_cycles: busy,
+            },
+            clock: self.clock,
+        }
+    }
+}
+
+/// x ← a·x on k multiplier lanes.
+#[derive(Debug, Clone)]
+pub struct ScalDesign {
+    params: Level1Params,
+    clock: ClockDomain,
+}
+
+impl ScalDesign {
+    /// Instantiate at the tree-design clock.
+    pub fn new(params: Level1Params) -> Self {
+        Self {
+            params,
+            clock: ClockDomain::from_mhz(170.0),
+        }
+    }
+
+    /// Compute `a·x`, cycle by cycle.
+    pub fn run(&self, a: f64, x: &[f64]) -> StreamOutcome {
+        let k = self.params.k;
+        let n = x.len();
+        let rate = self.params.words_per_cycle_per_stream;
+        let mut x_ch = ReadChannel::new(x.to_vec(), rate);
+        let mut out_ch = WriteChannel::with_capacity(rate, n);
+        let mut pipe: DelayLine<Vec<f64>> = DelayLine::new(self.params.mult_stages);
+        let mut xb = Vec::with_capacity(k);
+        let mut fed = 0usize;
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        let limit = (n as u64 + 64) * 16 + 100_000;
+
+        while out_ch.words_written() < n {
+            cycles += 1;
+            assert!(cycles < limit, "scal simulation exceeded cycle budget");
+            x_ch.tick();
+            out_ch.tick();
+            let mut batch_in = None;
+            if fed < n {
+                let want = k.min(n - fed);
+                x_ch.read_up_to(want - xb.len(), &mut xb);
+                if xb.len() == want {
+                    let batch: Vec<f64> = xb.drain(..).map(|xi| mul_f64(a, xi)).collect();
+                    fed += want;
+                    busy += 1;
+                    batch_in = Some(batch);
+                }
+            }
+            if let Some(batch) = pipe.step(batch_in) {
+                for v in batch {
+                    assert!(out_ch.write(v), "output bandwidth must match input");
+                }
+            }
+        }
+
+        StreamOutcome {
+            result: out_ch.into_data(),
+            report: SimReport {
+                cycles,
+                flops: n as u64,
+                words_in: n as u64,
+                words_out: n as u64,
+                busy_cycles: busy,
+            },
+            clock: self.clock,
+        }
+    }
+}
+
+/// Result of an asum run.
+#[derive(Debug, Clone)]
+pub struct AsumOutcome {
+    /// Σ|xᵢ|.
+    pub result: f64,
+    /// Cycle/flop/word accounting.
+    pub report: SimReport,
+    /// Clock domain.
+    pub clock: ClockDomain,
+    /// I/O-bound peak under the exercised bandwidth.
+    pub peak_flops: f64,
+}
+
+/// Σ|xᵢ| via the adder tree and the reduction circuit.
+#[derive(Debug, Clone)]
+pub struct AsumDesign {
+    params: Level1Params,
+    clock: ClockDomain,
+}
+
+impl AsumDesign {
+    /// Instantiate at the tree-design clock.
+    pub fn new(params: Level1Params) -> Self {
+        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        Self {
+            params,
+            clock: ClockDomain::from_mhz(170.0),
+        }
+    }
+
+    /// Compute Σ|xᵢ| with the paper's reduction circuit.
+    pub fn run(&self, x: &[f64]) -> AsumOutcome {
+        assert!(!x.is_empty(), "asum of an empty vector");
+        let k = self.params.k;
+        let n = x.len();
+        let groups = n.div_ceil(k);
+        let mut x_ch = ReadChannel::new(x.to_vec(), self.params.words_per_cycle_per_stream);
+        // |x| is a wire-level operation (clear bit 63): zero latency, no
+        // flops — then the dot-product tree/reduction path applies.
+        let mut tree: DelayLine<(f64, bool)> =
+            DelayLine::new((k.ilog2() as usize * self.params.adder_stages).max(1));
+        let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
+        let mut buf = Vec::with_capacity(k);
+        let mut groups_in = 0usize;
+        let mut result = None;
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        let limit = (n as u64 + 64) * 16 + 100_000;
+
+        while result.is_none() {
+            cycles += 1;
+            assert!(cycles < limit, "asum simulation exceeded cycle budget");
+            x_ch.tick();
+            let mut tree_in = None;
+            if groups_in < groups {
+                let want = k.min(n - groups_in * k);
+                x_ch.read_up_to(want - buf.len(), &mut buf);
+                if buf.len() == want {
+                    let mags: Vec<f64> = buf
+                        .drain(..)
+                        .map(|v| f64::from_bits(v.to_bits() & !SIGN_MASK))
+                        .collect();
+                    groups_in += 1;
+                    busy += 1;
+                    tree_in = Some((balanced(&mags), groups_in == groups));
+                }
+            }
+            let red_in = tree.step(tree_in).map(|(value, last)| ReduceInput {
+                set_id: 0,
+                value,
+                last,
+            });
+            if let Some(ev) = reducer.tick(red_in) {
+                result = Some(ev.value);
+            }
+        }
+
+        AsumOutcome {
+            result: result.expect("loop exits on result"),
+            report: SimReport {
+                cycles,
+                flops: n as u64, // n−1 adds + the free magnitude ops
+                words_in: n as u64,
+                words_out: 1,
+                busy_cycles: busy,
+            },
+            clock: self.clock,
+            peak_flops: io_bound_peak_dot(
+                self.params.words_per_cycle_per_stream * 8.0 * self.clock.hz(),
+            ),
+        }
+    }
+}
+
+/// ‖x‖₂ via the dot-product design; the square root runs on the host
+/// processor (the XD1 split of control vs compute).
+pub fn nrm2(design: &DotProductDesign, x: &[f64]) -> (f64, DotOutcome) {
+    let out = design.run(x, x);
+    (out.result.sqrt(), out)
+}
+
+/// Convenience constructor for the dot design used by [`nrm2`].
+pub fn nrm2_design(k: usize) -> DotProductDesign {
+    DotProductDesign::standalone(DotParams::with_k(k), 170.0)
+}
+
+/// Balanced-tree association of the lane values.
+fn balanced(vals: &[f64]) -> f64 {
+    match vals.len() {
+        0 => 0.0,
+        1 => vals[0],
+        n => {
+            let mid = n / 2;
+            add_f64(balanced(&vals[..mid]), balanced(&vals[mid..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_vec(seed: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 7 + seed * 3 + 1) % 16) as f64 - 8.0)
+            .collect()
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        for n in [1usize, 7, 64, 1000] {
+            let x = int_vec(1, n);
+            let y = int_vec(2, n);
+            let out = AxpyDesign::new(Level1Params::with_k(4)).run(3.0, &x, &y);
+            let expect: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| 3.0 * xi + yi).collect();
+            assert_eq!(out.result, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axpy_is_io_bound_near_one_group_per_cycle() {
+        let n = 4096;
+        let x = int_vec(1, n);
+        let y = int_vec(2, n);
+        let out = AxpyDesign::new(Level1Params::with_k(4)).run(2.0, &x, &y);
+        let lower = (n / 4) as u64;
+        assert!(out.report.cycles >= lower);
+        assert!(out.report.cycles < lower + 64, "cycles {}", out.report.cycles);
+    }
+
+    #[test]
+    fn scal_matches_reference() {
+        let x = int_vec(3, 513);
+        let out = ScalDesign::new(Level1Params::with_k(4)).run(-2.5, &x);
+        let expect: Vec<f64> = x.iter().map(|xi| -2.5 * xi).collect();
+        assert_eq!(out.result, expect);
+    }
+
+    #[test]
+    fn scal_zero_scales_to_signed_zero() {
+        let out = ScalDesign::new(Level1Params::with_k(2)).run(0.0, &[1.0, -2.0]);
+        assert_eq!(out.result[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(out.result[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn asum_matches_reference() {
+        for n in [1usize, 5, 64, 777] {
+            let x = int_vec(4, n);
+            let out = AsumDesign::new(Level1Params::with_k(4)).run(&x);
+            let expect: f64 = x.iter().map(|v| v.abs()).sum();
+            assert_eq!(out.result, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn asum_handles_negative_zero() {
+        let out = AsumDesign::new(Level1Params::with_k(2)).run(&[-0.0, -1.0, 2.0]);
+        assert_eq!(out.result, 3.0);
+    }
+
+    #[test]
+    fn nrm2_matches_reference() {
+        let x = int_vec(5, 256);
+        let (norm, out) = nrm2(&nrm2_design(2), &x);
+        let expect: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert_eq!(norm, expect);
+        assert_eq!(out.report.flops, 2 * 256);
+    }
+
+    #[test]
+    fn axpy_flop_and_word_accounting() {
+        let x = int_vec(1, 100);
+        let y = int_vec(2, 100);
+        let out = AxpyDesign::new(Level1Params::with_k(2)).run(1.0, &x, &y);
+        assert_eq!(out.report.flops, 200);
+        assert_eq!(out.report.words_in, 200);
+        assert_eq!(out.report.words_out, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn axpy_mismatched_lengths_rejected() {
+        AxpyDesign::new(Level1Params::with_k(2)).run(1.0, &[1.0], &[1.0, 2.0]);
+    }
+}

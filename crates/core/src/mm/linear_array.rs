@@ -1,0 +1,449 @@
+//! Cycle-accurate linear-array matrix multiplier (paper §5.1).
+//!
+//! One m×m block multiply proceeds in three stages:
+//!
+//! 1. **Fill** — the first row of B traverses the array; PE p banks the
+//!    elements whose column index ≡ p (mod k) in its registers
+//!    (m·(m/k) + (k−1) cycles).
+//! 2. **Compute** — every m/k cycles one element of A (column-major) and
+//!    one of B (row-major) enter PE 0. An A element resides m/k cycles in
+//!    each PE, multiplying against the PE's m/k registered B elements and
+//!    accumulating into the PE's slice of C′ (one MAC per PE per cycle).
+//!    The next B row streams into the second register bank meanwhile.
+//! 3. **Drain** — final C elements ride the array right-to-left into C
+//!    storage and out through PE 0, overlapped with the next block's
+//!    compute.
+//!
+//! [`BlockEngine`] simulates stage 2 MAC-by-MAC (with the fill offset
+//! added), so the §5.1 latency formulas are *measured*; [`LinearArrayMm`]
+//! chains (n/m)³ block multiplies with the overlap rule (effective latency
+//! m³/k per block) to produce the full-matrix result and Table 4's cycle
+//! counts.
+
+use super::{HazardPolicy, MmParams};
+#[cfg(test)]
+use super::ref_matmul;
+use crate::mvm::DenseMatrix;
+use crate::report::SimReport;
+use fblas_fpu::softfloat::{add_f64, mul_f64};
+use fblas_sim::{ClockDomain, DelayLine};
+use fblas_system::{AreaModel, ClockModel, XC2VP50};
+
+/// Measured outcome of one block multiply on the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Cycles from the start of the fill stage to the last C′ write.
+    pub cycles: u64,
+    /// Multiply-accumulates performed (= m³/k per PE... k per cycle).
+    pub macs: u64,
+    /// Reads of a C′ cell whose previous update was still in flight
+    /// (only non-zero under [`HazardPolicy::Document`]).
+    pub hazard_violations: u64,
+}
+
+/// Cycle-accurate engine for one m×m block multiply-accumulate.
+#[derive(Debug, Clone)]
+pub struct BlockEngine {
+    params: MmParams,
+}
+
+impl BlockEngine {
+    /// Create an engine (validates the parameter set).
+    pub fn new(params: MmParams) -> Self {
+        params.validate();
+        Self { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &MmParams {
+        &self.params
+    }
+
+    /// Perform `c += a · b` for m×m blocks, cycle by cycle.
+    ///
+    /// `c` is the C′ storage content (accumulated in place across the
+    /// z-blocks of a full multiply).
+    pub fn multiply_accumulate(
+        &self,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        c: &mut [f64],
+    ) -> BlockStats {
+        let m = self.params.m;
+        let k = self.params.k;
+        let r = self.params.residency();
+        assert_eq!(a.rows(), m);
+        assert_eq!(a.cols(), m);
+        assert_eq!(b.rows(), m);
+        assert_eq!(b.cols(), m);
+        assert_eq!(c.len(), m * m);
+
+        // Two pipeline segments per PE, modelled as lockstep batches: the
+        // multiplier produces (cell, product); the C′ read happens at
+        // *add issue* (when the product emerges from the multiplier), so
+        // the hazard window is the adder depth α, exactly §5.1's m²/k ≥ α
+        // condition.
+        let mut mult_pipe: DelayLine<Vec<(usize, f64)>> =
+            DelayLine::new(self.params.mult_stages);
+        let mut add_pipe: DelayLine<Vec<usize>> = DelayLine::new(self.params.adder_stages);
+        let mut in_flight = vec![false; m * m];
+        let mut hazards = 0u64;
+        let mut macs = 0u64;
+        let total_elements = (m * m) as i64; // A elements, column-major
+
+        let mut cycle: i64 = 0;
+        let mut writes_done = 0u64;
+        let total_writes = (m * m * m) as u64; // every MAC lands one write
+
+        while writes_done < total_writes {
+            // Retire accumulates leaving the adder before this cycle's
+            // reads (same-edge visibility). The value was forwarded at
+            // issue; landing clears the hazard window.
+            if let Some(batch) = add_pipe.peek().cloned() {
+                for cell in batch {
+                    in_flight[cell] = false;
+                    writes_done += 1;
+                }
+            }
+
+            // Each PE p works on A element e = (cycle − p) / r during its
+            // residency window; d indexes the PE's registered B elements.
+            let mut batch: Vec<(usize, f64)> = Vec::with_capacity(k);
+            for p in 0..k {
+                let local = cycle - p as i64;
+                if local < 0 {
+                    continue;
+                }
+                let e = local / r as i64;
+                let d = (local % r as i64) as usize;
+                if e >= total_elements {
+                    continue;
+                }
+                let e = e as usize;
+                let q = e / m; // A column / B row index
+                let i = e % m; // row of C
+                let j = d * k + p; // column of C owned by PE p
+                let cell = i * m + j;
+                batch.push((cell, mul_f64(a.at(i, q), b.at(q, j))));
+                macs += 1;
+            }
+
+            // Products emerging from the multipliers read C′ and issue
+            // their accumulating adds. The sum is forwarded to C′ at issue
+            // (architectural value); the add pipeline carries only the
+            // landing time of each write.
+            let add_in = mult_pipe
+                .step(if batch.is_empty() { None } else { Some(batch) })
+                .map(|prods| {
+                    prods
+                        .into_iter()
+                        .map(|(cell, prod)| {
+                            if in_flight[cell] {
+                                match self.params.hazard_policy {
+                                    HazardPolicy::Enforce => panic!(
+                                        "read-after-write hazard on C′ cell \
+                                         {cell} at cycle {cycle}: update \
+                                         interval m²/k = {} < α = {}",
+                                        self.params.update_interval(),
+                                        self.params.adder_stages
+                                    ),
+                                    HazardPolicy::Document => hazards += 1,
+                                }
+                            }
+                            in_flight[cell] = true;
+                            c[cell] = add_f64(c[cell], prod);
+                            cell
+                        })
+                        .collect::<Vec<_>>()
+                });
+            add_pipe.step(add_in);
+            cycle += 1;
+        }
+
+        BlockStats {
+            cycles: self.params.fill_cycles() + cycle as u64,
+            macs,
+            hazard_violations: hazards,
+        }
+    }
+}
+
+/// Outcome of a full n×n matrix multiply on the linear array.
+#[derive(Debug, Clone)]
+pub struct MmOutcome {
+    /// The computed product C = A·B.
+    pub c: DenseMatrix,
+    /// Cycle/flop/word accounting.
+    pub report: SimReport,
+    /// The clock the k-PE design closes timing at (Figure 9 model).
+    pub clock: ClockDomain,
+    /// Compute-bound device peak (§6.3: 4.42 GFLOPS on XC2VP50).
+    pub peak_flops: f64,
+    /// Total hazard violations recorded (zero under Enforce policy).
+    pub hazard_violations: u64,
+    /// Total on-chip storage the design used, in words (claim: 2m²).
+    pub storage_words: usize,
+}
+
+impl MmOutcome {
+    /// Fraction of the device peak sustained (paper: 46.6 %).
+    pub fn fraction_of_peak(&self) -> f64 {
+        self.report.fraction_of_peak(&self.clock, self.peak_flops)
+    }
+}
+
+/// The single-FPGA linear-array matrix multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_core::mm::{LinearArrayMm, MmParams};
+/// use fblas_core::mvm::DenseMatrix;
+///
+/// // k = 4 PEs, 16×16 on-chip blocks, 32×32 problem.
+/// let mm = LinearArrayMm::new(MmParams::test(4, 16));
+/// let a = DenseMatrix::from_fn(32, 32, |i, j| ((i + j) % 4) as f64);
+/// let b = DenseMatrix::from_fn(32, 32, |i, j| ((i * j) % 4) as f64);
+/// let out = mm.run(&a, &b);
+///
+/// // Effective latency ≈ n³/k cycles (§5.1), exact functional result.
+/// assert!(out.report.cycles >= 32 * 32 * 32 / 4);
+/// assert_eq!(out.c.at(0, 0), (0..32).map(|q| a.at(0, q) * b.at(q, 0)).sum());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearArrayMm {
+    engine: BlockEngine,
+    clock: ClockDomain,
+    on_xd1: bool,
+}
+
+impl LinearArrayMm {
+    /// Instantiate on a bare device with the Figure 9 clock model.
+    pub fn new(params: MmParams) -> Self {
+        let clock = ClockModel::default().mm(params.k as u32);
+        Self {
+            engine: BlockEngine::new(params),
+            clock,
+            on_xd1: false,
+        }
+    }
+
+    /// Instantiate as deployed on XD1 (Table 4 clock: 130 MHz at k = 8).
+    pub fn on_xd1(params: MmParams) -> Self {
+        let clock = ClockModel::default().xd1_mm(params.k as u32);
+        Self {
+            engine: BlockEngine::new(params),
+            clock,
+            on_xd1: true,
+        }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &MmParams {
+        &self.engine.params
+    }
+
+    /// The clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Compute C = A·B. n must be a multiple of the block edge m.
+    pub fn run(&self, a: &DenseMatrix, b: &DenseMatrix) -> MmOutcome {
+        let p = &self.engine.params;
+        let (m, k) = (p.m, p.k);
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "square matrices");
+        assert_eq!(b.rows(), n, "shape mismatch");
+        assert_eq!(b.cols(), n, "square matrices");
+        assert_eq!(n % m, 0, "n must be a multiple of the block edge m");
+        let nb = n / m;
+
+        let mut c_data = vec![0.0f64; n * n];
+        let mut first_block_cycles = 0u64;
+        let mut hazards = 0u64;
+        let mut macs = 0u64;
+        let mut blocks_done = 0u64;
+        let mut cblk = vec![0.0f64; m * m];
+
+        for g in 0..nb {
+            for h in 0..nb {
+                cblk.iter_mut().for_each(|v| *v = 0.0);
+                for z in 0..nb {
+                    let ablk = DenseMatrix::from_fn(m, m, |i, q| a.at(g * m + i, z * m + q));
+                    let bblk = DenseMatrix::from_fn(m, m, |q, j| b.at(z * m + q, h * m + j));
+                    let stats = self.engine.multiply_accumulate(&ablk, &bblk, &mut cblk);
+                    if blocks_done == 0 {
+                        first_block_cycles = stats.cycles;
+                    }
+                    hazards += stats.hazard_violations;
+                    macs += stats.macs;
+                    blocks_done += 1;
+                }
+                for i in 0..m {
+                    for j in 0..m {
+                        c_data[(g * m + i) * n + (h * m + j)] = cblk[i * m + j];
+                    }
+                }
+            }
+        }
+
+        // Three-stage overlap (§5.1): the fill and drain of consecutive
+        // block multiplies hide under compute, so after the first block
+        // each one costs its effective latency m³/k; the last block's C
+        // elements still have to ride the array out through PE 0.
+        let effective = p.effective_block_cycles();
+        let drain = ((m * m / k) * (k - 1) + m * m / k) as u64;
+        let cycles = first_block_cycles + (blocks_done - 1) * effective + drain;
+
+        let report = SimReport {
+            cycles,
+            flops: 2 * macs,
+            // Each block multiply streams one A block and one B block in;
+            // each (g,h) pair writes one C block out.
+            words_in: blocks_done * (2 * m * m) as u64,
+            words_out: (n * n) as u64,
+            busy_cycles: macs / k as u64,
+        };
+        let peak = fblas_system::device_peak_flops(&XC2VP50, &AreaModel::default(), 170.0);
+        MmOutcome {
+            c: DenseMatrix::from_rows(n, n, c_data),
+            report,
+            clock: self.clock,
+            peak_flops: peak,
+            hazard_violations: hazards,
+            storage_words: 2 * m * m,
+        }
+    }
+
+    /// Whether this instance models the XD1 deployment.
+    pub fn is_on_xd1(&self) -> bool {
+        self.on_xd1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm::testmat::int_pair;
+
+    #[test]
+    fn block_engine_matches_reference() {
+        let p = MmParams::test(4, 16);
+        let (a, b) = int_pair(16);
+        let engine = BlockEngine::new(p);
+        let mut c = vec![0.0; 16 * 16];
+        engine.multiply_accumulate(&a, &b, &mut c);
+        let expect = ref_matmul(&a, &b);
+        assert_eq!(c, expect.as_slice());
+    }
+
+    #[test]
+    fn block_engine_accumulates_in_place() {
+        let p = MmParams::test(4, 16);
+        let (a, b) = int_pair(16);
+        let engine = BlockEngine::new(p);
+        let mut c = vec![1.0; 16 * 16];
+        engine.multiply_accumulate(&a, &b, &mut c);
+        let expect = ref_matmul(&a, &b);
+        for (got, want) in c.iter().zip(expect.as_slice()) {
+            assert_eq!(*got, want + 1.0);
+        }
+    }
+
+    #[test]
+    fn block_cycles_match_paper_stage_formula() {
+        // §5.1 stage 2: the last element is generated after
+        // m³/k + m²/k + (k−1) + α cycles; our measured count adds the
+        // MAC pipeline drain.
+        let p = MmParams::test(4, 32);
+        let (a, b) = int_pair(32);
+        let engine = BlockEngine::new(p);
+        let mut c = vec![0.0; 32 * 32];
+        let stats = engine.multiply_accumulate(&a, &b, &mut c);
+        let formula = (32u64 * 32 * 32) / 4 // m³/k
+            + (32 * 32) / 4                 // fill m²/k
+            + 3                             // k−1
+            + 25;                           // MAC pipeline latency
+        assert!(
+            stats.cycles.abs_diff(formula) <= 8,
+            "measured {} vs formula {formula}",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn hazard_free_configuration_has_no_violations() {
+        let p = MmParams::test(2, 8); // m²/k = 32 ≥ 25
+        let (a, b) = int_pair(8);
+        let mut c = vec![0.0; 64];
+        let stats = BlockEngine::new(p).multiply_accumulate(&a, &b, &mut c);
+        assert_eq!(stats.hazard_violations, 0);
+    }
+
+    #[test]
+    fn table4_configuration_documents_hazards() {
+        let p = MmParams::table4(); // m = k = 8: m²/k = 8 < α
+        let (a, b) = int_pair(8);
+        let mut c = vec![0.0; 64];
+        let stats = BlockEngine::new(p).multiply_accumulate(&a, &b, &mut c);
+        assert!(stats.hazard_violations > 0, "m=k=8 must record hazards");
+        // With Document policy the forwarded values still give the exact
+        // product.
+        assert_eq!(c, ref_matmul(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn full_multiply_matches_reference() {
+        let (a, b) = int_pair(32);
+        let mm = LinearArrayMm::new(MmParams::test(4, 16));
+        let out = mm.run(&a, &b);
+        assert_eq!(out.c.as_slice(), ref_matmul(&a, &b).as_slice());
+        assert_eq!(out.hazard_violations, 0);
+    }
+
+    #[test]
+    fn effective_latency_is_n_cubed_over_k() {
+        let (a, b) = int_pair(64);
+        let p = MmParams::test(4, 16);
+        let mm = LinearArrayMm::new(p);
+        let out = mm.run(&a, &b);
+        let ideal = (64u64 * 64 * 64) / 4;
+        let ratio = out.report.cycles as f64 / ideal as f64;
+        assert!(
+            (1.0..1.1).contains(&ratio),
+            "cycles {} vs n³/k {ideal} (ratio {ratio})",
+            out.report.cycles
+        );
+    }
+
+    #[test]
+    fn io_complexity_theta_n3_over_m() {
+        let (a, b) = int_pair(64);
+        let out = LinearArrayMm::new(MmParams::test(4, 16)).run(&a, &b);
+        // 2·n³/m words in: (n/m)³ block pairs of 2m² words.
+        assert_eq!(out.report.words_in, 2 * 64 * 64 * 64 / 16);
+        assert_eq!(out.report.words_out, 64 * 64);
+    }
+
+    #[test]
+    fn storage_claim_two_m_squared() {
+        let (a, b) = int_pair(32);
+        let out = LinearArrayMm::new(MmParams::test(4, 32)).run(&a, &b);
+        assert_eq!(out.storage_words, 2 * 32 * 32);
+    }
+
+    #[test]
+    fn clock_degrades_with_k() {
+        let mm2 = LinearArrayMm::new(MmParams::test(2, 16));
+        let mm8 = LinearArrayMm::new(MmParams::test(8, 16));
+        assert!(mm2.clock().mhz() > mm8.clock().mhz());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the block edge")]
+    fn n_not_multiple_of_m_rejected() {
+        let (a, b) = int_pair(24);
+        LinearArrayMm::new(MmParams::test(4, 16)).run(&a, &b);
+    }
+}

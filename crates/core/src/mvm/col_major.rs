@@ -1,0 +1,268 @@
+//! Column-major matrix-vector multiply: interleaved accumulators.
+//!
+//! With A streamed in column-major order, each cycle k multipliers take k
+//! *distinct* elements of the current column and one broadcast element of
+//! x; adder p accumulates into the intermediate results of the y elements
+//! congruent to p mod k, held in a local store. A given yᵢ is updated once
+//! every n/k cycles, so as long as n/k ≥ α the previous update has left
+//! the adder pipeline before the next one reads it — no hazard, no
+//! reduction circuit. The constructor enforces that applicability
+//! condition, and the simulation *verifies* it by asserting on every
+//! accumulator read that no in-flight write targets the same element.
+
+use super::{DenseMatrix, MvmOutcome, MvmParams};
+use crate::report::SimReport;
+use fblas_fpu::softfloat::{add_f64, mul_f64};
+use fblas_mem::{LocalStore, ReadChannel};
+use fblas_sim::{ClockDomain, DelayLine};
+use fblas_system::{ClockModel, Xd1Node};
+
+/// One in-flight multiply-accumulate: target y index and addend.
+type MacBatch = Vec<(usize, f64)>;
+
+/// The column-major interleaved-accumulator design.
+#[derive(Debug, Clone)]
+pub struct ColMajorMvm {
+    params: MvmParams,
+    clock: ClockDomain,
+}
+
+impl ColMajorMvm {
+    /// Instantiate on an XD1 node (bandwidth check as in the row-major
+    /// form).
+    pub fn new(params: MvmParams, node: &Xd1Node) -> Self {
+        let clock = ClockModel::default().tree_design();
+        let supply = node.sram_words_per_cycle(clock.mhz());
+        assert!(
+            params.matrix_words_per_cycle <= supply + 1e-9,
+            "design demands {} words/cycle but the SRAM path supplies {supply}",
+            params.matrix_words_per_cycle
+        );
+        Self { params, clock }
+    }
+
+    /// Instantiate without platform checks.
+    pub fn standalone(params: MvmParams, clock_mhz: f64) -> Self {
+        Self {
+            params,
+            clock: ClockDomain::from_mhz(clock_mhz),
+        }
+    }
+
+    /// Design parameters.
+    pub fn params(&self) -> &MvmParams {
+        &self.params
+    }
+
+    /// Clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Compute `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `rows/k < α` — the hazard-freedom condition of §4.2.
+    pub fn run(&self, a: &DenseMatrix, x: &[f64]) -> MvmOutcome {
+        self.run_with_initial(a, x, None)
+    }
+
+    /// Compute `y = y0 + A·x` (the blocked driver preloads `y0`).
+    pub fn run_with_initial(
+        &self,
+        a: &DenseMatrix,
+        x: &[f64],
+        y0: Option<&[f64]>,
+    ) -> MvmOutcome {
+        let k = self.params.k;
+        let rows = a.rows();
+        let cols = a.cols();
+        assert_eq!(x.len(), cols, "x must have one element per column of A");
+        assert!(rows > 0 && cols > 0, "empty matrix");
+        let chunks_per_col = rows.div_ceil(k);
+        assert!(
+            chunks_per_col >= self.params.adder_stages,
+            "hazard condition violated: rows/k = {chunks_per_col} < α = {}; \
+             an update would read a y element whose previous update is \
+             still in the adder pipeline (§4.2)",
+            self.params.adder_stages
+        );
+
+        // Intermediate y lives on chip; one logical store (lane-sliced in
+        // hardware; a single capacity-checked store is equivalent here).
+        let mut y_store = LocalStore::new("y'", rows);
+        if let Some(y0) = y0 {
+            y_store.load(y0);
+        }
+
+        let mut a_ch = ReadChannel::new(a.col_major_stream(), self.params.matrix_words_per_cycle);
+        // Lockstep lanes: multiplier then accumulating adder, modelled as
+        // two delay lines carrying per-cycle MAC batches.
+        let mut mult: DelayLine<MacBatch> = DelayLine::new(self.params.mult_stages);
+        let mut adder: DelayLine<MacBatch> = DelayLine::new(self.params.adder_stages);
+        // Hazard detector: y indices with an in-flight accumulate.
+        let mut in_flight: Vec<bool> = vec![false; rows];
+
+        let mut col = 0usize;
+        let mut chunk = 0usize;
+        let mut group: Vec<f64> = Vec::with_capacity(k);
+        let mut writes_done = 0u64;
+        // Every element of A is one multiply-accumulate, hence one write.
+        let total_writes = (rows * cols) as u64;
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        let limit = (rows as u64 * cols as u64 / k as u64 + 1024) * 8 + 200_000;
+
+        while writes_done < total_writes {
+            cycles += 1;
+            assert!(cycles < limit, "mvm simulation exceeded cycle budget");
+            let mut cycle_busy = false;
+
+            // Retire accumulates leaving the adder: write back and clear
+            // the hazard marker *before* this cycle's reads.
+            if let Some(batch) = adder.peek().cloned() {
+                for (idx, _) in &batch {
+                    in_flight[*idx] = false;
+                }
+                for (idx, v) in batch {
+                    y_store.write(idx, v);
+                    writes_done += 1;
+                }
+            }
+
+            // Front end: k elements of the current column.
+            a_ch.tick();
+            let mut mult_in = None;
+            if col < cols {
+                let lo = chunk * k;
+                let hi = (lo + k).min(rows);
+                a_ch.read_up_to(hi - lo - group.len(), &mut group);
+                if group.len() == hi - lo {
+                    let xj = x[col];
+                    let batch: MacBatch = group
+                        .drain(..)
+                        .enumerate()
+                        .map(|(off, aij)| (lo + off, mul_f64(aij, xj)))
+                        .collect();
+                    mult_in = Some(batch);
+                    cycle_busy = true;
+                    chunk += 1;
+                    if chunk == chunks_per_col {
+                        chunk = 0;
+                        col += 1;
+                    }
+                }
+            }
+
+            // Products emerging from the multipliers issue their adds,
+            // reading the current intermediate value.
+            let adder_in = mult.step(mult_in).map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(idx, prod)| {
+                        assert!(
+                            !in_flight[idx],
+                            "read-after-write hazard on y[{idx}]: previous \
+                             accumulate still in the adder pipeline"
+                        );
+                        in_flight[idx] = true;
+                        (idx, add_f64(y_store.read(idx), prod))
+                    })
+                    .collect::<MacBatch>()
+            });
+            if adder_in.is_some() {
+                cycle_busy = true;
+            }
+            adder.step(adder_in);
+
+            if cycle_busy {
+                busy += 1;
+            }
+        }
+
+        let y = y_store.contents().to_vec();
+        let report = SimReport {
+            cycles,
+            flops: 2 * (rows as u64) * (cols as u64),
+            // A plus the streamed x (one x element per column).
+            words_in: (rows * cols + cols) as u64,
+            words_out: rows as u64,
+            busy_cycles: busy,
+        };
+        MvmOutcome::new(y, report, self.clock, self.params.matrix_words_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvm::testmat::int_case;
+
+    #[test]
+    fn result_exact_for_integer_matrix() {
+        let (a, x) = int_case(64);
+        let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run(&a, &x);
+        assert_eq!(out.y, a.ref_mvm(&x));
+    }
+
+    #[test]
+    fn high_fraction_of_peak_without_reduction_circuit() {
+        let (a, x) = int_case(256);
+        let d = ColMajorMvm::new(MvmParams::table3(), &Xd1Node::default());
+        let out = d.run(&a, &x);
+        let frac = out.fraction_of_peak();
+        assert!(frac > 0.9, "fraction of peak {frac}");
+    }
+
+    #[test]
+    fn hazard_condition_enforced() {
+        // rows/k = 8 < α = 14 must be rejected up front.
+        let (a, x) = int_case(32);
+        let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let result = std::panic::catch_unwind(|| d.run(&a, &x));
+        assert!(result.is_err(), "expected hazard-condition panic");
+    }
+
+    #[test]
+    fn non_square_matrix() {
+        let a = DenseMatrix::from_fn(60, 9, |i, j| ((i + 2 * j) % 5) as f64);
+        let x: Vec<f64> = (0..9).map(|j| (j % 3) as f64).collect();
+        let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run(&a, &x);
+        assert_eq!(out.y, a.ref_mvm(&x));
+    }
+
+    #[test]
+    fn initial_y_preloaded() {
+        let (a, x) = int_case(64);
+        let y0: Vec<f64> = (0..64).map(|i| (i % 4) as f64).collect();
+        let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run_with_initial(&a, &x, Some(&y0));
+        let expect: Vec<f64> = a.ref_mvm(&x).iter().zip(&y0).map(|(r, y)| r + y).collect();
+        assert_eq!(out.y, expect);
+    }
+
+    #[test]
+    fn cycles_near_io_lower_bound() {
+        let (a, x) = int_case(128);
+        let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run(&a, &x);
+        let lower = (128u64 * 128) / 4;
+        assert!(out.report.cycles >= lower);
+        assert!(
+            out.report.cycles < lower + 100,
+            "cycles {} too far above {lower}",
+            out.report.cycles
+        );
+    }
+
+    #[test]
+    fn agrees_with_row_major_architecture() {
+        use crate::mvm::RowMajorMvm;
+        let (a, x) = int_case(128);
+        let col = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+        let row = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+        assert_eq!(col.y, row.y);
+    }
+}

@@ -1,0 +1,322 @@
+//! Row-major matrix-vector multiply: the tree-based architecture.
+//!
+//! With A streamed in row-major order, `y = A·x` is n consecutive dot
+//! products. Multiplier p holds elements p, k+p, 2k+p, … of x in a local
+//! store; each cycle the k multipliers receive k consecutive elements of a
+//! row of A, look up the matching x elements and fire in lockstep; the
+//! adder tree folds the k products and the reduction circuit accumulates
+//! each row's stream — n sets of n/k values arriving back to back with no
+//! gaps, which is precisely the multi-set, no-stall workload the §4.3
+//! circuit was designed for.
+
+use super::{DenseMatrix, MvmOutcome, MvmParams};
+use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
+use crate::report::SimReport;
+use fblas_fpu::softfloat::{add_f64, mul_f64};
+use fblas_mem::{LocalStore, ReadChannel};
+use fblas_sim::{ClockDomain, DelayLine};
+use fblas_system::{ClockModel, Xd1Node};
+
+/// The tree-based row-major matrix-vector design.
+#[derive(Debug, Clone)]
+pub struct RowMajorMvm {
+    params: MvmParams,
+    clock: ClockDomain,
+    /// On-chip words available for the x stores (None = unchecked).
+    bram_words_limit: Option<u64>,
+}
+
+impl RowMajorMvm {
+    /// Instantiate on an XD1 node, checking bandwidth and on-chip storage
+    /// (x occupies n words of BRAM; §4.2: "the size of required on-chip
+    /// memory is n words").
+    pub fn new(params: MvmParams, node: &Xd1Node) -> Self {
+        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        let clock = ClockModel::default().tree_design();
+        let supply = node.sram_words_per_cycle(clock.mhz());
+        assert!(
+            params.matrix_words_per_cycle <= supply + 1e-9,
+            "design demands {} words/cycle but the SRAM path supplies {supply}",
+            params.matrix_words_per_cycle
+        );
+        Self {
+            params,
+            clock,
+            bram_words_limit: Some(node.device.bram_words()),
+        }
+    }
+
+    /// Instantiate without platform checks (ablations, blocked driver).
+    pub fn standalone(params: MvmParams, clock_mhz: f64) -> Self {
+        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        Self {
+            params,
+            clock: ClockDomain::from_mhz(clock_mhz),
+            bram_words_limit: None,
+        }
+    }
+
+    /// Design parameters.
+    pub fn params(&self) -> &MvmParams {
+        &self.params
+    }
+
+    /// Clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Compute `y = A·x` with the paper's reduction circuit.
+    pub fn run(&self, a: &DenseMatrix, x: &[f64]) -> MvmOutcome {
+        self.run_with_initial(a, x, None)
+    }
+
+    /// Compute `y = y0 + A·x`: the blocked driver folds the previous
+    /// panel's partial sums (`y0`) into each row's reduction set as one
+    /// extra input value.
+    pub fn run_with_initial(
+        &self,
+        a: &DenseMatrix,
+        x: &[f64],
+        y0: Option<&[f64]>,
+    ) -> MvmOutcome {
+        let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
+        self.run_with_reducer(a, x, y0, &mut reducer)
+    }
+
+    /// Full-control entry point: explicit reduction circuit (ablations).
+    pub fn run_with_reducer<R: Reducer>(
+        &self,
+        a: &DenseMatrix,
+        x: &[f64],
+        y0: Option<&[f64]>,
+        reducer: &mut R,
+    ) -> MvmOutcome {
+        let k = self.params.k;
+        let rows = a.rows();
+        let cols = a.cols();
+        assert_eq!(x.len(), cols, "x must have one element per column of A");
+        assert!(rows > 0 && cols > 0, "empty matrix");
+        if let Some(y0) = y0 {
+            assert_eq!(y0.len(), rows, "y0 must have one element per row");
+        }
+        if let Some(limit) = self.bram_words_limit {
+            // §4.2: "the size of required on-chip memory is n words"; when
+            // x exceeds BRAM the blocked driver must be used instead.
+            assert!(
+                (cols as u64) <= limit,
+                "x needs {cols} on-chip words but the device holds {limit}; \
+                 use BlockedRowMajorMvm"
+            );
+        }
+
+        // Distribute x across the k per-multiplier local stores: store p
+        // holds x[p], x[k+p], … at local indices 0, 1, …
+        let lanes = cols.div_ceil(k);
+        let mut x_stores: Vec<LocalStore> = (0..k)
+            .map(|p| LocalStore::new(format!("x[lane {p}]"), lanes))
+            .collect();
+        for (j, &xj) in x.iter().enumerate() {
+            x_stores[j % k].write(j / k, xj);
+        }
+
+        let mut a_ch = ReadChannel::new(a.row_major_stream(), self.params.matrix_words_per_cycle);
+        let mut tree: DelayLine<(u64, f64, bool)> =
+            DelayLine::new(self.params.mult_stages + k.ilog2() as usize * self.params.adder_stages);
+        let mut backlog: std::collections::VecDeque<(u64, f64, bool)> =
+            std::collections::VecDeque::new();
+        let mut group = Vec::with_capacity(k);
+
+        let groups_per_row = cols.div_ceil(k);
+        let mut row = 0usize;
+        let mut group_in_row = 0usize;
+        // The extra y0 element is injected as the first value of each set.
+        let mut y0_injected = y0.is_none();
+
+        let mut y = vec![f64::NAN; rows];
+        let mut done_rows = 0usize;
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        let limit = (rows as u64 * cols as u64 / k as u64 + 1024) * 8 + 200_000;
+
+        while done_rows < rows {
+            cycles += 1;
+            assert!(cycles < limit, "mvm simulation exceeded cycle budget");
+            let mut cycle_busy = false;
+
+            a_ch.tick();
+            let mut tree_in = None;
+            if row < rows && backlog.len() < 2 {
+                if !y0_injected {
+                    // One injection cycle per row: the carried-in partial.
+                    tree_in = Some((row as u64, y0.expect("guarded")[row], false));
+                    y0_injected = true;
+                } else {
+                    let lo = group_in_row * k;
+                    let hi = (lo + k).min(cols);
+                    a_ch.read_up_to(hi - lo - group.len(), &mut group);
+                    if group.len() == hi - lo {
+                        // Lockstep: multiply each element with its lane's
+                        // stored x and fold through the balanced tree
+                        // (same association as the k-leaf adder tree).
+                        let mut prods = Vec::with_capacity(k);
+                        for (off, &aij) in group.iter().enumerate() {
+                            let j = lo + off;
+                            let xj = x_stores[j % k].read(j / k);
+                            prods.push(mul_f64(aij, xj));
+                        }
+                        let value = balanced(&prods);
+                        group.clear();
+                        let last = group_in_row + 1 == groups_per_row;
+                        tree_in = Some((row as u64, value, last));
+                        cycle_busy = true;
+                        group_in_row += 1;
+                        if last {
+                            row += 1;
+                            group_in_row = 0;
+                            y0_injected = y0.is_none();
+                        }
+                    }
+                }
+            }
+
+            if let Some(out) = tree.step(tree_in) {
+                backlog.push_back(out);
+            }
+            let red_in = if reducer.ready() {
+                backlog.pop_front().map(|(set_id, value, last)| ReduceInput {
+                    set_id,
+                    value,
+                    last,
+                })
+            } else {
+                None
+            };
+            if red_in.is_some() {
+                cycle_busy = true;
+            }
+            if let Some(ev) = reducer.tick(red_in) {
+                y[ev.set_id as usize] = ev.value;
+                done_rows += 1;
+            }
+            if cycle_busy {
+                busy += 1;
+            }
+        }
+
+        let report = SimReport {
+            cycles,
+            flops: 2 * (rows as u64) * (cols as u64),
+            words_in: (rows * cols) as u64,
+            words_out: rows as u64,
+            busy_cycles: busy,
+        };
+        MvmOutcome::new(y, report, self.clock, self.params.matrix_words_per_cycle)
+    }
+}
+
+/// Balanced-tree association of the k lane products.
+fn balanced(vals: &[f64]) -> f64 {
+    match vals.len() {
+        0 => 0.0,
+        1 => vals[0],
+        n => {
+            let mid = n / 2;
+            add_f64(balanced(&vals[..mid]), balanced(&vals[mid..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvm::testmat::int_case;
+
+    #[test]
+    fn result_exact_for_integer_matrix() {
+        let (a, x) = int_case(64);
+        let d = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run(&a, &x);
+        assert_eq!(out.y, a.ref_mvm(&x));
+    }
+
+    #[test]
+    fn table3_shape_high_fraction_of_peak() {
+        // Table 3: k = 4 sustains ~97 % of the 2·bw peak; the reduction
+        // drain is negligible against n²/k streaming cycles.
+        let (a, x) = int_case(256);
+        let d = RowMajorMvm::new(MvmParams::table3(), &Xd1Node::default());
+        let out = d.run(&a, &x);
+        let frac = out.fraction_of_peak();
+        assert!(frac > 0.9, "fraction of peak {frac}");
+        assert!(frac <= 1.0);
+    }
+
+    #[test]
+    fn cycles_near_io_lower_bound() {
+        let (a, x) = int_case(128);
+        let p = MvmParams::with_k(4);
+        let d = RowMajorMvm::standalone(p, 170.0);
+        let out = d.run(&a, &x);
+        let lower = (128 * 128 / 4) as u64;
+        assert!(out.report.cycles >= lower);
+        assert!(
+            out.report.cycles < lower + 2 * 14 * 14 + 200,
+            "cycles {} too far above bound {lower}",
+            out.report.cycles
+        );
+    }
+
+    #[test]
+    fn non_square_and_ragged_dimensions() {
+        let a = DenseMatrix::from_fn(5, 7, |i, j| ((i + 2 * j) % 5) as f64);
+        let x: Vec<f64> = (0..7).map(|j| (j % 3) as f64).collect();
+        let d = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run(&a, &x);
+        assert_eq!(out.y, a.ref_mvm(&x));
+    }
+
+    #[test]
+    fn initial_y_folds_in() {
+        let (a, x) = int_case(16);
+        let y0: Vec<f64> = (0..16).map(|i| (i % 4) as f64).collect();
+        let d = RowMajorMvm::standalone(MvmParams::with_k(2), 170.0);
+        let out = d.run_with_initial(&a, &x, Some(&y0));
+        let expect: Vec<f64> = a
+            .ref_mvm(&x)
+            .iter()
+            .zip(&y0)
+            .map(|(r, y)| r + y)
+            .collect();
+        assert_eq!(out.y, expect);
+    }
+
+    #[test]
+    fn k1_degenerates_to_scalar_stream() {
+        let (a, x) = int_case(8);
+        let d = RowMajorMvm::standalone(MvmParams::with_k(1), 170.0);
+        let out = d.run(&a, &x);
+        assert_eq!(out.y, a.ref_mvm(&x));
+    }
+
+    #[test]
+    fn bram_capacity_enforced_on_platform_instances() {
+        // XC2VP50 holds 64K doubles of BRAM; an x of 100K words must be
+        // rejected with a pointer at the blocked driver.
+        let d = RowMajorMvm::new(MvmParams::table3(), &Xd1Node::default());
+        let a = DenseMatrix::from_fn(4, 100_000, |_, _| 1.0);
+        let x = vec![1.0; 100_000];
+        let res = std::panic::catch_unwind(|| d.run(&a, &x));
+        assert!(res.is_err(), "oversized x must be rejected");
+    }
+
+    #[test]
+    fn words_accounting() {
+        let (a, x) = int_case(32);
+        let d = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let out = d.run(&a, &x);
+        assert_eq!(out.report.words_in, 32 * 32);
+        assert_eq!(out.report.words_out, 32);
+        assert_eq!(out.report.flops, 2 * 32 * 32);
+    }
+}

@@ -1,0 +1,191 @@
+//! Reduction circuits: accumulating sequentially delivered floating-point
+//! values on a deeply pipelined adder (paper §4.3).
+//!
+//! Dot product and matrix-vector multiply both end in an accumulation of
+//! values that arrive one per cycle. With an α-stage pipelined adder,
+//! naive sequential accumulation creates a read-after-write hazard: the
+//! running sum is not available for α cycles after each add. The circuits
+//! here resolve that hazard in different ways:
+//!
+//! | circuit | adders | buffer | input sets | stalls input? |
+//! |---|---|---|---|---|
+//! | [`SingleAdderReducer`] (proposed, §4.3) | 1 | 2·α² | any sizes | never |
+//! | [`Pow2Reducer`] (RAW'05 \[28\]) | 1 | Θ(lg s) | powers of two only | never |
+//! | [`StallingReducer`] (naive baseline) | 1 | O(1) | any sizes | α cycles per add |
+//! | [`KoggeTreeReducer`] \[15\] | lg s | O(lg s) | padded to 2ᵏ | during padding |
+//! | [`NiHwangReducer`] \[21\] | 1 | α | any sizes | between sets |
+//! | [`TwoAdderReducer`] (FCCM'05 \[19\]) | 2 | Θ(α·lg α) | any sizes | never |
+//!
+//! All circuits consume a stream of [`ReduceInput`]s — `(set_id, value,
+//! last)` triples delivered in set order — and emit one [`ReduceEvent`]
+//! per completed set. The [`run_sets`] driver feeds a workload, honours
+//! each circuit's `ready()` back-pressure, and measures exactly the
+//! quantities the paper argues about: total cycles, stall cycles, buffer
+//! high-water marks and adder counts.
+//!
+//! Numerical note: every circuit re-associates the additions of a set, so
+//! different circuits may round differently; all are exact whenever the
+//! values sum without rounding (e.g. small integers), which is what the
+//! equivalence tests use.
+
+mod kogge;
+mod ni_hwang;
+mod pow2;
+mod single_adder;
+mod stalling;
+mod two_adder;
+
+pub use kogge::KoggeTreeReducer;
+pub use ni_hwang::NiHwangReducer;
+pub use pow2::Pow2Reducer;
+pub use single_adder::SingleAdderReducer;
+pub use stalling::StallingReducer;
+pub use two_adder::TwoAdderReducer;
+
+/// One element of the sequential input stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceInput {
+    /// Which input set this value belongs to. Sets are delivered in order
+    /// and never interleaved (the architectures produce one row/dot at a
+    /// time).
+    pub set_id: u64,
+    /// The value to accumulate.
+    pub value: f64,
+    /// True on the final value of the set.
+    pub last: bool,
+}
+
+/// A completed reduction: the sum of every value of `set_id`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceEvent {
+    /// The set that finished.
+    pub set_id: u64,
+    /// Its accumulated sum.
+    pub value: f64,
+}
+
+/// A cycle-stepped reduction circuit.
+pub trait Reducer {
+    /// Circuit name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of floating-point adders the circuit instantiates.
+    fn adders(&self) -> usize;
+
+    /// True if the circuit can accept an input value *this* cycle.
+    /// The proposed circuit always returns true — its headline property.
+    fn ready(&self) -> bool;
+
+    /// Advance one clock cycle, optionally consuming one input (only legal
+    /// when [`Reducer::ready`] returned true) and possibly emitting one
+    /// completed set.
+    fn tick(&mut self, input: Option<ReduceInput>) -> Option<ReduceEvent>;
+
+    /// True once every accepted set has been reduced and emitted.
+    fn is_done(&self) -> bool;
+
+    /// Elapsed cycles.
+    fn cycles(&self) -> u64;
+
+    /// Total additions issued so far.
+    fn adds_issued(&self) -> u64;
+
+    /// Highest number of buffered words observed (excludes values inside
+    /// the adder pipelines and the one-per-cycle output port).
+    fn buffer_high_water(&self) -> usize;
+}
+
+/// Measured outcome of driving a workload through a reduction circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionRun {
+    /// `(set_id, sum)` in completion order.
+    pub results: Vec<ReduceEvent>,
+    /// Cycles from first input until the final set emerged.
+    pub total_cycles: u64,
+    /// Cycles in which an input was available but the circuit refused it.
+    pub stall_cycles: u64,
+    /// Peak buffered words.
+    pub buffer_high_water: usize,
+    /// Total additions issued.
+    pub adds_issued: u64,
+}
+
+/// Feed `sets` through a reducer at one value per cycle (when accepted)
+/// and run until completion.
+///
+/// # Panics
+/// Panics if any set is empty, or if the circuit fails to finish within a
+/// generous cycle budget (which would mean a livelocked schedule).
+pub fn run_sets<R: Reducer>(r: &mut R, sets: &[Vec<f64>]) -> ReductionRun {
+    let total_inputs: u64 = sets.iter().map(|s| s.len() as u64).sum();
+    for (i, s) in sets.iter().enumerate() {
+        assert!(!s.is_empty(), "set {i} is empty; sets must have s_i >= 1");
+    }
+
+    let mut results = Vec::with_capacity(sets.len());
+    let mut stall_cycles = 0u64;
+    let start_cycle = r.cycles();
+    // Generous budget: even the stalling baseline needs only ~α cycles per
+    // input plus a drain tail.
+    let budget = total_inputs * 64 + 100_000;
+
+    let mut iter = sets.iter().enumerate().flat_map(|(id, s)| {
+        let n = s.len();
+        s.iter().enumerate().map(move |(j, &v)| ReduceInput {
+            set_id: id as u64,
+            value: v,
+            last: j + 1 == n,
+        })
+    });
+    let mut pending_input = iter.next();
+
+    while results.len() < sets.len() {
+        assert!(
+            r.cycles() - start_cycle < budget,
+            "{} did not finish within {budget} cycles ({} of {} sets done)",
+            r.name(),
+            results.len(),
+            sets.len()
+        );
+        let feed = if pending_input.is_some() && r.ready() {
+            let i = pending_input.take();
+            pending_input = iter.next();
+            i
+        } else {
+            if pending_input.is_some() {
+                stall_cycles += 1;
+            }
+            None
+        };
+        if let Some(ev) = r.tick(feed) {
+            results.push(ev);
+        }
+    }
+    assert!(r.is_done(), "{}: results complete but circuit not idle", r.name());
+
+    ReductionRun {
+        results,
+        total_cycles: r.cycles() - start_cycle,
+        stall_cycles,
+        buffer_high_water: r.buffer_high_water(),
+        adds_issued: r.adds_issued(),
+    }
+}
+
+/// Reference sums computed in plain sequential order, for test oracles.
+pub fn reference_sums(sets: &[Vec<f64>]) -> Vec<f64> {
+    sets.iter().map(|s| s.iter().sum()).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Workload of sets whose values are small integers, so every
+    /// association of the additions yields the identical exact sum.
+    pub fn integer_sets(sizes: &[usize]) -> Vec<Vec<f64>> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i * 7 + j * 3) % 32) as f64).collect())
+            .collect()
+    }
+}

@@ -1,0 +1,217 @@
+//! The Ni–Hwang vector reduction method \[21\]: one adder, α partial sums
+//! circulating inside the pipeline itself.
+//!
+//! Each incoming value is paired with the partial sum emerging from the
+//! adder that cycle (or with zero while the pipeline fills), so a single
+//! vector reduces at full speed with no extra buffering. The cost appears
+//! at set boundaries: the α circulating partials must be collapsed
+//! pairwise, and during that Θ(α·lg α) drain the input stream is stalled —
+//! §2.3's observation that "for multiple input vectors, the method has to
+//! interleave the sets; otherwise, the buffer in their design will
+//! overflow". This implementation takes the simple non-interleaved form:
+//! it is optimal for p = 1 and pays a per-set drain for p > 1.
+
+use super::{ReduceEvent, ReduceInput, Reducer};
+use fblas_fpu::PipelinedAdder;
+
+/// Ni–Hwang single-adder reducer (stalls between sets).
+#[derive(Debug)]
+pub struct NiHwangReducer {
+    adder: PipelinedAdder<u64>,
+    /// Holding register used while collapsing (and for values emerging
+    /// during input gaps).
+    held: Option<f64>,
+    /// Live partial values of the current set: in the pipeline plus held.
+    outstanding: usize,
+    current_set: Option<u64>,
+    /// True from end-of-set until its final sum is emitted.
+    collapsing: bool,
+    cycles: u64,
+    adds_issued: u64,
+    high_water: usize,
+}
+
+impl NiHwangReducer {
+    /// Create the reducer for an `alpha`-stage adder.
+    pub fn new(alpha: usize) -> Self {
+        assert!(alpha >= 2);
+        Self {
+            adder: PipelinedAdder::with_stages(alpha),
+            held: None,
+            outstanding: 0,
+            current_set: None,
+            collapsing: false,
+            cycles: 0,
+            adds_issued: 0,
+            high_water: 0,
+        }
+    }
+
+    fn issue(&mut self, a: f64, b: f64, set: u64) {
+        self.adds_issued += 1;
+        self.adder.step(Some((a, b, set)));
+    }
+}
+
+impl Reducer for NiHwangReducer {
+    fn name(&self) -> &'static str {
+        "Ni–Hwang vector method [21]"
+    }
+
+    fn adders(&self) -> usize {
+        1
+    }
+
+    /// Input is refused while the previous set collapses.
+    fn ready(&self) -> bool {
+        !self.collapsing
+    }
+
+    fn tick(&mut self, input: Option<ReduceInput>) -> Option<ReduceEvent> {
+        self.cycles += 1;
+        let emerging = self.adder.peek().copied();
+        let mut emit = None;
+
+        if let Some(inp) = input {
+            assert!(!self.collapsing, "driver must respect ready()");
+            if self.current_set != Some(inp.set_id) {
+                assert!(
+                    self.current_set.is_none() && self.outstanding == 0,
+                    "previous set must have fully drained"
+                );
+                self.current_set = Some(inp.set_id);
+            }
+            // Pair the input with whatever partial is at hand: the value
+            // emerging this cycle, a value parked during an input gap, or
+            // zero while the pipeline fills.
+            let partner = if let Some(e) = emerging {
+                e.value
+            } else if let Some(h) = self.held.take() {
+                // Leaves the holding register and re-enters the pipeline
+                // fused with the input: the live-partial count is unchanged.
+                h
+            } else {
+                self.outstanding += 1; // a brand-new partial stream
+                0.0
+            };
+            self.issue(inp.value, partner, inp.set_id);
+            if inp.last {
+                self.collapsing = true;
+            }
+        } else {
+            match (emerging, self.held.take()) {
+                (Some(e), Some(h)) => {
+                    // Collapse two partials into one.
+                    self.outstanding -= 1;
+                    self.issue(h, e.value, e.tag);
+                }
+                (Some(e), None) => {
+                    if self.collapsing && self.outstanding == 1 {
+                        // The last live partial: the final sum.
+                        self.adder.step(None);
+                        self.outstanding = 0;
+                        self.collapsing = false;
+                        self.current_set = None;
+                        emit = Some(ReduceEvent {
+                            set_id: e.tag,
+                            value: e.value,
+                        });
+                    } else {
+                        self.held = Some(e.value);
+                        self.adder.step(None);
+                    }
+                }
+                (None, h) => {
+                    self.held = h;
+                    self.adder.step(None);
+                }
+            }
+        }
+
+        self.high_water = self.high_water.max(usize::from(self.held.is_some()));
+        emit
+    }
+
+    fn is_done(&self) -> bool {
+        self.outstanding == 0 && self.held.is_none() && self.adder.is_empty()
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn adds_issued(&self) -> u64 {
+        self.adds_issued
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{reference_sums, run_sets, testutil::integer_sets};
+
+    #[test]
+    fn single_vector_is_exact() {
+        let sets = integer_sets(&[500]);
+        let mut r = NiHwangReducer::new(14);
+        let run = run_sets(&mut r, &sets);
+        assert_eq!(run.results[0].value, reference_sums(&sets)[0]);
+    }
+
+    #[test]
+    fn single_vector_absorbs_at_full_rate() {
+        // During absorption the input is never stalled; total cycles are
+        // s plus the collapse tail.
+        let s = 1000;
+        let sets = integer_sets(&[s]);
+        let mut r = NiHwangReducer::new(14);
+        let run = run_sets(&mut r, &sets);
+        assert_eq!(run.stall_cycles, 0, "one vector should never stall");
+        assert!(
+            run.total_cycles < s as u64 + 14 * 14,
+            "got {}",
+            run.total_cycles
+        );
+    }
+
+    #[test]
+    fn multiple_sets_are_exact_but_stall() {
+        let sets = integer_sets(&[40, 40, 40, 40]);
+        let mut r = NiHwangReducer::new(14);
+        let run = run_sets(&mut r, &sets);
+        let expected = reference_sums(&sets);
+        for ev in &run.results {
+            assert_eq!(ev.value, expected[ev.set_id as usize]);
+        }
+        // Three inter-set collapse phases stall the stream — the weakness
+        // the paper's circuit removes.
+        assert!(run.stall_cycles > 0, "expected inter-set stalls");
+    }
+
+    #[test]
+    fn tiny_sets_work() {
+        let sets = integer_sets(&[1, 2, 3, 1]);
+        let mut r = NiHwangReducer::new(5);
+        let run = run_sets(&mut r, &sets);
+        let expected = reference_sums(&sets);
+        for ev in &run.results {
+            assert_eq!(ev.value, expected[ev.set_id as usize]);
+        }
+    }
+
+    #[test]
+    fn per_set_stall_grows_with_set_count() {
+        let mut stalls = Vec::new();
+        for p in [2usize, 4, 8] {
+            let sets = integer_sets(&vec![30; p]);
+            let mut r = NiHwangReducer::new(14);
+            let run = run_sets(&mut r, &sets);
+            stalls.push(run.stall_cycles);
+        }
+        assert!(stalls[0] < stalls[1] && stalls[1] < stalls[2], "{stalls:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Naive baseline: sequential accumulation that stalls the pipeline.
+//!
+//! §2.3 of the paper: "Simple solutions exist for this problem, such as
+//! using a single-stage but slow adder or stalling the pipeline. However,
+//! these solutions are ineffective and may greatly hurt the performance."
+//! This is that strawman, implemented honestly: one running sum per set;
+//! each addition must drain the full α-stage pipeline before the next
+//! input can be consumed, so throughput collapses to one input per α
+//! cycles.
+
+use super::{ReduceEvent, ReduceInput, Reducer};
+use fblas_fpu::PipelinedAdder;
+
+/// Sequential accumulator that stalls α cycles per addition.
+#[derive(Debug)]
+pub struct StallingReducer {
+    adder: PipelinedAdder<u64>,
+    /// Running sum and set of the accumulation in progress.
+    acc: Option<(u64, f64)>,
+    /// True while an addition is in flight (input refused).
+    busy: bool,
+    /// Set id and last-flag of the in-flight addition.
+    in_flight_last: bool,
+    cycles: u64,
+    adds_issued: u64,
+}
+
+impl StallingReducer {
+    /// Create the baseline for an `alpha`-stage adder.
+    pub fn new(alpha: usize) -> Self {
+        Self {
+            adder: PipelinedAdder::with_stages(alpha),
+            acc: None,
+            busy: false,
+            in_flight_last: false,
+            cycles: 0,
+            adds_issued: 0,
+        }
+    }
+}
+
+impl Reducer for StallingReducer {
+    fn name(&self) -> &'static str {
+        "stalling accumulator (baseline)"
+    }
+
+    fn adders(&self) -> usize {
+        1
+    }
+
+    fn ready(&self) -> bool {
+        !self.busy
+    }
+
+    fn tick(&mut self, input: Option<ReduceInput>) -> Option<ReduceEvent> {
+        self.cycles += 1;
+        let mut op = None;
+        let mut emit = None;
+
+        if let Some(inp) = input {
+            assert!(!self.busy, "input while stalled — driver violated ready()");
+            match self.acc {
+                None => {
+                    // First value of a set: no addition needed yet.
+                    if inp.last {
+                        emit = Some(ReduceEvent {
+                            set_id: inp.set_id,
+                            value: inp.value,
+                        });
+                    } else {
+                        self.acc = Some((inp.set_id, inp.value));
+                    }
+                }
+                Some((set, sum)) => {
+                    assert_eq!(set, inp.set_id, "sets are delivered sequentially");
+                    op = Some((sum, inp.value, set));
+                    self.busy = true;
+                    self.in_flight_last = inp.last;
+                    self.adds_issued += 1;
+                    self.acc = None;
+                }
+            }
+        }
+
+        if let Some(out) = self.adder.step(op) {
+            self.busy = false;
+            if self.in_flight_last {
+                emit = Some(ReduceEvent {
+                    set_id: out.tag,
+                    value: out.value,
+                });
+            } else {
+                self.acc = Some((out.tag, out.value));
+            }
+        }
+        emit
+    }
+
+    fn is_done(&self) -> bool {
+        self.acc.is_none() && !self.busy
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn adds_issued(&self) -> u64 {
+        self.adds_issued
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        1 // just the running sum register
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{reference_sums, run_sets, testutil::integer_sets};
+
+    #[test]
+    fn sums_are_exact_in_sequential_order() {
+        let sets = integer_sets(&[10, 1, 5, 33]);
+        let mut r = StallingReducer::new(14);
+        let run = run_sets(&mut r, &sets);
+        let expected = reference_sums(&sets);
+        for ev in &run.results {
+            assert_eq!(ev.value, expected[ev.set_id as usize]);
+        }
+    }
+
+    #[test]
+    fn throughput_collapses_to_one_input_per_alpha_cycles() {
+        let alpha = 14;
+        let sets = integer_sets(&[100]);
+        let mut r = StallingReducer::new(alpha);
+        let run = run_sets(&mut r, &sets);
+        // 99 additions × 14 cycles each dominates.
+        assert!(run.total_cycles >= 99 * alpha as u64);
+        assert!(run.stall_cycles >= 98 * (alpha as u64 - 1));
+    }
+
+    #[test]
+    fn singleton_sets_pass_straight_through() {
+        let sets = integer_sets(&[1, 1, 1]);
+        let mut r = StallingReducer::new(14);
+        let run = run_sets(&mut r, &sets);
+        assert_eq!(run.adds_issued, 0);
+        assert_eq!(run.total_cycles, 3);
+    }
+
+    #[test]
+    fn emits_sets_in_order() {
+        let sets = integer_sets(&[4, 7, 2]);
+        let mut r = StallingReducer::new(8);
+        let run = run_sets(&mut r, &sets);
+        let ids: Vec<u64> = run.results.iter().map(|e| e.set_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Post-place-&-route cost sheet for the floating-point units (paper Table 2).
+//!
+//! The paper's units are not engineered for area or speed; §6.4 projects
+//! performance for improved units, so [`UnitCost`] is a value type the
+//! projection sweeps can vary.
+
+/// Area/latency/clock characteristics of one hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitCost {
+    /// Human-readable unit name.
+    pub name: &'static str,
+    /// Pipeline depth in cycles (0 for purely combinational blocks).
+    pub pipeline_stages: usize,
+    /// Area in Virtex-II Pro slices.
+    pub area_slices: u32,
+    /// Maximum clock rate in MHz after place & route.
+    pub clock_mhz: f64,
+}
+
+/// The paper's 64-bit floating-point adder: 14 stages, 892 slices, 170 MHz.
+pub const FP_ADDER: UnitCost = UnitCost {
+    name: "64-bit FP adder",
+    pipeline_stages: 14,
+    area_slices: 892,
+    clock_mhz: 170.0,
+};
+
+/// The paper's 64-bit floating-point multiplier: 11 stages, 835 slices,
+/// 170 MHz.
+pub const FP_MULTIPLIER: UnitCost = UnitCost {
+    name: "64-bit FP multiplier",
+    pipeline_stages: 11,
+    area_slices: 835,
+    clock_mhz: 170.0,
+};
+
+impl UnitCost {
+    /// Slices used by `n` copies of this unit.
+    pub fn area_of(&self, n: u32) -> u32 {
+        self.area_slices * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(FP_ADDER.pipeline_stages, 14);
+        assert_eq!(FP_ADDER.area_slices, 892);
+        assert_eq!(FP_MULTIPLIER.pipeline_stages, 11);
+        assert_eq!(FP_MULTIPLIER.area_slices, 835);
+        assert_eq!(FP_ADDER.clock_mhz, 170.0);
+        assert_eq!(FP_MULTIPLIER.clock_mhz, 170.0);
+    }
+
+    #[test]
+    fn area_scales_linearly() {
+        assert_eq!(FP_ADDER.area_of(3), 2676);
+    }
+
+    #[test]
+    fn device_peak_matches_paper_section_63() {
+        // §6.3: peak of XC2VP50 = 2 × (pairs of add+mul that fit) × 170 MHz
+        // = 4.42 GFLOPS.
+        let pair = FP_ADDER.area_slices + FP_MULTIPLIER.area_slices;
+        let pairs = 23_616 / pair;
+        let peak = 2.0 * pairs as f64 * 170.0e6;
+        assert_eq!(pairs, 13);
+        assert!((peak / 1e9 - 4.42).abs() < 0.01, "peak {peak}");
+    }
+}

@@ -1,0 +1,123 @@
+//! DRAM↔SRAM staging (DMA) model.
+//!
+//! For the Level-2 design on XD1 (§6.2), matrix A begins in processor DRAM
+//! and is distributed to the four SRAM banks before the computation starts;
+//! the paper measures 8.0 ms total latency of which only 1.6 ms is compute —
+//! the rest is this data movement at the achieved DRAM bandwidth of
+//! 1.3 GB/s. [`DmaModel`] accounts for that movement.
+
+/// A bulk-transfer engine with a fixed sustained bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_mem::DmaModel;
+///
+/// // Staging a 1024×1024 double matrix over the 1.3 GB/s DRAM path
+/// // costs ~6.5 ms — the dominant share of Table 4's 8.0 ms total.
+/// let dma = DmaModel::xd1_dram();
+/// let t = dma.transfer_seconds_words(1024 * 1024);
+/// assert!((t - 6.45e-3).abs() < 0.2e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaModel {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed per-transfer setup latency in seconds (descriptor setup,
+    /// RapidArray round trip). Zero in the paper's accounting.
+    pub setup_s: f64,
+}
+
+impl DmaModel {
+    /// A DMA engine with the given bandwidth and no setup cost.
+    pub fn new(bandwidth_bytes_per_s: f64) -> Self {
+        assert!(
+            bandwidth_bytes_per_s > 0.0,
+            "bandwidth must be positive, got {bandwidth_bytes_per_s}"
+        );
+        Self {
+            bandwidth_bytes_per_s,
+            setup_s: 0.0,
+        }
+    }
+
+    /// The XD1 DRAM→FPGA path at the paper's achieved 1.3 GB/s.
+    pub fn xd1_dram() -> Self {
+        Self::new(1.3e9)
+    }
+
+    /// Seconds to move `bytes` bytes.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.setup_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Seconds to move `words` 64-bit words.
+    pub fn transfer_seconds_words(&self, words: u64) -> f64 {
+        self.transfer_seconds(words * crate::WORD_BYTES)
+    }
+
+    /// Cycles to move `bytes` at an FPGA clock of `clock_mhz` (rounded up).
+    pub fn transfer_cycles(&self, bytes: u64, clock_mhz: f64) -> u64 {
+        (self.transfer_seconds(bytes) * clock_mhz * 1e6).ceil() as u64
+    }
+
+    /// Effective words per FPGA cycle this engine sustains.
+    pub fn words_per_cycle(&self, clock_mhz: f64) -> f64 {
+        self.bandwidth_bytes_per_s / crate::WORD_BYTES as f64 / (clock_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_time_reproduces_table4_split() {
+        // A 1024×1024 double matrix is 8 MiB; at 1.3 GB/s that is ≈6.45 ms.
+        // Added to the 1.6 ms compute time this gives the paper's ≈8.0 ms
+        // total for Level-2 BLAS on XD1.
+        let dma = DmaModel::xd1_dram();
+        let t = dma.transfer_seconds(1024 * 1024 * 8);
+        assert!((t - 6.45e-3).abs() < 0.1e-3, "got {t}");
+        let total = t + 1.6e-3;
+        assert!((total - 8.0e-3).abs() < 0.25e-3, "total {total}");
+    }
+
+    #[test]
+    fn words_and_bytes_agree() {
+        let dma = DmaModel::new(8e9);
+        assert_eq!(
+            dma.transfer_seconds_words(1000),
+            dma.transfer_seconds(8000)
+        );
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let dma = DmaModel::new(8e8); // 0.1 words/cycle at 1 GHz
+        // 1 word = 8 bytes = 10 ns = 10 cycles at 1000 MHz.
+        assert_eq!(dma.transfer_cycles(8, 1000.0), 10);
+        assert_eq!(dma.transfer_cycles(9, 1000.0), 12); // 11.25 → 12
+    }
+
+    #[test]
+    fn setup_cost_added_once() {
+        let mut dma = DmaModel::new(1e9);
+        dma.setup_s = 1e-6;
+        assert!((dma.transfer_seconds(0) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn words_per_cycle_at_clock() {
+        // 1.3 GB/s at 164 MHz ≈ 0.99 words/cycle: the DRAM path can just
+        // barely feed one word per cycle to the Level-2 design.
+        let wpc = DmaModel::xd1_dram().words_per_cycle(164.0);
+        assert!((wpc - 0.99).abs() < 0.01, "got {wpc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_bandwidth_rejected() {
+        DmaModel::new(0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Clock-domain arithmetic: cycles ↔ seconds ↔ FLOPS.
+//!
+//! The SC'05 designs are evaluated at post-place-&-route clock speeds
+//! (170 MHz floating-point units, 164 MHz for the Level-2 design on XD1,
+//! 130 MHz for the Level-3 design, ...). The functional simulation counts
+//! cycles; a [`ClockDomain`] turns those counts into the seconds, MB/s and
+//! MFLOPS the paper reports.
+
+/// A synchronous clock domain running at a fixed frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    mhz: f64,
+}
+
+impl ClockDomain {
+    /// Create a clock domain from a frequency in MHz.
+    ///
+    /// # Panics
+    /// Panics if `mhz` is not strictly positive and finite.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "clock must be positive, got {mhz} MHz");
+        Self { mhz }
+    }
+
+    /// Frequency in MHz.
+    pub fn mhz(&self) -> f64 {
+        self.mhz
+    }
+
+    /// Frequency in Hz.
+    pub fn hz(&self) -> f64 {
+        self.mhz * 1e6
+    }
+
+    /// Duration of one clock cycle in seconds.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / self.hz()
+    }
+
+    /// Convert a cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz()
+    }
+
+    /// Convert a duration in seconds to a (rounded-up) cycle count.
+    pub fn seconds_to_cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.hz()).ceil() as u64
+    }
+
+    /// Sustained FLOPS given a number of floating-point operations completed
+    /// in `cycles` cycles of this domain.
+    pub fn flops(&self, flop_count: u64, cycles: u64) -> f64 {
+        assert!(cycles > 0, "cannot compute FLOPS over zero cycles");
+        flop_count as f64 / self.cycles_to_seconds(cycles)
+    }
+
+    /// Bandwidth in bytes/second achieved by moving `bytes` bytes over
+    /// `cycles` cycles of this domain.
+    pub fn bandwidth_bytes_per_s(&self, bytes: u64, cycles: u64) -> f64 {
+        assert!(cycles > 0, "cannot compute bandwidth over zero cycles");
+        bytes as f64 / self.cycles_to_seconds(cycles)
+    }
+}
+
+/// Formatting helpers for performance reports.
+pub mod fmt {
+    /// Format a FLOPS value with an appropriate SI suffix (MFLOPS/GFLOPS).
+    pub fn flops(v: f64) -> String {
+        if v >= 1e9 {
+            format!("{:.2} GFLOPS", v / 1e9)
+        } else {
+            format!("{:.0} MFLOPS", v / 1e6)
+        }
+    }
+
+    /// Format a byte/s bandwidth with an appropriate SI suffix (MB/s, GB/s).
+    pub fn bandwidth(v: f64) -> String {
+        if v >= 1e9 {
+            format!("{:.1} GB/s", v / 1e9)
+        } else {
+            format!("{:.1} MB/s", v / 1e6)
+        }
+    }
+
+    /// Format seconds as milliseconds with three significant digits.
+    pub fn millis(v: f64) -> String {
+        format!("{:.3} ms", v * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_inverse_of_frequency() {
+        let c = ClockDomain::from_mhz(170.0);
+        assert!((c.cycle_time_s() - 1.0 / 170e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn cycles_to_seconds_roundtrip() {
+        let c = ClockDomain::from_mhz(130.0);
+        let s = c.cycles_to_seconds(16_777_216);
+        // 512^3/8 cycles at 130 MHz is the paper's 131 ms matrix multiply.
+        assert!((s - 0.129) < 0.01, "expected ~0.129 s, got {s}");
+        assert_eq!(c.seconds_to_cycles(s), 16_777_216);
+    }
+
+    #[test]
+    fn flops_of_known_workload() {
+        // 2*n^3 flops at n=512 in n^3/k cycles (k=8) at 130 MHz ≈ 2.08 GFLOPS.
+        let c = ClockDomain::from_mhz(130.0);
+        let n: u64 = 512;
+        let flops = c.flops(2 * n * n * n, n * n * n / 8);
+        assert!((flops / 1e9 - 2.08).abs() < 0.01, "got {flops}");
+    }
+
+    #[test]
+    fn bandwidth_of_known_transfer() {
+        // 4 words of 8 bytes per cycle at 170 MHz = 5.44 GB/s (paper's 5.5).
+        let c = ClockDomain::from_mhz(170.0);
+        let bw = c.bandwidth_bytes_per_s(32, 1);
+        assert!((bw / 1e9 - 5.44).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rejected() {
+        ClockDomain::from_mhz(0.0);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt::flops(2.06e9), "2.06 GFLOPS");
+        assert_eq!(fmt::flops(262e6), "262 MFLOPS");
+        assert_eq!(fmt::bandwidth(5.9e9), "5.9 GB/s");
+        assert_eq!(fmt::bandwidth(24.3e6), "24.3 MB/s");
+    }
+}

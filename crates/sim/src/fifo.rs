@@ -1,0 +1,172 @@
+//! Bounded FIFO with occupancy tracking.
+//!
+//! The paper's central buffer-size claims (the reduction circuit needs two
+//! buffers of size α², the matrix-multiply PE needs two local stores of
+//! size m²/k) are verified in this workspace by running the architectures
+//! and observing the high-water mark of the FIFOs/buffers involved —
+//! [`Fifo`] records that mark and panics on overflow, so an architecture
+//! that violates its claimed bound fails its tests loudly.
+
+use std::collections::VecDeque;
+
+/// A bounded first-in first-out queue that records its high-water mark.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be >= 1");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Push an item.
+    ///
+    /// # Panics
+    /// Panics if the FIFO is full: in a hardware model, pushing into a full
+    /// buffer is data loss and always a scheduling bug.
+    pub fn push(&mut self, item: T) {
+        assert!(
+            self.items.len() < self.capacity,
+            "fifo overflow: capacity {} exceeded",
+            self.capacity
+        );
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.items.len());
+    }
+
+    /// Try to push an item, returning `Err(item)` if full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() < self.capacity {
+            self.push(item);
+            Ok(())
+        } else {
+            Err(item)
+        }
+    }
+
+    /// Pop the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total number of items ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Iterate over the items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i);
+        }
+        assert_eq!(
+            (0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_not_current() {
+        let mut f = Fifo::new(8);
+        f.push(1);
+        f.push(2);
+        f.push(3);
+        f.pop();
+        f.pop();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.high_water(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut f = Fifo::new(2);
+        f.push(1);
+        f.push(2);
+        f.push(3);
+    }
+
+    #[test]
+    fn try_push_returns_item_when_full() {
+        let mut f = Fifo::new(1);
+        assert!(f.try_push(10).is_ok());
+        assert_eq!(f.try_push(11), Err(11));
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(42);
+        assert_eq!(f.front(), Some(&42));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(42));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn total_pushed_counts_lifetime_items() {
+        let mut f = Fifo::new(2);
+        for i in 0..10 {
+            f.push(i);
+            f.pop();
+        }
+        assert_eq!(f.total_pushed(), 10);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cycle-stepped dataflow simulation kernel.
+//!
+//! Every architecture in this workspace (reduction circuits, the tree-based
+//! dot-product / matrix-vector designs, the linear-array matrix multiplier)
+//! is expressed as a synchronous digital circuit: a collection of stateful
+//! components that all observe the same clock. This crate provides the small
+//! set of primitives those models are built from:
+//!
+//! * [`DelayLine`] — a fixed-latency pipeline register chain, the model of a
+//!   deeply pipelined floating-point unit's timing behaviour.
+//! * [`Fifo`] — a bounded queue with high-water-mark tracking, the model of
+//!   an on-chip buffer whose size we must prove bounded.
+//! * [`Throttle`] — a token-bucket rate limiter, the model of a
+//!   bandwidth-limited memory channel (words per cycle, possibly
+//!   fractional).
+//! * [`ClockDomain`] — converts cycle counts into wall-clock time and
+//!   sustained FLOPS given a clock frequency in MHz.
+//! * [`Stats`] — occupancy/utilization counters shared by the models.
+//!
+//! The kernel is deliberately *not* an event-driven simulator: the
+//! architectures in the SC'05 paper are fully synchronous and compute-dense
+//! (some unit does work almost every cycle), so stepping every cycle is both
+//! simpler and faster than maintaining an event queue.
+
+pub mod clock;
+pub mod delay;
+pub mod fifo;
+pub mod stats;
+pub mod throttle;
+
+pub use clock::ClockDomain;
+pub use delay::DelayLine;
+pub use fifo::Fifo;
+pub use stats::{Histogram, Stats};
+pub use throttle::Throttle;
+
+/// A synchronous component that advances one clock cycle at a time.
+///
+/// Implementors typically sample their inputs, update internal state and
+/// produce outputs in a single `tick`. Composite designs call `tick` on
+/// their sub-components in dataflow order within their own `tick`.
+pub trait Component {
+    /// Advance the component by one clock cycle.
+    fn tick(&mut self);
+
+    /// Number of cycles this component has executed.
+    fn cycles(&self) -> u64;
+}
+
+/// Run a component until `done` returns true, with a hard cycle limit.
+///
+/// Returns the number of cycles executed. Panics if the limit is exceeded,
+/// which in this workspace always indicates a scheduling bug (a design that
+/// claims a latency bound must meet it).
+pub fn run_until<C: Component>(c: &mut C, limit: u64, mut done: impl FnMut(&C) -> bool) -> u64 {
+    let start = c.cycles();
+    while !done(c) {
+        assert!(
+            c.cycles() - start < limit,
+            "simulation exceeded cycle limit {limit} (started at {start})"
+        );
+        c.tick();
+    }
+    c.cycles() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        n: u64,
+    }
+    impl Component for Counter {
+        fn tick(&mut self) {
+            self.n += 1;
+        }
+        fn cycles(&self) -> u64 {
+            self.n
+        }
+    }
+
+    #[test]
+    fn run_until_counts_cycles() {
+        let mut c = Counter { n: 0 };
+        let ran = run_until(&mut c, 100, |c| c.n == 42);
+        assert_eq!(ran, 42);
+    }
+
+    #[test]
+    fn run_until_is_relative_to_start() {
+        let mut c = Counter { n: 10 };
+        let ran = run_until(&mut c, 100, |c| c.n == 25);
+        assert_eq!(ran, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle limit")]
+    fn run_until_enforces_limit() {
+        let mut c = Counter { n: 0 };
+        run_until(&mut c, 10, |_| false);
+    }
+}

@@ -1,0 +1,196 @@
+//! Utilization and event counters shared by the architecture models.
+
+/// Simple event/utilization statistics for a simulated design.
+///
+/// Architectures record the cycles in which each functional unit did useful
+/// work; the report generators turn these into the utilization percentages
+/// the paper discusses (e.g. the reduction circuit keeps its single adder
+/// nearly fully utilized, the stalling baseline does not).
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    cycles: u64,
+    busy_cycles: u64,
+    events: u64,
+}
+
+impl Stats {
+    /// Create an empty statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one cycle; `busy` marks whether useful work was done.
+    pub fn record_cycle(&mut self, busy: bool) {
+        self.cycles += 1;
+        if busy {
+            self.busy_cycles += 1;
+        }
+    }
+
+    /// Record `n` occurrences of a counted event (e.g. flops, words moved).
+    pub fn record_events(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Total cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles in which the unit was busy.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Total counted events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Busy fraction in [0, 1]; zero if no cycles observed.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A fixed-bucket histogram of small non-negative samples (buffer
+/// occupancies, queue depths).
+///
+/// Samples at or above the bucket count land in the last bucket, so the
+/// histogram never loses mass; [`Histogram::percentile`] then answers
+/// questions like "what occupancy covers 99 % of cycles" — how the
+/// buffer-sizing claims of the paper translate into observed behaviour.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    samples: u64,
+    max_seen: usize,
+}
+
+impl Histogram {
+    /// Create a histogram with buckets 0..`buckets`−1 plus an overflow
+    /// bucket.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1);
+        Self {
+            buckets: vec![0; buckets],
+            samples: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: usize) {
+        let idx = value.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.samples += 1;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample ever recorded (even if it overflowed the buckets).
+    pub fn max_seen(&self) -> usize {
+        self.max_seen
+    }
+
+    /// Smallest bucket index b such that at least `p` (0..=1) of the
+    /// samples are ≤ b. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> usize {
+        assert!((0.0..=1.0).contains(&p));
+        if self.samples == 0 {
+            return 0;
+        }
+        let target = (p * self.samples as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return i;
+            }
+        }
+        self.buckets.len() - 1
+    }
+
+    /// Mean of the recorded samples (overflowed samples count at the
+    /// last bucket's value).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum();
+        sum as f64 / self.samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(16);
+        for v in [0usize, 1, 1, 2, 2, 2, 3, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 10);
+        assert_eq!(h.percentile(0.1), 0);
+        assert_eq!(h.percentile(0.3), 1);
+        assert_eq!(h.percentile(0.6), 2);
+        assert_eq!(h.percentile(1.0), 3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.max_seen(), 3);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(100);
+        assert_eq!(h.percentile(1.0), 3);
+        assert_eq!(h.max_seen(), 100);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(4);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let mut s = Stats::new();
+        for i in 0..10 {
+            s.record_cycle(i % 2 == 0);
+        }
+        assert_eq!(s.cycles(), 10);
+        assert_eq!(s.busy_cycles(), 5);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_zero_utilization() {
+        let s = Stats::new();
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn events_accumulate() {
+        let mut s = Stats::new();
+        s.record_events(3);
+        s.record_events(4);
+        assert_eq!(s.events(), 7);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the simulation kernel primitives: the
+//! architectures' correctness arguments rest on these invariants.
+
+use fblas_sim::{DelayLine, Fifo, Throttle};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever enters a delay line leaves in order, exactly `latency`
+    /// steps later, bubbles included.
+    #[test]
+    fn delay_line_preserves_order_and_latency(
+        latency in 1usize..40,
+        pattern in prop::collection::vec(any::<bool>(), 1..200)
+    ) {
+        let mut d = DelayLine::new(latency);
+        let mut sent: Vec<(usize, usize)> = Vec::new(); // (value, step)
+        let mut got: Vec<(usize, usize)> = Vec::new();
+        let mut counter = 0usize;
+        for (step, &fire) in pattern.iter().enumerate() {
+            let input = fire.then(|| {
+                counter += 1;
+                sent.push((counter, step));
+                counter
+            });
+            if let Some(v) = d.step(input) {
+                got.push((v, step));
+            }
+        }
+        // Drain.
+        let mut step = pattern.len();
+        while !d.is_empty() {
+            if let Some(v) = d.step(None) {
+                got.push((v, step));
+            }
+            step += 1;
+        }
+        prop_assert_eq!(got.len(), sent.len());
+        for ((sv, s_in), (gv, s_out)) in sent.iter().zip(&got) {
+            prop_assert_eq!(sv, gv, "order preserved");
+            prop_assert_eq!(s_out - s_in, latency, "exact latency");
+        }
+    }
+
+    /// A FIFO is exactly a queue: pop order equals push order, and the
+    /// high-water mark equals the maximum in-flight count.
+    #[test]
+    fn fifo_is_a_queue(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut f = Fifo::new(usize::MAX.min(1 << 20));
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0usize;
+        let mut peak = 0usize;
+        for op in ops {
+            if op {
+                f.push(next);
+                model.push_back(next);
+                next += 1;
+                peak = peak.max(model.len());
+            } else {
+                prop_assert_eq!(f.pop(), model.pop_front());
+            }
+            prop_assert_eq!(f.len(), model.len());
+        }
+        prop_assert_eq!(f.high_water(), peak);
+    }
+
+    /// Under continuous demand, a throttle's delivered word count over T
+    /// cycles is within one word of rate·T: no banked bursts, no loss.
+    #[test]
+    fn throttle_long_run_rate_is_exact(
+        rate_millis in 10u64..4000, // rate in thousandths of a word/cycle
+        cycles in 100u64..5000
+    ) {
+        let rate = rate_millis as f64 / 1000.0;
+        let mut t = Throttle::new(rate);
+        let mut delivered = 0u64;
+        for _ in 0..cycles {
+            t.tick();
+            delivered += t.grant_up_to(u64::MAX);
+        }
+        let ideal = rate * cycles as f64;
+        prop_assert!(
+            (delivered as f64 - ideal).abs() <= rate.ceil() + 1.0,
+            "delivered {delivered} vs ideal {ideal}"
+        );
+    }
+
+    /// The throttle never grants more than its cumulative budget at any
+    /// prefix of the run (causality).
+    #[test]
+    fn throttle_never_oversupplies_prefix(
+        rate_millis in 10u64..4000,
+        demand in prop::collection::vec(0u64..4, 1..300)
+    ) {
+        let rate = rate_millis as f64 / 1000.0;
+        let mut t = Throttle::new(rate);
+        let mut delivered = 0u64;
+        for (i, &want) in demand.iter().enumerate() {
+            t.tick();
+            let got = t.grant_up_to(want);
+            prop_assert!(got <= want);
+            delivered += got;
+            let budget = rate * (i + 1) as f64 + rate.ceil() + 1.0;
+            prop_assert!(
+                (delivered as f64) <= budget,
+                "prefix {i}: delivered {delivered} > budget {budget}"
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Jacobi iterative solver on the SpMV design (the authors' \[18\]).
+//!
+//! Solves A·x = b by the iteration x⁽ᵗ⁺¹⁾ = D⁻¹·(b − (A − D)·x⁽ᵗ⁾), where
+//! D is the diagonal of A. Each iteration is one SpMV of the off-diagonal
+//! part on the FPGA design plus an element-wise update; the solver
+//! accumulates the cycle cost of every simulated SpMV so the report
+//! reflects what the hardware would spend. Strict diagonal dominance is a
+//! sufficient convergence condition, which [`JacobiSolver::solve`]
+//! checks and reports.
+
+use crate::csr::CsrMatrix;
+use crate::spmv::{SpmvDesign, SpmvParams};
+use fblas_core::report::SimReport;
+use fblas_sim::ClockDomain;
+
+/// Outcome of a Jacobi solve.
+#[derive(Debug, Clone)]
+pub struct JacobiOutcome {
+    /// The solution estimate.
+    pub x: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the residual tolerance was met.
+    pub converged: bool,
+    /// Final max-norm of b − A·x.
+    pub residual: f64,
+    /// Accumulated hardware accounting across all SpMV runs.
+    pub report: SimReport,
+    /// Clock domain of the underlying design.
+    pub clock: ClockDomain,
+}
+
+/// Jacobi iterative solver driving the FPGA SpMV design.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_sparse::{CsrMatrix, JacobiSolver, SpmvParams};
+///
+/// // A strictly diagonally dominant 3×3 system.
+/// let a = CsrMatrix::from_triplets(3, 3, &[
+///     (0, 0, 4.0), (0, 1, -1.0),
+///     (1, 0, -1.0), (1, 1, 4.0), (1, 2, -1.0),
+///     (2, 1, -1.0), (2, 2, 4.0),
+/// ]);
+/// let b = vec![3.0, 2.0, 3.0];
+/// let solver = JacobiSolver::new(SpmvParams::with_k(2), 1e-12, 200);
+/// let out = solver.solve(&a, &b);
+/// assert!(out.converged);
+/// assert!((out.x[0] - 1.0).abs() < 1e-10);
+/// assert!((out.x[1] - 1.0).abs() < 1e-10);
+/// assert!((out.x[2] - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JacobiSolver {
+    design: SpmvDesign,
+    /// Max-norm residual tolerance.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl JacobiSolver {
+    /// Create a solver over a k-lane SpMV design.
+    pub fn new(params: SpmvParams, tolerance: f64, max_iterations: usize) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(max_iterations > 0, "need at least one iteration");
+        Self {
+            design: SpmvDesign::new(params),
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    /// Solve A·x = b from a zero initial guess.
+    ///
+    /// # Panics
+    /// Panics if any diagonal entry of A is missing or zero (the Jacobi
+    /// split needs D⁻¹).
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> JacobiOutcome {
+        let n = a.n_rows();
+        assert_eq!(a.n_cols(), n, "Jacobi needs a square system");
+        assert_eq!(b.len(), n, "right-hand side length mismatch");
+
+        let diag: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = a
+                    .diagonal(i)
+                    .unwrap_or_else(|| panic!("row {i} has no diagonal entry"));
+                assert!(d != 0.0, "zero diagonal in row {i}");
+                d
+            })
+            .collect();
+
+        // Off-diagonal part R = A − D as its own CRS matrix.
+        let off_triplets: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| {
+                a.row(i)
+                    .filter(move |&(c, _)| c != i)
+                    .map(move |(c, v)| (i, c, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let r = CsrMatrix::from_triplets(n, n, &off_triplets);
+
+        let mut x = vec![0.0f64; n];
+        let mut total = SimReport::default();
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+
+        while iterations < self.max_iterations {
+            // One SpMV of R on the FPGA design.
+            let out = self.design.run(&r, &x);
+            total.cycles += out.report.cycles;
+            total.flops += out.report.flops;
+            total.words_in += out.report.words_in;
+            total.words_out += out.report.words_out;
+            total.busy_cycles += out.report.busy_cycles;
+
+            for i in 0..n {
+                x[i] = (b[i] - out.y[i]) / diag[i];
+            }
+            // The divide-and-subtract update is n more flops of each kind.
+            total.flops += 2 * n as u64;
+            iterations += 1;
+
+            residual = self.residual_norm(a, &x, b);
+            if residual <= self.tolerance {
+                break;
+            }
+        }
+
+        JacobiOutcome {
+            x,
+            iterations,
+            converged: residual <= self.tolerance,
+            residual,
+            report: total,
+            clock: self.design.clock(),
+        }
+    }
+
+    fn residual_norm(&self, a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        a.ref_spmv(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (bi - ax).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A strictly diagonally dominant tridiagonal system.
+    fn dd_system(n: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let mut trip = Vec::new();
+        for i in 0..n {
+            trip.push((i, i, 4.0));
+            if i > 0 {
+                trip.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                trip.push((i, i + 1, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trip);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = a.ref_spmv(&x_true);
+        (a, x_true, b)
+    }
+
+    #[test]
+    fn converges_on_diagonally_dominant_system() {
+        let (a, x_true, b) = dd_system(50);
+        assert!(a.is_strictly_diagonally_dominant());
+        let solver = JacobiSolver::new(SpmvParams::with_k(4), 1e-10, 500);
+        let out = solver.solve(&a, &b);
+        assert!(out.converged, "residual {}", out.residual);
+        for (got, want) in out.x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let (a, _, b) = dd_system(30);
+        let solver = JacobiSolver::new(SpmvParams::with_k(2), 1e-30, 3);
+        let out = solver.solve(&a, &b);
+        assert_eq!(out.iterations, 3);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn hardware_cycles_accumulate_per_iteration() {
+        let (a, _, b) = dd_system(30);
+        let s1 = JacobiSolver::new(SpmvParams::with_k(2), 1e-30, 1);
+        let s3 = JacobiSolver::new(SpmvParams::with_k(2), 1e-30, 3);
+        let c1 = s1.solve(&a, &b).report.cycles;
+        let c3 = s3.solve(&a, &b).report.cycles;
+        assert_eq!(c3, 3 * c1, "cycles must sum across iterations");
+    }
+
+    #[test]
+    fn diagonal_system_converges_in_one_iteration() {
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 5.0), (3, 3, 8.0)]);
+        let b = vec![2.0, 8.0, 15.0, 32.0];
+        let solver = JacobiSolver::new(SpmvParams::with_k(2), 1e-12, 10);
+        let out = solver.solve(&a, &b);
+        assert_eq!(out.x, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no diagonal entry")]
+    fn missing_diagonal_rejected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        JacobiSolver::new(SpmvParams::with_k(2), 1e-6, 10).solve(&a, &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Software dot product: the Level-1 baseline.
+
+/// Straightforward sequential dot product.
+pub fn dot_naive(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "vectors must have equal length");
+    u.iter().zip(v).map(|(a, b)| a * b).sum()
+}
+
+/// Four-way unrolled dot product with independent accumulators — the
+/// "loop unrolling to reduce loop overhead" optimization §2.2 lists,
+/// which also breaks the sequential-addition dependence chain (the
+/// software analogue of the paper's interleaved partial sums).
+pub fn dot_unrolled(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "vectors must have equal length");
+    let mut acc = [0.0f64; 4];
+    let chunks = u.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += u[i] * v[i];
+        acc[1] += u[i + 1] * v[i + 1];
+        acc[2] += u[i + 2] * v[i + 2];
+        acc[3] += u[i + 3] * v[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..u.len() {
+        tail += u[i] * v[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (
+            (0..n).map(|i| ((i * 7 + 1) % 10) as f64).collect(),
+            (0..n).map(|i| ((i * 3 + 2) % 10) as f64).collect(),
+        )
+    }
+
+    #[test]
+    fn naive_small_case() {
+        assert_eq!(dot_naive(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn unrolled_matches_naive_exactly_on_integers() {
+        for n in [0, 1, 3, 4, 7, 64, 1000, 1023] {
+            let (u, v) = int_vecs(n);
+            assert_eq!(dot_unrolled(&u, &v), dot_naive(&u, &v), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_vectors() {
+        assert_eq!(dot_naive(&[], &[]), 0.0);
+        assert_eq!(dot_unrolled(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths() {
+        dot_naive(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Software dense matrix multiply: the §6.3 CPU comparison ladder.
+//!
+//! All matrices are dense row-major `&[f64]`, square n×n.
+
+/// Naive triple loop (i, j, q): the unoptimized baseline with poor cache
+/// behaviour on B.
+pub fn gemm_naive(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "A shape mismatch");
+    assert_eq!(b.len(), n * n, "B shape mismatch");
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for q in 0..n {
+                acc += a[i * n + q] * b[q * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Cache-blocked (i,q,j ordering inside blocks) matrix multiply — the
+/// "cache blocking to maximize cache reuse" optimization §2.2 lists, and
+/// the software mirror of the paper's m×m on-chip blocking.
+pub fn gemm_blocked(a: &[f64], b: &[f64], n: usize, block: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "A shape mismatch");
+    assert_eq!(b.len(), n * n, "B shape mismatch");
+    assert!(block > 0, "block size must be positive");
+    let mut c = vec![0.0f64; n * n];
+    gemm_blocked_into(a, b, n, block, &mut c);
+    c
+}
+
+fn gemm_blocked_into(a: &[f64], b: &[f64], n: usize, block: usize, c: &mut [f64]) {
+    for i0 in (0..n).step_by(block) {
+        let imax = (i0 + block).min(n);
+        for q0 in (0..n).step_by(block) {
+            let qmax = (q0 + block).min(n);
+            for j0 in (0..n).step_by(block) {
+                let jmax = (j0 + block).min(n);
+                for i in i0..imax {
+                    for q in q0..qmax {
+                        let aiq = a[i * n + q];
+                        let brow = &b[q * n + j0..q * n + jmax];
+                        let crow = &mut c[i * n + j0..i * n + jmax];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aiq * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked multiply over an explicitly transposed B: turns the inner
+/// loop into two unit-stride streams (the "register blocking to reduce
+/// the number of memory accesses" rung of §2.2's optimization ladder).
+pub fn gemm_transposed(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "A shape mismatch");
+    assert_eq!(b.len(), n * n, "B shape mismatch");
+    let mut bt = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            bt[j * n + i] = b[i * n + j];
+        }
+    }
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        let arow = &a[i * n..(i + 1) * n];
+        for j in 0..n {
+            let bcol = &bt[j * n..(j + 1) * n];
+            let mut acc = 0.0;
+            for (av, bv) in arow.iter().zip(bcol) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Multi-threaded blocked multiply: row panels distributed over threads
+/// with crossbeam scoped threads (each panel writes a disjoint slice of
+/// C, so no synchronization is needed beyond the scope join).
+pub fn gemm_parallel(a: &[f64], b: &[f64], n: usize, block: usize, threads: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "A shape mismatch");
+    assert_eq!(b.len(), n * n, "B shape mismatch");
+    assert!(threads >= 1, "need at least one thread");
+    let mut c = vec![0.0f64; n * n];
+    let rows_per = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let mut rest: &mut [f64] = &mut c;
+        let mut row0 = 0usize;
+        while row0 < n {
+            let rows = rows_per.min(n - row0);
+            let (panel, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let lo = row0;
+            s.spawn(move |_| {
+                // Blocked multiply of the A row-panel against all of B.
+                for i0 in (0..rows).step_by(block) {
+                    let imax = (i0 + block).min(rows);
+                    for q0 in (0..n).step_by(block) {
+                        let qmax = (q0 + block).min(n);
+                        for j0 in (0..n).step_by(block) {
+                            let jmax = (j0 + block).min(n);
+                            for i in i0..imax {
+                                for q in q0..qmax {
+                                    let aiq = a[(lo + i) * n + q];
+                                    let brow = &b[q * n + j0..q * n + jmax];
+                                    let crow = &mut panel[i * n + j0..i * n + jmax];
+                                    for (cv, bv) in crow.iter_mut().zip(brow) {
+                                        *cv += aiq * bv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            row0 += rows;
+        }
+    })
+    .expect("worker thread panicked");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_pair(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (
+            (0..n * n).map(|i| ((i * 5 + 3) % 8) as f64).collect(),
+            (0..n * n).map(|i| ((i * 7 + 1) % 8) as f64).collect(),
+        )
+    }
+
+    #[test]
+    fn naive_small_case() {
+        let c = gemm_naive(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_exactly_on_integers() {
+        for (n, block) in [(8, 4), (17, 5), (32, 8), (33, 16), (64, 64)] {
+            let (a, b) = int_pair(n);
+            assert_eq!(
+                gemm_blocked(&a, &b, n, block),
+                gemm_naive(&a, &b, n),
+                "n = {n}, block = {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_matches_naive_exactly() {
+        // Same inner-loop q order as naive ⇒ identical rounding.
+        for n in [4usize, 17, 48] {
+            let (a, b) = int_pair(n);
+            assert_eq!(gemm_transposed(&a, &b, n), gemm_naive(&a, &b, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_blocked() {
+        for threads in [1, 2, 3, 8] {
+            let (a, b) = int_pair(48);
+            assert_eq!(
+                gemm_parallel(&a, &b, 48, 16, threads),
+                gemm_blocked(&a, &b, 48, 16),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let n = 16;
+        let (_, b) = int_pair(n);
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        assert_eq!(gemm_blocked(&eye, &b, n, 8), b);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let (a, b) = int_pair(4);
+        assert_eq!(gemm_parallel(&a, &b, 4, 2, 16), gemm_naive(&a, &b, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape() {
+        gemm_naive(&[1.0], &[1.0], 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Software matrix-vector multiply: the Level-2 baseline.
+//!
+//! Matrices are dense row-major `&[f64]` of shape `rows × cols`.
+
+/// Naive y = A·x, one row at a time.
+pub fn gemv_naive(a: &[f64], rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(x.len(), cols, "x length mismatch");
+    (0..rows)
+        .map(|i| {
+            let row = &a[i * cols..(i + 1) * cols];
+            row.iter().zip(x).map(|(aij, xj)| aij * xj).sum()
+        })
+        .collect()
+}
+
+/// Cache-blocked y = A·x: column panels sized to keep the x slice in
+/// cache while several rows stream — the software analogue of the
+/// paper's block matrix-vector multiply (§4.2).
+pub fn gemv_blocked(
+    a: &[f64],
+    rows: usize,
+    cols: usize,
+    x: &[f64],
+    panel: usize,
+) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(x.len(), cols, "x length mismatch");
+    assert!(panel > 0, "panel width must be positive");
+    let mut y = vec![0.0f64; rows];
+    let mut lo = 0;
+    while lo < cols {
+        let hi = (lo + panel).min(cols);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &a[i * cols + lo..i * cols + hi];
+            let xs = &x[lo..hi];
+            let mut acc = 0.0;
+            for (aij, xj) in row.iter().zip(xs) {
+                acc += aij * xj;
+            }
+            *yi += acc;
+        }
+        lo = hi;
+    }
+    y
+}
+
+/// Multi-threaded y = A·x: row ranges distributed over scoped threads
+/// (disjoint output slices, no synchronization needed).
+pub fn gemv_parallel(
+    a: &[f64],
+    rows: usize,
+    cols: usize,
+    x: &[f64],
+    threads: usize,
+) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(x.len(), cols, "x length mismatch");
+    assert!(threads >= 1, "need at least one thread");
+    let mut y = vec![0.0f64; rows];
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let mut rest: &mut [f64] = &mut y;
+        let mut row0 = 0usize;
+        while row0 < rows {
+            let chunk = rows_per.min(rows - row0);
+            let (panel, tail) = rest.split_at_mut(chunk);
+            rest = tail;
+            let lo = row0;
+            s.spawn(move |_| {
+                for (i, yi) in panel.iter_mut().enumerate() {
+                    let row = &a[(lo + i) * cols..(lo + i + 1) * cols];
+                    *yi = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+                }
+            });
+            row0 += chunk;
+        }
+    })
+    .expect("worker thread panicked");
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_case(rows: usize, cols: usize) -> (Vec<f64>, Vec<f64>) {
+        let a = (0..rows * cols).map(|i| ((i * 5 + 3) % 9) as f64).collect();
+        let x = (0..cols).map(|j| ((j * 2 + 1) % 9) as f64).collect();
+        (a, x)
+    }
+
+    #[test]
+    fn naive_small_case() {
+        // [[1,2],[3,4]] · [1,1] = [3,7]
+        let y = gemv_naive(&[1.0, 2.0, 3.0, 4.0], 2, 2, &[1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_exactly_on_integers() {
+        for (rows, cols, panel) in [(8, 8, 3), (16, 32, 8), (33, 17, 5), (1, 64, 64)] {
+            let (a, x) = int_case(rows, cols);
+            assert_eq!(
+                gemv_blocked(&a, rows, cols, &x, panel),
+                gemv_naive(&a, rows, cols, &x),
+                "{rows}x{cols} panel {panel}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        for threads in [1, 2, 5, 16] {
+            let (a, x) = int_case(37, 29);
+            assert_eq!(
+                gemv_parallel(&a, 37, 29, &x, threads),
+                gemv_naive(&a, 37, 29, &x),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_square() {
+        let (a, x) = int_case(3, 5);
+        let y = gemv_naive(&a, 3, 5, &x);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape() {
+        gemv_naive(&[1.0], 2, 2, &[1.0, 2.0]);
+    }
+}

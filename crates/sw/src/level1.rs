@@ -1,0 +1,107 @@
+//! Software Level-1 baselines beyond dot: oracles for the streaming
+//! designs in `fblas-core::level1`.
+
+/// y ← a·x + y.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "vectors must have equal length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// x ← a·x.
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Σ|xᵢ|.
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// ‖x‖₂ with scaling against overflow (the LAPACK-style safe form —
+/// sturdier than the FPGA design's plain sum-of-squares, which is the
+/// behaviour the hardware actually has; tests compare both within range).
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Index of the element with the largest magnitude (BLAS `idamax`);
+/// `None` for an empty vector.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_small() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn scal_small() {
+        let mut x = [1.0, -2.0, 3.0];
+        scal(-2.0, &mut x);
+        assert_eq!(x, [-2.0, 4.0, -6.0]);
+    }
+
+    #[test]
+    fn asum_small() {
+        assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(asum(&[]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_pythagorean() {
+        assert_eq!(nrm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_does_not_overflow_on_huge_components() {
+        let v = nrm2(&[1e300, 1e300]);
+        assert!(v.is_finite());
+        assert!((v / 1e300 - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[]), None);
+        assert_eq!(iamax(&[0.0]), Some(0));
+    }
+
+    #[test]
+    fn agrees_with_fpga_designs_on_moderate_data() {
+        // The FPGA asum/nrm2 designs use plain summation; within normal
+        // range the safe form agrees to rounding.
+        let x: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let plain = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((nrm2(&x) - plain).abs() < 1e-12 * plain.max(1.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Slice-count area model, calibrated to the paper's place-&-route results.
+//!
+//! The model composes unit areas (Table 2) with a per-multiplier control
+//! overhead calibrated against the Table 3 design areas:
+//!
+//! * dot product, k=2: model 5220 slices vs paper 5210 (+0.2 %)
+//! * matrix-vector, k=4: model 9674 slices vs paper 9669 (+0.05 %)
+//!
+//! The XD1 infrastructure (RT core, four SRAM memory controllers, status
+//! registers) is calibrated to the Table 3 → Table 4 area jump of the
+//! Level-2 design (13772 − 9669 = 4103 slices); with that value the model
+//! also predicts the paper's "at most 8 PEs with the RT core" and "at most
+//! 10 PEs without it" capacity limits exactly. (The paper's §6.2 text says
+//! "approximately 3000 slices"; its own tables imply 4103 — we follow the
+//! tables.)
+
+use crate::device::FpgaDevice;
+use fblas_fpu::{FP_ADDER, FP_MULTIPLIER};
+
+/// Area cost model for the paper's designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Slices of one floating-point adder.
+    pub adder_slices: u32,
+    /// Slices of one floating-point multiplier.
+    pub multiplier_slices: u32,
+    /// Slices of the reduction circuit (Table 2: 1658, dominated by
+    /// control logic around the single adder).
+    pub reduction_slices: u32,
+    /// Control/datapath overhead per multiplier lane in the tree designs
+    /// (calibrated to Table 3).
+    pub control_per_lane: u32,
+    /// Slices of one matrix-multiply PE (adder + multiplier + registers +
+    /// local-store addressing; §5.3: 2158).
+    pub pe_slices: u32,
+    /// XD1 infrastructure: RT core + SRAM controllers + status registers
+    /// (calibrated to Tables 3/4: 4103).
+    pub xd1_infra_slices: u32,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            adder_slices: FP_ADDER.area_slices,
+            multiplier_slices: FP_MULTIPLIER.area_slices,
+            reduction_slices: 1658,
+            control_per_lane: 500,
+            pe_slices: 2158,
+            xd1_infra_slices: 4103,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of the tree-based dot-product design with `k` multipliers:
+    /// k multipliers, a (k−1)-adder tree, the reduction circuit, control.
+    pub fn dot_design(&self, k: u32) -> u32 {
+        assert!(k >= 1);
+        k * self.multiplier_slices
+            + (k - 1) * self.adder_slices
+            + self.reduction_slices
+            + k * self.control_per_lane
+    }
+
+    /// Area of the tree-based matrix-vector design with `k` multipliers
+    /// (same structure as dot product plus per-lane x storage addressing,
+    /// absorbed in the control constant).
+    pub fn mvm_design(&self, k: u32) -> u32 {
+        self.dot_design(k)
+    }
+
+    /// Area of the single-FPGA matrix-multiply design: a linear array of
+    /// `k` PEs (Figure 9 shows the linear growth).
+    pub fn mm_design(&self, k: u32) -> u32 {
+        k * self.pe_slices
+    }
+
+    /// Area of the hierarchical matrix-multiply node on XD1: k PEs, the
+    /// extra accumulating adder of Figure 8, and the XD1 infrastructure.
+    pub fn mm_design_xd1(&self, k: u32) -> u32 {
+        self.mm_design(k) + self.adder_slices + self.xd1_infra_slices
+    }
+
+    /// Area of the Level-2 design as deployed on XD1 (Table 4).
+    pub fn mvm_design_xd1(&self, k: u32) -> u32 {
+        self.mvm_design(k) + self.xd1_infra_slices
+    }
+
+    /// Maximum number of matrix-multiply PEs configurable on a bare device
+    /// (no XD1 infrastructure) — the Figure 9 limit.
+    pub fn max_pes(&self, device: &FpgaDevice) -> u32 {
+        device.slices / self.pe_slices
+    }
+
+    /// Maximum PEs on XD1, after the RT core, memory controllers and the
+    /// hierarchical design's extra adder take their share (§6.3 limit).
+    pub fn max_pes_xd1(&self, device: &FpgaDevice) -> u32 {
+        (device.slices - self.xd1_infra_slices - self.adder_slices) / self.pe_slices
+    }
+
+    /// Maximum number of adder+multiplier pairs on a device, the basis of
+    /// the §6.3 device-peak calculation.
+    pub fn max_fp_pairs(&self, device: &FpgaDevice) -> u32 {
+        device.slices / (self.adder_slices + self.multiplier_slices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{XC2VP100, XC2VP50};
+
+    #[test]
+    fn table3_dot_area_within_half_percent() {
+        let m = AreaModel::default();
+        let a = m.dot_design(2);
+        assert!(
+            (a as f64 - 5210.0).abs() / 5210.0 < 0.005,
+            "model {a} vs paper 5210"
+        );
+    }
+
+    #[test]
+    fn table3_mvm_area_within_half_percent() {
+        let m = AreaModel::default();
+        let a = m.mvm_design(4);
+        assert!(
+            (a as f64 - 9669.0).abs() / 9669.0 < 0.005,
+            "model {a} vs paper 9669"
+        );
+    }
+
+    #[test]
+    fn table4_mvm_xd1_area_within_ten_slices() {
+        let m = AreaModel::default();
+        let a = m.mvm_design_xd1(4);
+        assert!((a as i64 - 13772).abs() <= 10, "model {a} vs paper 13772");
+    }
+
+    #[test]
+    fn fig9_area_linear_in_k() {
+        let m = AreaModel::default();
+        for k in 1..=10 {
+            assert_eq!(m.mm_design(k), k * 2158);
+        }
+    }
+
+    #[test]
+    fn max_pes_matches_paper_limits() {
+        let m = AreaModel::default();
+        // §5.3: at most 10 PEs on a bare XC2VP50.
+        assert_eq!(m.max_pes(&XC2VP50), 10);
+        // §6.3: at most 8 PEs once the RT core and controllers are in.
+        assert_eq!(m.max_pes_xd1(&XC2VP50), 8);
+        // §6.4: XC2VP100 has about twice the slices.
+        assert_eq!(m.max_pes(&XC2VP100), 20);
+    }
+
+    #[test]
+    fn max_fp_pairs_gives_device_peak_basis() {
+        let m = AreaModel::default();
+        // §6.3: 13 pairs × 2 flops × 170 MHz = 4.42 GFLOPS.
+        assert_eq!(m.max_fp_pairs(&XC2VP50), 13);
+    }
+
+    #[test]
+    fn occupancy_fractions_match_table3() {
+        let m = AreaModel::default();
+        let dot_frac = XC2VP50.occupancy(m.dot_design(2));
+        let mvm_frac = XC2VP50.occupancy(m.mvm_design(4));
+        assert!((dot_frac - 0.22).abs() < 0.01, "dot {dot_frac}");
+        assert!((mvm_frac - 0.41).abs() < 0.01, "mvm {mvm_frac}");
+    }
+
+    #[test]
+    fn mm_xd1_area_near_table4() {
+        // Table 4 reports 21029 slices (89 %) for k=8; the model's
+        // composition gives the same occupancy to within a few percent.
+        let m = AreaModel::default();
+        let a = m.mm_design_xd1(8);
+        assert!(
+            (a as f64 - 21029.0).abs() / 21029.0 < 0.07,
+            "model {a} vs paper 21029"
+        );
+        assert!(XC2VP50.fits(a));
+    }
+}

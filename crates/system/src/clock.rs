@@ -1,0 +1,117 @@
+//! Post-place-&-route clock model.
+//!
+//! Functional simulation yields cycle counts; this model supplies the MHz
+//! that turn cycles into seconds. It is calibrated to the paper's measured
+//! clocks:
+//!
+//! * floating-point units and the tree designs close at 170 MHz (Tables 2
+//!   and 3);
+//! * on XD1 the added RT core / memory controllers pull the Level-2 design
+//!   down to 164 MHz (Table 4);
+//! * the matrix-multiply linear array starts at 155 MHz for one PE and
+//!   degrades to 125 MHz at ten PEs as routing congestion grows
+//!   (Figure 9); the XD1 deployment at k=8 runs at 130 MHz (Table 4).
+
+use fblas_sim::ClockDomain;
+
+/// Clock model for the paper's designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Clock of the floating-point units and the standalone tree designs.
+    pub fp_unit_mhz: f64,
+    /// Clock of the Level-2 design with XD1 infrastructure attached.
+    pub xd1_l2_mhz: f64,
+    /// Matrix-multiply PE clock with one PE configured.
+    pub mm_base_mhz: f64,
+    /// Matrix-multiply clock with the maximum ten PEs configured.
+    pub mm_min_mhz: f64,
+    /// Number of PEs at which `mm_min_mhz` is reached.
+    pub mm_max_k: u32,
+    /// Additional derate applied on XD1 (RT core sharing the fabric):
+    /// Figure 9 would give ≈132 MHz at k=8, Table 4 measures 130.
+    pub xd1_mm_derate: f64,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        Self {
+            fp_unit_mhz: 170.0,
+            xd1_l2_mhz: 164.0,
+            mm_base_mhz: 155.0,
+            mm_min_mhz: 125.0,
+            mm_max_k: 10,
+            xd1_mm_derate: 130.0 / (155.0 - 30.0 * 7.0 / 9.0),
+        }
+    }
+}
+
+impl ClockModel {
+    /// Clock of the standalone tree-based designs (Table 3).
+    pub fn tree_design(&self) -> ClockDomain {
+        ClockDomain::from_mhz(self.fp_unit_mhz)
+    }
+
+    /// Clock of the Level-2 design on XD1 (Table 4).
+    pub fn xd1_l2(&self) -> ClockDomain {
+        ClockDomain::from_mhz(self.xd1_l2_mhz)
+    }
+
+    /// Routing-degraded matrix-multiply clock as a function of PE count
+    /// (linear interpolation through the Figure 9 endpoints).
+    pub fn mm_mhz(&self, k: u32) -> f64 {
+        assert!(k >= 1, "at least one PE");
+        let k = k.min(self.mm_max_k);
+        let span = (self.mm_base_mhz - self.mm_min_mhz) / (self.mm_max_k - 1) as f64;
+        self.mm_base_mhz - span * (k - 1) as f64
+    }
+
+    /// Matrix-multiply clock domain on a bare device.
+    pub fn mm(&self, k: u32) -> ClockDomain {
+        ClockDomain::from_mhz(self.mm_mhz(k))
+    }
+
+    /// Matrix-multiply clock domain on XD1 (Table 4: 130 MHz at k=8).
+    pub fn xd1_mm(&self, k: u32) -> ClockDomain {
+        ClockDomain::from_mhz(self.mm_mhz(k) * self.xd1_mm_derate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_endpoints() {
+        let c = ClockModel::default();
+        assert_eq!(c.mm_mhz(1), 155.0);
+        assert_eq!(c.mm_mhz(10), 125.0);
+    }
+
+    #[test]
+    fn fig9_monotonically_decreasing() {
+        let c = ClockModel::default();
+        for k in 1..10 {
+            assert!(c.mm_mhz(k) > c.mm_mhz(k + 1));
+        }
+    }
+
+    #[test]
+    fn table4_mm_clock_at_k8() {
+        let c = ClockModel::default();
+        let mhz = c.xd1_mm(8).mhz();
+        assert!((mhz - 130.0).abs() < 0.5, "got {mhz}");
+    }
+
+    #[test]
+    fn table_clocks() {
+        let c = ClockModel::default();
+        assert_eq!(c.tree_design().mhz(), 170.0);
+        assert_eq!(c.xd1_l2().mhz(), 164.0);
+    }
+
+    #[test]
+    fn clock_clamps_beyond_max_k() {
+        let c = ClockModel::default();
+        assert_eq!(c.mm_mhz(12), c.mm_mhz(10));
+    }
+}

@@ -1,0 +1,81 @@
+//! FPGA device sheets.
+//!
+//! The paper's experiments use the Xilinx Virtex-II Pro XC2VP50 (the device
+//! in Cray XD1 compute blades); §6.4 projects performance onto the larger
+//! XC2VP100. Both are "previous generation" parts even in 2005 — the paper
+//! stresses that its designs scale with whatever device is plugged in.
+
+/// Resources of one FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Logic capacity in slices.
+    pub slices: u32,
+    /// On-chip Block RAM in bits.
+    pub bram_bits: u64,
+    /// User I/O pins.
+    pub io_pins: u32,
+}
+
+/// Xilinx Virtex-II Pro XC2VP50: 23616 slices, ≈4 Mb BRAM, 852 I/O pins.
+pub const XC2VP50: FpgaDevice = FpgaDevice {
+    name: "Xilinx Virtex-II Pro XC2VP50",
+    slices: 23_616,
+    bram_bits: 4_096 * 1024,
+    io_pins: 852,
+};
+
+/// Xilinx Virtex-II Pro XC2VP100: 44096 slices, ≈8 Mb BRAM, 1164 I/O pins.
+pub const XC2VP100: FpgaDevice = FpgaDevice {
+    name: "Xilinx Virtex-II Pro XC2VP100",
+    slices: 44_096,
+    bram_bits: 8_192 * 1024,
+    io_pins: 1164,
+};
+
+impl FpgaDevice {
+    /// On-chip memory capacity in 64-bit words.
+    pub fn bram_words(&self) -> u64 {
+        self.bram_bits / 64
+    }
+
+    /// Fraction of the device a design of `slices` slices occupies.
+    pub fn occupancy(&self, slices: u32) -> f64 {
+        slices as f64 / self.slices as f64
+    }
+
+    /// Whether a design of `slices` slices fits.
+    pub fn fits(&self, slices: u32) -> bool {
+        slices <= self.slices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc2vp50_sheet() {
+        assert_eq!(XC2VP50.slices, 23_616);
+        assert_eq!(XC2VP50.io_pins, 852);
+        // ~4 Mb of BRAM holds 64K doubles — enough for two 128×128 blocks
+        // (2m² with m=128 is 32768 words), the §5.3 blocking choice.
+        assert!(XC2VP50.bram_words() >= 2 * 128 * 128);
+    }
+
+    #[test]
+    fn xc2vp100_roughly_doubles_vp50() {
+        assert!(XC2VP100.slices as f64 / XC2VP50.slices as f64 > 1.8);
+        assert_eq!(XC2VP100.bram_bits, 2 * XC2VP50.bram_bits);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        // Table 3: the Level-2 design uses 9669 slices = 41% of XC2VP50.
+        let occ = XC2VP50.occupancy(9669);
+        assert!((occ - 0.41).abs() < 0.01, "got {occ}");
+        assert!(XC2VP50.fits(9669));
+        assert!(!XC2VP50.fits(30_000));
+    }
+}

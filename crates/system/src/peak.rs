@@ -1,0 +1,74 @@
+//! Peak-performance calculators (paper §4.4 and §6.3).
+//!
+//! Level 1 and Level 2 BLAS are I/O bound: with unlimited compute their
+//! performance is capped by the rate at which operands arrive.
+//!
+//! * **Dot product** reads 2n words and performs 2n flops, so its peak is
+//!   `bw` FLOPS where `bw` is the memory bandwidth in *words per second*.
+//! * **Matrix-vector multiply** reads ≈n² words (the matrix; the vector is
+//!   reused from on-chip storage) and performs 2n² flops, so its peak is
+//!   `2·bw` FLOPS.
+//!
+//! Level 3 BLAS is compute bound; the §6.3 device peak assumes the fabric
+//! holds nothing but adder/multiplier pairs running flat out.
+
+use crate::area::AreaModel;
+use crate::device::FpgaDevice;
+use fblas_mem::WORD_BYTES;
+
+/// §4.4: peak FLOPS of any dot-product design under a memory bandwidth of
+/// `bandwidth_bytes_per_s` (one flop per word delivered).
+pub fn io_bound_peak_dot(bandwidth_bytes_per_s: f64) -> f64 {
+    bandwidth_bytes_per_s / WORD_BYTES as f64
+}
+
+/// §4.4: peak FLOPS of any matrix-vector design under a memory bandwidth
+/// of `bandwidth_bytes_per_s` (two flops per matrix word delivered).
+pub fn io_bound_peak_mvm(bandwidth_bytes_per_s: f64) -> f64 {
+    2.0 * bandwidth_bytes_per_s / WORD_BYTES as f64
+}
+
+/// §6.3: compute-bound peak of a device: `2 × (adder+multiplier pairs that
+/// fit) × unit clock`.
+pub fn device_peak_flops(device: &FpgaDevice, area: &AreaModel, unit_clock_mhz: f64) -> f64 {
+    2.0 * area.max_fp_pairs(device) as f64 * unit_clock_mhz * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::XC2VP50;
+
+    #[test]
+    fn dot_peak_at_table3_bandwidth() {
+        // Table 3: 5.5 GB/s → peak 687.5 MFLOPS; sustained 557 is 80 %.
+        let peak = io_bound_peak_dot(5.5e9);
+        assert!((peak / 1e6 - 687.5).abs() < 1.0, "got {peak}");
+        assert!((557e6 / peak - 0.80).abs() < 0.02);
+    }
+
+    #[test]
+    fn mvm_peak_at_table3_bandwidth() {
+        // Table 3: 5.6 GB/s → peak 1.4 GFLOPS; sustained 1355 is ~97 %.
+        let peak = io_bound_peak_mvm(5.6e9);
+        assert!((peak / 1e9 - 1.4).abs() < 0.01, "got {peak}");
+        assert!((1355e6 / peak - 0.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn mvm_peak_at_dram_bandwidth() {
+        // §6.2: 1.3 GB/s DRAM → 325 MFLOPS peak; sustained 262 is 80.6 %.
+        let peak = io_bound_peak_mvm(1.3e9);
+        assert!((peak / 1e6 - 325.0).abs() < 0.5, "got {peak}");
+        assert!((262e6 / peak - 0.806).abs() < 0.01);
+    }
+
+    #[test]
+    fn device_peak_is_4_42_gflops() {
+        let peak = device_peak_flops(&XC2VP50, &AreaModel::default(), 170.0);
+        assert!((peak / 1e9 - 4.42).abs() < 0.01, "got {peak}");
+        // Table 4: the MM design sustains 2.06 GFLOPS, a bit under 50 %.
+        let frac = 2.06e9 / peak;
+        assert!((frac - 0.466).abs() < 0.01, "got {frac}");
+    }
+}

@@ -1,0 +1,79 @@
+//! SRC MAPstation platform model (paper §3.1.1, Figure 3).
+//!
+//! A MAPstation pairs an Intel microprocessor with a *MAP processor*: two
+//! user FPGAs plus an FPGA-based controller, each user FPGA with six banks
+//! of on-board SRAM. It appears in the paper as the second column of
+//! Table 1 and as evidence that the computational model of §3.2
+//! generalizes beyond XD1.
+
+use fblas_mem::MemoryHierarchy;
+
+/// The SRC MAPstation as seen from one MAP processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrcMapStation {
+    /// User FPGAs per MAP processor.
+    pub fpgas: usize,
+    /// SRAM banks per user FPGA.
+    pub sram_banks_per_fpga: usize,
+    /// The Table 1 memory hierarchy.
+    pub mem: MemoryHierarchy,
+    /// SRAM→FPGA read bandwidth (Table 1 Level B: 4.8 GB/s).
+    pub sram_read_bytes_per_s: f64,
+}
+
+impl Default for SrcMapStation {
+    fn default() -> Self {
+        let mem = MemoryHierarchy::src_mapstation();
+        Self {
+            fpgas: 2,
+            sram_banks_per_fpga: 6,
+            sram_read_bytes_per_s: mem.b.bandwidth_bytes_per_s,
+            mem,
+        }
+    }
+}
+
+impl SrcMapStation {
+    /// Total SRAM words available to the MAP processor.
+    pub fn sram_words(&self) -> u64 {
+        self.mem.b.capacity_words()
+    }
+
+    /// Words per cycle the SRAM read path sustains at `clock_mhz`.
+    ///
+    /// At 170 MHz this is ≈3.5 words/cycle: the SRC platform supports a
+    /// k = 2 tree design at full rate but not k = 4 — the kind of
+    /// platform-driven k selection §4.4 describes for XD1.
+    pub fn sram_words_per_cycle(&self, clock_mhz: f64) -> f64 {
+        self.sram_read_bytes_per_s / 8.0 / (clock_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let s = SrcMapStation::default();
+        assert_eq!(s.fpgas, 2);
+        assert_eq!(s.sram_banks_per_fpga, 6);
+        assert_eq!(s.mem.platform, "SRC MAPstation");
+        assert_eq!(s.sram_words(), 3 * 1024 * 1024);
+    }
+
+    #[test]
+    fn hierarchy_is_well_formed() {
+        assert!(SrcMapStation::default().mem.is_well_formed());
+    }
+
+    #[test]
+    fn sram_rate_supports_k2_not_k4() {
+        let s = SrcMapStation::default();
+        let wpc = s.sram_words_per_cycle(170.0);
+        assert!((wpc - 3.53).abs() < 0.01, "got {wpc}");
+        // k = 2 dot product needs 2k = 4 > 3.5: even k = 2 dot is
+        // DRAM-starved on SRC, but k = 2 MvM (2 words/cycle) fits.
+        assert!(wpc > 2.0 && wpc < 4.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Cray XD1 platform topology (paper §3.1.2, Figure 2).
+//!
+//! * A **compute blade** pairs two AMD Opterons with one Virtex-II Pro
+//!   FPGA; the FPGA owns four QDR-II SRAM banks and reaches the Opterons'
+//!   DRAM through the RapidArray processors.
+//! * A **chassis** holds six blades; their FPGAs form a circular array
+//!   over RocketI/O multi-gigabit transceivers.
+//! * A typical **installation** connects twelve chassis through RapidArray
+//!   external switches with 4 GB/s inter-chassis links.
+
+use crate::device::{FpgaDevice, XC2VP50};
+use fblas_mem::{DmaModel, MemoryHierarchy};
+
+/// One XD1 compute blade as seen from the FPGA design.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_system::Xd1Node;
+///
+/// let node = Xd1Node::default();
+/// assert_eq!(node.sram_banks, 4);
+/// // §6.2: 16 MB of SRAM bounds square matrices at n ≈ √2·1024.
+/// assert_eq!(node.max_square_n_in_sram(), 1448);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xd1Node {
+    /// The FPGA on the blade.
+    pub device: FpgaDevice,
+    /// The Table 1 memory hierarchy visible to that FPGA.
+    pub mem: MemoryHierarchy,
+    /// Number of QDR-II SRAM banks attached to the FPGA.
+    pub sram_banks: usize,
+    /// Maximum SRAM→FPGA read bandwidth (§4.4: 6.4 GB/s; the 12.8 GB/s in
+    /// Table 1 counts both directions of the QDR interface).
+    pub sram_read_bytes_per_s: f64,
+    /// The DRAM path as achieved in the paper's experiments (1.3 GB/s).
+    pub dram: DmaModel,
+}
+
+impl Default for Xd1Node {
+    fn default() -> Self {
+        Self {
+            device: XC2VP50,
+            mem: MemoryHierarchy::cray_xd1(),
+            sram_banks: 4,
+            sram_read_bytes_per_s: 6.4e9,
+            dram: DmaModel::xd1_dram(),
+        }
+    }
+}
+
+impl Xd1Node {
+    /// Total SRAM capacity attached to this FPGA, in 64-bit words.
+    pub fn sram_words(&self) -> u64 {
+        self.mem.b.capacity_words()
+    }
+
+    /// Largest square matrix (n×n doubles) that fits in this node's SRAM.
+    ///
+    /// §6.2: with 16 MB of SRAM, n can be at most √2 × 1024 ≈ 1448.
+    pub fn max_square_n_in_sram(&self) -> u64 {
+        (self.sram_words() as f64).sqrt() as u64
+    }
+
+    /// Words per cycle the SRAM read path sustains at `clock_mhz`.
+    pub fn sram_words_per_cycle(&self, clock_mhz: f64) -> f64 {
+        self.sram_read_bytes_per_s / 8.0 / (clock_mhz * 1e6)
+    }
+}
+
+/// One XD1 chassis: six blades, FPGAs in a RocketI/O ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xd1Chassis {
+    /// The (identical) blades.
+    pub node: Xd1Node,
+    /// Blades per chassis.
+    pub n_fpgas: usize,
+    /// Bandwidth of one inter-FPGA RocketI/O link in bytes/s. The paper
+    /// only requires that it exceed the design's 73.1 MB/s demand; XD1's
+    /// MGTs provide on the order of 2 GB/s per FPGA-to-FPGA hop.
+    pub inter_fpga_bytes_per_s: f64,
+}
+
+impl Default for Xd1Chassis {
+    fn default() -> Self {
+        Self {
+            node: Xd1Node::default(),
+            n_fpgas: 6,
+            inter_fpga_bytes_per_s: 2.0e9,
+        }
+    }
+}
+
+impl Xd1Chassis {
+    /// Total SRAM words across the chassis — the `2b²` budget of the §5.2
+    /// hierarchical matrix multiplier.
+    pub fn total_sram_words(&self) -> u64 {
+        self.node.sram_words() * self.n_fpgas as u64
+    }
+
+    /// Largest SRAM block size b with 2b² ≤ total SRAM (§6.4.1: b = 2048).
+    pub fn max_b(&self) -> u64 {
+        // Largest power of two whose 2b² fits, matching the paper's choice.
+        let mut b = 1u64;
+        while 2 * (b * 2) * (b * 2) <= self.total_sram_words() {
+            b *= 2;
+        }
+        b
+    }
+}
+
+/// A full XD1 installation: several chassis over RapidArray switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xd1System {
+    /// The (identical) chassis.
+    pub chassis: Xd1Chassis,
+    /// Number of chassis (typical installation: 12).
+    pub n_chassis: usize,
+    /// Inter-chassis link bandwidth (§6.4.2: 4 GB/s).
+    pub inter_chassis_bytes_per_s: f64,
+}
+
+impl Default for Xd1System {
+    fn default() -> Self {
+        Self {
+            chassis: Xd1Chassis::default(),
+            n_chassis: 12,
+            inter_chassis_bytes_per_s: 4.0e9,
+        }
+    }
+}
+
+impl Xd1System {
+    /// Total FPGAs in the installation (§6.4.2: l = 72).
+    pub fn total_fpgas(&self) -> usize {
+        self.chassis.n_fpgas * self.n_chassis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_defaults_match_paper() {
+        let n = Xd1Node::default();
+        assert_eq!(n.sram_banks, 4);
+        assert_eq!(n.device.slices, 23_616);
+        assert_eq!(n.sram_words(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn max_square_matrix_in_sram() {
+        // §6.2: n at most √2 × 1024 ≈ 1448.
+        let n = Xd1Node::default();
+        assert_eq!(n.max_square_n_in_sram(), 1448);
+    }
+
+    #[test]
+    fn sram_words_per_cycle_at_170mhz() {
+        // 6.4 GB/s at 170 MHz ≈ 4.7 words/cycle: k=4 matrix words plus the
+        // result stream fit, k=8 would not — the Table 3 design choice.
+        let n = Xd1Node::default();
+        let wpc = n.sram_words_per_cycle(170.0);
+        assert!((wpc - 4.7).abs() < 0.01, "got {wpc}");
+    }
+
+    #[test]
+    fn chassis_sram_budget_gives_b_2048() {
+        // §6.4.1: 96 MB of chassis SRAM ⇒ b = 2048 (2b² = 8M words ≤ 12M).
+        let c = Xd1Chassis::default();
+        assert_eq!(c.total_sram_words(), 12 * 1024 * 1024);
+        assert_eq!(c.max_b(), 2048);
+    }
+
+    #[test]
+    fn installation_has_72_fpgas() {
+        assert_eq!(Xd1System::default().total_fpgas(), 72);
+    }
+
+    #[test]
+    fn interconnect_meets_design_demands() {
+        // §6.4: the design needs 73.1 MB/s between FPGAs and 877.5 MB/s
+        // between chassis; both links have headroom.
+        let s = Xd1System::default();
+        assert!(s.chassis.inter_fpga_bytes_per_s > 73.1e6);
+        assert!(s.inter_chassis_bytes_per_s > 877.5e6);
+    }
+}

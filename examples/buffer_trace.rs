@@ -1,0 +1,96 @@
+//! Visualize the reduction circuit's buffer occupancy cycle by cycle, as
+//! an ASCII trace: the paper's 2α² bound in action.
+//!
+//! ```sh
+//! cargo run --release --example buffer_trace
+//! ```
+
+use fpga_blas::blas::reduce::{ReduceInput, Reducer, SingleAdderReducer};
+
+const ALPHA: usize = 14;
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(series: &[usize], max: usize) -> String {
+    series
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK[0]
+            } else {
+                SPARK[(v * (SPARK.len() - 1)).div_ceil(max).min(SPARK.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn trace(title: &str, sizes: &[usize]) {
+    let sets: Vec<Vec<f64>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (0..s).map(|j| ((i + j) % 8) as f64).collect())
+        .collect();
+    let mut inputs: Vec<ReduceInput> = sets
+        .iter()
+        .enumerate()
+        .flat_map(|(id, s)| {
+            let n = s.len();
+            s.iter()
+                .enumerate()
+                .map(move |(j, &value)| ReduceInput {
+                    set_id: id as u64,
+                    value,
+                    last: j + 1 == n,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    inputs.reverse();
+
+    let mut r = SingleAdderReducer::new(ALPHA);
+    let mut series = Vec::new();
+    let mut done = 0;
+    while done < sets.len() {
+        if r.tick(inputs.pop()).is_some() {
+            done += 1;
+        }
+        series.push(r.buffered_words());
+    }
+
+    // Downsample to an 80-column terminal line.
+    let bucket = series.len().div_ceil(80).max(1);
+    let sampled: Vec<usize> = series
+        .chunks(bucket)
+        .map(|c| *c.iter().max().expect("non-empty chunk"))
+        .collect();
+    let peak = *series.iter().max().expect("non-empty series");
+
+    println!("\n{title}");
+    println!(
+        "  {} cycles, peak occupancy {peak} of the 2α² = {} budget",
+        series.len(),
+        2 * ALPHA * ALPHA
+    );
+    println!("  {}", sparkline(&sampled, peak.max(1)));
+}
+
+fn main() {
+    println!("Reduction-circuit buffer occupancy (α = {ALPHA}, one char ≈ many cycles)");
+
+    trace("Workload A: 32 uniform sets of 64 (matrix-vector rows)", &vec![64; 32]);
+    trace(
+        "Workload B: alternating tiny and large sets (1, 173, 1, 173, …)",
+        &(0..24).map(|i| if i % 2 == 0 { 1 } else { 173 }).collect::<Vec<_>>(),
+    );
+    trace(
+        "Workload C: geometric sizes 1,2,4,…,256 then back down",
+        &(0..9)
+            .map(|i| 1usize << i)
+            .chain((0..9).rev().map(|i| 1usize << i))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nThe buffer breathes with set boundaries but never approaches the 2α² = {} \
+         provisioning the paper proves sufficient.",
+        2 * ALPHA * ALPHA
+    );
+}

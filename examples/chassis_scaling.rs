@@ -1,0 +1,69 @@
+//! Scale the matrix multiplier from one FPGA to a full XD1 installation
+//! (§5.2 / §6.4): the linear array grows, the SRAM blocking absorbs the
+//! bandwidth, and sustained performance scales with l.
+//!
+//! ```sh
+//! cargo run --release --example chassis_scaling
+//! ```
+
+use fpga_blas::blas::mm::{ref_matmul, HierarchicalMm, HierarchicalParams, MmParams};
+use fpga_blas::blas::mvm::DenseMatrix;
+use fpga_blas::system::projection::scaled_sustained_gflops;
+use fpga_blas::system::{Xd1Chassis, Xd1Node, Xd1System};
+
+fn main() {
+    let node = Xd1Node::default();
+    let chassis = Xd1Chassis::default();
+    let system = Xd1System::default();
+
+    // Functional scaling demo at a simulation-friendly size: the same
+    // multiply on 1, 2 and 6 FPGAs.
+    let n = 192usize;
+    let a = DenseMatrix::from_fn(n, n, |i, j| ((i * 5 + j) % 4) as f64);
+    let b = DenseMatrix::from_fn(n, n, |i, j| ((i + j * 7) % 4) as f64);
+    let expect = ref_matmul(&a, &b);
+
+    println!("Functional scaling, n = {n}, k = m = 8, b = 96:");
+    let mut baseline = 0u64;
+    for l in [1usize, 2, 6] {
+        let mm = HierarchicalMm::new(HierarchicalParams {
+            mm: MmParams::table4(),
+            l,
+            b: 96,
+        });
+        let out = mm.run(&a, &b);
+        assert_eq!(out.c.as_slice(), expect.as_slice());
+        if l == 1 {
+            baseline = out.report.cycles;
+        }
+        println!(
+            "  l = {l}: {:>9} cycles ({:.2}× vs one FPGA), fill penalty {} cycles, \
+             SRAM {:>7} words/FPGA",
+            out.report.cycles,
+            baseline as f64 / out.report.cycles as f64,
+            out.fill_penalty_cycles,
+            out.sram_words_per_fpga,
+        );
+    }
+
+    // Platform-level predictions at the paper's operating point.
+    println!("\nXD1 predictions at the Table-4 operating point (2.06 GFLOPS per FPGA):");
+    for (name, l, b) in [
+        ("one compute blade", 1usize, 512usize),
+        ("one chassis (6 FPGAs)", chassis.n_fpgas, 2048),
+        ("12-chassis installation", system.total_fpgas(), 2048),
+    ] {
+        let mm = HierarchicalMm::new(HierarchicalParams {
+            mm: MmParams::table4(),
+            l,
+            b,
+        });
+        let fits = mm.check_platform(&node, &chassis).is_ok();
+        println!(
+            "  {name:<24}: {:6.1} GFLOPS sustained, bandwidth check: {}",
+            scaled_sustained_gflops(2.06, l),
+            if fits { "met by XD1" } else { "EXCEEDED" }
+        );
+    }
+    println!("\nPaper predictions: 2.06 → 12.4 → 148.3 GFLOPS.");
+}

@@ -1,0 +1,62 @@
+//! The reduction circuit at work: accumulate many floating-point sets of
+//! arbitrary size on ONE pipelined adder without ever stalling the input.
+//!
+//! ```sh
+//! cargo run --release --example reduction_circuit
+//! ```
+
+use fpga_blas::blas::reduce::{
+    run_sets, NiHwangReducer, Reducer, SingleAdderReducer, StallingReducer,
+};
+
+fn main() {
+    // A stream of 60 sets with wildly varying sizes (1 .. 173), like the
+    // rows of an irregular sparse matrix.
+    let sizes: Vec<usize> = (0..60).map(|i| 1 + (i * i * 7 + 13) % 173).collect();
+    let sets: Vec<Vec<f64>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (0..s).map(|j| ((i + j * 3) % 32) as f64).collect())
+        .collect();
+    let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let alpha = 14;
+
+    println!("Workload: {} sets, {} values, sizes {}..{}", sets.len(), total,
+        sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    println!("Adder pipeline depth α = {alpha}\n");
+
+    let mut proposed = SingleAdderReducer::new(alpha);
+    let run = run_sets(&mut proposed, &sets);
+    println!("Proposed single-adder circuit (§4.3):");
+    println!("  total cycles : {} (bound Σsᵢ + 2α² = {})", run.total_cycles, total + 392);
+    println!("  input stalls : {} — the headline property", run.stall_cycles);
+    println!("  buffer peak  : {} words of the 2α² = {} budget", run.buffer_high_water, 2 * alpha * alpha);
+    println!("  adders used  : {}\n", proposed.adders());
+
+    let mut ni = NiHwangReducer::new(alpha);
+    let ni_run = run_sets(&mut ni, &sets);
+    println!("Ni–Hwang single-adder method [21] (stalls between sets):");
+    println!("  total cycles : {}", ni_run.total_cycles);
+    println!("  input stalls : {}\n", ni_run.stall_cycles);
+
+    let mut stalling = StallingReducer::new(alpha);
+    let st_run = run_sets(&mut stalling, &sets);
+    println!("Naive stalling accumulator:");
+    println!("  total cycles : {} (~α per input)", st_run.total_cycles);
+    println!("  input stalls : {}\n", st_run.stall_cycles);
+
+    // Every circuit computes the same exact sums (integer values sum
+    // exactly under any association).
+    let reference: Vec<f64> = sets.iter().map(|s| s.iter().sum()).collect();
+    for r in [&run, &ni_run, &st_run] {
+        for ev in &r.results {
+            assert_eq!(ev.value, reference[ev.set_id as usize]);
+        }
+    }
+    println!(
+        "All circuits agree with the reference sums; the proposed circuit is {:.1}× \
+         faster than the stalling baseline and {:.1}× faster than Ni–Hwang, using one adder.",
+        st_run.total_cycles as f64 / run.total_cycles as f64,
+        ni_run.total_cycles as f64 / run.total_cycles as f64,
+    );
+}

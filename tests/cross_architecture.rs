@@ -1,0 +1,115 @@
+//! Cross-crate consistency: every architecture agrees with every other
+//! and with the software oracles, bit for bit on exactly-summable data.
+
+use fpga_blas::blas::dot::{DotParams, DotProductDesign};
+use fpga_blas::blas::mm::{ref_matmul, HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams};
+use fpga_blas::blas::mvm::{
+    BlockedColMajorMvm, BlockedRowMajorMvm, ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm,
+};
+use fpga_blas::sparse::{CsrMatrix, SpmvDesign, SpmvParams};
+use fpga_blas::sw;
+
+fn int_vec(seed: usize, n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 7 + seed * 3 + 1) % 8) as f64).collect()
+}
+
+#[test]
+fn dot_design_matches_software_baselines() {
+    for n in [1usize, 2, 17, 256, 1000] {
+        let u = int_vec(1, n);
+        let v = int_vec(2, n);
+        let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0).run(&u, &v);
+        assert_eq!(d.result, sw::dot_naive(&u, &v), "n = {n}");
+        assert_eq!(d.result, sw::dot_unrolled(&u, &v), "n = {n}");
+    }
+}
+
+#[test]
+fn mvm_architectures_agree_with_each_other_and_software() {
+    let n = 128usize;
+    let a = DenseMatrix::from_rows(n, n, int_vec(3, n * n));
+    let x = int_vec(4, n);
+    let row = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+    let col = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+    let oracle = sw::gemv_naive(a.as_slice(), n, n, &x);
+    assert_eq!(row.y, oracle);
+    assert_eq!(col.y, oracle);
+    assert_eq!(row.y, col.y);
+}
+
+#[test]
+fn blocked_mvm_agrees_with_unblocked_and_software() {
+    let n = 96usize;
+    let a = DenseMatrix::from_rows(n, n, int_vec(5, n * n));
+    let x = int_vec(6, n);
+    let oracle = sw::gemv_blocked(a.as_slice(), n, n, &x, 32);
+
+    let row_engine = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+    let blocked_row = BlockedRowMajorMvm::new(row_engine, 24).run(&a, &x);
+    assert_eq!(blocked_row.y, oracle);
+
+    let col_engine = ColMajorMvm::standalone(MvmParams::with_k(2), 170.0);
+    let blocked_col = BlockedColMajorMvm::new(col_engine, 48).run(&a, &x);
+    assert_eq!(blocked_col.y, oracle);
+}
+
+#[test]
+fn mm_designs_agree_with_software_gemm() {
+    let n = 64usize;
+    let a = DenseMatrix::from_rows(n, n, int_vec(7, n * n));
+    let b = DenseMatrix::from_rows(n, n, int_vec(8, n * n));
+    let oracle = sw::gemm_blocked(a.as_slice(), b.as_slice(), n, 16);
+
+    let la = LinearArrayMm::new(MmParams::test(4, 16)).run(&a, &b);
+    assert_eq!(la.c.as_slice(), &oracle[..]);
+
+    let h = HierarchicalMm::new(HierarchicalParams::test(4, 16, 2, 32)).run(&a, &b);
+    assert_eq!(h.c.as_slice(), &oracle[..]);
+
+    let par = sw::gemm_parallel(a.as_slice(), b.as_slice(), n, 16, 4);
+    assert_eq!(par, oracle);
+}
+
+#[test]
+fn spmv_on_a_dense_matrix_matches_dense_mvm() {
+    // A dense matrix expressed in CRS must give the dense designs' answer.
+    let n = 64usize;
+    let data = int_vec(9, n * n);
+    // Shift values to 1..8 so nothing is dropped as an explicit zero.
+    let data: Vec<f64> = data.iter().map(|v| v + 1.0).collect();
+    let a_dense = DenseMatrix::from_rows(n, n, data.clone());
+    let a_csr = CsrMatrix::from_dense(&data, n, n);
+    let x = int_vec(10, n);
+
+    let dense = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a_dense, &x);
+    let sparse = SpmvDesign::new(SpmvParams::with_k(4)).run(&a_csr, &x);
+    assert_eq!(dense.y, sparse.y);
+}
+
+#[test]
+fn mm_composed_from_mvm_columns() {
+    // C's columns are A·(columns of B): the Level-3 design must agree
+    // with n runs of the Level-2 design.
+    let n = 32usize;
+    let a = DenseMatrix::from_rows(n, n, int_vec(11, n * n));
+    let b = DenseMatrix::from_rows(n, n, int_vec(12, n * n));
+    let mm = LinearArrayMm::new(MmParams::test(4, 16)).run(&a, &b);
+    let mvm = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+    for j in 0..n {
+        let col: Vec<f64> = (0..n).map(|q| b.at(q, j)).collect();
+        let y = mvm.run(&a, &col).y;
+        for (i, yi) in y.iter().enumerate() {
+            assert_eq!(mm.c.at(i, j), *yi, "C[{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn reference_oracles_agree_among_themselves() {
+    let n = 48usize;
+    let a = DenseMatrix::from_rows(n, n, int_vec(13, n * n));
+    let b = DenseMatrix::from_rows(n, n, int_vec(14, n * n));
+    let m1 = ref_matmul(&a, &b);
+    let m2 = sw::gemm_naive(a.as_slice(), b.as_slice(), n);
+    assert_eq!(m1.as_slice(), &m2[..]);
+}

@@ -1,0 +1,153 @@
+//! Failure-injection tests: the models must reject misuse loudly rather
+//! than silently produce wrong hardware claims.
+
+use fpga_blas::blas::dot::{DotParams, DotProductDesign};
+use fpga_blas::blas::mm::{BlockEngine, HazardPolicy, HierarchicalMm, HierarchicalParams, MmParams};
+use fpga_blas::blas::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use fpga_blas::blas::reduce::{ReduceInput, Reducer, SingleAdderReducer, StallingReducer};
+use fpga_blas::mem::LocalStore;
+use fpga_blas::sim::Fifo;
+use fpga_blas::system::Xd1Node;
+use std::panic::catch_unwind;
+
+#[test]
+fn bandwidth_overdemand_rejected_at_construction() {
+    // k = 8 dot product demands 16 words/cycle; XD1's SRAM read path
+    // supplies ~4.7 at 170 MHz.
+    let r = catch_unwind(|| DotProductDesign::new(DotParams::with_k(8), &Xd1Node::default()));
+    assert!(r.is_err());
+    let r = catch_unwind(|| RowMajorMvm::new(MvmParams::with_k(8), &Xd1Node::default()));
+    assert!(r.is_err());
+}
+
+#[test]
+fn mm_hazard_enforcement_fires_in_simulation() {
+    // m²/k = 16 passes the static α = 14 check if stages were smaller,
+    // so force a configuration where the *simulation* must catch it: the
+    // static check uses α, and the cycle-level in-flight tracking agrees.
+    let mut p = MmParams::test(4, 8); // m²/k = 16 ≥ 14 would be fine...
+    p.adder_stages = 20; // ...but not with a 20-stage adder
+    p.hazard_policy = HazardPolicy::Enforce;
+    let r = catch_unwind(|| {
+        let a = DenseMatrix::from_fn(8, 8, |i, j| (i + j) as f64);
+        let b = DenseMatrix::from_fn(8, 8, |i, j| (i * j % 3) as f64);
+        let mut c = vec![0.0; 64];
+        BlockEngine::new(p).multiply_accumulate(&a, &b, &mut c)
+    });
+    assert!(r.is_err(), "static or dynamic hazard check must fire");
+}
+
+#[test]
+fn col_major_hazard_condition_rejected() {
+    // rows/k = 4 < α = 14.
+    let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+    let a = DenseMatrix::from_fn(16, 16, |i, j| (i + j) as f64);
+    let x = vec![1.0; 16];
+    assert!(catch_unwind(|| d.run(&a, &x)).is_err());
+}
+
+#[test]
+fn local_store_capacity_violation_panics() {
+    let mut s = LocalStore::new("c-prime", 16);
+    assert!(catch_unwind(move || s.write(16, 1.0)).is_err());
+}
+
+#[test]
+fn fifo_overflow_panics() {
+    let mut f: Fifo<u8> = Fifo::new(2);
+    f.push(1);
+    f.push(2);
+    assert!(catch_unwind(move || f.push(3)).is_err());
+}
+
+#[test]
+fn reducer_rejects_interleaved_sets() {
+    // Sets must be delivered sequentially; interleaving two open sets is
+    // a protocol violation the circuit detects.
+    let mut r = SingleAdderReducer::new(4);
+    r.tick(Some(ReduceInput {
+        set_id: 0,
+        value: 1.0,
+        last: false,
+    }));
+    let res = catch_unwind(move || {
+        r.tick(Some(ReduceInput {
+            set_id: 1,
+            value: 2.0,
+            last: false,
+        }))
+    });
+    assert!(res.is_err(), "interleaved sets must be rejected");
+}
+
+#[test]
+fn stalling_reducer_rejects_input_while_busy() {
+    let mut r = StallingReducer::new(8);
+    r.tick(Some(ReduceInput {
+        set_id: 0,
+        value: 1.0,
+        last: false,
+    }));
+    r.tick(Some(ReduceInput {
+        set_id: 0,
+        value: 2.0,
+        last: false,
+    })); // issues the add; now busy
+    assert!(!r.ready());
+    let res = catch_unwind(move || {
+        r.tick(Some(ReduceInput {
+            set_id: 0,
+            value: 3.0,
+            last: false,
+        }))
+    });
+    assert!(res.is_err(), "driver violating ready() must be caught");
+}
+
+#[test]
+fn reducer_rejects_empty_sets() {
+    use fpga_blas::blas::reduce::run_sets;
+    let mut r = SingleAdderReducer::new(4);
+    let sets: Vec<Vec<f64>> = vec![vec![1.0], vec![]];
+    assert!(catch_unwind(move || run_sets(&mut r, &sets)).is_err());
+}
+
+#[test]
+fn hierarchical_sram_overcommit_reported_not_panicked() {
+    // Platform checks are Results, not panics: callers decide.
+    let mut p = HierarchicalParams::xd1_single_node();
+    p.b = 2048;
+    let mm = HierarchicalMm::new(p);
+    let err = mm
+        .check_platform(&Xd1Node::default(), &Default::default())
+        .unwrap_err();
+    assert!(err.contains("SRAM"), "got: {err}");
+}
+
+#[test]
+fn shape_mismatches_rejected_everywhere() {
+    let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+    assert!(catch_unwind(|| d.run(&[1.0, 2.0], &[1.0])).is_err());
+
+    let m = RowMajorMvm::standalone(MvmParams::with_k(2), 170.0);
+    let a = DenseMatrix::from_fn(4, 4, |_, _| 1.0);
+    assert!(catch_unwind(|| m.run(&a, &[1.0; 3])).is_err());
+
+    assert!(catch_unwind(|| DenseMatrix::from_rows(2, 3, vec![0.0; 5])).is_err());
+}
+
+#[test]
+fn mm_shape_constraints_rejected() {
+    let (a, b) = (
+        DenseMatrix::from_fn(24, 24, |_, _| 1.0),
+        DenseMatrix::from_fn(24, 24, |_, _| 1.0),
+    );
+    // n = 24 is not a multiple of m = 16.
+    let mm = fpga_blas::blas::mm::LinearArrayMm::new(MmParams::test(4, 16));
+    assert!(catch_unwind(|| mm.run(&a, &b)).is_err());
+    // m not a multiple of k.
+    assert!(catch_unwind(|| MmParams::test(3, 16)).is_ok()); // 16 % 3 != 0 → engine rejects
+    assert!(
+        catch_unwind(|| fpga_blas::blas::mm::BlockEngine::new(MmParams::test(3, 16))).is_err()
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based integration tests for the Level-1 streaming designs
+//! and the sparse extension, against plain-Rust oracles.
+
+use fpga_blas::blas::level1::{AsumDesign, AxpyDesign, Level1Params, ScalDesign};
+use fpga_blas::sparse::{CsrMatrix, SpmvDesign, SpmvParams};
+use proptest::prelude::*;
+
+fn finite_vals(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn axpy_bit_exact_vs_oracle(x in finite_vals(1..200), a in -100.0f64..100.0) {
+        // axpy performs one independent mul+add per element: no
+        // re-association, so the design must match the oracle bit for bit
+        // even on arbitrary data.
+        let y: Vec<f64> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+        let out = AxpyDesign::new(Level1Params::with_k(4)).run(a, &x, &y);
+        for (i, (got, (xi, yi))) in out.result.iter().zip(x.iter().zip(&y)).enumerate() {
+            let want = a.mul_add(*xi, 0.0); // compute as two ops, not FMA
+            let want = want + yi;
+            let plain = a * xi + yi;
+            prop_assert_eq!(got.to_bits(), plain.to_bits(), "i = {}; fma {}", i, want);
+        }
+    }
+
+    #[test]
+    fn scal_bit_exact_vs_oracle(x in finite_vals(1..200), a in -100.0f64..100.0) {
+        let out = ScalDesign::new(Level1Params::with_k(2)).run(a, &x);
+        for (got, xi) in out.result.iter().zip(&x) {
+            prop_assert_eq!(got.to_bits(), (a * xi).to_bits());
+        }
+    }
+
+    #[test]
+    fn asum_within_summation_bound(x in finite_vals(1..300)) {
+        let out = AsumDesign::new(Level1Params::with_k(4)).run(&x);
+        let reference: f64 = x.iter().map(|v| v.abs()).sum();
+        let bound = (x.len() as f64 + 8.0) * f64::EPSILON * reference;
+        prop_assert!((out.result - reference).abs() <= bound);
+        prop_assert!(out.result >= 0.0);
+    }
+
+    #[test]
+    fn spmv_exact_on_integer_sparse(seed in 0u64..500, n in 8usize..80) {
+        // Random sparsity pattern with integer values: exact agreement.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut trip = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if next() % 5 == 0 {
+                    trip.push((i, j, (next() % 8) as f64));
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trip);
+        let x: Vec<f64> = (0..n).map(|j| ((j * 3 + 1) % 8) as f64).collect();
+        let out = SpmvDesign::new(SpmvParams::with_k(4)).run(&a, &x);
+        prop_assert_eq!(out.y, a.ref_spmv(&x));
+    }
+
+    #[test]
+    fn spmv_cycles_track_nnz(seed in 0u64..100) {
+        // Doubling the density roughly doubles the cycle count: the
+        // design is nnz-bound, not n²-bound.
+        let n = 96usize;
+        let sparse = fblas_workload(seed, n, 10);
+        let dense = fblas_workload(seed + 1, n, 5);
+        let x = vec![1.0; n];
+        let d = SpmvDesign::new(SpmvParams::with_k(4));
+        let s_out = d.run(&sparse, &x);
+        let d_out = d.run(&dense, &x);
+        let ratio = d_out.report.cycles as f64 / s_out.report.cycles as f64;
+        let nnz_ratio = dense.nnz() as f64 / sparse.nnz() as f64;
+        prop_assert!(
+            (ratio / nnz_ratio - 1.0).abs() < 0.6,
+            "cycle ratio {ratio} vs nnz ratio {nnz_ratio}"
+        );
+    }
+}
+
+/// Sparse matrix where ~1/`inv_density` of entries are populated.
+fn fblas_workload(seed: u64, n: usize, inv_density: u64) -> CsrMatrix {
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut trip = Vec::new();
+    for i in 0..n {
+        // Guarantee at least the diagonal so no row is empty.
+        trip.push((i, i, 1.0));
+        for j in 0..n {
+            if next() % inv_density == 0 {
+                trip.push((i, j, (next() % 8) as f64));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &trip)
+}
+
+#[test]
+fn nrm2_of_unit_basis_vector() {
+    use fpga_blas::blas::level1::{nrm2, nrm2_design};
+    let mut e = vec![0.0; 64];
+    e[17] = -1.0;
+    let (norm, _) = nrm2(&nrm2_design(2), &e);
+    assert_eq!(norm, 1.0);
+}
+
+#[test]
+fn asum_empty_is_rejected() {
+    let r = std::panic::catch_unwind(|| AsumDesign::new(Level1Params::with_k(2)).run(&[]));
+    assert!(r.is_err());
+}

@@ -1,0 +1,133 @@
+//! Numerical behaviour of the architecture simulations on *non-integer*
+//! data: the designs re-associate additions, so results may differ from
+//! the naive sequential reference by rounding — but only within a bound
+//! proportional to the condition of the sum, and identically across runs
+//! (the schedules are deterministic).
+
+use fpga_blas::blas::dot::{DotParams, DotProductDesign};
+use fpga_blas::blas::mm::{LinearArrayMm, MmParams};
+use fpga_blas::blas::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use proptest::prelude::*;
+
+fn val_strategy() -> impl Strategy<Value = f64> {
+    // Moderate-magnitude finite values; avoids overflow in products.
+    (-1e6f64..1e6).prop_filter("nonzero magnitude spread", |v| v.is_finite())
+}
+
+/// |simulated − reference| must be bounded by n·ε·Σ|terms|.
+fn summation_bound(terms_abs_sum: f64, n: usize) -> f64 {
+    (n as f64 + 8.0) * f64::EPSILON * terms_abs_sum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dot_product_error_within_summation_bound(
+        pairs in prop::collection::vec((val_strategy(), val_strategy()), 1..300)
+    ) {
+        let u: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let v: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0).run(&u, &v);
+        let reference: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
+        let abs_sum: f64 = u.iter().zip(&v).map(|(a, b)| (a * b).abs()).sum();
+        let bound = summation_bound(abs_sum, u.len());
+        prop_assert!(
+            (d.result - reference).abs() <= bound,
+            "dot {} vs ref {} (bound {bound})",
+            d.result,
+            reference
+        );
+    }
+
+    #[test]
+    fn dot_product_is_deterministic(
+        pairs in prop::collection::vec((val_strategy(), val_strategy()), 1..100)
+    ) {
+        let u: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let v: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let design = DotProductDesign::standalone(DotParams::with_k(4), 170.0);
+        let r1 = design.run(&u, &v);
+        let r2 = design.run(&u, &v);
+        prop_assert_eq!(r1.result.to_bits(), r2.result.to_bits());
+        prop_assert_eq!(r1.report.cycles, r2.report.cycles);
+    }
+
+    #[test]
+    fn mvm_error_within_row_bounds(seed in 0u64..1000) {
+        let n = 64usize;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let a = DenseMatrix::from_fn(n, n, |_, _| next());
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let out = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+        for i in 0..n {
+            let reference: f64 = (0..n).map(|j| a.at(i, j) * x[j]).sum();
+            let abs: f64 = (0..n).map(|j| (a.at(i, j) * x[j]).abs()).sum();
+            let bound = summation_bound(abs, n);
+            prop_assert!(
+                (out.y[i] - reference).abs() <= bound,
+                "row {i}: {} vs {reference}",
+                out.y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn architectures_agree_within_rounding(seed in 0u64..1000) {
+        // Row-major and column-major use different association orders, so
+        // they agree only to rounding on real data.
+        let n = 64usize;
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let a = DenseMatrix::from_fn(n, n, |_, _| next());
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let row = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+        let col = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+        for i in 0..n {
+            let abs: f64 = (0..n).map(|j| (a.at(i, j) * x[j]).abs()).sum();
+            let bound = 2.0 * summation_bound(abs, n);
+            prop_assert!((row.y[i] - col.y[i]).abs() <= bound, "row {i}");
+        }
+    }
+}
+
+#[test]
+fn mm_deterministic_on_real_data() {
+    let n = 32usize;
+    let a = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 * 0.013 - 0.5);
+    let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 13 + j * 41) % 89) as f64 * 0.017 - 0.7);
+    let mm = LinearArrayMm::new(MmParams::test(4, 16));
+    let c1 = mm.run(&a, &b);
+    let c2 = mm.run(&a, &b);
+    for (x, y) in c1.c.as_slice().iter().zip(c2.c.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn mm_matches_same_order_software_on_real_data() {
+    // The linear array accumulates over q in ascending order inside each
+    // block and over z-blocks in ascending order — the same order as the
+    // blocked software gemm with matching block size, so results match
+    // bit for bit even on real data.
+    let n = 32usize;
+    let m = 16usize;
+    let a = DenseMatrix::from_fn(n, n, |i, j| ((i * 29 + j * 23) % 101) as f64 * 0.011 - 0.55);
+    let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 19 + j * 37) % 103) as f64 * 0.009 - 0.45);
+    let hw = LinearArrayMm::new(MmParams::test(4, m)).run(&a, &b);
+    let sw = fpga_blas::sw::gemm_blocked(a.as_slice(), b.as_slice(), n, m);
+    for (x, y) in hw.c.as_slice().iter().zip(&sw) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the reduction circuits: for arbitrary set-size
+//! sequences, every circuit computes exact sums (on exactly-summable
+//! data) and the proposed circuit honours its §4.3 claims.
+
+use fpga_blas::blas::reduce::{
+    reference_sums, run_sets, KoggeTreeReducer, NiHwangReducer, Reducer, SingleAdderReducer,
+    StallingReducer, TwoAdderReducer,
+};
+use proptest::prelude::*;
+
+/// Arbitrary workloads: up to 40 sets of size 1..120, values that sum
+/// exactly in any association (small integers).
+fn workloads() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(1usize..120, 1..40).prop_map(|sizes| {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i * 5 + j * 3) % 32) as f64).collect())
+            .collect()
+    })
+}
+
+/// α values to exercise (the paper's 14 plus corner depths).
+fn alphas() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(3), Just(8), Just(14), Just(20)]
+}
+
+fn assert_exact<R: Reducer>(r: &mut R, sets: &[Vec<f64>]) -> fpga_blas::blas::reduce::ReductionRun {
+    let run = run_sets(r, sets);
+    let expected = reference_sums(sets);
+    assert_eq!(run.results.len(), sets.len());
+    for ev in &run.results {
+        assert_eq!(
+            ev.value, expected[ev.set_id as usize],
+            "{}: set {}",
+            r.name(),
+            ev.set_id
+        );
+    }
+    run
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proposed_circuit_exact_no_stall_bounded(sets in workloads(), alpha in alphas()) {
+        let mut r = SingleAdderReducer::new(alpha);
+        let run = assert_exact(&mut r, &sets);
+        prop_assert_eq!(run.stall_cycles, 0, "the proposed circuit never stalls");
+        prop_assert!(run.buffer_high_water <= 2 * alpha * alpha);
+        let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+        prop_assert!(
+            run.total_cycles < total + 2 * (alpha as u64 * alpha as u64),
+            "latency {} ≥ Σs + 2α² = {}",
+            run.total_cycles,
+            total + 2 * (alpha as u64 * alpha as u64)
+        );
+        // Work conservation: exactly s−1 adds per set.
+        prop_assert_eq!(run.adds_issued, total - sets.len() as u64);
+    }
+
+    #[test]
+    fn two_adder_circuit_exact_no_stall(sets in workloads(), alpha in alphas()) {
+        let mut r = TwoAdderReducer::new(alpha);
+        let run = assert_exact(&mut r, &sets);
+        prop_assert_eq!(run.stall_cycles, 0);
+    }
+
+    #[test]
+    fn kogge_chain_exact(sets in workloads(), alpha in alphas()) {
+        let mut r = KoggeTreeReducer::new(alpha);
+        assert_exact(&mut r, &sets);
+    }
+
+    #[test]
+    fn ni_hwang_exact(sets in workloads(), alpha in alphas()) {
+        let mut r = NiHwangReducer::new(alpha);
+        assert_exact(&mut r, &sets);
+    }
+
+    #[test]
+    fn stalling_baseline_exact(sets in workloads(), alpha in alphas()) {
+        let mut r = StallingReducer::new(alpha);
+        assert_exact(&mut r, &sets);
+    }
+
+    #[test]
+    fn all_circuits_agree(sets in workloads()) {
+        // With exactly-summable values, all five circuits must produce
+        // identical results despite different association orders.
+        let base = {
+            let mut r = SingleAdderReducer::new(14);
+            run_sets(&mut r, &sets)
+        };
+        let mut sorted_base: Vec<(u64, f64)> =
+            base.results.iter().map(|e| (e.set_id, e.value)).collect();
+        sorted_base.sort_by_key(|&(id, _)| id);
+        for run in [
+            run_sets(&mut TwoAdderReducer::new(14), &sets),
+            run_sets(&mut KoggeTreeReducer::new(14), &sets),
+            run_sets(&mut NiHwangReducer::new(14), &sets),
+            run_sets(&mut StallingReducer::new(14), &sets),
+        ] {
+            let mut sorted: Vec<(u64, f64)> =
+                run.results.iter().map(|e| (e.set_id, e.value)).collect();
+            sorted.sort_by_key(|&(id, _)| id);
+            prop_assert_eq!(&sorted, &sorted_base);
+        }
+    }
+
+    #[test]
+    fn proposed_circuit_tolerates_input_gaps(sizes in prop::collection::vec(1usize..40, 1..12), gap in 1usize..5) {
+        // Deliver values only every `gap` cycles: correctness and bounds
+        // must be unaffected (the circuit uses idle cycles for reduction).
+        let alpha = 14;
+        let sets: Vec<Vec<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i + j * 7) % 16) as f64).collect())
+            .collect();
+        let mut r = SingleAdderReducer::new(alpha);
+        let mut results = Vec::new();
+        let mut inputs: Vec<fpga_blas::blas::reduce::ReduceInput> = sets
+            .iter()
+            .enumerate()
+            .flat_map(|(id, s)| {
+                let n = s.len();
+                s.iter().enumerate().map(move |(j, &value)| {
+                    fpga_blas::blas::reduce::ReduceInput {
+                        set_id: id as u64,
+                        value,
+                        last: j + 1 == n,
+                    }
+                }).collect::<Vec<_>>()
+            })
+            .collect();
+        inputs.reverse();
+        let mut cycle = 0u64;
+        while results.len() < sets.len() {
+            cycle += 1;
+            prop_assert!(cycle < 1_000_000, "livelock");
+            let feed = if cycle.is_multiple_of(gap as u64) { inputs.pop() } else { None };
+            if let Some(ev) = r.tick(feed) {
+                results.push(ev);
+            }
+        }
+        let expected = reference_sums(&sets);
+        for ev in &results {
+            prop_assert_eq!(ev.value, expected[ev.set_id as usize]);
+        }
+        prop_assert!(r.buffer_high_water() <= 2 * alpha * alpha);
+    }
+}
