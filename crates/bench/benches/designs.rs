@@ -25,8 +25,12 @@ fn bench_designs(c: &mut Criterion) {
     let x = synth_int(4, n, 8);
     let row = RowMajorMvm::standalone(MvmParams::table3(), 170.0);
     let col = ColMajorMvm::standalone(MvmParams::table3(), 170.0);
-    g.bench_function("mvm_row_major_k4_n256", |b| b.iter(|| black_box(row.run(&a, &x))));
-    g.bench_function("mvm_col_major_k4_n256", |b| b.iter(|| black_box(col.run(&a, &x))));
+    g.bench_function("mvm_row_major_k4_n256", |b| {
+        b.iter(|| black_box(row.run(&a, &x)));
+    });
+    g.bench_function("mvm_col_major_k4_n256", |b| {
+        b.iter(|| black_box(col.run(&a, &x)));
+    });
 
     // Level 3: one 32×32 block multiply on the PE array, k = 4.
     let m = 32;
@@ -38,7 +42,7 @@ fn bench_designs(c: &mut Criterion) {
             let mut cblk = vec![0.0; m * m];
             engine.multiply_accumulate(&ba, &bb, &mut cblk);
             black_box(cblk)
-        })
+        });
     });
 
     // Extension: SpMV on an irregular 256-row matrix.
@@ -54,7 +58,9 @@ fn bench_designs(c: &mut Criterion) {
     }
     let csr = fblas_sparse::CsrMatrix::from_triplets(256, 256, &trip);
     let xs = synth_int(7, 256, 8);
-    g.bench_function("spmv_k4_n256", |b| b.iter(|| black_box(spmv.run(&csr, &xs))));
+    g.bench_function("spmv_k4_n256", |b| {
+        b.iter(|| black_box(spmv.run(&csr, &xs)));
+    });
 
     g.finish();
 }
@@ -73,7 +79,7 @@ fn bench_mm_k_sweep(c: &mut Criterion) {
                 let mut cblk = vec![0.0; m * m];
                 engine.multiply_accumulate(&ba, &bb, &mut cblk);
                 black_box(cblk)
-            })
+            });
         });
     }
     g.finish();
@@ -87,16 +93,21 @@ fn bench_reducer_in_design(c: &mut Criterion) {
     let v = synth_int(14, 2048, 8);
     let design = DotProductDesign::standalone(DotParams::table3(), 170.0);
     g.bench_function("proposed_single_adder", |b| {
-        b.iter(|| black_box(design.run(&u, &v)))
+        b.iter(|| black_box(design.run(&u, &v)));
     });
     g.bench_function("stalling_baseline", |b| {
         b.iter(|| {
             let mut r = fblas_core::reduce::StallingReducer::new(14);
             black_box(design.run_with_reducer(&u, &v, &mut r))
-        })
+        });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_designs, bench_mm_k_sweep, bench_reducer_in_design);
+criterion_group!(
+    benches,
+    bench_designs,
+    bench_mm_k_sweep,
+    bench_reducer_in_design
+);
 criterion_main!(benches);

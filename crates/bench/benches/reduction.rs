@@ -29,23 +29,26 @@ fn sparse_workload() -> Vec<Vec<f64>> {
 }
 
 fn bench_reduction(c: &mut Criterion) {
-    for (wl_name, sets) in [("mvm_64x64", mvm_workload()), ("sparse_1_97", sparse_workload())] {
+    for (wl_name, sets) in [
+        ("mvm_64x64", mvm_workload()),
+        ("sparse_1_97", sparse_workload()),
+    ] {
         let mut g = c.benchmark_group(format!("reduction_{wl_name}"));
         g.sample_size(20);
         g.bench_function("single_adder_proposed", |b| {
-            b.iter(|| black_box(run_sets(&mut SingleAdderReducer::new(ALPHA), &sets)))
+            b.iter(|| black_box(run_sets(&mut SingleAdderReducer::new(ALPHA), &sets)));
         });
         g.bench_function("two_adder_fccm05", |b| {
-            b.iter(|| black_box(run_sets(&mut TwoAdderReducer::new(ALPHA), &sets)))
+            b.iter(|| black_box(run_sets(&mut TwoAdderReducer::new(ALPHA), &sets)));
         });
         g.bench_function("kogge_chain", |b| {
-            b.iter(|| black_box(run_sets(&mut KoggeTreeReducer::new(ALPHA), &sets)))
+            b.iter(|| black_box(run_sets(&mut KoggeTreeReducer::new(ALPHA), &sets)));
         });
         g.bench_function("ni_hwang", |b| {
-            b.iter(|| black_box(run_sets(&mut NiHwangReducer::new(ALPHA), &sets)))
+            b.iter(|| black_box(run_sets(&mut NiHwangReducer::new(ALPHA), &sets)));
         });
         g.bench_function("stalling", |b| {
-            b.iter(|| black_box(run_sets(&mut StallingReducer::new(ALPHA), &sets)))
+            b.iter(|| black_box(run_sets(&mut StallingReducer::new(ALPHA), &sets)));
         });
         g.finish();
     }

@@ -26,7 +26,7 @@ fn bench_softfloat(c: &mut Criterion) {
                 black_box(acc)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 
     g.bench_function("native_add_4096", |b| {
@@ -40,7 +40,7 @@ fn bench_softfloat(c: &mut Criterion) {
                 black_box(acc)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -60,7 +60,7 @@ fn bench_div_sqrt(c: &mut Criterion) {
                 acc += div_f64(*x, *y);
             }
             black_box(acc)
-        })
+        });
     });
     g.bench_function("native_div_1024", |b| {
         b.iter(|| {
@@ -69,7 +69,7 @@ fn bench_div_sqrt(c: &mut Criterion) {
                 acc += *x / *y;
             }
             black_box(acc)
-        })
+        });
     });
     g.bench_function("softfloat_sqrt_1024", |b| {
         b.iter(|| {
@@ -78,7 +78,7 @@ fn bench_div_sqrt(c: &mut Criterion) {
                 acc += sqrt_f64(*y);
             }
             black_box(acc)
-        })
+        });
     });
     g.bench_function("native_sqrt_1024", |b| {
         b.iter(|| {
@@ -87,7 +87,7 @@ fn bench_div_sqrt(c: &mut Criterion) {
                 acc += y.sqrt();
             }
             black_box(acc)
-        })
+        });
     });
     g.finish();
 }

@@ -13,7 +13,7 @@ fn bench_gemm(c: &mut Criterion) {
     let n = 256usize;
     let a = synth(1, n * n);
     let b = synth(2, n * n);
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
 
     let mut g = c.benchmark_group("sw_gemm_n256");
     g.sample_size(10);
@@ -21,10 +21,10 @@ fn bench_gemm(c: &mut Criterion) {
 
     g.bench_function("naive", |bch| bch.iter(|| black_box(gemm_naive(&a, &b, n))));
     g.bench_function("blocked_64", |bch| {
-        bch.iter(|| black_box(gemm_blocked(&a, &b, n, 64)))
+        bch.iter(|| black_box(gemm_blocked(&a, &b, n, 64)));
     });
     g.bench_function(format!("parallel_{threads}t"), |bch| {
-        bch.iter(|| black_box(gemm_parallel(&a, &b, n, 64, threads)))
+        bch.iter(|| black_box(gemm_parallel(&a, &b, n, 64, threads)));
     });
     g.finish();
 }

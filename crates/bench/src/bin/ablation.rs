@@ -67,9 +67,7 @@ fn reducer_table(title: &str, sets: &[Vec<f64>], include_pow2: bool) {
 
 fn main() {
     // ---- 1a. Matrix-vector workload: 256 sets of 64 (n=256, k=4) ----
-    let mvm_sets: Vec<Vec<f64>> = (0..256)
-        .map(|i| synth_int(i as u64, 64, 16))
-        .collect();
+    let mvm_sets: Vec<Vec<f64>> = (0..256).map(|i| synth_int(i as u64, 64, 16)).collect();
     reducer_table(
         "Ablation 1a: reduction circuits on the matrix-vector workload (256 sets × 64)",
         &mvm_sets,
@@ -164,8 +162,16 @@ fn main() {
                 format!("{:.2} GB/s", naive / 1e9),
                 format!("{:.1} MB/s", hier / 1e6),
                 format!("{:.0}×", naive / hier),
-                if naive <= 3.2e9 { "yes".into() } else { "NO".into() },
-                if hier <= 3.2e9 { "yes".into() } else { "NO".into() },
+                if naive <= 3.2e9 {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                if hier <= 3.2e9 {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();

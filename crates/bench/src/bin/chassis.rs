@@ -61,7 +61,8 @@ fn main() {
 
     // Bandwidth feasibility, exactly the checks §6.4 makes.
     let mm6 = HierarchicalMm::new(HierarchicalParams::xd1_chassis());
-    mm6.check_platform(&node, &chassis).expect("chassis fits XD1");
+    mm6.check_platform(&node, &chassis)
+        .expect("chassis fits XD1");
     let dram12 = hierarchical_dram_bytes_per_s(8, system.total_fpgas(), 2048, 130.0);
     assert!(dram12 < node.dram.bandwidth_bytes_per_s);
     assert!(dram12 < system.inter_chassis_bytes_per_s);
@@ -104,8 +105,6 @@ fn main() {
     println!(
         "\nFunctional check (l = 6, n = {n}): exact match; {} cycles \
          ({}× fewer than l = 1 would need), fill penalty {} cycles.",
-        out.report.cycles,
-        6,
-        out.fill_penalty_cycles
+        out.report.cycles, 6, out.fill_penalty_cycles
     );
 }

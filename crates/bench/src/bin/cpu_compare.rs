@@ -27,7 +27,7 @@ fn main() {
     let n = 512usize;
     let a = synth(1, n * n);
     let b = synth(2, n * n);
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
 
     println!("Measuring 64-bit gemm at n = {n} on this host ({threads} threads available)...");
 
@@ -37,21 +37,37 @@ fn main() {
     let parallel = time_gflops(|| gemm_parallel(&a, &b, n, 64, threads), n, 3);
 
     let rows = vec![
-        vec!["naive triple loop (this host)".into(), format!("{naive:.2}")],
-        vec!["transposed-B streams (this host)".into(), format!("{transposed:.2}")],
+        vec![
+            "naive triple loop (this host)".into(),
+            format!("{naive:.2}"),
+        ],
+        vec![
+            "transposed-B streams (this host)".into(),
+            format!("{transposed:.2}"),
+        ],
         vec!["cache-blocked (this host)".into(), format!("{blocked:.2}")],
         vec![
             format!("blocked + {threads} threads (this host)"),
             format!("{parallel:.2}"),
         ],
-        vec!["--- paper's 2005 reference points ---".into(), String::new()],
+        vec![
+            "--- paper's 2005 reference points ---".into(),
+            String::new(),
+        ],
         vec!["2.6 GHz Opteron, ACML dgemm".into(), "4.1".into()],
         vec!["3.2 GHz Xeon, MKL dgemm".into(), "5.5".into()],
         vec!["3.0 GHz Pentium 4, MKL dgemm".into(), "5.0".into()],
-        vec!["XC2VP50 FPGA design (simulated, Table 4)".into(), "2.06".into()],
+        vec![
+            "XC2VP50 FPGA design (simulated, Table 4)".into(),
+            "2.06".into(),
+        ],
         vec!["XD1 chassis, 6 FPGAs (projected)".into(), "12.4".into()],
     ];
-    print_table("§6.3: 64-bit matrix multiply comparison", &["implementation", "GFLOPS"], &rows);
+    print_table(
+        "§6.3: 64-bit matrix multiply comparison",
+        &["implementation", "GFLOPS"],
+        &rows,
+    );
 
     println!(
         "\nShape check: one 2005 FPGA lands within ~2× of one 2005 CPU socket, and the\n\

@@ -12,16 +12,19 @@ fn main() {
     let clocks: Vec<u32> = (160..=200).step_by(10).collect();
     let mut headers: Vec<String> = vec!["PE area (slices)".into()];
     headers.extend(clocks.iter().map(|c| format!("{c} MHz")));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let headers_ref: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
 
     let rows: Vec<Vec<String>> = (1600..=2000u32)
         .step_by(100)
         .map(|pe| {
-            let mut row = vec![format!("{pe} ({} PEs)", proj.point(pe, 160.0).pes_per_device)];
+            let mut row = vec![format!(
+                "{pe} ({} PEs)",
+                proj.point(pe, 160.0).pes_per_device
+            )];
             row.extend(
                 clocks
                     .iter()
-                    .map(|&c| format!("{:.1}", proj.point(pe, c as f64).chassis_gflops)),
+                    .map(|&c| format!("{:.1}", proj.point(pe, f64::from(c)).chassis_gflops)),
             );
             row
         })

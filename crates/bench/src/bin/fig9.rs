@@ -21,24 +21,31 @@ fn main() {
                 a.to_string(),
                 format!("{:.0}%", XC2VP50.occupancy(a) * 100.0),
                 format!("{:.1}", clock.mm_mhz(k)),
-                format!(
-                    "{:.2}",
-                    2.0 * k as f64 * clock.mm_mhz(k) / 1000.0
-                ),
+                format!("{:.2}", 2.0 * f64::from(k) * clock.mm_mhz(k) / 1000.0),
             ]
         })
         .collect();
 
     print_table(
         "Figure 9: Area & clock speed of the matrix-multiply design (XC2VP50)",
-        &["k (PEs)", "Area (slices)", "% of device", "Clock (MHz)", "GFLOPS at k"],
+        &[
+            "k (PEs)",
+            "Area (slices)",
+            "% of device",
+            "Clock (MHz)",
+            "GFLOPS at k",
+        ],
         &rows,
     );
 
-    println!("\nEndpoints: k=1 at {:.0} MHz, k={max_k} at {:.0} MHz (paper: 155 → 125 MHz).", clock.mm_mhz(1), clock.mm_mhz(max_k));
+    println!(
+        "\nEndpoints: k=1 at {:.0} MHz, k={max_k} at {:.0} MHz (paper: 155 → 125 MHz).",
+        clock.mm_mhz(1),
+        clock.mm_mhz(max_k)
+    );
     println!(
         "Maximum sustained at k = {max_k}: {:.2} GFLOPS (paper: 2.5 GFLOPS).",
-        2.0 * max_k as f64 * clock.mm_mhz(max_k) / 1000.0
+        2.0 * f64::from(max_k) * clock.mm_mhz(max_k) / 1000.0
     );
     assert_eq!(max_k, 10, "paper: at most 10 PEs on XC2VP50");
 }

@@ -1,5 +1,5 @@
 //! Regenerates **Table 1**: characteristics of memory for a single FPGA
-//! in reconfigurable systems (SRC MAPstation and Cray XD1).
+//! in reconfigurable systems (SRC `MAPstation` and Cray XD1).
 
 use fblas_bench::print_table;
 use fblas_mem::{Level, MemoryHierarchy};
@@ -39,7 +39,13 @@ fn main() {
 
     print_table(
         "Table 1: Characteristics of memory for a single FPGA",
-        &["Level", "SRC size", "SRC bandwidth", "Cray size", "Cray bandwidth"],
+        &[
+            "Level",
+            "SRC size",
+            "SRC bandwidth",
+            "Cray size",
+            "Cray bandwidth",
+        ],
         &rows,
     );
 

@@ -49,7 +49,10 @@ fn main() {
     let mut r = SingleAdderReducer::new(alpha);
     let run = run_sets(&mut r, &sets);
 
-    println!("\nReduction-circuit validation (α = {alpha}, {} sets, {total} values):", sets.len());
+    println!(
+        "\nReduction-circuit validation (α = {alpha}, {} sets, {total} values):",
+        sets.len()
+    );
     println!("  adders used:           {}", r.adders());
     println!("  input stall cycles:    {} (claim: 0)", run.stall_cycles);
     println!(

@@ -54,7 +54,10 @@ fn main() {
         vec![
             "Memory bandwidth (GB/s)".into(),
             format!("{:.1} (paper 5.5)", dot.bandwidth_bytes_per_s() / 1e9),
-            format!("{:.1} (paper 5.6)", mout.report.achieved_bandwidth(&mout.clock) / 1e9),
+            format!(
+                "{:.1} (paper 5.6)",
+                mout.report.achieved_bandwidth(&mout.clock) / 1e9
+            ),
         ],
         vec![
             "Sustained MFLOPS".into(),

@@ -65,8 +65,14 @@ fn main() {
         ],
         vec![
             "% of total area".into(),
-            format!("{:.0}% (paper 58%)", XC2VP50.occupancy(area.mvm_design_xd1(4)) * 100.0),
-            format!("{:.0}% (paper 89%)", XC2VP50.occupancy(area.mm_design_xd1(8)) * 100.0),
+            format!(
+                "{:.0}% (paper 58%)",
+                XC2VP50.occupancy(area.mvm_design_xd1(4)) * 100.0
+            ),
+            format!(
+                "{:.0}% (paper 89%)",
+                XC2VP50.occupancy(area.mm_design_xd1(8)) * 100.0
+            ),
         ],
         vec![
             "Clock speed".into(),
@@ -96,7 +102,11 @@ fn main() {
     ];
     print_table(
         "Table 4: Level 2 and Level 3 BLAS on a single FPGA in XD1",
-        &["", "Level 2 (n = 1024)", "Level 3 (n = 512, b = 512, m = 8)"],
+        &[
+            "",
+            "Level 2 (n = 1024)",
+            "Level 3 (n = 512, b = 512, m = 8)",
+        ],
         &rows,
     );
 
@@ -111,7 +121,10 @@ fn main() {
         "  if A starts in SRAM: {} (paper 1.05 GFLOPS; see EXPERIMENTS.md)",
         fblas_sim::clock::fmt::flops(sram_resident)
     );
-    println!("\nLevel-3 latency: {:.0} ms (paper 131 ms)", l3_total_s * 1e3);
+    println!(
+        "\nLevel-3 latency: {:.0} ms (paper 131 ms)",
+        l3_total_s * 1e3
+    );
     println!(
         "  I/O share if serialized: {:.1}% (paper: 0.7% — overlapped)",
         (mout.report.io_bytes() as f64 / dma.bandwidth_bytes_per_s) / l3_total_s * 100.0

@@ -89,13 +89,28 @@ fn main() {
         1355.0,
         0.05,
     );
-    c.assert("dot area (slices)", area.dot_design(2) as f64, 5210.0, 0.01);
-    c.assert("mvm area (slices)", area.mvm_design(4) as f64, 9669.0, 0.01);
+    c.assert(
+        "dot area (slices)",
+        f64::from(area.dot_design(2)),
+        5210.0,
+        0.01,
+    );
+    c.assert(
+        "mvm area (slices)",
+        f64::from(area.mvm_design(4)),
+        9669.0,
+        0.01,
+    );
 
     println!("\n== Figure 9 ==");
     c.assert("clock at k=1 (MHz)", clocks.mm_mhz(1), 155.0, 0.001);
     c.assert("clock at k=10 (MHz)", clocks.mm_mhz(10), 125.0, 0.001);
-    c.assert("max PEs on XC2VP50", area.max_pes(&XC2VP50) as f64, 10.0, 0.001);
+    c.assert(
+        "max PEs on XC2VP50",
+        f64::from(area.max_pes(&XC2VP50)),
+        10.0,
+        0.001,
+    );
 
     println!("\n== Table 4 (Level 2: n = 1024; Level 3: n = 512) ==");
     let l2_clock = clocks.xd1_l2();
@@ -106,7 +121,12 @@ fn main() {
     let staging = DmaModel::xd1_dram().transfer_seconds_words((n2 * n2 + n2) as u64);
     let total_s = o2.report.latency_seconds(&l2_clock) + staging;
     c.assert("L2 total latency (ms)", total_s * 1e3, 8.0, 0.05);
-    c.assert("L2 sustained (MFLOPS)", o2.report.flops as f64 / total_s / 1e6, 262.0, 0.05);
+    c.assert(
+        "L2 sustained (MFLOPS)",
+        o2.report.flops as f64 / total_s / 1e6,
+        262.0,
+        0.05,
+    );
     c.assert(
         "L2 % of 325 MFLOPS peak",
         o2.report.flops as f64 / total_s / io_bound_peak_mvm(1.3e9) * 100.0,
@@ -134,7 +154,12 @@ fn main() {
     );
 
     println!("\n== §6.4 projections ==");
-    c.assert("chassis GFLOPS", scaled_sustained_gflops(2.06, 6), 12.4, 0.01);
+    c.assert(
+        "chassis GFLOPS",
+        scaled_sustained_gflops(2.06, 6),
+        12.4,
+        0.01,
+    );
     c.assert(
         "12-chassis GFLOPS",
         scaled_sustained_gflops(2.06, 72),
@@ -143,8 +168,18 @@ fn main() {
     );
     let best50 = ChassisProjection::xd1(XC2VP50).point(1600, 200.0);
     let best100 = ChassisProjection::xd1(XC2VP100).point(1600, 200.0);
-    c.assert("Fig 11 best point (GFLOPS)", best50.chassis_gflops, 27.0, 0.10);
-    c.assert("Fig 12 best point (GFLOPS)", best100.chassis_gflops, 50.0, 0.05);
+    c.assert(
+        "Fig 11 best point (GFLOPS)",
+        best50.chassis_gflops,
+        27.0,
+        0.10,
+    );
+    c.assert(
+        "Fig 12 best point (GFLOPS)",
+        best100.chassis_gflops,
+        50.0,
+        0.05,
+    );
     let fits = HierarchicalMm::new(HierarchicalParams::xd1_chassis())
         .check_platform(&node, &Xd1Chassis::default())
         .is_ok();
@@ -153,7 +188,11 @@ fn main() {
     println!(
         "\n{} checks failed.{}",
         c.failures,
-        if c.failures == 0 { " All claims reproduce." } else { "" }
+        if c.failures == 0 {
+            " All claims reproduce."
+        } else {
+            ""
+        }
     );
     std::process::exit(if c.failures == 0 { 0 } else { 1 });
 }

@@ -57,7 +57,7 @@ pub fn banded(seed: u64, n: usize, half_band: usize) -> CsrMatrix {
 
 /// Random sparse matrix with the given expected density and irregular
 /// row populations — the "no assumption on the sparsity" workload of the
-/// SpMV design.
+/// `SpMV` design.
 pub fn random_sparse(seed: u64, n: usize, density: f64) -> CsrMatrix {
     assert!((0.0..=1.0).contains(&density));
     let mut xs = Xs::new(seed);

@@ -1,0 +1,45 @@
+//! `drc` — run the design-rule checker over every shipped configuration.
+//!
+//! Exit status 0 iff every design point passes with zero errors. Flags:
+//!
+//! * `--verbose` — also print the Info diagnostics (satisfied bounds and
+//!   their margins, plus the cycle-count lower bound).
+//! * `--infeasible-fixture` — instead check the §6.2 counter-example
+//!   (k = 10 PEs next to the XD1 RT core) and exit non-zero with its
+//!   `§6.2-area` diagnostic, demonstrating what a violation looks like.
+
+use fblas_check::drc::{check, infeasible_k10_with_rt_core, shipped_design_points};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--verbose" | "-v" | "--infeasible-fixture"))
+    {
+        eprintln!("drc: unknown argument `{unknown}`");
+        eprintln!("usage: drc [--verbose|-v] [--infeasible-fixture]");
+        std::process::exit(2);
+    }
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+
+    let points = if args.iter().any(|a| a == "--infeasible-fixture") {
+        vec![infeasible_k10_with_rt_core()]
+    } else {
+        shipped_design_points()
+    };
+
+    let mut errors = 0;
+    for dp in &points {
+        let report = check(dp);
+        print!("{}", report.render(verbose));
+        errors += report.count(fblas_check::Severity::Error);
+    }
+    println!(
+        "checked {} design point(s), {} error(s)",
+        points.len(),
+        errors
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Static analysis for the FPGA BLAS workspace.
+//!
+//! Two independent tools live here:
+//!
+//! * [`drc`] — a **design-rule checker** that proves the paper's
+//!   feasibility bounds (area, BRAM, SRAM, bandwidth, hazard and schedule
+//!   legality) for a design point *before* any cycle is simulated, and
+//!   computes cycle-count lower bounds the simulation must not beat.
+//! * [`lint`] — a **softfloat-purity source lint**: a dependency-free
+//!   token-level scanner that rejects native `f64` arithmetic in the
+//!   datapath crates, where every floating-point operation must go
+//!   through the bit-accurate [`fblas_fpu::softfloat`] routines.
+//!
+//! Both are exposed as libraries (used by the test suite) and as the
+//! `drc` and `lint` binaries (used by CI).
+
+#![forbid(unsafe_code)]
+
+pub mod drc;
+pub mod lint;
+
+pub use drc::{
+    check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
+    Kernel, Platform, Report, Severity,
+};
+pub use lint::{scan_source, scan_tree, LintHit};

@@ -1,0 +1,140 @@
+//! Property test: the static cycle-count lower bound never beats reality.
+//!
+//! [`fblas_check::min_cycles`] claims to be a bound that *any* correct
+//! cycle-accurate simulation of a design point must respect — it is
+//! derived from I/O rates and pipeline depths alone, ignoring fill, drain
+//! and hazard stalls. This test generates random feasible design points,
+//! runs the actual simulators from `fblas-core` on them, and checks
+//! `simulated cycles ≥ min_cycles` for every kernel family.
+
+use fblas_check::{check, min_cycles, DesignPoint, Kernel, Platform};
+use fblas_core::dot::{DotParams, DotProductDesign};
+use fblas_core::mm::{LinearArrayMm, MmParams};
+use fblas_core::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_system::XC2VP50;
+use proptest::prelude::*;
+
+fn vec_of(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64 * 7 + salt) % 16) as f64)
+        .collect()
+}
+
+fn mat_of(n: usize, salt: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(n, n, |i, j| ((i * 3 + j * 5 + salt as usize) % 8) as f64)
+}
+
+/// Assert the design point is feasible, then return its floor.
+fn feasible_floor(dp: &DesignPoint) -> u64 {
+    let report = check(dp);
+    assert!(
+        report.is_feasible(),
+        "generated design point must be feasible:\n{}",
+        report.render(true)
+    );
+    min_cycles(dp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dot_simulation_respects_the_static_floor(
+        k_log in 0usize..=3,
+        n_step in 1usize..=8,
+        salt in 0u64..1000,
+    ) {
+        let k = 1usize << k_log;
+        let n = 64 * n_step;
+        let params = DotParams::with_k(k);
+        let dp = DesignPoint::new(
+            "prop-dot",
+            Kernel::Dot { params, n },
+            Platform::standalone(XC2VP50, 170.0),
+        );
+        let floor = feasible_floor(&dp);
+        let d = DotProductDesign::standalone(params, 170.0);
+        let out = d.run(&vec_of(n, salt), &vec_of(n, salt + 1));
+        prop_assert!(
+            out.report.cycles >= floor,
+            "dot k={k} n={n}: simulated {} < static floor {floor}",
+            out.report.cycles
+        );
+    }
+
+    #[test]
+    fn row_major_mvm_respects_the_static_floor(
+        k_log in 0usize..=3,
+        n_step in 1usize..=4,
+        salt in 0u64..1000,
+    ) {
+        let k = 1usize << k_log;
+        let n = 32 * n_step;
+        let params = MvmParams::with_k(k);
+        let dp = DesignPoint::new(
+            "prop-mvm-row",
+            Kernel::RowMajorMvm { params, n },
+            Platform::standalone(XC2VP50, 170.0),
+        );
+        let floor = feasible_floor(&dp);
+        let d = RowMajorMvm::standalone(params, 170.0);
+        let out = d.run(&mat_of(n, salt), &vec_of(n, salt + 1));
+        prop_assert!(
+            out.report.cycles >= floor,
+            "row-mvm k={k} n={n}: simulated {} < static floor {floor}",
+            out.report.cycles
+        );
+    }
+
+    #[test]
+    fn col_major_mvm_respects_the_static_floor(
+        k_log in 0usize..=2,
+        n_step in 2usize..=5,
+        salt in 0u64..1000,
+    ) {
+        let k = 1usize << k_log;
+        // n/k must cover the adder depth (§4.2 run-time hazard check).
+        let n = 64 * n_step;
+        let params = MvmParams::with_k(k);
+        let dp = DesignPoint::new(
+            "prop-mvm-col",
+            Kernel::ColMajorMvm { params, n },
+            Platform::standalone(XC2VP50, 170.0),
+        );
+        let floor = feasible_floor(&dp);
+        let d = ColMajorMvm::standalone(params, 170.0);
+        let out = d.run(&mat_of(n, salt), &vec_of(n, salt + 1));
+        prop_assert!(
+            out.report.cycles >= floor,
+            "col-mvm k={k} n={n}: simulated {} < static floor {floor}",
+            out.report.cycles
+        );
+    }
+
+    #[test]
+    fn linear_array_mm_respects_the_static_floor(
+        k_log in 0usize..=2,
+        m_mult in 2usize..=4,
+        blocks in 1usize..=2,
+        salt in 0u64..1000,
+    ) {
+        let k = 1usize << k_log;
+        // m a multiple of k with m²/k ≥ α, n a multiple of m (§5.1).
+        let m = 8 * m_mult;
+        let n = m * blocks;
+        let params = MmParams::test(k, m);
+        let dp = DesignPoint::new(
+            "prop-mm",
+            Kernel::Mm { params, n },
+            Platform::standalone(XC2VP50, 130.0),
+        );
+        let floor = feasible_floor(&dp);
+        let mm = LinearArrayMm::new(params);
+        let out = mm.run(&mat_of(n, salt), &mat_of(n, salt + 1));
+        prop_assert!(
+            out.report.cycles >= floor,
+            "mm k={k} m={m} n={n}: simulated {} < static floor {floor}",
+            out.report.cycles
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Integration gate: every configuration the bench binaries ship must pass
+//! the design-rule checker with zero errors, and the §6.2 counter-example
+//! must fail it — the same sweep the `drc` binary (and CI) runs.
+
+use fblas_check::{check, infeasible_k10_with_rt_core, shipped_design_points, Severity};
+
+#[test]
+fn every_shipped_design_point_is_feasible() {
+    let points = shipped_design_points();
+    assert!(
+        points.len() >= 13,
+        "the sweep must cover the paper's tables and the fig. 9 k-range"
+    );
+    for dp in &points {
+        let report = check(dp);
+        assert!(
+            report.is_feasible(),
+            "{} must pass DRC:\n{}",
+            dp.name,
+            report.render(true)
+        );
+    }
+}
+
+#[test]
+fn the_only_shipped_warnings_are_the_documented_mm_hazard() {
+    // k = m = 8 (§6.3) runs with m²/k < α under HazardPolicy::Document;
+    // nothing else in the sweep may warn.
+    for dp in &shipped_design_points() {
+        let report = check(dp);
+        for d in &report.diagnostics {
+            if d.severity == Severity::Warning {
+                assert_eq!(
+                    d.rule_id, "§4.2-hazard",
+                    "unexpected warning on {}: {d}",
+                    dp.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_area_counter_example_fails_with_the_area_rule() {
+    let report = check(&infeasible_k10_with_rt_core());
+    assert!(!report.is_feasible());
+    let area = report.rule("§6.2-area");
+    assert!(
+        area.iter().any(|d| d.severity == Severity::Error),
+        "the k = 10 + RT-core fixture must trip §6.2-area:\n{}",
+        report.render(true)
+    );
+}

@@ -1,7 +1,7 @@
 //! End-to-end XD1 deployments: the §6.1 design flow around the kernels.
 //!
 //! On XD1 a design is not just the datapath: the FPGA carries an RT
-//! (RapidArray Transport) core, SRAM memory controllers and an
+//! (`RapidArray` Transport) core, SRAM memory controllers and an
 //! application-specific `Rt_Client` (paper Figure 10), and the host
 //! processor drives the run through a handful of *status registers* —
 //! "the processor and the FPGA communicate through several status
@@ -153,10 +153,26 @@ impl Level2Deployment {
         assert_eq!(regs.read("compute_done"), 1);
 
         let phases = vec![
-            Phase { name: "stage A (DRAM→SRAM)", seconds: stage_a, overlapped: false },
-            Phase { name: "initialize x", seconds: init_x, overlapped: false },
-            Phase { name: "compute", seconds: compute, overlapped: false },
-            Phase { name: "write back y", seconds: writeback, overlapped: false },
+            Phase {
+                name: "stage A (DRAM→SRAM)",
+                seconds: stage_a,
+                overlapped: false,
+            },
+            Phase {
+                name: "initialize x",
+                seconds: init_x,
+                overlapped: false,
+            },
+            Phase {
+                name: "compute",
+                seconds: compute,
+                overlapped: false,
+            },
+            Phase {
+                name: "write back y",
+                seconds: writeback,
+                overlapped: false,
+            },
         ];
         let total_seconds = phases
             .iter()
@@ -223,9 +239,21 @@ impl Level3Deployment {
         regs.write("compute_done", 1);
 
         let phases = vec![
-            Phase { name: "stream blocks (overlapped)", seconds: io_total, overlapped: true },
-            Phase { name: "exposed I/O (first/last block)", seconds: exposed, overlapped: false },
-            Phase { name: "compute", seconds: compute, overlapped: false },
+            Phase {
+                name: "stream blocks (overlapped)",
+                seconds: io_total,
+                overlapped: true,
+            },
+            Phase {
+                name: "exposed I/O (first/last block)",
+                seconds: exposed,
+                overlapped: false,
+            },
+            Phase {
+                name: "compute",
+                seconds: compute,
+                overlapped: false,
+            },
         ];
         let total_seconds = phases
             .iter()
@@ -261,7 +289,11 @@ mod tests {
         let d = Level2Deployment::new(Xd1Node::default());
         let out = d.run(&a, &x);
         assert_eq!(out.result, a.ref_mvm(&x));
-        assert!((out.total_seconds * 1e3 - 8.0).abs() < 0.3, "total {}", out.total_seconds);
+        assert!(
+            (out.total_seconds * 1e3 - 8.0).abs() < 0.3,
+            "total {}",
+            out.total_seconds
+        );
         let compute = out.phase("compute").expect("compute phase").seconds;
         assert!((compute * 1e3 - 1.6).abs() < 0.05, "compute {compute}");
         let sustained = out.sustained_flops() / 1e6;
@@ -299,7 +331,10 @@ mod tests {
             .expect("phase")
             .seconds;
         // §6.3: I/O is a tiny fraction of the total.
-        assert!(exposed < 0.05 * compute, "exposed {exposed} vs compute {compute}");
+        assert!(
+            exposed < 0.05 * compute,
+            "exposed {exposed} vs compute {compute}"
+        );
         assert_eq!(out.result.len(), n * n);
     }
 

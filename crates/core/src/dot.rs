@@ -18,7 +18,7 @@ use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::ReadChannel;
-use fblas_sim::{ClockDomain, DelayLine};
+use fblas_sim::{ClockDomain, DelayLine, Fifo};
 use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
 
 /// Parameters of the tree-based dot-product design.
@@ -110,8 +110,12 @@ impl DotProductDesign {
     /// Instantiate the design on an XD1 node (fixes the clock at the
     /// tree-design rate and checks the bandwidth demand is available).
     pub fn new(params: DotParams, node: &Xd1Node) -> Self {
-        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        assert!(
+            params.k.is_power_of_two(),
+            "adder tree needs power-of-two k"
+        );
         let clock = ClockModel::default().tree_design();
+        // Bandwidth accounting, not datapath. lint: allow(native-f64)
         let demand = 2.0 * params.words_per_cycle_per_vector;
         let supply = node.sram_words_per_cycle(clock.mhz());
         assert!(
@@ -121,7 +125,7 @@ impl DotProductDesign {
         Self { params, clock }
     }
 
-    /// Instantiate on an SRC MAPstation user FPGA: the 4.8 GB/s SRAM path
+    /// Instantiate on an SRC `MAPstation` user FPGA: the 4.8 GB/s SRAM path
     /// sustains only ≈3.5 words/cycle at 170 MHz, so the two vector
     /// streams are derated to share it — the §3.2 computational model
     /// applied to the paper's second platform.
@@ -134,6 +138,7 @@ impl DotProductDesign {
             adder_stages: fblas_fpu::ADDER_STAGES,
             mult_stages: fblas_fpu::MULTIPLIER_STAGES,
             // Each stream gets half the read path, capped at k words.
+            // Rate accounting, not datapath. lint: allow(native-f64)
             words_per_cycle_per_vector: (supply / 2.0).min(k as f64),
         };
         Self { params, clock }
@@ -141,7 +146,10 @@ impl DotProductDesign {
 
     /// Instantiate without a platform check (for ablations).
     pub fn standalone(params: DotParams, clock_mhz: f64) -> Self {
-        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        assert!(
+            params.k.is_power_of_two(),
+            "adder tree needs power-of-two k"
+        );
         Self {
             params,
             clock: ClockDomain::from_mhz(clock_mhz),
@@ -169,7 +177,12 @@ impl DotProductDesign {
     }
 
     /// Run with an explicit reduction circuit (ablation hook).
-    pub fn run_with_reducer<R: Reducer>(&self, u: &[f64], v: &[f64], reducer: &mut R) -> DotOutcome {
+    pub fn run_with_reducer<R: Reducer>(
+        &self,
+        u: &[f64],
+        v: &[f64],
+        reducer: &mut R,
+    ) -> DotOutcome {
         assert_eq!(u.len(), v.len(), "dot product needs equal-length vectors");
         assert!(!u.is_empty(), "empty vectors have no dot product");
         let k = self.params.k;
@@ -184,7 +197,9 @@ impl DotProductDesign {
         // Values that left the tree while the reduction circuit exerted
         // back-pressure (empty forever with the proposed circuit; grows
         // only for stalling baselines, which also gate the front end).
-        let mut backlog: std::collections::VecDeque<(f64, bool)> = std::collections::VecDeque::new();
+        // Bounded: the front end stops issuing once two values wait, so
+        // only the tree's in-flight contents can land on top of them.
+        let mut backlog: Fifo<(f64, bool)> = Fifo::new(2 + self.params.tree_latency());
 
         let mut cycles = 0u64;
         let mut busy = 0u64;
@@ -229,14 +244,18 @@ impl DotProductDesign {
                 None
             };
 
-            // Adder tree latency.
+            // Adder tree latency. The push must always succeed: a full
+            // backlog here would mean the gate above let the tree run
+            // ahead of its claimed bound.
             if let Some(out) = tree.step(tree_in) {
-                backlog.push_back(out);
+                backlog
+                    .try_push(out)
+                    .expect("backlog exceeded its 2 + tree-latency bound");
             }
 
             // Reduction circuit consumes the tree's output stream.
             let red_in = if reducer.ready() {
-                backlog.pop_front().map(|(value, last)| ReduceInput {
+                backlog.pop().map(|(value, last)| ReduceInput {
                     set_id: 0,
                     value,
                     last,
@@ -413,7 +432,11 @@ mod tests {
         let (u, v) = vecs(2048);
         let out = d.run(&u, &v);
         assert_eq!(out.result, reference(&u, &v));
-        assert!(out.fraction_of_peak() > 0.85, "got {}", out.fraction_of_peak());
+        assert!(
+            out.fraction_of_peak() > 0.85,
+            "got {}",
+            out.fraction_of_peak()
+        );
         // Slower than the XD1 deployment, as Table 1's bandwidths dictate.
         let xd1 = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
         assert!(out.report.cycles > xd1.run(&u, &v).report.cycles);

@@ -249,7 +249,10 @@ pub struct AsumDesign {
 impl AsumDesign {
     /// Instantiate at the tree-design clock.
     pub fn new(params: Level1Params) -> Self {
-        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        assert!(
+            params.k.is_power_of_two(),
+            "adder tree needs power-of-two k"
+        );
         Self {
             params,
             clock: ClockDomain::from_mhz(170.0),
@@ -314,6 +317,7 @@ impl AsumDesign {
             },
             clock: self.clock,
             peak_flops: io_bound_peak_dot(
+                // Bandwidth accounting. lint: allow(native-f64)
                 self.params.words_per_cycle_per_stream * 8.0 * self.clock.hz(),
             ),
         }
@@ -373,7 +377,11 @@ mod tests {
         let out = AxpyDesign::new(Level1Params::with_k(4)).run(2.0, &x, &y);
         let lower = (n / 4) as u64;
         assert!(out.report.cycles >= lower);
-        assert!(out.report.cycles < lower + 64, "cycles {}", out.report.cycles);
+        assert!(
+            out.report.cycles < lower + 64,
+            "cycles {}",
+            out.report.cycles
+        );
     }
 
     #[test]

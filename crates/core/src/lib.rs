@@ -31,6 +31,8 @@
 //! `fblas-fpu` — so functional results are exactly what the paper's VHDL
 //! cores would produce for the same operation order.
 
+#![forbid(unsafe_code)]
+
 pub mod deploy;
 pub mod dot;
 pub mod level1;

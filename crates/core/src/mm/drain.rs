@@ -37,7 +37,10 @@ pub struct DrainModel {
 impl DrainModel {
     /// Create the model; m must be a multiple of k.
     pub fn new(k: usize, m: usize) -> Self {
-        assert!(k >= 1 && m >= k && m.is_multiple_of(k), "need m a multiple of k");
+        assert!(
+            k >= 1 && m >= k && m.is_multiple_of(k),
+            "need m a multiple of k"
+        );
         Self { k, m }
     }
 
@@ -89,9 +92,7 @@ impl DrainModel {
                     storage[p - 1].push(v);
                 }
             }
-            max_storage = max_storage.max(
-                storage.iter().map(Fifo::len).max().unwrap_or(0),
-            );
+            max_storage = max_storage.max(storage.iter().map(Fifo::len).max().unwrap_or(0));
         }
 
         DrainStats {

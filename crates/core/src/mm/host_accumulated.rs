@@ -78,10 +78,8 @@ impl HostAccumulatedMm {
         for bi in 0..nb {
             for bj in 0..nb {
                 for bq in 0..nb {
-                    let a_blk =
-                        DenseMatrix::from_fn(bb, bb, |i, j| a.at(bi * bb + i, bq * bb + j));
-                    let b_blk =
-                        DenseMatrix::from_fn(bb, bb, |i, j| b.at(bq * bb + i, bj * bb + j));
+                    let a_blk = DenseMatrix::from_fn(bb, bb, |i, j| a.at(bi * bb + i, bq * bb + j));
+                    let b_blk = DenseMatrix::from_fn(bb, bb, |i, j| b.at(bq * bb + i, bj * bb + j));
                     let out = self.inner.run(&a_blk, &b_blk);
                     blocks += 1;
                     fpga.cycles += out.report.cycles;

@@ -20,9 +20,9 @@
 //! m³/k per block) to produce the full-matrix result and Table 4's cycle
 //! counts.
 
-use super::{HazardPolicy, MmParams};
 #[cfg(test)]
 use super::ref_matmul;
+use super::{HazardPolicy, MmParams};
 use crate::mvm::DenseMatrix;
 use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
@@ -83,8 +83,7 @@ impl BlockEngine {
         // *add issue* (when the product emerges from the multiplier), so
         // the hazard window is the adder depth α, exactly §5.1's m²/k ≥ α
         // condition.
-        let mut mult_pipe: DelayLine<Vec<(usize, f64)>> =
-            DelayLine::new(self.params.mult_stages);
+        let mut mult_pipe: DelayLine<Vec<(usize, f64)>> = DelayLine::new(self.params.mult_stages);
         let mut add_pipe: DelayLine<Vec<usize>> = DelayLine::new(self.params.adder_stages);
         let mut in_flight = vec![false; m * m];
         let mut hazards = 0u64;
@@ -364,7 +363,7 @@ mod tests {
         let formula = (32u64 * 32 * 32) / 4 // m³/k
             + (32 * 32) / 4                 // fill m²/k
             + 3                             // k−1
-            + 25;                           // MAC pipeline latency
+            + 25; // MAC pipeline latency
         assert!(
             stats.cycles.abs_diff(formula) <= 8,
             "measured {} vs formula {formula}",

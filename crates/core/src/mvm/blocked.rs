@@ -58,8 +58,7 @@ impl BlockedRowMajorMvm {
             y = Some(out.y);
         }
         // The injected partials are extra additions beyond 2n².
-        total.flops = 2 * (n_rows as u64) * (n_cols as u64)
-            + (panels as u64 - 1) * n_rows as u64;
+        total.flops = 2 * (n_rows as u64) * (n_cols as u64) + (panels as u64 - 1) * n_rows as u64;
         MvmOutcome::new(
             y.expect("at least one panel"),
             total,
@@ -157,10 +156,7 @@ mod tests {
         let two_panels = BlockedColMajorMvm::new(engine.clone(), 64).run(&a, &x);
         let one_panel = BlockedColMajorMvm::new(engine, 128).run(&a, &x);
         // Two panels read x twice: n extra words in.
-        assert_eq!(
-            two_panels.report.words_in,
-            one_panel.report.words_in + 128
-        );
+        assert_eq!(two_panels.report.words_in, one_panel.report.words_in + 128);
     }
 
     #[test]

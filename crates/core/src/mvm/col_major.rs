@@ -68,12 +68,7 @@ impl ColMajorMvm {
     }
 
     /// Compute `y = y0 + A·x` (the blocked driver preloads `y0`).
-    pub fn run_with_initial(
-        &self,
-        a: &DenseMatrix,
-        x: &[f64],
-        y0: Option<&[f64]>,
-    ) -> MvmOutcome {
+    pub fn run_with_initial(&self, a: &DenseMatrix, x: &[f64], y0: Option<&[f64]>) -> MvmOutcome {
         let k = self.params.k;
         let rows = a.rows();
         let cols = a.cols();
@@ -227,7 +222,7 @@ mod tests {
     #[test]
     fn non_square_matrix() {
         let a = DenseMatrix::from_fn(60, 9, |i, j| ((i + 2 * j) % 5) as f64);
-        let x: Vec<f64> = (0..9).map(|j| (j % 3) as f64).collect();
+        let x: Vec<f64> = (0..9).map(|j| f64::from(j % 3)).collect();
         let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
         let out = d.run(&a, &x);
         assert_eq!(out.y, a.ref_mvm(&x));
@@ -236,7 +231,7 @@ mod tests {
     #[test]
     fn initial_y_preloaded() {
         let (a, x) = int_case(64);
-        let y0: Vec<f64> = (0..64).map(|i| (i % 4) as f64).collect();
+        let y0: Vec<f64> = (0..64).map(|i| f64::from(i % 4)).collect();
         let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
         let out = d.run_with_initial(&a, &x, Some(&y0));
         let expect: Vec<f64> = a.ref_mvm(&x).iter().zip(&y0).map(|(r, y)| r + y).collect();

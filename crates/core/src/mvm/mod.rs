@@ -90,6 +90,7 @@ impl MvmOutcome {
     }
 
     fn new(y: Vec<f64>, report: SimReport, clock: ClockDomain, words_per_cycle: f64) -> Self {
+        // Bandwidth accounting, not datapath. lint: allow(native-f64)
         let bw = words_per_cycle * 8.0 * clock.hz();
         Self {
             y,

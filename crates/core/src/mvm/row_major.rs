@@ -14,7 +14,7 @@ use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
 use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
-use fblas_sim::{ClockDomain, DelayLine};
+use fblas_sim::{ClockDomain, DelayLine, Fifo};
 use fblas_system::{ClockModel, Xd1Node};
 
 /// The tree-based row-major matrix-vector design.
@@ -31,7 +31,10 @@ impl RowMajorMvm {
     /// (x occupies n words of BRAM; §4.2: "the size of required on-chip
     /// memory is n words").
     pub fn new(params: MvmParams, node: &Xd1Node) -> Self {
-        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        assert!(
+            params.k.is_power_of_two(),
+            "adder tree needs power-of-two k"
+        );
         let clock = ClockModel::default().tree_design();
         let supply = node.sram_words_per_cycle(clock.mhz());
         assert!(
@@ -48,7 +51,10 @@ impl RowMajorMvm {
 
     /// Instantiate without platform checks (ablations, blocked driver).
     pub fn standalone(params: MvmParams, clock_mhz: f64) -> Self {
-        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        assert!(
+            params.k.is_power_of_two(),
+            "adder tree needs power-of-two k"
+        );
         Self {
             params,
             clock: ClockDomain::from_mhz(clock_mhz),
@@ -74,12 +80,7 @@ impl RowMajorMvm {
     /// Compute `y = y0 + A·x`: the blocked driver folds the previous
     /// panel's partial sums (`y0`) into each row's reduction set as one
     /// extra input value.
-    pub fn run_with_initial(
-        &self,
-        a: &DenseMatrix,
-        x: &[f64],
-        y0: Option<&[f64]>,
-    ) -> MvmOutcome {
+    pub fn run_with_initial(&self, a: &DenseMatrix, x: &[f64], y0: Option<&[f64]>) -> MvmOutcome {
         let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
         self.run_with_reducer(a, x, y0, &mut reducer)
     }
@@ -121,10 +122,11 @@ impl RowMajorMvm {
         }
 
         let mut a_ch = ReadChannel::new(a.row_major_stream(), self.params.matrix_words_per_cycle);
-        let mut tree: DelayLine<(u64, f64, bool)> =
-            DelayLine::new(self.params.mult_stages + k.ilog2() as usize * self.params.adder_stages);
-        let mut backlog: std::collections::VecDeque<(u64, f64, bool)> =
-            std::collections::VecDeque::new();
+        let tree_latency = self.params.mult_stages + k.ilog2() as usize * self.params.adder_stages;
+        let mut tree: DelayLine<(u64, f64, bool)> = DelayLine::new(tree_latency);
+        // Bounded like the dot-product backlog: the front end stops at two
+        // waiting values, plus whatever the tree still holds in flight.
+        let mut backlog: Fifo<(u64, f64, bool)> = Fifo::new(2 + tree_latency);
         let mut group = Vec::with_capacity(k);
 
         let groups_per_row = cols.div_ceil(k);
@@ -181,10 +183,12 @@ impl RowMajorMvm {
             }
 
             if let Some(out) = tree.step(tree_in) {
-                backlog.push_back(out);
+                backlog
+                    .try_push(out)
+                    .expect("backlog exceeded its 2 + tree-latency bound");
             }
             let red_in = if reducer.ready() {
-                backlog.pop_front().map(|(set_id, value, last)| ReduceInput {
+                backlog.pop().map(|(set_id, value, last)| ReduceInput {
                     set_id,
                     value,
                     last,
@@ -270,7 +274,7 @@ mod tests {
     #[test]
     fn non_square_and_ragged_dimensions() {
         let a = DenseMatrix::from_fn(5, 7, |i, j| ((i + 2 * j) % 5) as f64);
-        let x: Vec<f64> = (0..7).map(|j| (j % 3) as f64).collect();
+        let x: Vec<f64> = (0..7).map(|j| f64::from(j % 3)).collect();
         let d = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
         let out = d.run(&a, &x);
         assert_eq!(out.y, a.ref_mvm(&x));
@@ -279,15 +283,10 @@ mod tests {
     #[test]
     fn initial_y_folds_in() {
         let (a, x) = int_case(16);
-        let y0: Vec<f64> = (0..16).map(|i| (i % 4) as f64).collect();
+        let y0: Vec<f64> = (0..16).map(|i| f64::from(i % 4)).collect();
         let d = RowMajorMvm::standalone(MvmParams::with_k(2), 170.0);
         let out = d.run_with_initial(&a, &x, Some(&y0));
-        let expect: Vec<f64> = a
-            .ref_mvm(&x)
-            .iter()
-            .zip(&y0)
-            .map(|(r, y)| r + y)
-            .collect();
+        let expect: Vec<f64> = a.ref_mvm(&x).iter().zip(&y0).map(|(r, y)| r + y).collect();
         assert_eq!(out.y, expect);
     }
 

@@ -161,7 +161,11 @@ pub fn run_sets<R: Reducer>(r: &mut R, sets: &[Vec<f64>]) -> ReductionRun {
             results.push(ev);
         }
     }
-    assert!(r.is_done(), "{}: results complete but circuit not idle", r.name());
+    assert!(
+        r.is_done(),
+        "{}: results complete but circuit not idle",
+        r.name()
+    );
 
     ReductionRun {
         results,

@@ -142,8 +142,7 @@ impl Reducer for Pow2Reducer {
                     "RAW'05 circuit requires power-of-two set sizes, got {}",
                     self.current_count
                 );
-                self.set_log2
-                    .insert(inp.set_id, self.current_count.ilog2());
+                self.set_log2.insert(inp.set_id, self.current_count.ilog2());
                 self.current_set = None;
             }
             self.place(Partial {

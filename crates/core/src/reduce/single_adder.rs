@@ -424,7 +424,9 @@ mod tests {
     fn negative_and_fractional_values_sum_correctly() {
         // Powers of two and their negatives sum exactly in any order.
         let sets: Vec<Vec<f64>> = vec![
-            (0..40).map(|i| if i % 2 == 0 { 0.5 } else { -0.25 }).collect(),
+            (0..40)
+                .map(|i| if i % 2 == 0 { 0.5 } else { -0.25 })
+                .collect(),
             (0..33).map(|i| 2.0f64.powi(i % 8)).collect(),
         ];
         let mut r = SingleAdderReducer::new(ALPHA);

@@ -197,11 +197,7 @@ mod tests {
         let run = run_sets(&mut r, &sets);
         let expected = reference_sums(&sets);
         for ev in &run.results {
-            assert_eq!(
-                ev.value, expected[ev.set_id as usize],
-                "set {}",
-                ev.set_id
-            );
+            assert_eq!(ev.value, expected[ev.set_id as usize], "set {}", ev.set_id);
         }
         run
     }
@@ -222,7 +218,11 @@ mod tests {
         // Θ(α·lg α) claim: for α = 14, lg α ≈ 3.8 → bound ≈ 54; allow the
         // constant some room.
         let run = check(&vec![20; 40], 14);
-        assert!(run.buffer_high_water <= 14 * 8, "got {}", run.buffer_high_water);
+        assert!(
+            run.buffer_high_water <= 14 * 8,
+            "got {}",
+            run.buffer_high_water
+        );
     }
 
     #[test]

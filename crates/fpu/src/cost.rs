@@ -66,7 +66,7 @@ mod tests {
         // = 4.42 GFLOPS.
         let pair = FP_ADDER.area_slices + FP_MULTIPLIER.area_slices;
         let pairs = 23_616 / pair;
-        let peak = 2.0 * pairs as f64 * 170.0e6;
+        let peak = 2.0 * f64::from(pairs) * 170.0e6;
         assert_eq!(pairs, 13);
         assert!((peak / 1e9 - 4.42).abs() < 0.01, "peak {peak}");
     }

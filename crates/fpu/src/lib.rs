@@ -25,6 +25,8 @@
 //! * **Cost** ([`cost`]): the Table 2 area/latency/clock sheet used by the
 //!   area and clock models in `fblas-system`.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod pipelined;
 pub mod softfloat;

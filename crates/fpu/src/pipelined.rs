@@ -30,6 +30,8 @@ pub struct Tagged<T> {
 struct PipelinedUnit<T> {
     pipe: DelayLine<Tagged<T>>,
     ops_issued: u64,
+    /// Operation staged for the next clock edge (see [`PipelinedUnit::stage`]).
+    staged: Option<(f64, f64, T)>,
 }
 
 impl<T> PipelinedUnit<T> {
@@ -37,10 +39,29 @@ impl<T> PipelinedUnit<T> {
         Self {
             pipe: DelayLine::new(stages),
             ops_issued: 0,
+            staged: None,
         }
     }
 
+    /// Stage an operation for the upcoming clock edge. The unit has one
+    /// issue port: staging twice between edges is a double issue — two
+    /// drivers on the same port — and a scheduling bug in the caller.
+    fn stage(&mut self, a: f64, b: f64, tag: T) {
+        debug_assert!(
+            self.staged.is_none(),
+            "double issue: a single-issue floating-point unit was given two \
+             operations in the same cycle"
+        );
+        self.staged = Some((a, b, tag));
+    }
+
     fn step(&mut self, input: Option<(f64, f64, T)>, op: fn(u64, u64) -> u64) -> Option<Tagged<T>> {
+        debug_assert!(
+            !(input.is_some() && self.staged.is_some()),
+            "double issue: step(Some(..)) while another operation is staged \
+             for this cycle"
+        );
+        let input = input.or_else(|| self.staged.take());
         let computed = input.map(|(a, b, tag)| {
             self.ops_issued += 1;
             Tagged {
@@ -91,6 +112,20 @@ impl<T> PipelinedAdder<T> {
     /// Returns the operation issued `latency` cycles ago, if any.
     pub fn step(&mut self, input: Option<(f64, f64, T)>) -> Option<Tagged<T>> {
         self.unit.step(input, sf_add)
+    }
+
+    /// Stage `a + b` for the upcoming clock edge without advancing the
+    /// clock; the next [`PipelinedAdder::step`]`(None)` issues it. Control
+    /// logic with several candidate producers can use this split form —
+    /// staging twice in one cycle trips a debug assertion, catching
+    /// schedules that double-issue a single-issue unit.
+    pub fn issue(&mut self, a: f64, b: f64, tag: T) {
+        self.unit.stage(a, b, tag);
+    }
+
+    /// True if an operation is already staged for the upcoming edge.
+    pub fn issue_pending(&self) -> bool {
+        self.unit.staged.is_some()
     }
 
     /// The result that will emerge on the next [`PipelinedAdder::step`],
@@ -156,6 +191,17 @@ impl<T> PipelinedMultiplier<T> {
     /// Returns the operation issued `latency` cycles ago, if any.
     pub fn step(&mut self, input: Option<(f64, f64, T)>) -> Option<Tagged<T>> {
         self.unit.step(input, sf_mul)
+    }
+
+    /// Stage `a × b` for the upcoming clock edge; see
+    /// [`PipelinedAdder::issue`]. Double-staging trips a debug assertion.
+    pub fn issue(&mut self, a: f64, b: f64, tag: T) {
+        self.unit.stage(a, b, tag);
+    }
+
+    /// True if an operation is already staged for the upcoming edge.
+    pub fn issue_pending(&self) -> bool {
+        self.unit.staged.is_some()
     }
 
     /// The result that will emerge on the next
@@ -397,5 +443,38 @@ mod tests {
         // drained on the 2nd step after issue
         let r = r.or_else(|| mul.step(None)).unwrap();
         assert_eq!(r.value.to_bits(), (0.1f64 * 0.2f64).to_bits());
+    }
+
+    #[test]
+    fn staged_issue_computes_like_direct_issue() {
+        let mut adder = PipelinedAdder::<u8>::with_stages(3);
+        adder.issue(1.5, 2.25, 7);
+        assert!(adder.issue_pending());
+        let mut out = adder.step(None); // the staged op enters the pipe here
+        assert!(!adder.issue_pending());
+        for _ in 0..3 {
+            out = adder.step(None);
+        }
+        let out = out.expect("after the 3-stage latency");
+        assert_eq!(out.value, 3.75);
+        assert_eq!(out.tag, 7);
+        assert!(!adder.issue_pending());
+        assert_eq!(adder.ops_issued(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double issue")]
+    fn double_staging_in_one_cycle_is_caught() {
+        let mut adder = PipelinedAdder::<()>::new();
+        adder.issue(1.0, 2.0, ());
+        adder.issue(3.0, 4.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "double issue")]
+    fn step_some_over_a_staged_op_is_caught() {
+        let mut mul = PipelinedMultiplier::<()>::new();
+        mul.issue(1.0, 2.0, ());
+        mul.step(Some((3.0, 4.0, ())));
     }
 }

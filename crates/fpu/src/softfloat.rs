@@ -83,7 +83,7 @@ fn sig_and_exp(bits: u64) -> (u64, i32) {
     }
 }
 
-/// Shift `sig` right by `n`, ORing every shifted-out bit into bit 0
+/// Shift `sig` right by `n`, `ORing` every shifted-out bit into bit 0
 /// (the "sticky" bit). This models the hardware alignment shifter.
 #[inline]
 fn shift_right_sticky(sig: u64, n: u32) -> u64 {
@@ -250,7 +250,7 @@ pub fn sf_mul(a: u64, b: u64) -> u64 {
     }
 
     // Significands are in [2^52, 2^53); the product is in [2^104, 2^106).
-    let mut prod = sig_a as u128 * sig_b as u128;
+    let mut prod = u128::from(sig_a) * u128::from(sig_b);
     let mut e = e_a + e_b - BIAS;
     if prod >> 105 != 0 {
         e += 1;
@@ -372,10 +372,10 @@ mod tests {
             f64::NAN,
             f64::MAX,
             f64::MIN,
-            f64::MIN_POSITIVE,              // smallest normal
-            f64::MIN_POSITIVE / 2.0,        // subnormal
-            f64::from_bits(1),              // smallest subnormal
-            f64::from_bits(FRAC_MASK),      // largest subnormal
+            f64::MIN_POSITIVE,         // smallest normal
+            f64::MIN_POSITIVE / 2.0,   // subnormal
+            f64::from_bits(1),         // smallest subnormal
+            f64::from_bits(FRAC_MASK), // largest subnormal
             f64::EPSILON,
             1.0 + f64::EPSILON,
             1e308,
@@ -442,21 +442,36 @@ mod tests {
 
     #[test]
     fn add_signed_zero_rules() {
-        assert_eq!(sf_add((-0.0f64).to_bits(), (-0.0f64).to_bits()), (-0.0f64).to_bits());
-        assert_eq!(sf_add((-0.0f64).to_bits(), 0.0f64.to_bits()), 0.0f64.to_bits());
+        assert_eq!(
+            sf_add((-0.0f64).to_bits(), (-0.0f64).to_bits()),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(
+            sf_add((-0.0f64).to_bits(), 0.0f64.to_bits()),
+            0.0f64.to_bits()
+        );
         assert_eq!(sf_add(0.0f64.to_bits(), 0.0f64.to_bits()), 0.0f64.to_bits());
     }
 
     #[test]
     fn inf_minus_inf_is_nan() {
-        assert!(is_nan(sf_add(f64::INFINITY.to_bits(), f64::NEG_INFINITY.to_bits())));
-        assert!(is_nan(sf_sub(f64::INFINITY.to_bits(), f64::INFINITY.to_bits())));
+        assert!(is_nan(sf_add(
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits()
+        )));
+        assert!(is_nan(sf_sub(
+            f64::INFINITY.to_bits(),
+            f64::INFINITY.to_bits()
+        )));
     }
 
     #[test]
     fn zero_times_inf_is_nan() {
         assert!(is_nan(sf_mul(0.0f64.to_bits(), f64::INFINITY.to_bits())));
-        assert!(is_nan(sf_mul(f64::NEG_INFINITY.to_bits(), (-0.0f64).to_bits())));
+        assert!(is_nan(sf_mul(
+            f64::NEG_INFINITY.to_bits(),
+            (-0.0f64).to_bits()
+        )));
     }
 
     #[test]

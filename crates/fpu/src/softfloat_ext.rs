@@ -8,8 +8,8 @@
 //! against the host FPU, verified by proptest.
 
 use crate::softfloat::{
-    exp_of, frac_of, is_inf, is_nan, is_zero, pack, round_pack, sign_of, BIAS, EXP_MAX,
-    FRAC_BITS, QNAN,
+    exp_of, frac_of, is_inf, is_nan, is_zero, pack, round_pack, sign_of, BIAS, EXP_MAX, FRAC_BITS,
+    QNAN,
 };
 
 /// Significand with explicit leading bit and effective biased exponent;
@@ -57,9 +57,9 @@ pub fn sf_div(a: u64, b: u64) -> u64 {
     }
     // 54 extra quotient bits: 53 significand + guard + round; the
     // remainder folds into the sticky bit.
-    let num = (sig_a as u128) << 54;
-    let q = (num / sig_b as u128) as u64;
-    let rem = num % sig_b as u128;
+    let num = u128::from(sig_a) << 54;
+    let q = (num / u128::from(sig_b)) as u64;
+    let rem = num % u128::from(sig_b);
     debug_assert!(q >> 54 == 1, "quotient normalized to [2^54, 2^55)");
     let sig = (q << 1) | u64::from(rem != 0);
     // sig: leading bit at 55 = FRAC_BITS + 3 → guard/round/sticky low bits.
@@ -108,9 +108,9 @@ pub fn sf_sqrt(a: u64) -> u64 {
     // Shift so that (d − k) is even and the integer root has 54 bits
     // (53 significand + 1 guard).
     let k = 54 + ((d - 54).rem_euclid(2)) as u32;
-    let m = (sig as u128) << k;
+    let m = u128::from(sig) << k;
     let s = isqrt_u128(m) as u64;
-    let sticky = (s as u128) * (s as u128) != m;
+    let sticky = u128::from(s) * u128::from(s) != m;
     debug_assert!(s >> 53 == 1, "root normalized to [2^53, 2^54)");
     let t = (d - k as i32) / 2;
     let er = t + 53 + BIAS;
@@ -264,8 +264,8 @@ mod tests {
     #[test]
     fn perfect_square_roots_are_exact() {
         for i in 1..100u32 {
-            let v = (i * i) as f64;
-            assert_eq!(sqrt_f64(v), i as f64);
+            let v = f64::from(i * i);
+            assert_eq!(sqrt_f64(v), f64::from(i));
         }
     }
 }

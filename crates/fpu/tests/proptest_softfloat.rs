@@ -26,14 +26,12 @@ fn any_bits() -> impl Strategy<Value = u64> {
         any::<u64>(),
         // Clustered near exponent-field boundaries where rounding and
         // underflow/overflow corner cases live.
-        (0u64..=1, 0u64..=4, any::<u64>()).prop_map(|(s, e, f)| {
-            (s << 63) | (e << 52) | (f & ((1 << 52) - 1))
-        }),
-        (0u64..=1, 2043u64..=2047, any::<u64>()).prop_map(|(s, e, f)| {
-            (s << 63) | (e << 52) | (f & ((1 << 52) - 1))
-        }),
+        (0u64..=1, 0u64..=4, any::<u64>())
+            .prop_map(|(s, e, f)| { (s << 63) | (e << 52) | (f & ((1 << 52) - 1)) }),
+        (0u64..=1, 2043u64..=2047, any::<u64>())
+            .prop_map(|(s, e, f)| { (s << 63) | (e << 52) | (f & ((1 << 52) - 1)) }),
         // Pairs of nearby magnitudes (catastrophic-cancellation region).
-        (any::<i64>().prop_map(|x| (x.unsigned_abs()) % (1 << 60))),
+        any::<i64>().prop_map(|x| (x.unsigned_abs()) % (1 << 60)),
     ]
 }
 

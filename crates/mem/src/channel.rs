@@ -200,7 +200,7 @@ mod tests {
         let mut written = 0;
         for i in 0..10 {
             ch.tick();
-            if ch.write(i as f64) {
+            if ch.write(f64::from(i)) {
                 written += 1;
             }
             // second write in the same cycle may use banked credit once,
@@ -217,7 +217,7 @@ mod tests {
         let mut ch = WriteChannel::with_capacity(2.0, 4);
         for i in 0..4 {
             ch.tick();
-            assert!(ch.write(i as f64));
+            assert!(ch.write(f64::from(i)));
         }
         assert_eq!(ch.into_data(), vec![0.0, 1.0, 2.0, 3.0]);
     }

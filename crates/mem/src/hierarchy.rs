@@ -98,7 +98,7 @@ impl MemoryHierarchy {
         }
     }
 
-    /// The SRC MAPstation column of paper Table 1.
+    /// The SRC `MAPstation` column of paper Table 1.
     pub fn src_mapstation() -> Self {
         Self {
             platform: "SRC MAPstation",

@@ -3,7 +3,7 @@
 //! Section 3.2.2 of the paper abstracts the memory available to one FPGA in
 //! a reconfigurable system into three levels (paper Table 1):
 //!
-//! | level | what              | Cray XD1           | SRC MAPstation    |
+//! | level | what              | Cray XD1           | SRC `MAPstation`    |
 //! |-------|-------------------|--------------------|-------------------|
 //! | A     | on-chip BRAM      | 522 KB, 209 GB/s   | 648 KB, 260 GB/s  |
 //! | B     | on-board SRAM     | 16 MB, 12.8 GB/s   | 24 MB, 4.8 GB/s   |
@@ -24,6 +24,8 @@
 //! * [`staging`] — the DRAM→SRAM DMA staging model that accounts for the
 //!   data-movement time the paper reports (8.0 ms total vs 1.6 ms compute
 //!   for the Level-2 design).
+
+#![forbid(unsafe_code)]
 
 pub mod channel;
 pub mod hierarchy;

@@ -24,7 +24,7 @@ pub struct DmaModel {
     /// Sustained bandwidth in bytes per second.
     pub bandwidth_bytes_per_s: f64,
     /// Fixed per-transfer setup latency in seconds (descriptor setup,
-    /// RapidArray round trip). Zero in the paper's accounting.
+    /// `RapidArray` round trip). Zero in the paper's accounting.
     pub setup_s: f64,
 }
 
@@ -86,16 +86,13 @@ mod tests {
     #[test]
     fn words_and_bytes_agree() {
         let dma = DmaModel::new(8e9);
-        assert_eq!(
-            dma.transfer_seconds_words(1000),
-            dma.transfer_seconds(8000)
-        );
+        assert_eq!(dma.transfer_seconds_words(1000), dma.transfer_seconds(8000));
     }
 
     #[test]
     fn cycles_round_up() {
         let dma = DmaModel::new(8e8); // 0.1 words/cycle at 1 GHz
-        // 1 word = 8 bytes = 10 ns = 10 cycles at 1000 MHz.
+                                      // 1 word = 8 bytes = 10 ns = 10 cycles at 1000 MHz.
         assert_eq!(dma.transfer_cycles(8, 1000.0), 10);
         assert_eq!(dma.transfer_cycles(9, 1000.0), 12); // 11.25 → 12
     }

@@ -18,7 +18,10 @@ impl ClockDomain {
     /// # Panics
     /// Panics if `mhz` is not strictly positive and finite.
     pub fn from_mhz(mhz: f64) -> Self {
-        assert!(mhz.is_finite() && mhz > 0.0, "clock must be positive, got {mhz} MHz");
+        assert!(
+            mhz.is_finite() && mhz > 0.0,
+            "clock must be positive, got {mhz} MHz"
+        );
         Self { mhz }
     }
 

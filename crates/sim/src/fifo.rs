@@ -9,6 +9,23 @@
 
 use std::collections::VecDeque;
 
+/// Rejection returned by [`Fifo::try_push`]: the queue was at capacity.
+/// Carries the rejected item back to the caller so a back-pressured
+/// architecture can hold it and retry on a later cycle.
+pub struct FifoFull<T>(pub T);
+
+impl<T> std::fmt::Debug for FifoFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FifoFull")
+    }
+}
+
+impl<T> std::fmt::Display for FifoFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("fifo at capacity")
+    }
+}
+
 /// A bounded first-in first-out queue that records its high-water mark.
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
@@ -49,13 +66,16 @@ impl<T> Fifo<T> {
         self.high_water = self.high_water.max(self.items.len());
     }
 
-    /// Try to push an item, returning `Err(item)` if full.
-    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+    /// Try to push an item, returning [`FifoFull`] (carrying the item
+    /// back) if at capacity. This is the back-pressure form: use it where
+    /// the architecture handles a full buffer by stalling; use [`Fifo::push`]
+    /// where a full buffer violates a claimed bound and must panic.
+    pub fn try_push(&mut self, item: T) -> Result<(), FifoFull<T>> {
         if self.items.len() < self.capacity {
             self.push(item);
             Ok(())
         } else {
-            Err(item)
+            Err(FifoFull(item))
         }
     }
 
@@ -146,8 +166,10 @@ mod tests {
     fn try_push_returns_item_when_full() {
         let mut f = Fifo::new(1);
         assert!(f.try_push(10).is_ok());
-        assert_eq!(f.try_push(11), Err(11));
+        let FifoFull(rejected) = f.try_push(11).unwrap_err();
+        assert_eq!(rejected, 11);
         assert!(f.is_full());
+        assert_eq!(f.total_pushed(), 1, "rejected pushes are not counted");
     }
 
     #[test]

@@ -54,8 +54,14 @@ impl Throttle {
 
     /// Create a throttle with an explicit credit cap.
     pub fn with_burst(rate: f64, burst: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
-        assert!(burst >= rate.min(1.0), "burst {burst} too small for rate {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
+        assert!(
+            burst >= rate.min(1.0),
+            "burst {burst} too small for rate {rate}"
+        );
         Self {
             rate,
             burst,

@@ -47,7 +47,7 @@ proptest! {
     /// high-water mark equals the maximum in-flight count.
     #[test]
     fn fifo_is_a_queue(ops in prop::collection::vec(any::<bool>(), 1..300)) {
-        let mut f = Fifo::new(usize::MAX.min(1 << 20));
+        let mut f = Fifo::new(1 << 20);
         let mut model = std::collections::VecDeque::new();
         let mut next = 0usize;
         let mut peak = 0usize;

@@ -11,7 +11,7 @@ use crate::csr::CsrMatrix;
 use crate::spmv::{SpmvDesign, SpmvOutcome, SpmvParams};
 use fblas_core::report::SimReport;
 
-/// Column-blocked driver over the SpMV design.
+/// Column-blocked driver over the `SpMV` design.
 #[derive(Debug, Clone)]
 pub struct BlockedSpmv {
     design: SpmvDesign,
@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn blocked_matches_unblocked_and_reference() {
         let a = irregular(120);
-        let x: Vec<f64> = (0..120).map(|j| ((j * 5 + 1) % 8) as f64).collect();
+        let x: Vec<f64> = (0..120).map(|j| f64::from((j * 5 + 1) % 8)).collect();
         let full = SpmvDesign::new(SpmvParams::with_k(4)).run(&a, &x);
         for b in [16usize, 40, 64, 120, 200] {
             let blocked = BlockedSpmv::new(SpmvParams::with_k(4), b).run(&a, &x);
@@ -100,12 +100,9 @@ mod tests {
     fn rows_empty_in_some_panels_carry_partials() {
         // Row 0 only has entries in the first panel; row 2 only in the
         // last: partial carrying must pass both through untouched.
-        let a = CsrMatrix::from_triplets(
-            3,
-            9,
-            &[(0, 0, 2.0), (1, 1, 1.0), (1, 8, 3.0), (2, 7, 5.0)],
-        );
-        let x: Vec<f64> = (0..9).map(|j| (j + 1) as f64).collect();
+        let a =
+            CsrMatrix::from_triplets(3, 9, &[(0, 0, 2.0), (1, 1, 1.0), (1, 8, 3.0), (2, 7, 5.0)]);
+        let x: Vec<f64> = (0..9).map(|j| f64::from(j + 1)).collect();
         let out = BlockedSpmv::new(SpmvParams::with_k(2), 3).run(&a, &x);
         assert_eq!(out.y, a.ref_spmv(&x));
     }
@@ -113,7 +110,7 @@ mod tests {
     #[test]
     fn single_panel_degenerates_to_plain_run() {
         let a = irregular(40);
-        let x: Vec<f64> = (0..40).map(|j| (j % 5) as f64).collect();
+        let x: Vec<f64> = (0..40).map(|j| f64::from(j % 5)).collect();
         let plain = SpmvDesign::new(SpmvParams::with_k(2)).run(&a, &x);
         let blocked = BlockedSpmv::new(SpmvParams::with_k(2), 40).run(&a, &x);
         assert_eq!(plain.y, blocked.y);

@@ -3,7 +3,7 @@
 //! §7 of the paper positions the Jacobi solver as a *preconditioner* "for
 //! the more efficient methods like conjugate gradient (CG)". This module
 //! closes that loop: a CG solver whose matrix-vector products run on the
-//! SpMV design and whose inner products run on the Level-1 dot design,
+//! `SpMV` design and whose inner products run on the Level-1 dot design,
 //! with an optional Jacobi (diagonal) preconditioner. The element-wise
 //! vector updates run on the host processor, the intended FPGA/CPU split
 //! of the reconfigurable-system model.
@@ -25,13 +25,13 @@ pub struct CgOutcome {
     pub converged: bool,
     /// Final 2-norm of the residual b − A·x.
     pub residual: f64,
-    /// Accumulated FPGA accounting (SpMV + dot runs).
+    /// Accumulated FPGA accounting (`SpMV` + dot runs).
     pub report: SimReport,
     /// Clock domain of the designs.
     pub clock: ClockDomain,
 }
 
-/// Conjugate-gradient solver over the FPGA SpMV and dot designs.
+/// Conjugate-gradient solver over the FPGA `SpMV` and dot designs.
 #[derive(Debug, Clone)]
 pub struct CgSolver {
     spmv: SpmvDesign,
@@ -45,7 +45,7 @@ pub struct CgSolver {
 }
 
 impl CgSolver {
-    /// Create a solver with k-lane SpMV and 2-lane dot designs.
+    /// Create a solver with k-lane `SpMV` and 2-lane dot designs.
     pub fn new(params: SpmvParams, tolerance: f64, max_iterations: usize) -> Self {
         assert!(tolerance > 0.0, "tolerance must be positive");
         assert!(max_iterations > 0, "need at least one iteration");

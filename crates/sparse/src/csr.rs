@@ -1,6 +1,6 @@
 //! Compressed Row Storage (CRS/CSR) sparse matrices.
 //!
-//! The paper's SpMV design \[32\] "accepts matrices in Compressed Row
+//! The paper's `SpMV` design \[32\] "accepts matrices in Compressed Row
 //! Storage format": three arrays — values, column indices, and row
 //! pointers — with no assumption about the sparsity structure.
 
@@ -27,11 +27,7 @@ pub struct CsrMatrix {
 
 impl CsrMatrix {
     /// Build from (row, col, value) triplets; duplicates are summed.
-    pub fn from_triplets(
-        n_rows: usize,
-        n_cols: usize,
-        triplets: &[(usize, usize, f64)],
-    ) -> Self {
+    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
         sorted.sort_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = vec![0usize; n_rows + 1];
@@ -127,7 +123,7 @@ impl CsrMatrix {
 
     /// Extract columns `lo..hi` as their own CSR matrix (columns
     /// reindexed to start at zero) — the panel decomposition the blocked
-    /// SpMV driver uses when x exceeds on-chip storage.
+    /// `SpMV` driver uses when x exceeds on-chip storage.
     pub fn column_panel(&self, lo: usize, hi: usize) -> CsrMatrix {
         assert!(lo < hi && hi <= self.n_cols, "bad panel range {lo}..{hi}");
         let mut trip = Vec::new();
@@ -147,9 +143,8 @@ impl CsrMatrix {
             return false;
         }
         (0..self.n_rows).all(|i| {
-            self.row(i).all(|(j, v)| {
-                self.row(j).find(|&(c, _)| c == i).map(|(_, w)| w) == Some(v)
-            })
+            self.row(i)
+                .all(|(j, v)| self.row(j).find(|&(c, _)| c == i).map(|(_, w)| w) == Some(v))
         })
     }
 
@@ -223,9 +218,17 @@ mod tests {
 
     #[test]
     fn symmetry_check() {
-        let sym = CsrMatrix::from_triplets(3, 3, &[
-            (0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0), (2, 2, 1.0),
-        ]);
+        let sym = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (2, 2, 1.0),
+            ],
+        );
         assert!(sym.is_symmetric());
         let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
         assert!(!asym.is_symmetric());

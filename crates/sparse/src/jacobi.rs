@@ -1,9 +1,9 @@
-//! Jacobi iterative solver on the SpMV design (the authors' \[18\]).
+//! Jacobi iterative solver on the `SpMV` design (the authors' \[18\]).
 //!
 //! Solves A·x = b by the iteration x⁽ᵗ⁺¹⁾ = D⁻¹·(b − (A − D)·x⁽ᵗ⁾), where
-//! D is the diagonal of A. Each iteration is one SpMV of the off-diagonal
+//! D is the diagonal of A. Each iteration is one `SpMV` of the off-diagonal
 //! part on the FPGA design plus an element-wise update; the solver
-//! accumulates the cycle cost of every simulated SpMV so the report
+//! accumulates the cycle cost of every simulated `SpMV` so the report
 //! reflects what the hardware would spend. Strict diagonal dominance is a
 //! sufficient convergence condition, which [`JacobiSolver::solve`]
 //! checks and reports.
@@ -24,13 +24,13 @@ pub struct JacobiOutcome {
     pub converged: bool,
     /// Final max-norm of b − A·x.
     pub residual: f64,
-    /// Accumulated hardware accounting across all SpMV runs.
+    /// Accumulated hardware accounting across all `SpMV` runs.
     pub report: SimReport,
     /// Clock domain of the underlying design.
     pub clock: ClockDomain,
 }
 
-/// Jacobi iterative solver driving the FPGA SpMV design.
+/// Jacobi iterative solver driving the FPGA `SpMV` design.
 ///
 /// # Examples
 ///
@@ -61,7 +61,7 @@ pub struct JacobiSolver {
 }
 
 impl JacobiSolver {
-    /// Create a solver over a k-lane SpMV design.
+    /// Create a solver over a k-lane `SpMV` design.
     pub fn new(params: SpmvParams, tolerance: f64, max_iterations: usize) -> Self {
         assert!(tolerance > 0.0, "tolerance must be positive");
         assert!(max_iterations > 0, "need at least one iteration");
@@ -204,7 +204,8 @@ mod tests {
 
     #[test]
     fn diagonal_system_converges_in_one_iteration() {
-        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 5.0), (3, 3, 8.0)]);
+        let a =
+            CsrMatrix::from_triplets(4, 4, &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 5.0), (3, 3, 8.0)]);
         let b = vec![2.0, 8.0, 15.0, 32.0];
         let solver = JacobiSolver::new(SpmvParams::with_k(2), 1e-12, 10);
         let out = solver.solve(&a, &b);

@@ -9,7 +9,7 @@
 //!   reduction sets have arbitrary sizes — the workload that motivates
 //!   the §4.3 circuit's "multiple sets of arbitrary size" property. The
 //!   design "makes no assumption on the sparsity of the matrix".
-//! * [`jacobi`] — a Jacobi iterative solver \[18\] layered on the SpMV
+//! * [`jacobi`] — a Jacobi iterative solver \[18\] layered on the `SpMV`
 //!   design, "usually used as a preconditioner for the more efficient
 //!   methods like conjugate gradient".
 //! * [`cg`] — that more efficient method: preconditioned conjugate
@@ -17,6 +17,8 @@
 //!   FPGA designs, with Jacobi as the preconditioner.
 //!
 //! [`csr`] provides the Compressed Row Storage substrate both build on.
+
+#![forbid(unsafe_code)]
 
 pub mod blocked;
 pub mod cg;

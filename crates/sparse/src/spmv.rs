@@ -18,7 +18,7 @@ use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_sim::{ClockDomain, DelayLine};
 use fblas_system::io_bound_peak_mvm;
 
-/// Parameters of the SpMV design.
+/// Parameters of the `SpMV` design.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpmvParams {
     /// Multiplier lanes (power of two for the adder tree).
@@ -43,7 +43,7 @@ impl SpmvParams {
     }
 }
 
-/// Result of one SpMV run.
+/// Result of one `SpMV` run.
 #[derive(Debug, Clone)]
 pub struct SpmvOutcome {
     /// The computed y = A·x.
@@ -66,7 +66,7 @@ impl SpmvOutcome {
     }
 }
 
-/// The tree-based SpMV design.
+/// The tree-based `SpMV` design.
 #[derive(Debug, Clone)]
 pub struct SpmvDesign {
     params: SpmvParams,
@@ -76,7 +76,10 @@ pub struct SpmvDesign {
 impl SpmvDesign {
     /// Instantiate at the tree-design clock (170 MHz).
     pub fn new(params: SpmvParams) -> Self {
-        assert!(params.k.is_power_of_two(), "adder tree needs power-of-two k");
+        assert!(
+            params.k.is_power_of_two(),
+            "adder tree needs power-of-two k"
+        );
         Self {
             params,
             clock: ClockDomain::from_mhz(170.0),
@@ -203,11 +206,13 @@ impl SpmvDesign {
                 backlog.push_back(out);
             }
             let red_in = if reducer.ready() {
-                backlog.pop_front().map(|(set_id, value, last)| ReduceInput {
-                    set_id,
-                    value,
-                    last,
-                })
+                backlog
+                    .pop_front()
+                    .map(|(set_id, value, last)| ReduceInput {
+                        set_id,
+                        value,
+                        last,
+                    })
             } else {
                 None
             };
@@ -284,7 +289,7 @@ mod tests {
     #[test]
     fn matches_reference_on_irregular_matrix() {
         let a = test_matrix(100);
-        let x: Vec<f64> = (0..100).map(|j| ((j * 3 + 1) % 8) as f64).collect();
+        let x: Vec<f64> = (0..100).map(|j| f64::from((j * 3 + 1) % 8)).collect();
         let d = SpmvDesign::new(SpmvParams::with_k(4));
         let out = d.run(&a, &x);
         assert_eq!(out.y, a.ref_spmv(&x));
@@ -311,7 +316,7 @@ mod tests {
         // The circuit's buffer bound must hold under highly irregular row
         // lengths.
         let a = test_matrix(300);
-        let x: Vec<f64> = (0..300).map(|j| ((j * 5 + 2) % 8) as f64).collect();
+        let x: Vec<f64> = (0..300).map(|j| f64::from((j * 5 + 2) % 8)).collect();
         let d = SpmvDesign::new(SpmvParams::with_k(4));
         let out = d.run(&a, &x);
         assert_eq!(out.y, a.ref_spmv(&x));
@@ -337,7 +342,7 @@ mod tests {
     #[test]
     fn k1_configuration() {
         let a = test_matrix(40);
-        let x: Vec<f64> = (0..40).map(|j| (j % 5) as f64).collect();
+        let x: Vec<f64> = (0..40).map(|j| f64::from(j % 5)).collect();
         let d = SpmvDesign::new(SpmvParams::with_k(1));
         let out = d.run(&a, &x);
         assert_eq!(out.y, a.ref_spmv(&x));

@@ -17,13 +17,7 @@ pub fn gemv_naive(a: &[f64], rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
 /// Cache-blocked y = A·x: column panels sized to keep the x slice in
 /// cache while several rows stream — the software analogue of the
 /// paper's block matrix-vector multiply (§4.2).
-pub fn gemv_blocked(
-    a: &[f64],
-    rows: usize,
-    cols: usize,
-    x: &[f64],
-    panel: usize,
-) -> Vec<f64> {
+pub fn gemv_blocked(a: &[f64], rows: usize, cols: usize, x: &[f64], panel: usize) -> Vec<f64> {
     assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
     assert_eq!(x.len(), cols, "x length mismatch");
     assert!(panel > 0, "panel width must be positive");
@@ -47,19 +41,13 @@ pub fn gemv_blocked(
 
 /// Multi-threaded y = A·x: row ranges distributed over scoped threads
 /// (disjoint output slices, no synchronization needed).
-pub fn gemv_parallel(
-    a: &[f64],
-    rows: usize,
-    cols: usize,
-    x: &[f64],
-    threads: usize,
-) -> Vec<f64> {
+pub fn gemv_parallel(a: &[f64], rows: usize, cols: usize, x: &[f64], threads: usize) -> Vec<f64> {
     assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
     assert_eq!(x.len(), cols, "x length mismatch");
     assert!(threads >= 1, "need at least one thread");
     let mut y = vec![0.0f64; rows];
     let rows_per = rows.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest: &mut [f64] = &mut y;
         let mut row0 = 0usize;
         while row0 < rows {
@@ -67,7 +55,7 @@ pub fn gemv_parallel(
             let (panel, tail) = rest.split_at_mut(chunk);
             rest = tail;
             let lo = row0;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, yi) in panel.iter_mut().enumerate() {
                     let row = &a[(lo + i) * cols..(lo + i + 1) * cols];
                     *yi = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
@@ -75,8 +63,7 @@ pub fn gemv_parallel(
             });
             row0 += chunk;
         }
-    })
-    .expect("worker thread panicked");
+    });
     y
 }
 

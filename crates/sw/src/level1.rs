@@ -100,7 +100,7 @@ mod tests {
     fn agrees_with_fpga_designs_on_moderate_data() {
         // The FPGA asum/nrm2 designs use plain summation; within normal
         // range the safe form agrees to rounding.
-        let x: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let x: Vec<f64> = (0..100).map(|i| f64::from((i * 7) % 13) - 6.0).collect();
         let plain = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!((nrm2(&x) - plain).abs() < 1e-12 * plain.max(1.0));
     }

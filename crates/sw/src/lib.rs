@@ -10,12 +10,14 @@
 //! architecture simulations and as the measured CPU side of the
 //! comparison (via the Criterion benches in `fblas-bench`).
 
+#![forbid(unsafe_code)]
+
 pub mod dot;
 pub mod gemm;
 pub mod gemv;
 pub mod level1;
 
 pub use dot::{dot_naive, dot_unrolled};
-pub use level1::{asum, axpy, iamax, nrm2, scal};
 pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel, gemm_transposed};
 pub use gemv::{gemv_blocked, gemv_naive, gemv_parallel};
+pub use level1::{asum, axpy, iamax, nrm2, scal};

@@ -115,7 +115,7 @@ mod tests {
         let m = AreaModel::default();
         let a = m.dot_design(2);
         assert!(
-            (a as f64 - 5210.0).abs() / 5210.0 < 0.005,
+            (f64::from(a) - 5210.0).abs() / 5210.0 < 0.005,
             "model {a} vs paper 5210"
         );
     }
@@ -125,7 +125,7 @@ mod tests {
         let m = AreaModel::default();
         let a = m.mvm_design(4);
         assert!(
-            (a as f64 - 9669.0).abs() / 9669.0 < 0.005,
+            (f64::from(a) - 9669.0).abs() / 9669.0 < 0.005,
             "model {a} vs paper 9669"
         );
     }
@@ -134,7 +134,10 @@ mod tests {
     fn table4_mvm_xd1_area_within_ten_slices() {
         let m = AreaModel::default();
         let a = m.mvm_design_xd1(4);
-        assert!((a as i64 - 13772).abs() <= 10, "model {a} vs paper 13772");
+        assert!(
+            (i64::from(a) - 13772).abs() <= 10,
+            "model {a} vs paper 13772"
+        );
     }
 
     #[test]
@@ -179,7 +182,7 @@ mod tests {
         let m = AreaModel::default();
         let a = m.mm_design_xd1(8);
         assert!(
-            (a as f64 - 21029.0).abs() / 21029.0 < 0.07,
+            (f64::from(a) - 21029.0).abs() / 21029.0 < 0.07,
             "model {a} vs paper 21029"
         );
         assert!(XC2VP50.fits(a));

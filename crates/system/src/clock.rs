@@ -61,8 +61,8 @@ impl ClockModel {
     pub fn mm_mhz(&self, k: u32) -> f64 {
         assert!(k >= 1, "at least one PE");
         let k = k.min(self.mm_max_k);
-        let span = (self.mm_base_mhz - self.mm_min_mhz) / (self.mm_max_k - 1) as f64;
-        self.mm_base_mhz - span * (k - 1) as f64
+        let span = (self.mm_base_mhz - self.mm_min_mhz) / f64::from(self.mm_max_k - 1);
+        self.mm_base_mhz - span * f64::from(k - 1)
     }
 
     /// Matrix-multiply clock domain on a bare device.

@@ -42,7 +42,7 @@ impl FpgaDevice {
 
     /// Fraction of the device a design of `slices` slices occupies.
     pub fn occupancy(&self, slices: u32) -> f64 {
-        slices as f64 / self.slices as f64
+        f64::from(slices) / f64::from(self.slices)
     }
 
     /// Whether a design of `slices` slices fits.
@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn xc2vp100_roughly_doubles_vp50() {
-        assert!(XC2VP100.slices as f64 / XC2VP50.slices as f64 > 1.8);
+        assert!(f64::from(XC2VP100.slices) / f64::from(XC2VP50.slices) > 1.8);
         assert_eq!(XC2VP100.bram_bits, 2 * XC2VP50.bram_bits);
     }
 

@@ -12,9 +12,9 @@
 //!   Figure 9 (155 MHz at k=1 falling to 125 MHz at k=10) and the measured
 //!   design clocks (170 / 164 / 130 MHz).
 //! * [`xd1`] — the Cray XD1 topology: compute node (Opterons + one FPGA +
-//!   4 SRAM banks + DRAM over RapidArray), chassis of six blades with a
+//!   4 SRAM banks + DRAM over `RapidArray`), chassis of six blades with a
 //!   RocketI/O FPGA ring, and the typical 12-chassis installation.
-//! * [`src_station`] — the SRC MAPstation (two FPGAs + controller, six
+//! * [`src_station`] — the SRC `MAPstation` (two FPGAs + controller, six
 //!   SRAM banks each), used for the Table 1 comparison.
 //! * [`peak`] — peak-performance calculators: the I/O-bound bounds of
 //!   §4.4 (dot peak = bw, matrix-vector peak = 2·bw) and the
@@ -22,6 +22,8 @@
 //! * [`projection`] — the §6.4 projections behind Figures 11 and 12 and
 //!   the single/multi-chassis predictions (12.4 and 148.3 GFLOPS), with
 //!   their bandwidth-requirement checks.
+
+#![forbid(unsafe_code)]
 
 pub mod area;
 pub mod clock;

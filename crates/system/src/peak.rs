@@ -31,7 +31,7 @@ pub fn io_bound_peak_mvm(bandwidth_bytes_per_s: f64) -> f64 {
 /// §6.3: compute-bound peak of a device: `2 × (adder+multiplier pairs that
 /// fit) × unit clock`.
 pub fn device_peak_flops(device: &FpgaDevice, area: &AreaModel, unit_clock_mhz: f64) -> f64 {
-    2.0 * area.max_fp_pairs(device) as f64 * unit_clock_mhz * 1e6
+    2.0 * f64::from(area.max_fp_pairs(device)) * unit_clock_mhz * 1e6
 }
 
 #[cfg(test)]

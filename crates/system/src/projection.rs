@@ -77,11 +77,10 @@ impl ChassisProjection {
     pub fn point(&self, pe_slices: u32, pe_clock_mhz: f64) -> ProjectionPoint {
         assert!(pe_slices > 0);
         let pes = self.device.slices / pe_slices;
-        let l = self.fpgas_per_chassis as f64;
-        let gflops =
-            2.0 * pes as f64 * pe_clock_mhz * 1e6 * l * ROUTING_DERATE / 1e9;
+        let l = f64::from(self.fpgas_per_chassis);
+        let gflops = 2.0 * f64::from(pes) * pe_clock_mhz * 1e6 * l * ROUTING_DERATE / 1e9;
         let hz = pe_clock_mhz * 1e6;
-        let k = pes as f64;
+        let k = f64::from(pes);
         let words = WORD_BYTES as f64;
         // C′ storage: one read + one write per cycle; C forwarding: two m×m
         // blocks per m²b/(k·l) cycles.
@@ -104,7 +103,7 @@ impl ChassisProjection {
         let mut points = Vec::with_capacity(25);
         for pe_slices in (1600..=2000).step_by(100) {
             for clock in (160..=200).step_by(10) {
-                points.push(self.point(pe_slices, clock as f64));
+                points.push(self.point(pe_slices, f64::from(clock)));
             }
         }
         points
@@ -121,19 +120,19 @@ pub fn scaled_sustained_gflops(single_fpga_gflops: f64, total_fpgas: usize) -> f
 /// Extra pipeline-fill latency in cycles when the linear array spans
 /// `total_fpgas` FPGAs of `k` PEs each (§6.4: k × l cycles).
 pub fn multi_fpga_fill_cycles(k: u32, total_fpgas: usize) -> u64 {
-    k as u64 * total_fpgas as u64
+    u64::from(k) * total_fpgas as u64
 }
 
 /// DRAM / inter-FPGA bandwidth (bytes/s) required by the hierarchical
 /// design: three m×m blocks per m²b/(k·l) cycles.
 pub fn hierarchical_dram_bytes_per_s(k: u32, l: usize, b: u64, clock_mhz: f64) -> f64 {
-    3.0 * k as f64 * l as f64 / b as f64 * WORD_BYTES as f64 * clock_mhz * 1e6
+    3.0 * f64::from(k) * l as f64 / b as f64 * WORD_BYTES as f64 * clock_mhz * 1e6
 }
 
 /// SRAM bandwidth (bytes/s) required per FPGA by the hierarchical design:
 /// C′ read+write every cycle plus C-block forwarding.
 pub fn hierarchical_sram_bytes_per_s(k: u32, l: usize, b: u64, clock_mhz: f64) -> f64 {
-    (2.0 + 2.0 * k as f64 * l as f64 / b as f64) * WORD_BYTES as f64 * clock_mhz * 1e6
+    (2.0 + 2.0 * f64::from(k) * l as f64 / b as f64) * WORD_BYTES as f64 * clock_mhz * 1e6
 }
 
 /// DRAM bandwidth (bytes/s) required by the *naive* multi-FPGA design —
@@ -144,7 +143,7 @@ pub fn hierarchical_sram_bytes_per_s(k: u32, l: usize, b: u64, clock_mhz: f64) -
 /// growing linearly with l, which is what makes the hierarchical design
 /// necessary.
 pub fn naive_multi_fpga_dram_bytes_per_s(k: u32, l: usize, m: u64, clock_mhz: f64) -> f64 {
-    3.0 * k as f64 * l as f64 / m as f64 * WORD_BYTES as f64 * clock_mhz * 1e6
+    3.0 * f64::from(k) * l as f64 / m as f64 * WORD_BYTES as f64 * clock_mhz * 1e6
 }
 
 #[cfg(test)]
@@ -238,9 +237,7 @@ mod tests {
         // Faster clock, same area: strictly better.
         assert!(proj.point(1800, 200.0).chassis_gflops > proj.point(1800, 160.0).chassis_gflops);
         // Smaller PE, same clock: at least as good (more PEs fit).
-        assert!(
-            proj.point(1600, 180.0).chassis_gflops >= proj.point(2000, 180.0).chassis_gflops
-        );
+        assert!(proj.point(1600, 180.0).chassis_gflops >= proj.point(2000, 180.0).chassis_gflops);
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub fn simulate_ring(cfg: &RingConfig, intervals: u64) -> RingStats {
         // Move words across each hop.
         for h in 0..hops {
             links[h].tick();
-            let budget = links[h].grant_up_to(u64::MAX.min(cfg.block_words));
+            let budget = links[h].grant_up_to(cfg.block_words);
             let mut remaining = budget;
             while remaining > 0 {
                 match queues[h].front_mut() {

@@ -1,6 +1,6 @@
-//! SRC MAPstation platform model (paper §3.1.1, Figure 3).
+//! SRC `MAPstation` platform model (paper §3.1.1, Figure 3).
 //!
-//! A MAPstation pairs an Intel microprocessor with a *MAP processor*: two
+//! A `MAPstation` pairs an Intel microprocessor with a *MAP processor*: two
 //! user FPGAs plus an FPGA-based controller, each user FPGA with six banks
 //! of on-board SRAM. It appears in the paper as the second column of
 //! Table 1 and as evidence that the computational model of §3.2
@@ -8,7 +8,7 @@
 
 use fblas_mem::MemoryHierarchy;
 
-/// The SRC MAPstation as seen from one MAP processor.
+/// The SRC `MAPstation` as seen from one MAP processor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SrcMapStation {
     /// User FPGAs per MAP processor.

@@ -2,10 +2,10 @@
 //!
 //! * A **compute blade** pairs two AMD Opterons with one Virtex-II Pro
 //!   FPGA; the FPGA owns four QDR-II SRAM banks and reaches the Opterons'
-//!   DRAM through the RapidArray processors.
+//!   DRAM through the `RapidArray` processors.
 //! * A **chassis** holds six blades; their FPGAs form a circular array
 //!   over RocketI/O multi-gigabit transceivers.
-//! * A typical **installation** connects twelve chassis through RapidArray
+//! * A typical **installation** connects twelve chassis through `RapidArray`
 //!   external switches with 4 GB/s inter-chassis links.
 
 use crate::device::{FpgaDevice, XC2VP50};
@@ -110,7 +110,7 @@ impl Xd1Chassis {
     }
 }
 
-/// A full XD1 installation: several chassis over RapidArray switches.
+/// A full XD1 installation: several chassis over `RapidArray` switches.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Xd1System {
     /// The (identical) chassis.

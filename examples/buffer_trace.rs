@@ -76,10 +76,15 @@ fn trace(title: &str, sizes: &[usize]) {
 fn main() {
     println!("Reduction-circuit buffer occupancy (α = {ALPHA}, one char ≈ many cycles)");
 
-    trace("Workload A: 32 uniform sets of 64 (matrix-vector rows)", &vec![64; 32]);
+    trace(
+        "Workload A: 32 uniform sets of 64 (matrix-vector rows)",
+        &vec![64; 32],
+    );
     trace(
         "Workload B: alternating tiny and large sets (1, 173, 1, 173, …)",
-        &(0..24).map(|i| if i % 2 == 0 { 1 } else { 173 }).collect::<Vec<_>>(),
+        &(0..24)
+            .map(|i| if i % 2 == 0 { 1 } else { 173 })
+            .collect::<Vec<_>>(),
     );
     trace(
         "Workload C: geometric sizes 1,2,4,…,256 then back down",

@@ -1,5 +1,5 @@
 //! Solve a sparse linear system with the Jacobi iterative solver running
-//! on the simulated FPGA SpMV design (the paper's §7 extension).
+//! on the simulated FPGA `SpMV` design (the paper's §7 extension).
 //!
 //! ```sh
 //! cargo run --release --example jacobi_solver
@@ -56,7 +56,10 @@ fn main() {
         .fold(0.0f64, f64::max);
 
     println!("Jacobi on the k = 4 FPGA SpMV design:");
-    println!("  converged      : {} in {} iterations", out.converged, out.iterations);
+    println!(
+        "  converged      : {} in {} iterations",
+        out.converged, out.iterations
+    );
     println!("  residual ∞-norm: {:.2e}", out.residual);
     println!("  max error      : {max_err:.2e}");
     println!(

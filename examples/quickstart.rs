@@ -12,7 +12,10 @@ use fpga_blas::system::xd1::Xd1Node;
 
 fn main() {
     let node = Xd1Node::default();
-    println!("Simulated platform: {} on a Cray XD1 compute blade", node.device.name);
+    println!(
+        "Simulated platform: {} on a Cray XD1 compute blade",
+        node.device.name
+    );
     println!(
         "  SRAM: {} banks, {} MB total; DRAM path: {}\n",
         node.sram_banks,
@@ -22,8 +25,8 @@ fn main() {
 
     // ---- Level 1: dot product (§4.1) ----
     let n = 4096;
-    let u: Vec<f64> = (0..n).map(|i| (i % 16) as f64).collect();
-    let v: Vec<f64> = (0..n).map(|i| ((i * 3) % 16) as f64).collect();
+    let u: Vec<f64> = (0..n).map(|i| f64::from(i % 16)).collect();
+    let v: Vec<f64> = (0..n).map(|i| f64::from((i * 3) % 16)).collect();
     let dot = DotProductDesign::new(DotParams::table3(), &node);
     let d = dot.run(&u, &v);
     let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();

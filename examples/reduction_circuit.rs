@@ -21,16 +21,32 @@ fn main() {
     let total: u64 = sizes.iter().map(|&s| s as u64).sum();
     let alpha = 14;
 
-    println!("Workload: {} sets, {} values, sizes {}..{}", sets.len(), total,
-        sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    println!(
+        "Workload: {} sets, {} values, sizes {}..{}",
+        sets.len(),
+        total,
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap()
+    );
     println!("Adder pipeline depth α = {alpha}\n");
 
     let mut proposed = SingleAdderReducer::new(alpha);
     let run = run_sets(&mut proposed, &sets);
     println!("Proposed single-adder circuit (§4.3):");
-    println!("  total cycles : {} (bound Σsᵢ + 2α² = {})", run.total_cycles, total + 392);
-    println!("  input stalls : {} — the headline property", run.stall_cycles);
-    println!("  buffer peak  : {} words of the 2α² = {} budget", run.buffer_high_water, 2 * alpha * alpha);
+    println!(
+        "  total cycles : {} (bound Σsᵢ + 2α² = {})",
+        run.total_cycles,
+        total + 392
+    );
+    println!(
+        "  input stalls : {} — the headline property",
+        run.stall_cycles
+    );
+    println!(
+        "  buffer peak  : {} words of the 2α² = {} budget",
+        run.buffer_high_water,
+        2 * alpha * alpha
+    );
     println!("  adders used  : {}\n", proposed.adders());
 
     let mut ni = NiHwangReducer::new(alpha);

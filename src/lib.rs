@@ -3,7 +3,7 @@
 //! A Rust reproduction of *"High Performance Linear Algebra Operations on
 //! Reconfigurable Systems"* (Zhuo & Prasanna, SC 2005): an FPGA-based BLAS
 //! library for reconfigurable high-end computing systems such as the Cray
-//! XD1 and SRC MAPstation, rebuilt as a cycle-accurate architecture
+//! XD1 and SRC `MAPstation`, rebuilt as a cycle-accurate architecture
 //! simulation with calibrated area/clock cost models.
 //!
 //! The crate is an umbrella over the workspace members; see each for the
@@ -15,7 +15,7 @@
 //! * [`mem`] — the three-level memory hierarchy (BRAM / SRAM / DRAM) of the
 //!   reconfigurable-system model (Table 1).
 //! * [`system`] — FPGA device sheets, area and routing/clock models, Cray
-//!   XD1 and SRC MAPstation platform topologies, and the §6.4 performance
+//!   XD1 and SRC `MAPstation` platform topologies, and the §6.4 performance
 //!   projections.
 //! * [`blas`] — the paper's contributions: the single-adder reduction
 //!   circuit (§4.3), tree-based dot product (§4.1), matrix-vector multiply

@@ -2,7 +2,9 @@
 //! and with the software oracles, bit for bit on exactly-summable data.
 
 use fpga_blas::blas::dot::{DotParams, DotProductDesign};
-use fpga_blas::blas::mm::{ref_matmul, HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams};
+use fpga_blas::blas::mm::{
+    ref_matmul, HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams,
+};
 use fpga_blas::blas::mvm::{
     BlockedColMajorMvm, BlockedRowMajorMvm, ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm,
 };
@@ -10,7 +12,9 @@ use fpga_blas::sparse::{CsrMatrix, SpmvDesign, SpmvParams};
 use fpga_blas::sw;
 
 fn int_vec(seed: usize, n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 7 + seed * 3 + 1) % 8) as f64).collect()
+    (0..n)
+        .map(|i| ((i * 7 + seed * 3 + 1) % 8) as f64)
+        .collect()
 }
 
 #[test]

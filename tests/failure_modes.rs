@@ -2,7 +2,9 @@
 //! than silently produce wrong hardware claims.
 
 use fpga_blas::blas::dot::{DotParams, DotProductDesign};
-use fpga_blas::blas::mm::{BlockEngine, HazardPolicy, HierarchicalMm, HierarchicalParams, MmParams};
+use fpga_blas::blas::mm::{
+    BlockEngine, HazardPolicy, HierarchicalMm, HierarchicalParams, MmParams,
+};
 use fpga_blas::blas::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
 use fpga_blas::blas::reduce::{ReduceInput, Reducer, SingleAdderReducer, StallingReducer};
 use fpga_blas::mem::LocalStore;
@@ -147,7 +149,5 @@ fn mm_shape_constraints_rejected() {
     assert!(catch_unwind(|| mm.run(&a, &b)).is_err());
     // m not a multiple of k.
     assert!(catch_unwind(|| MmParams::test(3, 16)).is_ok()); // 16 % 3 != 0 → engine rejects
-    assert!(
-        catch_unwind(|| fpga_blas::blas::mm::BlockEngine::new(MmParams::test(3, 16))).is_err()
-    );
+    assert!(catch_unwind(|| fpga_blas::blas::mm::BlockEngine::new(MmParams::test(3, 16))).is_err());
 }

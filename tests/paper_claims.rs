@@ -9,7 +9,9 @@ use fpga_blas::system::projection::scaled_sustained_gflops;
 use fpga_blas::system::{AreaModel, ClockModel, Xd1Chassis, Xd1Node, XC2VP50};
 
 fn int_vec(seed: usize, n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 7 + seed * 3 + 1) % 8) as f64).collect()
+    (0..n)
+        .map(|i| ((i * 7 + seed * 3 + 1) % 8) as f64)
+        .collect()
 }
 
 #[test]

@@ -31,7 +31,8 @@ fn assert_exact<R: Reducer>(r: &mut R, sets: &[Vec<f64>]) -> fpga_blas::blas::re
     assert_eq!(run.results.len(), sets.len());
     for ev in &run.results {
         assert_eq!(
-            ev.value, expected[ev.set_id as usize],
+            ev.value,
+            expected[ev.set_id as usize],
             "{}: set {}",
             r.name(),
             ev.set_id

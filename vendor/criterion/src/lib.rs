@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The real criterion cannot be fetched in this build environment; this
+//! vendored crate keeps the workspace's benches compiling and running with
+//! the same source. It implements the used subset — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`], `criterion_group!`, `criterion_main!` —
+//! as a simple wall-clock harness: a short warm-up, a fixed measurement
+//! window, and a `name ... time/iter (throughput)` report line. There is
+//! no statistical analysis, HTML report or comparison baseline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration throughput annotation, echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; ignored by this harness.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark body repeatedly and records the mean time.
+pub struct Bencher {
+    measure_for: Duration,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed measurement window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: one call, also used to size the batch.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (self.measure_for.as_nanos() / 8 / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measure_for {
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            iters += per_batch;
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup time excluded
+    /// from the iteration count but not subtracted from the wall clock;
+    /// adequate for the cheap setups these benches use).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measure_for {
+            let input = setup();
+            black_box(routine(input));
+            iters += 1;
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for compatibility; unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate per-iteration throughput for the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measure_for: self.criterion.measure_for,
+            measured: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// End the group (no-op beyond dropping).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the whole suite fast: benches exist to track gross
+        // regressions, not publishable statistics.
+        Self {
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measure_for: self.measure_for,
+            measured: None,
+        };
+        f(&mut b);
+        report(&id, &b, None);
+        self
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = b.measured else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:>10.1} Melem/s", n as f64 / per_iter_ns * 1e3)
+        }
+        Throughput::Bytes(n) => format!("  {:>10.1} MB/s", n as f64 / per_iter_ns * 1e3),
+    });
+    println!(
+        "{name:<40} {:>12.1} ns/iter{}",
+        per_iter_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            measure_for: Duration::from_millis(5),
+            measured: None,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let (elapsed, iters) = b.measured.unwrap();
+        assert!(iters > 0);
+        assert!(elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        c.measure_for = Duration::from_millis(2);
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.throughput(Throughput::Elements(1))
+            .bench_function("x", |b| {
+                ran = true;
+                b.iter(|| 1 + 1)
+            });
+        g.finish();
+        assert!(ran);
+    }
+}
