@@ -1,0 +1,90 @@
+//! Criterion bench guarding the probe layer's cost on the k = 8
+//! matrix-multiply workload (one 32×32 block on the PE array).
+//!
+//! Two things are measured:
+//!
+//! * `probes_off` — the default summary probe: the cheap counters that
+//!   every run needs to assemble its `SimReport`;
+//! * `probes_deep` — full instrumentation: stall events, occupancy and
+//!   utilization waveforms, Chrome-trace bookkeeping.
+//!
+//! The guard at the end asserts (on min-of-N timings, which reject
+//! scheduler noise) that deep instrumentation costs less than 2 % over
+//! the summary path on this workload: waveforms are change-compressed,
+//! so a steady hazard-free block multiply emits almost no events.
+//! Accounting equality between the two modes is checked by the
+//! deterministic `harness_probe` integration test; this bench covers
+//! the time axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fblas_bench::synth_int;
+use fblas_core::mm::{BlockEngine, MmParams};
+use fblas_core::mvm::DenseMatrix;
+use fblas_sim::Harness;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const K: usize = 8;
+const M: usize = 32;
+
+fn workload() -> (BlockEngine, DenseMatrix, DenseMatrix) {
+    let a = DenseMatrix::from_rows(M, M, synth_int(5, M * M, 4));
+    let b = DenseMatrix::from_rows(M, M, synth_int(6, M * M, 4));
+    (BlockEngine::new(MmParams::test(K, M)), a, b)
+}
+
+fn run_once(engine: &BlockEngine, a: &DenseMatrix, b: &DenseMatrix, deep: bool) {
+    let mut h = if deep {
+        Harness::deep()
+    } else {
+        Harness::new()
+    };
+    let mut c = vec![0.0; M * M];
+    black_box(engine.multiply_accumulate_in(&mut h, a, b, &mut c));
+    black_box(c);
+}
+
+fn time_once(mut f: impl FnMut()) -> Duration {
+    let t = Instant::now();
+    f();
+    t.elapsed()
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let (engine, a, b) = workload();
+    let mut g = c.benchmark_group(format!("probe_overhead_mm_k{K}_m{M}"));
+    g.sample_size(10);
+    g.bench_function("probes_off", |bench| {
+        bench.iter(|| run_once(&engine, &a, &b, false));
+    });
+    g.bench_function("probes_deep", |bench| {
+        bench.iter(|| run_once(&engine, &a, &b, true));
+    });
+    g.finish();
+
+    // The guard proper. Warm up once per mode, then take interleaved
+    // minima so clock drift and scheduler noise hit both modes alike.
+    run_once(&engine, &a, &b, false);
+    run_once(&engine, &a, &b, true);
+    let mut off = Duration::MAX;
+    let mut deep = Duration::MAX;
+    for _ in 0..60 {
+        off = off.min(time_once(|| run_once(&engine, &a, &b, false)));
+        deep = deep.min(time_once(|| run_once(&engine, &a, &b, true)));
+    }
+    let overhead = deep.as_secs_f64() / off.as_secs_f64() - 1.0;
+    println!(
+        "probe overhead guard: off {:?}, deep {:?} ({:+.2}%)",
+        off,
+        deep,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "deep probes cost {:.2}% over the summary path (budget: 2%)",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(benches, bench_probe_overhead);
+criterion_main!(benches);

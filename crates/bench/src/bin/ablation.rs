@@ -7,34 +7,40 @@
 //!    vs column-major (interleaved accumulators).
 //! 3. Matrix-multiply blocking: cycles and bandwidth as m varies.
 
+use fblas_bench::trace::TraceOption;
 use fblas_bench::{print_table, synth_int};
 use fblas_core::mm::{BlockEngine, MmParams};
 use fblas_core::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
 use fblas_core::reduce::{
-    run_sets, KoggeTreeReducer, NiHwangReducer, Pow2Reducer, Reducer, ReductionRun,
+    run_sets_in, KoggeTreeReducer, NiHwangReducer, Pow2Reducer, Reducer, ReductionRun,
     SingleAdderReducer, StallingReducer, TwoAdderReducer,
 };
+use fblas_sim::Harness;
 
 const ALPHA: usize = 14;
 
-fn bench_reducer<R: Reducer>(mut r: R, sets: &[Vec<f64>]) -> (String, usize, ReductionRun) {
+fn bench_reducer<R: Reducer>(
+    th: &mut Harness,
+    mut r: R,
+    sets: &[Vec<f64>],
+) -> (String, usize, ReductionRun) {
     let name = r.name().to_string();
-    let run = run_sets(&mut r, sets);
+    let run = run_sets_in(th, &mut r, sets);
     (name, r.adders(), run)
 }
 
-fn reducer_table(title: &str, sets: &[Vec<f64>], include_pow2: bool) {
+fn reducer_table(th: &mut Harness, title: &str, sets: &[Vec<f64>], include_pow2: bool) {
     let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
     let mut runs = vec![
-        bench_reducer(SingleAdderReducer::new(ALPHA), sets),
-        bench_reducer(TwoAdderReducer::new(ALPHA), sets),
-        bench_reducer(KoggeTreeReducer::new(ALPHA), sets),
-        bench_reducer(NiHwangReducer::new(ALPHA), sets),
-        bench_reducer(StallingReducer::new(ALPHA), sets),
+        bench_reducer(th, SingleAdderReducer::new(ALPHA), sets),
+        bench_reducer(th, TwoAdderReducer::new(ALPHA), sets),
+        bench_reducer(th, KoggeTreeReducer::new(ALPHA), sets),
+        bench_reducer(th, NiHwangReducer::new(ALPHA), sets),
+        bench_reducer(th, StallingReducer::new(ALPHA), sets),
     ];
     if include_pow2 {
         // The RAW'05 circuit only handles power-of-two set sizes.
-        runs.insert(1, bench_reducer(Pow2Reducer::new(ALPHA), sets));
+        runs.insert(1, bench_reducer(th, Pow2Reducer::new(ALPHA), sets));
     }
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -66,9 +72,13 @@ fn reducer_table(title: &str, sets: &[Vec<f64>], include_pow2: bool) {
 }
 
 fn main() {
+    let trace = TraceOption::from_args();
+    let mut th = trace.harness();
+
     // ---- 1a. Matrix-vector workload: 256 sets of 64 (n=256, k=4) ----
     let mvm_sets: Vec<Vec<f64>> = (0..256).map(|i| synth_int(i as u64, 64, 16)).collect();
     reducer_table(
+        &mut th,
         "Ablation 1a: reduction circuits on the matrix-vector workload (256 sets × 64)",
         &mvm_sets,
         true,
@@ -82,6 +92,7 @@ fn main() {
         })
         .collect();
     reducer_table(
+        &mut th,
         "Ablation 1b: reduction circuits on an irregular sparse workload (sizes 1..97)",
         &sparse_sets,
         false,
@@ -91,8 +102,8 @@ fn main() {
     let n = 512usize;
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
     let x = synth_int(4, n, 8);
-    let row = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
-    let col = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0).run(&a, &x);
+    let row = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run_in(&mut th, &a, &x);
+    let col = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0).run_in(&mut th, &a, &x);
     assert_eq!(row.y, a.ref_mvm(&x));
     assert_eq!(col.y, a.ref_mvm(&x));
     print_table(
@@ -122,7 +133,7 @@ fn main() {
             let a = DenseMatrix::from_rows(m, m, synth_int(7, m * m, 4));
             let b = DenseMatrix::from_rows(m, m, synth_int(8, m * m, 4));
             let mut c = vec![0.0; m * m];
-            let stats = BlockEngine::new(p).multiply_accumulate(&a, &b, &mut c);
+            let stats = BlockEngine::new(p).multiply_accumulate_in(&mut th, &a, &b, &mut c);
             vec![
                 m.to_string(),
                 stats.cycles.to_string(),
@@ -192,4 +203,6 @@ fn main() {
          DRAM demand by l; the §5.2 design replaces the 1/m factor with 1/b = 1/2048,\n\
          which is why the paper builds the memory-hierarchy-aware version."
     );
+
+    trace.write(&th);
 }

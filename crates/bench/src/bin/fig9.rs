@@ -6,9 +6,11 @@
 //! that fit on the XC2VP50).
 
 use fblas_bench::print_table;
+use fblas_bench::trace::{trace_reference_kernels, TraceOption};
 use fblas_system::{AreaModel, ClockModel, XC2VP50};
 
 fn main() {
+    let trace = TraceOption::from_args();
     let area = AreaModel::default();
     let clock = ClockModel::default();
     let max_k = area.max_pes(&XC2VP50);
@@ -48,4 +50,7 @@ fn main() {
         2.0 * f64::from(max_k) * clock.mm_mhz(max_k) / 1000.0
     );
     assert_eq!(max_k, 10, "paper: at most 10 PEs on XC2VP50");
+
+    // This binary is analytic; trace the representative kernels instead.
+    trace_reference_kernels(&trace);
 }

@@ -2,6 +2,7 @@
 //! in reconfigurable systems (SRC `MAPstation` and Cray XD1).
 
 use fblas_bench::print_table;
+use fblas_bench::trace::{trace_reference_kernels, TraceOption};
 use fblas_mem::{Level, MemoryHierarchy};
 
 fn fmt_size(bytes: u64) -> String {
@@ -19,6 +20,7 @@ fn fmt_bw(bps: f64) -> String {
 }
 
 fn main() {
+    let trace = TraceOption::from_args();
     let src = MemoryHierarchy::src_mapstation();
     let cray = MemoryHierarchy::cray_xd1();
 
@@ -54,4 +56,7 @@ fn main() {
     }
     println!("\nBoth hierarchies are well-formed (bandwidth strictly decreases,");
     println!("capacity strictly increases down the levels — Figure 5's shape).");
+
+    // This binary is analytic; trace the representative kernels instead.
+    trace_reference_kernels(&trace);
 }

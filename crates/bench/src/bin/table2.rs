@@ -6,11 +6,14 @@
 //! Σsᵢ + 2α².
 
 use fblas_bench::print_table;
-use fblas_core::reduce::{run_sets, Reducer, SingleAdderReducer};
+use fblas_bench::trace::TraceOption;
+use fblas_core::reduce::{run_sets_in, Reducer, SingleAdderReducer};
 use fblas_fpu::{FP_ADDER, FP_MULTIPLIER};
 use fblas_system::AreaModel;
 
 fn main() {
+    let trace = TraceOption::from_args();
+    let mut th = trace.harness();
     let area = AreaModel::default();
     let rows = vec![
         vec![
@@ -47,7 +50,7 @@ fn main() {
         .collect();
     let total: u64 = sizes.iter().map(|&s| s as u64).sum();
     let mut r = SingleAdderReducer::new(alpha);
-    let run = run_sets(&mut r, &sets);
+    let run = run_sets_in(&mut th, &mut r, &sets);
 
     println!(
         "\nReduction-circuit validation (α = {alpha}, {} sets, {total} values):",
@@ -69,4 +72,5 @@ fn main() {
     assert!(run.buffer_high_water <= 2 * alpha * alpha);
     assert!(run.total_cycles < total + 2 * (alpha * alpha) as u64);
     println!("  all claims hold.");
+    trace.write(&th);
 }

@@ -4,12 +4,15 @@
 //! The sustained MFLOPS come from cycle-accurate simulation; area and
 //! clock from the calibrated cost models.
 
+use fblas_bench::trace::TraceOption;
 use fblas_bench::{print_table, synth_int, vs_paper};
 use fblas_core::dot::{DotParams, DotProductDesign};
 use fblas_core::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
 use fblas_system::{AreaModel, Xd1Node, XC2VP50};
 
 fn main() {
+    let trace = TraceOption::from_args();
+    let mut th = trace.harness();
     let n = 2048usize;
     let node = Xd1Node::default();
     let area = AreaModel::default();
@@ -18,7 +21,7 @@ fn main() {
     let dot = DotProductDesign::new(DotParams::table3(), &node);
     let u = synth_int(1, n, 8);
     let v = synth_int(2, n, 8);
-    let dout = dot.run(&u, &v);
+    let dout = dot.run_in(&mut th, &u, &v);
     let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
     assert_eq!(dout.result, dref, "dot result mismatch");
 
@@ -26,7 +29,7 @@ fn main() {
     let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
     let x = synth_int(4, n, 8);
-    let mout = mvm.run(&a, &x);
+    let mout = mvm.run_in(&mut th, &a, &x);
     assert_eq!(mout.y, a.ref_mvm(&x), "mvm result mismatch");
 
     let dot_area = area.dot_design(2);
@@ -89,4 +92,6 @@ fn main() {
         "  reduction buffer high water (dot): {} words (2α² = 392)",
         dout.reduction_buffer_high_water
     );
+
+    trace.write(&th);
 }

@@ -5,13 +5,16 @@
 //! (the staging dominates: ≈6.4 of the ≈8.0 ms total).
 //! Level 3: k = m = 8, b = 512, n = 512 on the hierarchical design.
 
+use fblas_bench::trace::TraceOption;
 use fblas_bench::{print_table, synth_int, vs_paper};
-use fblas_core::mm::{HierarchicalMm, HierarchicalParams};
+use fblas_core::mm::{HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams};
 use fblas_core::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
 use fblas_mem::{DmaModel, SramBanks, SRAM_WORD_BITS};
 use fblas_system::{io_bound_peak_mvm, AreaModel, ClockModel, XC2VP50};
 
 fn main() {
+    let trace = TraceOption::from_args();
+    let mut th = trace.harness();
     let area = AreaModel::default();
     let clocks = ClockModel::default();
 
@@ -21,7 +24,7 @@ fn main() {
     let mvm = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
     let x = synth_int(4, n, 8);
-    let out = mvm.run(&a, &x);
+    let out = mvm.run_in(&mut th, &a, &x);
     assert_eq!(out.y, a.ref_mvm(&x), "mvm result mismatch");
 
     let compute_s = out.report.latency_seconds(&l2_clock);
@@ -139,4 +142,14 @@ fn main() {
     let expect = fblas_sw::gemm_blocked(ma.as_slice(), mb.as_slice(), nn, 64);
     assert_eq!(mout.c.as_slice(), &expect[..], "matrix multiply mismatch");
     println!("\nLevel-3 result verified against the software gemm oracle.");
+
+    if trace.enabled() {
+        // The hierarchical Level-3 run aggregates its blocks analytically;
+        // trace one linear-array block multiply explicitly so the §5.1
+        // components appear on the timeline next to the Level-2 run.
+        let ta = DenseMatrix::from_rows(32, 32, synth_int(9, 32 * 32, 4));
+        let tb = DenseMatrix::from_rows(32, 32, synth_int(10, 32 * 32, 4));
+        LinearArrayMm::new(MmParams::test(4, 16)).run_in(&mut th, &ta, &tb);
+    }
+    trace.write(&th);
 }

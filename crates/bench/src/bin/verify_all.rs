@@ -5,12 +5,17 @@
 //! ```sh
 //! cargo run --release -p fblas-bench --bin verify_all
 //! ```
+//!
+//! Pass `--trace out.json` to also dump a Chrome `trace_event` timeline
+//! of the simulated runs (dot, row-major `MvM`, linear-array MM blocks)
+//! with per-component stall attribution.
 
 use fblas_bench::synth_int;
+use fblas_bench::trace::TraceOption;
 use fblas_core::dot::{DotParams, DotProductDesign};
-use fblas_core::mm::{HierarchicalMm, HierarchicalParams};
+use fblas_core::mm::{HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams};
 use fblas_core::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
-use fblas_core::reduce::{run_sets, Reducer, SingleAdderReducer};
+use fblas_core::reduce::{run_sets_in, Reducer, SingleAdderReducer};
 use fblas_mem::DmaModel;
 use fblas_system::projection::scaled_sustained_gflops;
 use fblas_system::{
@@ -46,6 +51,8 @@ impl Check {
 }
 
 fn main() {
+    let trace = TraceOption::from_args();
+    let mut th = trace.harness();
     let mut c = Check { failures: 0 };
     let node = Xd1Node::default();
     let area = AreaModel::default();
@@ -58,7 +65,7 @@ fn main() {
         .collect();
     let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
     let mut red = SingleAdderReducer::new(alpha);
-    let run = run_sets(&mut red, &sets);
+    let run = run_sets_in(&mut th, &mut red, &sets);
     c.assert_true("one floating-point adder", red.adders() == 1);
     c.assert_true("zero input stalls", run.stall_cycles == 0);
     c.assert_true(
@@ -73,7 +80,7 @@ fn main() {
     println!("\n== Table 3: Level 1 & 2 (n = 2048) ==");
     let n = 2048usize;
     let dot = DotProductDesign::new(DotParams::table3(), &node);
-    let dout = dot.run(&synth_int(1, n, 8), &synth_int(2, n, 8));
+    let dout = dot.run_in(&mut th, &synth_int(1, n, 8), &synth_int(2, n, 8));
     c.assert(
         "dot sustained MFLOPS",
         dout.report.sustained_flops(&dout.clock) / 1e6,
@@ -82,7 +89,7 @@ fn main() {
     );
     let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
-    let mout = mvm.run(&a, &synth_int(4, n, 8));
+    let mout = mvm.run_in(&mut th, &a, &synth_int(4, n, 8));
     c.assert(
         "mvm sustained MFLOPS",
         mout.report.sustained_flops(&mout.clock) / 1e6,
@@ -117,7 +124,7 @@ fn main() {
     let mvm164 = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
     let n2 = 1024usize;
     let a2 = DenseMatrix::from_rows(n2, n2, synth_int(5, n2 * n2, 8));
-    let o2 = mvm164.run(&a2, &synth_int(6, n2, 8));
+    let o2 = mvm164.run_in(&mut th, &a2, &synth_int(6, n2, 8));
     let staging = DmaModel::xd1_dram().transfer_seconds_words((n2 * n2 + n2) as u64);
     let total_s = o2.report.latency_seconds(&l2_clock) + staging;
     c.assert("L2 total latency (ms)", total_s * 1e3, 8.0, 0.05);
@@ -184,6 +191,18 @@ fn main() {
         .check_platform(&node, &Xd1Chassis::default())
         .is_ok();
     c.assert_true("chassis bandwidth requirements met by XD1", fits);
+
+    if trace.enabled() {
+        // The hierarchical run above aggregates its blocks analytically,
+        // so trace one linear-array block multiply (§5.1) explicitly to
+        // put the PE array / accumulator components on the timeline.
+        let m = 16usize;
+        let nt = 32usize;
+        let ta = DenseMatrix::from_rows(nt, nt, synth_int(9, nt * nt, 4));
+        let tb = DenseMatrix::from_rows(nt, nt, synth_int(10, nt * nt, 4));
+        LinearArrayMm::new(MmParams::test(4, m)).run_in(&mut th, &ta, &tb);
+    }
+    trace.write(&th);
 
     println!(
         "\n{} checks failed.{}",

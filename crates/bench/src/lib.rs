@@ -19,7 +19,10 @@
 //! | `verify_all` | PASS/FAIL re-derivation of every headline claim |
 //!
 //! Run them with `cargo run --release -p fblas-bench --bin <name>`.
+//! Every binary accepts `--trace <out.json>` to dump a Chrome
+//! `trace_event` timeline of its simulated kernels (see [`trace`]).
 
+pub mod trace;
 pub mod workloads;
 
 /// Render a fixed-width text table.

@@ -1,0 +1,268 @@
+//! Regression tests for the shared harness/probe engine.
+//!
+//! 1. **Accounting parity** — every design ported onto the shared
+//!    [`Harness`] reproduces its pre-refactor `SimReport` numbers
+//!    exactly. The numbers below were captured from the bespoke
+//!    per-design run loops immediately before the port. The single
+//!    intentional change is `asum`'s `busy_cycles` (250 → 278 on the
+//!    k = 4, n = 1000 workload): the old loop counted only front-end
+//!    fires, while the unified definition also counts cycles where the
+//!    reduction circuit accepts a value, matching every other design.
+//! 2. **Probe neutrality** — a deep probe (waveforms + stall events)
+//!    yields a bit-identical `SimReport` to the default summary probe.
+//! 3. **Golden trace** — the Chrome `trace_event` export of a fixed
+//!    dot + `MvM` run is stable down to the byte.
+
+use fblas_core::dot::{DotParams, DotProductDesign};
+use fblas_core::level1::{AsumDesign, AxpyDesign, Level1Params, ScalDesign};
+use fblas_core::mm::{LinearArrayMm, MmParams};
+use fblas_core::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_core::reduce::{run_sets_in, SingleAdderReducer};
+use fblas_sim::{Harness, SimReport};
+use fblas_sparse::{CsrMatrix, SpmvDesign, SpmvParams};
+
+/// Small deterministic vector (same generator the baselines used).
+fn v(n: usize, m: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64 * 7 + m) % 13) as f64 - 5.0)
+        .collect()
+}
+
+fn rep(cycles: u64, flops: u64, words_in: u64, words_out: u64, busy_cycles: u64) -> SimReport {
+    SimReport {
+        cycles,
+        flops,
+        words_in,
+        words_out,
+        busy_cycles,
+    }
+}
+
+/// The irregular 60-row CSR matrix the sparse baselines used.
+fn sparse60() -> CsrMatrix {
+    let mut trip = Vec::new();
+    for i in 0..60usize {
+        trip.push((i, i, 3.0 + (i % 4) as f64));
+        for d in 1..=(i % 6) {
+            if i + d < 60 {
+                trip.push((i, i + d, (d % 3) as f64 + 1.0));
+            }
+            if i >= d * 3 {
+                trip.push((i, i - d * 3, 2.0));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(60, 60, &trip)
+}
+
+#[test]
+fn dot_matches_pre_refactor_accounting() {
+    let d = DotProductDesign::standalone(DotParams::table3(), 170.0);
+    let o = d.run(&v(2048, 1), &v(2048, 3));
+    assert_eq!(o.report, rep(1117, 4096, 4096, 1, 1049));
+    assert_eq!(o.reduction_buffer_high_water, 14);
+
+    let d = DotProductDesign::standalone(DotParams::with_k(4), 170.0);
+    let o = d.run(&v(1000, 2), &v(1000, 5));
+    assert_eq!(o.report, rep(357, 2000, 2000, 1, 289));
+    assert_eq!(o.reduction_buffer_high_water, 14);
+
+    let deep = d.run_in(&mut Harness::deep(), &v(1000, 2), &v(1000, 5));
+    assert_eq!(
+        deep.report, o.report,
+        "deep probe must not change accounting"
+    );
+}
+
+#[test]
+fn level1_matches_pre_refactor_accounting() {
+    let p = Level1Params::with_k(4);
+
+    let o = AxpyDesign::new(p).run(1.5, &v(1000, 1), &v(1000, 2));
+    assert_eq!(o.report, rep(275, 2000, 2000, 1000, 250));
+    let deep = AxpyDesign::new(p).run_in(&mut Harness::deep(), 1.5, &v(1000, 1), &v(1000, 2));
+    assert_eq!(deep.report, o.report);
+
+    let o = ScalDesign::new(p).run(1.5, &v(1000, 1));
+    assert_eq!(o.report, rep(261, 1000, 1000, 1000, 250));
+    let deep = ScalDesign::new(p).run_in(&mut Harness::deep(), 1.5, &v(1000, 1));
+    assert_eq!(deep.report, o.report);
+
+    // busy_cycles here is the documented correction: 250 front-end fires
+    // plus 28 reduction-circuit accepts during the drain (lg 4 · α = 28).
+    let o = AsumDesign::new(p).run(&v(1000, 1));
+    assert_eq!(o.report, rep(346, 1000, 1000, 1, 278));
+    let deep = AsumDesign::new(p).run_in(&mut Harness::deep(), &v(1000, 1));
+    assert_eq!(deep.report, o.report);
+}
+
+#[test]
+fn row_major_mvm_matches_pre_refactor_accounting() {
+    let a = DenseMatrix::from_fn(64, 64, |i, j| ((i * 3 + j * 5) % 11) as f64 - 4.0);
+    let x = v(64, 4);
+    let m = RowMajorMvm::standalone(MvmParams::table3(), 170.0);
+
+    let o = m.run(&a, &x);
+    assert_eq!(o.report, rep(1131, 8192, 4096, 64, 1063));
+    let deep = m.run_in(&mut Harness::deep(), &a, &x);
+    assert_eq!(deep.report, o.report);
+
+    let y0 = v(64, 6);
+    let o = m.run_with_initial(&a, &x, Some(&y0));
+    assert_eq!(o.report, rep(1195, 8192, 4096, 64, 1124));
+
+    let a48 = DenseMatrix::from_fn(48, 40, |i, j| ((i * 5 + j * 7) % 9) as f64 - 3.0);
+    let o = m.run(&a48, &v(40, 2));
+    assert_eq!(o.report, rep(576, 3840, 1920, 48, 519));
+}
+
+#[test]
+fn col_major_mvm_matches_pre_refactor_accounting() {
+    let a = DenseMatrix::from_fn(64, 64, |i, j| ((i * 3 + j * 5) % 11) as f64 - 4.0);
+    let m = ColMajorMvm::standalone(MvmParams::table3(), 170.0);
+
+    let o = m.run(&a, &v(64, 4));
+    assert_eq!(o.report, rep(1049, 8192, 4160, 64, 1035));
+    let deep = m.run_in(&mut Harness::deep(), &a, &v(64, 4));
+    assert_eq!(deep.report, o.report);
+
+    let a80 = DenseMatrix::from_fn(80, 40, |i, j| ((i * 5 + j * 7) % 9) as f64 - 3.0);
+    let o = m.run(&a80, &v(40, 2));
+    assert_eq!(o.report, rep(825, 6400, 3240, 80, 811));
+}
+
+#[test]
+fn linear_array_mm_matches_pre_refactor_accounting() {
+    let mm = LinearArrayMm::new(MmParams::test(4, 16));
+    let a = DenseMatrix::from_fn(32, 32, |i, j| ((i * 7 + j) % 5) as f64 - 2.0);
+    let b = DenseMatrix::from_fn(32, 32, |i, j| ((i + j * 3) % 7) as f64 - 3.0);
+
+    let o = mm.run(&a, &b);
+    assert_eq!(o.report, rep(8543, 65536, 4096, 1024, 8192));
+    let deep = mm.run_in(&mut Harness::deep(), &a, &b);
+    assert_eq!(deep.report, o.report);
+    assert_eq!(deep.c.as_slice(), o.c.as_slice());
+}
+
+#[test]
+fn spmv_matches_pre_refactor_accounting() {
+    let a = sparse60();
+    assert_eq!(a.nnz(), 336);
+    let x = v(60, 3);
+    let s = SpmvDesign::new(SpmvParams::with_k(4));
+
+    let o = s.run(&a, &x);
+    assert_eq!(o.report, rep(171, 672, 672, 60, 153));
+    assert_eq!(o.reduction_buffer_high_water, 11);
+    let deep = s.run_in(&mut Harness::deep(), &a, &x);
+    assert_eq!(deep.report, o.report);
+
+    let o = s.run_with_initial(&a, &x, &v(60, 8));
+    assert_eq!(o.report, rep(172, 672, 672, 60, 154));
+    assert_eq!(o.reduction_buffer_high_water, 11);
+}
+
+#[test]
+fn reduction_run_matches_pre_refactor_accounting() {
+    let sets: Vec<Vec<f64>> = (0..150)
+        .map(|i| v(1 + (i * 13 + 5) % 40, i as u64))
+        .collect();
+
+    let mut r = SingleAdderReducer::new(14);
+    let run = run_sets_in(&mut Harness::new(), &mut r, &sets);
+    assert_eq!(
+        (
+            run.total_cycles,
+            run.stall_cycles,
+            run.buffer_high_water,
+            run.adds_issued
+        ),
+        (3123, 0, 29, 2905)
+    );
+
+    let mut r = SingleAdderReducer::new(14);
+    let deep = run_sets_in(&mut Harness::deep(), &mut r, &sets);
+    assert_eq!(deep.total_cycles, run.total_cycles);
+    assert_eq!(deep.results, run.results);
+}
+
+/// Deep vs summary probes on one shared harness: the merged `SimReport` of
+/// several back-to-back runs must also be bit-identical.
+#[test]
+fn shared_harness_multi_run_is_probe_neutral() {
+    let reports: Vec<SimReport> = [false, true]
+        .iter()
+        .map(|&deep| {
+            let mut h = if deep {
+                Harness::deep()
+            } else {
+                Harness::new()
+            };
+            let d = DotProductDesign::standalone(DotParams::with_k(4), 170.0);
+            let a = DenseMatrix::from_fn(32, 32, |i, j| ((i * 3 + j * 5) % 11) as f64 - 4.0);
+            let r1 = d.run_in(&mut h, &v(200, 2), &v(200, 5)).report;
+            let r2 = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0)
+                .run_in(&mut h, &a, &v(32, 4))
+                .report;
+            SimReport {
+                cycles: r1.cycles + r2.cycles,
+                flops: r1.flops + r2.flops,
+                words_in: r1.words_in + r2.words_in,
+                words_out: r1.words_out + r2.words_out,
+                busy_cycles: r1.busy_cycles + r2.busy_cycles,
+            }
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+}
+
+/// One fixed small dot + row-major `MvM` run, traced deep on one harness.
+fn golden_trace() -> String {
+    let mut h = Harness::deep();
+    DotProductDesign::standalone(DotParams::with_k(4), 170.0).run_in(&mut h, &v(24, 1), &v(24, 2));
+    let a = DenseMatrix::from_fn(8, 8, |i, j| ((i * 3 + j * 5) % 11) as f64 - 4.0);
+    RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run_in(&mut h, &a, &v(8, 4));
+    h.probe().chrome_trace()
+}
+
+#[test]
+fn golden_trace_is_byte_stable() {
+    let t = golden_trace();
+    assert_eq!(t, golden_trace(), "trace export must be deterministic");
+    assert_eq!(
+        t,
+        include_str!("golden/dot_mvm_trace.json"),
+        "Chrome trace drifted from the golden file. If the change is \
+         intentional, regenerate with:\n  cargo test -p fblas-bench \
+         --test harness_probe -- --ignored regen_golden_trace"
+    );
+}
+
+#[test]
+fn golden_trace_has_components_and_stall_attribution() {
+    let t = golden_trace();
+    for needle in [
+        "\"displayTimeUnit\"",
+        "dot/front-end",
+        "dot/reduction-buffer",
+        "row-mvm/front-end",
+        "row-mvm/reduction-buffer",
+        "\"ph\":\"M\"",
+        "\"ph\":\"C\"",
+        "\"ph\":\"X\"",
+        "drain",
+    ] {
+        assert!(t.contains(needle), "trace lacks {needle:?}:\n{t}");
+    }
+}
+
+#[test]
+#[ignore = "writes tests/golden/dot_mvm_trace.json; run after intentional format changes"]
+fn regen_golden_trace() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/dot_mvm_trace.json"
+    );
+    std::fs::write(path, golden_trace()).unwrap();
+    println!("rewrote {path}");
+}

@@ -42,3 +42,27 @@ fn fig12_runs() {
 fn alpha_sweep_runs() {
     run(env!("CARGO_BIN_EXE_alpha_sweep"));
 }
+
+/// `--trace` smoke: the flag must produce a non-empty Chrome trace with
+/// the JSON envelope and per-component metadata.
+#[test]
+fn trace_flag_writes_chrome_trace() {
+    let out = std::env::temp_dir().join("fblas_table1_trace.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .arg("--trace")
+        .arg(&out)
+        .status()
+        .expect("failed to launch table1");
+    assert!(status.success(), "table1 --trace exited with {status}");
+    let trace = std::fs::read_to_string(&out).expect("trace file missing");
+    std::fs::remove_file(&out).ok();
+    assert!(trace.starts_with("{\"displayTimeUnit\""), "bad envelope");
+    for needle in [
+        "traceEvents",
+        "dot/front-end",
+        "mm/pe-array",
+        "row-mvm/front-end",
+    ] {
+        assert!(trace.contains(needle), "trace lacks {needle:?}");
+    }
+}

@@ -18,7 +18,7 @@ use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::ReadChannel;
-use fblas_sim::{ClockDomain, DelayLine, Fifo};
+use fblas_sim::{ClockDomain, DelayLine, Design, Fifo, Harness, Probe, ProbeId, StallCause};
 use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
 
 /// Parameters of the tree-based dot-product design.
@@ -176,9 +176,33 @@ impl DotProductDesign {
         self.run_with_reducer(u, v, &mut SingleAdderReducer::new(self.params.adder_stages))
     }
 
+    /// [`DotProductDesign::run`] through a caller-supplied harness, so
+    /// the run's stall attribution and occupancy waveforms land in the
+    /// caller's probe (e.g. a `--trace` session).
+    pub fn run_in(&self, harness: &mut Harness, u: &[f64], v: &[f64]) -> DotOutcome {
+        self.run_with_reducer_in(
+            harness,
+            u,
+            v,
+            &mut SingleAdderReducer::new(self.params.adder_stages),
+        )
+    }
+
     /// Run with an explicit reduction circuit (ablation hook).
     pub fn run_with_reducer<R: Reducer>(
         &self,
+        u: &[f64],
+        v: &[f64],
+        reducer: &mut R,
+    ) -> DotOutcome {
+        self.run_with_reducer_in(&mut Harness::new(), u, v, reducer)
+    }
+
+    /// [`DotProductDesign::run_with_reducer`] through a caller-supplied
+    /// harness.
+    pub fn run_with_reducer_in<R: Reducer>(
+        &self,
+        harness: &mut Harness,
         u: &[f64],
         v: &[f64],
         reducer: &mut R,
@@ -187,107 +211,177 @@ impl DotProductDesign {
         assert!(!u.is_empty(), "empty vectors have no dot product");
         let k = self.params.k;
         let n = u.len();
-        let groups = n.div_ceil(k);
 
-        let mut u_ch = ReadChannel::new(u.to_vec(), self.params.words_per_cycle_per_vector);
-        let mut v_ch = ReadChannel::new(v.to_vec(), self.params.words_per_cycle_per_vector);
-        let mut tree: DelayLine<(f64, bool)> = DelayLine::new(self.params.tree_latency());
-        let mut u_buf = Vec::with_capacity(k);
-        let mut v_buf = Vec::with_capacity(k);
-        // Values that left the tree while the reduction circuit exerted
-        // back-pressure (empty forever with the proposed circuit; grows
-        // only for stalling baselines, which also gate the front end).
-        // Bounded: the front end stops issuing once two values wait, so
-        // only the tree's in-flight contents can land on top of them.
-        let mut backlog: Fifo<(f64, bool)> = Fifo::new(2 + self.params.tree_latency());
-
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let mut groups_in = 0usize;
-        let mut result = None;
-        let limit = (n as u64 + 64) * 32 + 100_000;
-
-        while result.is_none() {
-            cycles += 1;
-            assert!(cycles < limit, "dot simulation exceeded cycle budget");
-            let mut cycle_busy = false;
-
-            // Front end: pull up to k element pairs from the streams. A
-            // back-pressured reduction circuit stalls the whole front end.
-            u_ch.tick();
-            v_ch.tick();
-            let tree_in = if groups_in < groups && backlog.len() < 2 {
-                u_ch.read_up_to(k - u_buf.len(), &mut u_buf);
-                v_ch.read_up_to(k - v_buf.len(), &mut v_buf);
-                let last_group = groups_in + 1 == groups;
-                let full = u_buf.len() == k && v_buf.len() == k;
-                let tail = last_group
-                    && u_ch.exhausted()
-                    && v_ch.exhausted()
-                    && !u_buf.is_empty()
-                    && u_buf.len() == v_buf.len();
-                if full || tail {
-                    // All k lanes fire in lockstep: multiply and combine in
-                    // balanced-tree order (bit-exact with the lane tree).
-                    let products: Vec<f64> = u_buf
-                        .drain(..)
-                        .zip(v_buf.drain(..))
-                        .map(|(a, b)| mul_f64(a, b))
-                        .collect();
-                    groups_in += 1;
-                    cycle_busy = true;
-                    Some((balanced_sum(&products), last_group))
-                } else {
-                    None
-                }
-            } else {
-                None
-            };
-
-            // Adder tree latency. The push must always succeed: a full
-            // backlog here would mean the gate above let the tree run
-            // ahead of its claimed bound.
-            if let Some(out) = tree.step(tree_in) {
-                backlog
-                    .try_push(out)
-                    .expect("backlog exceeded its 2 + tree-latency bound");
-            }
-
-            // Reduction circuit consumes the tree's output stream.
-            let red_in = if reducer.ready() {
-                backlog.pop().map(|(value, last)| ReduceInput {
-                    set_id: 0,
-                    value,
-                    last,
-                })
-            } else {
-                None
-            };
-            if red_in.is_some() {
-                cycle_busy = true;
-            }
-            if let Some(ev) = reducer.tick(red_in) {
-                result = Some(ev.value);
-            }
-            if cycle_busy {
-                busy += 1;
-            }
-        }
-
-        let report = SimReport {
-            cycles,
-            flops: 2 * n as u64,
-            words_in: 2 * n as u64,
-            words_out: 1,
-            busy_cycles: busy,
+        let mut run = DotRun {
+            k,
+            groups: n.div_ceil(k),
+            u_ch: ReadChannel::new(u.to_vec(), self.params.words_per_cycle_per_vector),
+            v_ch: ReadChannel::new(v.to_vec(), self.params.words_per_cycle_per_vector),
+            tree: DelayLine::new(self.params.tree_latency()),
+            u_buf: Vec::with_capacity(k),
+            v_buf: Vec::with_capacity(k),
+            backlog: Fifo::new(2 + self.params.tree_latency()),
+            groups_in: 0,
+            reducer,
+            result: None,
+            limit: (n as u64 + 64) * 32 + 100_000,
+            ids: None,
         };
+        let report = harness.run(&mut run);
+        let buffer_id = run.ids.expect("setup ran").reduction_buffer;
+
         DotOutcome {
-            result: result.expect("loop exits on result"),
+            result: run.result.expect("harness exits on result"),
             report,
             clock: self.clock,
             peak_flops: io_bound_peak_dot(self.bandwidth_bytes_per_s()),
-            reduction_buffer_high_water: reducer.buffer_high_water(),
+            reduction_buffer_high_water: harness.probe().high_water(buffer_id),
         }
+    }
+}
+
+/// Probe components of one dot-product run.
+#[derive(Debug, Clone, Copy)]
+struct DotIds {
+    front_end: ProbeId,
+    u_stream: ProbeId,
+    v_stream: ProbeId,
+    backlog: ProbeId,
+    reducer: ProbeId,
+    reduction_buffer: ProbeId,
+}
+
+/// One in-flight dot-product computation as a harness [`Design`].
+struct DotRun<'a, R: Reducer> {
+    k: usize,
+    groups: usize,
+    u_ch: ReadChannel,
+    v_ch: ReadChannel,
+    tree: DelayLine<(f64, bool)>,
+    u_buf: Vec<f64>,
+    v_buf: Vec<f64>,
+    // Values that left the tree while the reduction circuit exerted
+    // back-pressure (empty forever with the proposed circuit; grows
+    // only for stalling baselines, which also gate the front end).
+    // Bounded: the front end stops issuing once two values wait, so
+    // only the tree's in-flight contents can land on top of them.
+    backlog: Fifo<(f64, bool)>,
+    groups_in: usize,
+    reducer: &'a mut R,
+    result: Option<f64>,
+    limit: u64,
+    ids: Option<DotIds>,
+}
+
+impl<R: Reducer> Design for DotRun<'_, R> {
+    fn name(&self) -> &str {
+        "dot"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(DotIds {
+            front_end: probe.component("dot/front-end"),
+            u_stream: probe.component("dot/u-stream"),
+            v_stream: probe.component("dot/v-stream"),
+            backlog: probe.component("dot/backlog"),
+            reducer: probe.component("dot/reducer"),
+            reduction_buffer: probe.component("dot/reduction-buffer"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+
+        // Front end: pull up to k element pairs from the streams. A
+        // back-pressured reduction circuit stalls the whole front end.
+        self.u_ch.tick();
+        self.v_ch.tick();
+        let tree_in = if self.groups_in < self.groups && self.backlog.len() < 2 {
+            let got_u = self
+                .u_ch
+                .read_up_to(self.k - self.u_buf.len(), &mut self.u_buf);
+            let got_v = self
+                .v_ch
+                .read_up_to(self.k - self.v_buf.len(), &mut self.v_buf);
+            probe.io_in((got_u + got_v) as u64);
+            let last_group = self.groups_in + 1 == self.groups;
+            let full = self.u_buf.len() == self.k && self.v_buf.len() == self.k;
+            let tail = last_group
+                && self.u_ch.exhausted()
+                && self.v_ch.exhausted()
+                && !self.u_buf.is_empty()
+                && self.u_buf.len() == self.v_buf.len();
+            if full || tail {
+                // All k lanes fire in lockstep: multiply and combine in
+                // balanced-tree order (bit-exact with the lane tree).
+                let products: Vec<f64> = self
+                    .u_buf
+                    .drain(..)
+                    .zip(self.v_buf.drain(..))
+                    .map(|(a, b)| mul_f64(a, b))
+                    .collect();
+                self.groups_in += 1;
+                probe.busy(ids.front_end);
+                probe.flops(2 * products.len() as u64);
+                Some((balanced_sum(&products), last_group))
+            } else {
+                probe.stall(ids.front_end, StallCause::InputStarved);
+                None
+            }
+        } else {
+            if self.groups_in < self.groups {
+                probe.stall(ids.front_end, StallCause::OutputBackpressured);
+            }
+            None
+        };
+
+        // Adder tree latency. The push must always succeed: a full
+        // backlog here would mean the gate above let the tree run
+        // ahead of its claimed bound.
+        if let Some(out) = self.tree.step(tree_in) {
+            self.backlog
+                .try_push(out)
+                .expect("backlog exceeded its 2 + tree-latency bound");
+        }
+
+        // Reduction circuit consumes the tree's output stream.
+        let red_in = if self.reducer.ready() {
+            self.backlog.pop().map(|(value, last)| ReduceInput {
+                set_id: 0,
+                value,
+                last,
+            })
+        } else {
+            None
+        };
+        if red_in.is_some() {
+            probe.busy(ids.reducer);
+        } else if self.groups_in == self.groups {
+            probe.stall(ids.reducer, StallCause::Drain);
+        } else if !self.backlog.is_empty() {
+            probe.stall(ids.reducer, StallCause::OutputBackpressured);
+        }
+        if let Some(ev) = self.reducer.tick(red_in) {
+            self.result = Some(ev.value);
+            probe.io_out(1);
+        }
+
+        self.backlog.probe_occupancy(probe, ids.backlog);
+        probe.sample_depth(ids.reduction_buffer, self.reducer.buffered());
+        self.u_ch.probe_utilization(probe, ids.u_stream);
+        self.v_ch.probe_utilization(probe, ids.v_stream);
+    }
+
+    fn done(&self) -> bool {
+        self.result.is_some()
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.groups_in as u64 + self.reducer.adds_issued())
     }
 }
 

@@ -26,7 +26,7 @@ use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::{ReadChannel, WriteChannel};
-use fblas_sim::{ClockDomain, DelayLine};
+use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause};
 use fblas_system::io_bound_peak_dot;
 
 /// Parameters of the streaming Level-1 designs.
@@ -98,64 +98,135 @@ impl AxpyDesign {
 
     /// Compute `a·x + y`, cycle by cycle.
     pub fn run(&self, a: f64, x: &[f64], y: &[f64]) -> StreamOutcome {
+        self.run_in(&mut Harness::new(), a, x, y)
+    }
+
+    /// [`AxpyDesign::run`] through a caller-supplied harness, so the
+    /// run's stall attribution and channel waveforms land in the
+    /// caller's probe.
+    pub fn run_in(&self, harness: &mut Harness, a: f64, x: &[f64], y: &[f64]) -> StreamOutcome {
         assert_eq!(x.len(), y.len(), "axpy needs equal-length vectors");
         let k = self.params.k;
         let n = x.len();
         let rate = self.params.words_per_cycle_per_stream;
-        let mut x_ch = ReadChannel::new(x.to_vec(), rate);
-        let mut y_ch = ReadChannel::new(y.to_vec(), rate);
-        let mut out_ch = WriteChannel::with_capacity(rate, n);
-        // Lockstep lanes: multiply then add, one batch per cycle.
-        let mut pipe: DelayLine<Vec<f64>> =
-            DelayLine::new(self.params.mult_stages + self.params.adder_stages);
-        let mut xb = Vec::with_capacity(k);
-        let mut yb = Vec::with_capacity(k);
-        let mut fed = 0usize;
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let limit = (n as u64 + 64) * 16 + 100_000;
-
-        while out_ch.words_written() < n {
-            cycles += 1;
-            assert!(cycles < limit, "axpy simulation exceeded cycle budget");
-            x_ch.tick();
-            y_ch.tick();
-            out_ch.tick();
-
-            let mut batch_in = None;
-            if fed < n {
-                let want = k.min(n - fed);
-                x_ch.read_up_to(want - xb.len(), &mut xb);
-                y_ch.read_up_to(want - yb.len(), &mut yb);
-                if xb.len() == want && yb.len() == want {
-                    let batch: Vec<f64> = xb
-                        .drain(..)
-                        .zip(yb.drain(..))
-                        .map(|(xi, yi)| add_f64(mul_f64(a, xi), yi))
-                        .collect();
-                    fed += want;
-                    busy += 1;
-                    batch_in = Some(batch);
-                }
-            }
-            if let Some(batch) = pipe.step(batch_in) {
-                for v in batch {
-                    assert!(out_ch.write(v), "output bandwidth must match input");
-                }
-            }
-        }
+        let mut run = AxpyRun {
+            a,
+            k,
+            n,
+            x_ch: ReadChannel::new(x.to_vec(), rate),
+            y_ch: ReadChannel::new(y.to_vec(), rate),
+            out_ch: WriteChannel::with_capacity(rate, n),
+            // Lockstep lanes: multiply then add, one batch per cycle.
+            pipe: DelayLine::new(self.params.mult_stages + self.params.adder_stages),
+            xb: Vec::with_capacity(k),
+            yb: Vec::with_capacity(k),
+            fed: 0,
+            limit: (n as u64 + 64) * 16 + 100_000,
+            ids: None,
+        };
+        let report = harness.run(&mut run);
 
         StreamOutcome {
-            result: out_ch.into_data(),
-            report: SimReport {
-                cycles,
-                flops: 2 * n as u64,
-                words_in: 2 * n as u64,
-                words_out: n as u64,
-                busy_cycles: busy,
-            },
+            result: run.out_ch.into_data(),
+            report,
             clock: self.clock,
         }
+    }
+}
+
+/// Probe components of one axpy run.
+#[derive(Debug, Clone, Copy)]
+struct AxpyIds {
+    lanes: ProbeId,
+    x_stream: ProbeId,
+    y_stream: ProbeId,
+    out_stream: ProbeId,
+    pipeline: ProbeId,
+}
+
+/// One in-flight axpy computation as a harness [`Design`].
+struct AxpyRun {
+    a: f64,
+    k: usize,
+    n: usize,
+    x_ch: ReadChannel,
+    y_ch: ReadChannel,
+    out_ch: WriteChannel,
+    pipe: DelayLine<Vec<f64>>,
+    xb: Vec<f64>,
+    yb: Vec<f64>,
+    fed: usize,
+    limit: u64,
+    ids: Option<AxpyIds>,
+}
+
+impl Design for AxpyRun {
+    fn name(&self) -> &str {
+        "axpy"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(AxpyIds {
+            lanes: probe.component("axpy/lanes"),
+            x_stream: probe.component("axpy/x-stream"),
+            y_stream: probe.component("axpy/y-stream"),
+            out_stream: probe.component("axpy/out-stream"),
+            pipeline: probe.component("axpy/pipeline"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+        self.x_ch.tick();
+        self.y_ch.tick();
+        self.out_ch.tick();
+
+        let mut batch_in = None;
+        if self.fed < self.n {
+            let want = self.k.min(self.n - self.fed);
+            let got_x = self.x_ch.read_up_to(want - self.xb.len(), &mut self.xb);
+            let got_y = self.y_ch.read_up_to(want - self.yb.len(), &mut self.yb);
+            probe.io_in((got_x + got_y) as u64);
+            if self.xb.len() == want && self.yb.len() == want {
+                let batch: Vec<f64> = self
+                    .xb
+                    .drain(..)
+                    .zip(self.yb.drain(..))
+                    .map(|(xi, yi)| add_f64(mul_f64(self.a, xi), yi))
+                    .collect();
+                self.fed += want;
+                probe.busy(ids.lanes);
+                probe.flops(2 * want as u64);
+                batch_in = Some(batch);
+            } else {
+                probe.stall(ids.lanes, StallCause::InputStarved);
+            }
+        } else {
+            probe.stall(ids.lanes, StallCause::Drain);
+        }
+        if let Some(batch) = self.pipe.step(batch_in) {
+            for v in batch {
+                assert!(self.out_ch.write(v), "output bandwidth must match input");
+                probe.io_out(1);
+            }
+        }
+
+        self.pipe.probe_occupancy(probe, ids.pipeline);
+        self.x_ch.probe_utilization(probe, ids.x_stream);
+        self.y_ch.probe_utilization(probe, ids.y_stream);
+        self.out_ch.probe_utilization(probe, ids.out_stream);
+    }
+
+    fn done(&self) -> bool {
+        self.out_ch.words_written() >= self.n
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.fed as u64 + self.out_ch.words_written() as u64)
     }
 }
 
@@ -177,52 +248,117 @@ impl ScalDesign {
 
     /// Compute `a·x`, cycle by cycle.
     pub fn run(&self, a: f64, x: &[f64]) -> StreamOutcome {
+        self.run_in(&mut Harness::new(), a, x)
+    }
+
+    /// [`ScalDesign::run`] through a caller-supplied harness.
+    pub fn run_in(&self, harness: &mut Harness, a: f64, x: &[f64]) -> StreamOutcome {
         let k = self.params.k;
         let n = x.len();
         let rate = self.params.words_per_cycle_per_stream;
-        let mut x_ch = ReadChannel::new(x.to_vec(), rate);
-        let mut out_ch = WriteChannel::with_capacity(rate, n);
-        let mut pipe: DelayLine<Vec<f64>> = DelayLine::new(self.params.mult_stages);
-        let mut xb = Vec::with_capacity(k);
-        let mut fed = 0usize;
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let limit = (n as u64 + 64) * 16 + 100_000;
-
-        while out_ch.words_written() < n {
-            cycles += 1;
-            assert!(cycles < limit, "scal simulation exceeded cycle budget");
-            x_ch.tick();
-            out_ch.tick();
-            let mut batch_in = None;
-            if fed < n {
-                let want = k.min(n - fed);
-                x_ch.read_up_to(want - xb.len(), &mut xb);
-                if xb.len() == want {
-                    let batch: Vec<f64> = xb.drain(..).map(|xi| mul_f64(a, xi)).collect();
-                    fed += want;
-                    busy += 1;
-                    batch_in = Some(batch);
-                }
-            }
-            if let Some(batch) = pipe.step(batch_in) {
-                for v in batch {
-                    assert!(out_ch.write(v), "output bandwidth must match input");
-                }
-            }
-        }
+        let mut run = ScalRun {
+            a,
+            k,
+            n,
+            x_ch: ReadChannel::new(x.to_vec(), rate),
+            out_ch: WriteChannel::with_capacity(rate, n),
+            pipe: DelayLine::new(self.params.mult_stages),
+            xb: Vec::with_capacity(k),
+            fed: 0,
+            limit: (n as u64 + 64) * 16 + 100_000,
+            ids: None,
+        };
+        let report = harness.run(&mut run);
 
         StreamOutcome {
-            result: out_ch.into_data(),
-            report: SimReport {
-                cycles,
-                flops: n as u64,
-                words_in: n as u64,
-                words_out: n as u64,
-                busy_cycles: busy,
-            },
+            result: run.out_ch.into_data(),
+            report,
             clock: self.clock,
         }
+    }
+}
+
+/// Probe components of one scal run.
+#[derive(Debug, Clone, Copy)]
+struct ScalIds {
+    lanes: ProbeId,
+    x_stream: ProbeId,
+    out_stream: ProbeId,
+    pipeline: ProbeId,
+}
+
+/// One in-flight scal computation as a harness [`Design`].
+struct ScalRun {
+    a: f64,
+    k: usize,
+    n: usize,
+    x_ch: ReadChannel,
+    out_ch: WriteChannel,
+    pipe: DelayLine<Vec<f64>>,
+    xb: Vec<f64>,
+    fed: usize,
+    limit: u64,
+    ids: Option<ScalIds>,
+}
+
+impl Design for ScalRun {
+    fn name(&self) -> &str {
+        "scal"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(ScalIds {
+            lanes: probe.component("scal/lanes"),
+            x_stream: probe.component("scal/x-stream"),
+            out_stream: probe.component("scal/out-stream"),
+            pipeline: probe.component("scal/pipeline"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+        self.x_ch.tick();
+        self.out_ch.tick();
+
+        let mut batch_in = None;
+        if self.fed < self.n {
+            let want = self.k.min(self.n - self.fed);
+            let got = self.x_ch.read_up_to(want - self.xb.len(), &mut self.xb);
+            probe.io_in(got as u64);
+            if self.xb.len() == want {
+                let batch: Vec<f64> = self.xb.drain(..).map(|xi| mul_f64(self.a, xi)).collect();
+                self.fed += want;
+                probe.busy(ids.lanes);
+                probe.flops(want as u64);
+                batch_in = Some(batch);
+            } else {
+                probe.stall(ids.lanes, StallCause::InputStarved);
+            }
+        } else {
+            probe.stall(ids.lanes, StallCause::Drain);
+        }
+        if let Some(batch) = self.pipe.step(batch_in) {
+            for v in batch {
+                assert!(self.out_ch.write(v), "output bandwidth must match input");
+                probe.io_out(1);
+            }
+        }
+
+        self.pipe.probe_occupancy(probe, ids.pipeline);
+        self.x_ch.probe_utilization(probe, ids.x_stream);
+        self.out_ch.probe_utilization(probe, ids.out_stream);
+    }
+
+    fn done(&self) -> bool {
+        self.out_ch.words_written() >= self.n
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.fed as u64 + self.out_ch.words_written() as u64)
     }
 }
 
@@ -261,66 +397,144 @@ impl AsumDesign {
 
     /// Compute Σ|xᵢ| with the paper's reduction circuit.
     pub fn run(&self, x: &[f64]) -> AsumOutcome {
+        self.run_in(&mut Harness::new(), x)
+    }
+
+    /// [`AsumDesign::run`] through a caller-supplied harness.
+    ///
+    /// Busy-cycle note: asum counts a cycle as busy when the lockstep
+    /// magnitude/tree front end fires *or* the reduction circuit accepts
+    /// a value — the workspace-wide definition (≥1 FP unit issued work
+    /// that cycle), matching the dot-product design. A pre-harness
+    /// version counted only front-end fires, undercounting the
+    /// reduction-drain tail by ~tree-latency cycles.
+    pub fn run_in(&self, harness: &mut Harness, x: &[f64]) -> AsumOutcome {
         assert!(!x.is_empty(), "asum of an empty vector");
         let k = self.params.k;
         let n = x.len();
-        let groups = n.div_ceil(k);
-        let mut x_ch = ReadChannel::new(x.to_vec(), self.params.words_per_cycle_per_stream);
-        // |x| is a wire-level operation (clear bit 63): zero latency, no
-        // flops — then the dot-product tree/reduction path applies.
-        let mut tree: DelayLine<(f64, bool)> =
-            DelayLine::new((k.ilog2() as usize * self.params.adder_stages).max(1));
-        let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
-        let mut buf = Vec::with_capacity(k);
-        let mut groups_in = 0usize;
-        let mut result = None;
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let limit = (n as u64 + 64) * 16 + 100_000;
-
-        while result.is_none() {
-            cycles += 1;
-            assert!(cycles < limit, "asum simulation exceeded cycle budget");
-            x_ch.tick();
-            let mut tree_in = None;
-            if groups_in < groups {
-                let want = k.min(n - groups_in * k);
-                x_ch.read_up_to(want - buf.len(), &mut buf);
-                if buf.len() == want {
-                    let mags: Vec<f64> = buf
-                        .drain(..)
-                        .map(|v| f64::from_bits(v.to_bits() & !SIGN_MASK))
-                        .collect();
-                    groups_in += 1;
-                    busy += 1;
-                    tree_in = Some((balanced(&mags), groups_in == groups));
-                }
-            }
-            let red_in = tree.step(tree_in).map(|(value, last)| ReduceInput {
-                set_id: 0,
-                value,
-                last,
-            });
-            if let Some(ev) = reducer.tick(red_in) {
-                result = Some(ev.value);
-            }
-        }
+        let mut run = AsumRun {
+            k,
+            n,
+            groups: n.div_ceil(k),
+            x_ch: ReadChannel::new(x.to_vec(), self.params.words_per_cycle_per_stream),
+            // |x| is a wire-level operation (clear bit 63): zero latency, no
+            // flops — then the dot-product tree/reduction path applies.
+            tree: DelayLine::new((k.ilog2() as usize * self.params.adder_stages).max(1)),
+            reducer: SingleAdderReducer::new(self.params.adder_stages),
+            buf: Vec::with_capacity(k),
+            groups_in: 0,
+            result: None,
+            limit: (n as u64 + 64) * 16 + 100_000,
+            ids: None,
+        };
+        let report = harness.run(&mut run);
 
         AsumOutcome {
-            result: result.expect("loop exits on result"),
-            report: SimReport {
-                cycles,
-                flops: n as u64, // n−1 adds + the free magnitude ops
-                words_in: n as u64,
-                words_out: 1,
-                busy_cycles: busy,
-            },
+            result: run.result.expect("harness exits on result"),
+            report,
             clock: self.clock,
             peak_flops: io_bound_peak_dot(
                 // Bandwidth accounting. lint: allow(native-f64)
                 self.params.words_per_cycle_per_stream * 8.0 * self.clock.hz(),
             ),
         }
+    }
+}
+
+/// Probe components of one asum run.
+#[derive(Debug, Clone, Copy)]
+struct AsumIds {
+    front_end: ProbeId,
+    x_stream: ProbeId,
+    reducer: ProbeId,
+    reduction_buffer: ProbeId,
+}
+
+/// One in-flight asum computation as a harness [`Design`].
+struct AsumRun {
+    k: usize,
+    n: usize,
+    groups: usize,
+    x_ch: ReadChannel,
+    tree: DelayLine<(f64, bool)>,
+    reducer: SingleAdderReducer,
+    buf: Vec<f64>,
+    groups_in: usize,
+    result: Option<f64>,
+    limit: u64,
+    ids: Option<AsumIds>,
+}
+
+impl Design for AsumRun {
+    fn name(&self) -> &str {
+        "asum"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(AsumIds {
+            front_end: probe.component("asum/front-end"),
+            x_stream: probe.component("asum/x-stream"),
+            reducer: probe.component("asum/reducer"),
+            reduction_buffer: probe.component("asum/reduction-buffer"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+        self.x_ch.tick();
+
+        let mut tree_in = None;
+        if self.groups_in < self.groups {
+            let want = self.k.min(self.n - self.groups_in * self.k);
+            let got = self.x_ch.read_up_to(want - self.buf.len(), &mut self.buf);
+            probe.io_in(got as u64);
+            if self.buf.len() == want {
+                let mags: Vec<f64> = self
+                    .buf
+                    .drain(..)
+                    .map(|v| f64::from_bits(v.to_bits() & !SIGN_MASK))
+                    .collect();
+                self.groups_in += 1;
+                probe.busy(ids.front_end);
+                // want−1 tree adds plus the free magnitude op on the
+                // last lane: totals n over the run (n−1 adds + 1).
+                probe.flops(want as u64);
+                tree_in = Some((balanced(&mags), self.groups_in == self.groups));
+            } else {
+                probe.stall(ids.front_end, StallCause::InputStarved);
+            }
+        } else {
+            probe.stall(ids.front_end, StallCause::Drain);
+        }
+        let red_in = self.tree.step(tree_in).map(|(value, last)| ReduceInput {
+            set_id: 0,
+            value,
+            last,
+        });
+        if red_in.is_some() {
+            probe.busy(ids.reducer);
+        } else if self.groups_in == self.groups {
+            probe.stall(ids.reducer, StallCause::Drain);
+        }
+        if let Some(ev) = self.reducer.tick(red_in) {
+            self.result = Some(ev.value);
+            probe.io_out(1);
+        }
+
+        probe.sample_depth(ids.reduction_buffer, self.reducer.buffered());
+        self.x_ch.probe_utilization(probe, ids.x_stream);
+    }
+
+    fn done(&self) -> bool {
+        self.result.is_some()
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.groups_in as u64 + self.reducer.adds_issued())
     }
 }
 
@@ -413,6 +627,21 @@ mod tests {
     fn asum_handles_negative_zero() {
         let out = AsumDesign::new(Level1Params::with_k(2)).run(&[-0.0, -1.0, 2.0]);
         assert_eq!(out.result, 3.0);
+    }
+
+    #[test]
+    fn asum_busy_counts_reduction_accepts() {
+        // The unified busy definition: front-end fires plus the cycles
+        // where the reduction circuit accepts tree output after the
+        // stream drains. Strictly more than the n/k fires alone.
+        let x = int_vec(4, 1000);
+        let out = AsumDesign::new(Level1Params::with_k(4)).run(&x);
+        assert!(
+            out.report.busy_cycles > 250,
+            "busy {} should exceed the 250 front-end fires",
+            out.report.busy_cycles
+        );
+        assert!(out.report.busy_cycles < out.report.cycles);
     }
 
     #[test]

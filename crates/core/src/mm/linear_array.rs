@@ -26,7 +26,7 @@ use super::{HazardPolicy, MmParams};
 use crate::mvm::DenseMatrix;
 use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
-use fblas_sim::{ClockDomain, DelayLine};
+use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause};
 use fblas_system::{AreaModel, ClockModel, XC2VP50};
 
 /// Measured outcome of one block multiply on the PE array.
@@ -69,9 +69,20 @@ impl BlockEngine {
         b: &DenseMatrix,
         c: &mut [f64],
     ) -> BlockStats {
+        self.multiply_accumulate_in(&mut Harness::new(), a, b, c)
+    }
+
+    /// [`BlockEngine::multiply_accumulate`] through a caller-supplied
+    /// harness, so every block of a full multiply shares one probe and
+    /// its trace timeline.
+    pub fn multiply_accumulate_in(
+        &self,
+        harness: &mut Harness,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        c: &mut [f64],
+    ) -> BlockStats {
         let m = self.params.m;
-        let k = self.params.k;
-        let r = self.params.residency();
         assert_eq!(a.rows(), m);
         assert_eq!(a.cols(), m);
         assert_eq!(b.rows(), m);
@@ -83,87 +94,185 @@ impl BlockEngine {
         // *add issue* (when the product emerges from the multiplier), so
         // the hazard window is the adder depth α, exactly §5.1's m²/k ≥ α
         // condition.
-        let mut mult_pipe: DelayLine<Vec<(usize, f64)>> = DelayLine::new(self.params.mult_stages);
-        let mut add_pipe: DelayLine<Vec<usize>> = DelayLine::new(self.params.adder_stages);
-        let mut in_flight = vec![false; m * m];
-        let mut hazards = 0u64;
-        let mut macs = 0u64;
-        let total_elements = (m * m) as i64; // A elements, column-major
-
-        let mut cycle: i64 = 0;
-        let mut writes_done = 0u64;
         let total_writes = (m * m * m) as u64; // every MAC lands one write
-
-        while writes_done < total_writes {
-            // Retire accumulates leaving the adder before this cycle's
-            // reads (same-edge visibility). The value was forwarded at
-            // issue; landing clears the hazard window.
-            if let Some(batch) = add_pipe.peek().cloned() {
-                for cell in batch {
-                    in_flight[cell] = false;
-                    writes_done += 1;
-                }
-            }
-
-            // Each PE p works on A element e = (cycle − p) / r during its
-            // residency window; d indexes the PE's registered B elements.
-            let mut batch: Vec<(usize, f64)> = Vec::with_capacity(k);
-            for p in 0..k {
-                let local = cycle - p as i64;
-                if local < 0 {
-                    continue;
-                }
-                let e = local / r as i64;
-                let d = (local % r as i64) as usize;
-                if e >= total_elements {
-                    continue;
-                }
-                let e = e as usize;
-                let q = e / m; // A column / B row index
-                let i = e % m; // row of C
-                let j = d * k + p; // column of C owned by PE p
-                let cell = i * m + j;
-                batch.push((cell, mul_f64(a.at(i, q), b.at(q, j))));
-                macs += 1;
-            }
-
-            // Products emerging from the multipliers read C′ and issue
-            // their accumulating adds. The sum is forwarded to C′ at issue
-            // (architectural value); the add pipeline carries only the
-            // landing time of each write.
-            let add_in = mult_pipe
-                .step(if batch.is_empty() { None } else { Some(batch) })
-                .map(|prods| {
-                    prods
-                        .into_iter()
-                        .map(|(cell, prod)| {
-                            if in_flight[cell] {
-                                match self.params.hazard_policy {
-                                    HazardPolicy::Enforce => panic!(
-                                        "read-after-write hazard on C′ cell \
-                                         {cell} at cycle {cycle}: update \
-                                         interval m²/k = {} < α = {}",
-                                        self.params.update_interval(),
-                                        self.params.adder_stages
-                                    ),
-                                    HazardPolicy::Document => hazards += 1,
-                                }
-                            }
-                            in_flight[cell] = true;
-                            c[cell] = add_f64(c[cell], prod);
-                            cell
-                        })
-                        .collect::<Vec<_>>()
-                });
-            add_pipe.step(add_in);
-            cycle += 1;
-        }
+        let mut run = BlockRun {
+            params: &self.params,
+            a,
+            b,
+            c,
+            mult_pipe: DelayLine::new(self.params.mult_stages),
+            add_pipe: DelayLine::new(self.params.adder_stages),
+            in_flight: vec![false; m * m],
+            hazards: 0,
+            macs: 0,
+            total_elements: (m * m) as i64, // A elements, column-major
+            cycle: 0,
+            writes_done: 0,
+            total_writes,
+            limit: total_writes * 2 + 200_000,
+            ids: None,
+        };
+        let report = harness.run(&mut run);
 
         BlockStats {
-            cycles: self.params.fill_cycles() + cycle as u64,
-            macs,
-            hazard_violations: hazards,
+            cycles: self.params.fill_cycles() + report.cycles,
+            macs: run.macs,
+            hazard_violations: run.hazards,
         }
+    }
+}
+
+/// Probe components of one block multiply.
+#[derive(Debug, Clone, Copy)]
+struct BlockIds {
+    pe_array: ProbeId,
+    accumulators: ProbeId,
+    add_pipe: ProbeId,
+}
+
+/// One in-flight m×m block multiply as a harness [`Design`].
+struct BlockRun<'a> {
+    params: &'a MmParams,
+    a: &'a DenseMatrix,
+    b: &'a DenseMatrix,
+    c: &'a mut [f64],
+    mult_pipe: DelayLine<Vec<(usize, f64)>>,
+    add_pipe: DelayLine<Vec<usize>>,
+    in_flight: Vec<bool>,
+    hazards: u64,
+    macs: u64,
+    total_elements: i64,
+    cycle: i64,
+    writes_done: u64,
+    total_writes: u64,
+    limit: u64,
+    ids: Option<BlockIds>,
+}
+
+impl Design for BlockRun<'_> {
+    fn name(&self) -> &str {
+        "mm-block"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(BlockIds {
+            pe_array: probe.component("mm/pe-array"),
+            accumulators: probe.component("mm/accumulators"),
+            add_pipe: probe.component("mm/add-pipe"),
+        });
+        // The fill stage banks one m²-word B block while the previous
+        // block's A stream finishes; stage 2 then streams the A block.
+        // Both stream once per block multiply: 2m² words.
+        probe.io_in(2 * (self.params.m * self.params.m) as u64);
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+        let m = self.params.m;
+        let k = self.params.k;
+        let r = self.params.residency();
+
+        // Retire accumulates leaving the adder before this cycle's
+        // reads (same-edge visibility). The value was forwarded at
+        // issue; landing clears the hazard window.
+        if let Some(batch) = self.add_pipe.peek().cloned() {
+            for cell in batch {
+                self.in_flight[cell] = false;
+                self.writes_done += 1;
+            }
+        }
+
+        // Each PE p works on A element e = (cycle − p) / r during its
+        // residency window; d indexes the PE's registered B elements.
+        let mut batch: Vec<(usize, f64)> = Vec::with_capacity(k);
+        for p in 0..k {
+            let local = self.cycle - p as i64;
+            if local < 0 {
+                continue;
+            }
+            let e = local / r as i64;
+            let d = (local % r as i64) as usize;
+            if e >= self.total_elements {
+                continue;
+            }
+            let e = e as usize;
+            let q = e / m; // A column / B row index
+            let i = e % m; // row of C
+            let j = d * k + p; // column of C owned by PE p
+            let cell = i * m + j;
+            batch.push((cell, mul_f64(self.a.at(i, q), self.b.at(q, j))));
+            self.macs += 1;
+        }
+        if batch.is_empty() {
+            if self.cycle >= self.total_elements * r as i64 {
+                probe.stall(ids.pe_array, StallCause::Drain);
+            } else {
+                probe.stall(ids.pe_array, StallCause::InputStarved);
+            }
+        } else {
+            probe.busy(ids.pe_array);
+            probe.flops(batch.len() as u64);
+        }
+
+        // Products emerging from the multipliers read C′ and issue
+        // their accumulating adds. The sum is forwarded to C′ at issue
+        // (architectural value); the add pipeline carries only the
+        // landing time of each write.
+        let mut hazard_this_cycle = false;
+        let add_in = self
+            .mult_pipe
+            .step(if batch.is_empty() { None } else { Some(batch) })
+            .map(|prods| {
+                prods
+                    .into_iter()
+                    .map(|(cell, prod)| {
+                        if self.in_flight[cell] {
+                            match self.params.hazard_policy {
+                                HazardPolicy::Enforce => panic!(
+                                    "read-after-write hazard on C′ cell \
+                                     {cell} at cycle {}: update \
+                                     interval m²/k = {} < α = {}",
+                                    self.cycle,
+                                    self.params.update_interval(),
+                                    self.params.adder_stages
+                                ),
+                                HazardPolicy::Document => {
+                                    self.hazards += 1;
+                                    hazard_this_cycle = true;
+                                }
+                            }
+                        }
+                        self.in_flight[cell] = true;
+                        self.c[cell] = add_f64(self.c[cell], prod);
+                        cell
+                    })
+                    .collect::<Vec<_>>()
+            });
+        if let Some(cells) = &add_in {
+            probe.busy(ids.accumulators);
+            probe.flops(cells.len() as u64);
+        }
+        if hazard_this_cycle {
+            // Documented (forwarded) hazards still mark the window so the
+            // trace shows where m²/k < α bites.
+            probe.stall(ids.accumulators, StallCause::HazardWindow);
+        }
+        self.add_pipe.step(add_in);
+        self.cycle += 1;
+
+        self.add_pipe.probe_occupancy(probe, ids.add_pipe);
+    }
+
+    fn done(&self) -> bool {
+        self.writes_done >= self.total_writes
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.macs + self.writes_done)
     }
 }
 
@@ -249,6 +358,22 @@ impl LinearArrayMm {
 
     /// Compute C = A·B. n must be a multiple of the block edge m.
     pub fn run(&self, a: &DenseMatrix, b: &DenseMatrix) -> MmOutcome {
+        self.run_in(&mut Harness::new(), a, b)
+    }
+
+    /// [`LinearArrayMm::run`] through a caller-supplied harness: every
+    /// block multiply lands in the caller's probe, back to back on one
+    /// trace timeline.
+    ///
+    /// The outcome's [`SimReport`] stays the §5.1 overlap aggregate: the
+    /// blocks simulate sequentially here, but in hardware the fill and
+    /// drain of consecutive blocks hide under compute, so total cycles
+    /// are `first + (blocks−1)·m³/k + drain` rather than the sum of
+    /// per-block measurements, and `busy_cycles` is the analytic
+    /// `macs/k` (k MACs retire per fully-occupied cycle; the per-block
+    /// probe counts also see the ragged skew cycles, which the overlap
+    /// hides).
+    pub fn run_in(&self, harness: &mut Harness, a: &DenseMatrix, b: &DenseMatrix) -> MmOutcome {
         let p = &self.engine.params;
         let (m, k) = (p.m, p.k);
         let n = a.rows();
@@ -271,7 +396,9 @@ impl LinearArrayMm {
                 for z in 0..nb {
                     let ablk = DenseMatrix::from_fn(m, m, |i, q| a.at(g * m + i, z * m + q));
                     let bblk = DenseMatrix::from_fn(m, m, |q, j| b.at(z * m + q, h * m + j));
-                    let stats = self.engine.multiply_accumulate(&ablk, &bblk, &mut cblk);
+                    let stats = self
+                        .engine
+                        .multiply_accumulate_in(harness, &ablk, &bblk, &mut cblk);
                     if blocks_done == 0 {
                         first_block_cycles = stats.cycles;
                     }

@@ -11,10 +11,9 @@
 //! accumulator read that no in-flight write targets the same element.
 
 use super::{DenseMatrix, MvmOutcome, MvmParams};
-use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
-use fblas_sim::{ClockDomain, DelayLine};
+use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause};
 use fblas_system::{ClockModel, Xd1Node};
 
 /// One in-flight multiply-accumulate: target y index and addend.
@@ -67,8 +66,25 @@ impl ColMajorMvm {
         self.run_with_initial(a, x, None)
     }
 
+    /// [`ColMajorMvm::run`] through a caller-supplied harness.
+    pub fn run_in(&self, harness: &mut Harness, a: &DenseMatrix, x: &[f64]) -> MvmOutcome {
+        self.run_with_initial_in(harness, a, x, None)
+    }
+
     /// Compute `y = y0 + A·x` (the blocked driver preloads `y0`).
     pub fn run_with_initial(&self, a: &DenseMatrix, x: &[f64], y0: Option<&[f64]>) -> MvmOutcome {
+        self.run_with_initial_in(&mut Harness::new(), a, x, y0)
+    }
+
+    /// [`ColMajorMvm::run_with_initial`] through a caller-supplied
+    /// harness.
+    pub fn run_with_initial_in(
+        &self,
+        harness: &mut Harness,
+        a: &DenseMatrix,
+        x: &[f64],
+        y0: Option<&[f64]>,
+    ) -> MvmOutcome {
         let k = self.params.k;
         let rows = a.rows();
         let cols = a.cols();
@@ -90,101 +106,186 @@ impl ColMajorMvm {
             y_store.load(y0);
         }
 
-        let mut a_ch = ReadChannel::new(a.col_major_stream(), self.params.matrix_words_per_cycle);
-        // Lockstep lanes: multiplier then accumulating adder, modelled as
-        // two delay lines carrying per-cycle MAC batches.
-        let mut mult: DelayLine<MacBatch> = DelayLine::new(self.params.mult_stages);
-        let mut adder: DelayLine<MacBatch> = DelayLine::new(self.params.adder_stages);
-        // Hazard detector: y indices with an in-flight accumulate.
-        let mut in_flight: Vec<bool> = vec![false; rows];
+        let mut run = ColMvmRun {
+            k,
+            rows,
+            cols,
+            chunks_per_col,
+            x,
+            y_store,
+            a_ch: ReadChannel::new(a.col_major_stream(), self.params.matrix_words_per_cycle),
+            // Lockstep lanes: multiplier then accumulating adder, modelled
+            // as two delay lines carrying per-cycle MAC batches.
+            mult: DelayLine::new(self.params.mult_stages),
+            adder: DelayLine::new(self.params.adder_stages),
+            in_flight: vec![false; rows],
+            in_flight_count: 0,
+            col: 0,
+            chunk: 0,
+            group: Vec::with_capacity(k),
+            writes_done: 0,
+            // Every element of A is one multiply-accumulate, hence one write.
+            total_writes: (rows * cols) as u64,
+            values_fed: 0,
+            limit: (rows as u64 * cols as u64 / k as u64 + 1024) * 8 + 200_000,
+            ids: None,
+        };
+        let report = harness.run(&mut run);
 
-        let mut col = 0usize;
-        let mut chunk = 0usize;
-        let mut group: Vec<f64> = Vec::with_capacity(k);
-        let mut writes_done = 0u64;
-        // Every element of A is one multiply-accumulate, hence one write.
-        let total_writes = (rows * cols) as u64;
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let limit = (rows as u64 * cols as u64 / k as u64 + 1024) * 8 + 200_000;
+        let y = run.y_store.contents().to_vec();
+        MvmOutcome::new(y, report, self.clock, self.params.matrix_words_per_cycle)
+    }
+}
 
-        while writes_done < total_writes {
-            cycles += 1;
-            assert!(cycles < limit, "mvm simulation exceeded cycle budget");
-            let mut cycle_busy = false;
+/// Probe components of one column-major `MvM` run.
+#[derive(Debug, Clone, Copy)]
+struct ColMvmIds {
+    front_end: ProbeId,
+    a_stream: ProbeId,
+    lanes: ProbeId,
+    hazard_window: ProbeId,
+}
 
-            // Retire accumulates leaving the adder: write back and clear
-            // the hazard marker *before* this cycle's reads.
-            if let Some(batch) = adder.peek().cloned() {
-                for (idx, _) in &batch {
-                    in_flight[*idx] = false;
-                }
-                for (idx, v) in batch {
-                    y_store.write(idx, v);
-                    writes_done += 1;
-                }
+/// One in-flight column-major `MvM` computation as a harness [`Design`].
+struct ColMvmRun<'a> {
+    k: usize,
+    rows: usize,
+    cols: usize,
+    chunks_per_col: usize,
+    x: &'a [f64],
+    y_store: LocalStore,
+    a_ch: ReadChannel,
+    mult: DelayLine<MacBatch>,
+    adder: DelayLine<MacBatch>,
+    // Hazard detector: y indices with an in-flight accumulate.
+    in_flight: Vec<bool>,
+    in_flight_count: usize,
+    col: usize,
+    chunk: usize,
+    group: Vec<f64>,
+    writes_done: u64,
+    total_writes: u64,
+    values_fed: u64,
+    limit: u64,
+    ids: Option<ColMvmIds>,
+}
+
+impl Design for ColMvmRun<'_> {
+    fn name(&self) -> &str {
+        "col-mvm"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(ColMvmIds {
+            front_end: probe.component("col-mvm/front-end"),
+            a_stream: probe.component("col-mvm/a-stream"),
+            lanes: probe.component("col-mvm/lanes"),
+            hazard_window: probe.component("col-mvm/hazard-window"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+
+        // Retire accumulates leaving the adder: write back and clear
+        // the hazard marker *before* this cycle's reads.
+        if let Some(batch) = self.adder.peek().cloned() {
+            for (idx, _) in &batch {
+                self.in_flight[*idx] = false;
             }
-
-            // Front end: k elements of the current column.
-            a_ch.tick();
-            let mut mult_in = None;
-            if col < cols {
-                let lo = chunk * k;
-                let hi = (lo + k).min(rows);
-                a_ch.read_up_to(hi - lo - group.len(), &mut group);
-                if group.len() == hi - lo {
-                    let xj = x[col];
-                    let batch: MacBatch = group
-                        .drain(..)
-                        .enumerate()
-                        .map(|(off, aij)| (lo + off, mul_f64(aij, xj)))
-                        .collect();
-                    mult_in = Some(batch);
-                    cycle_busy = true;
-                    chunk += 1;
-                    if chunk == chunks_per_col {
-                        chunk = 0;
-                        col += 1;
-                    }
-                }
-            }
-
-            // Products emerging from the multipliers issue their adds,
-            // reading the current intermediate value.
-            let adder_in = mult.step(mult_in).map(|batch| {
-                batch
-                    .into_iter()
-                    .map(|(idx, prod)| {
-                        assert!(
-                            !in_flight[idx],
-                            "read-after-write hazard on y[{idx}]: previous \
-                             accumulate still in the adder pipeline"
-                        );
-                        in_flight[idx] = true;
-                        (idx, add_f64(y_store.read(idx), prod))
-                    })
-                    .collect::<MacBatch>()
-            });
-            if adder_in.is_some() {
-                cycle_busy = true;
-            }
-            adder.step(adder_in);
-
-            if cycle_busy {
-                busy += 1;
+            self.in_flight_count -= batch.len();
+            for (idx, v) in batch {
+                self.y_store.write(idx, v);
+                self.writes_done += 1;
             }
         }
 
-        let y = y_store.contents().to_vec();
-        let report = SimReport {
-            cycles,
-            flops: 2 * (rows as u64) * (cols as u64),
-            // A plus the streamed x (one x element per column).
-            words_in: (rows * cols + cols) as u64,
-            words_out: rows as u64,
-            busy_cycles: busy,
-        };
-        MvmOutcome::new(y, report, self.clock, self.params.matrix_words_per_cycle)
+        // Front end: k elements of the current column.
+        self.a_ch.tick();
+        let mut mult_in = None;
+        if self.col < self.cols {
+            let lo = self.chunk * self.k;
+            let hi = (lo + self.k).min(self.rows);
+            let got = self
+                .a_ch
+                .read_up_to(hi - lo - self.group.len(), &mut self.group);
+            probe.io_in(got as u64);
+            if self.group.len() == hi - lo {
+                let xj = self.x[self.col];
+                if self.chunk == 0 {
+                    // The broadcast x element streams in once per column.
+                    probe.io_in(1);
+                }
+                let batch: MacBatch = self
+                    .group
+                    .drain(..)
+                    .enumerate()
+                    .map(|(off, aij)| (lo + off, mul_f64(aij, xj)))
+                    .collect();
+                probe.busy(ids.front_end);
+                probe.flops(batch.len() as u64);
+                self.values_fed += batch.len() as u64;
+                mult_in = Some(batch);
+                self.chunk += 1;
+                if self.chunk == self.chunks_per_col {
+                    self.chunk = 0;
+                    self.col += 1;
+                }
+            } else {
+                probe.stall(ids.front_end, StallCause::InputStarved);
+            }
+        } else {
+            probe.stall(ids.front_end, StallCause::Drain);
+        }
+
+        // Products emerging from the multipliers issue their adds,
+        // reading the current intermediate value.
+        let adder_in = self.mult.step(mult_in).map(|batch| {
+            batch
+                .into_iter()
+                .map(|(idx, prod)| {
+                    assert!(
+                        !self.in_flight[idx],
+                        "read-after-write hazard on y[{idx}]: previous \
+                         accumulate still in the adder pipeline"
+                    );
+                    self.in_flight[idx] = true;
+                    (idx, add_f64(self.y_store.read(idx), prod))
+                })
+                .collect::<MacBatch>()
+        });
+        if let Some(batch) = &adder_in {
+            probe.busy(ids.lanes);
+            probe.flops(batch.len() as u64);
+            self.in_flight_count += batch.len();
+        } else if self.in_flight_count > 0 {
+            // The adder issue slot is empty while earlier accumulates are
+            // still locking their y elements in the pipeline.
+            probe.stall(ids.lanes, StallCause::HazardWindow);
+        } else if self.col == self.cols {
+            probe.stall(ids.lanes, StallCause::Drain);
+        }
+        self.adder.step(adder_in);
+
+        self.adder.probe_occupancy(probe, ids.hazard_window);
+        self.a_ch.probe_utilization(probe, ids.a_stream);
+    }
+
+    fn drain(&mut self, probe: &mut Probe) {
+        // y streams back to memory once the accumulators settle.
+        probe.io_out(self.rows as u64);
+    }
+
+    fn done(&self) -> bool {
+        self.writes_done >= self.total_writes
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.values_fed + self.writes_done)
     }
 }
 

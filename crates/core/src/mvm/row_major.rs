@@ -11,10 +11,9 @@
 
 use super::{DenseMatrix, MvmOutcome, MvmParams};
 use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
-use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
-use fblas_sim::{ClockDomain, DelayLine, Fifo};
+use fblas_sim::{ClockDomain, DelayLine, Design, Fifo, Harness, Probe, ProbeId, StallCause};
 use fblas_system::{ClockModel, Xd1Node};
 
 /// The tree-based row-major matrix-vector design.
@@ -77,6 +76,14 @@ impl RowMajorMvm {
         self.run_with_initial(a, x, None)
     }
 
+    /// [`RowMajorMvm::run`] through a caller-supplied harness, so the
+    /// run's stall attribution and occupancy waveforms land in the
+    /// caller's probe (e.g. a `--trace` session).
+    pub fn run_in(&self, harness: &mut Harness, a: &DenseMatrix, x: &[f64]) -> MvmOutcome {
+        let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
+        self.run_with_reducer_in(harness, a, x, None, &mut reducer)
+    }
+
     /// Compute `y = y0 + A·x`: the blocked driver folds the previous
     /// panel's partial sums (`y0`) into each row's reduction set as one
     /// extra input value.
@@ -88,6 +95,19 @@ impl RowMajorMvm {
     /// Full-control entry point: explicit reduction circuit (ablations).
     pub fn run_with_reducer<R: Reducer>(
         &self,
+        a: &DenseMatrix,
+        x: &[f64],
+        y0: Option<&[f64]>,
+        reducer: &mut R,
+    ) -> MvmOutcome {
+        self.run_with_reducer_in(&mut Harness::new(), a, x, y0, reducer)
+    }
+
+    /// [`RowMajorMvm::run_with_reducer`] through a caller-supplied
+    /// harness.
+    pub fn run_with_reducer_in<R: Reducer>(
+        &self,
+        harness: &mut Harness,
         a: &DenseMatrix,
         x: &[f64],
         y0: Option<&[f64]>,
@@ -121,101 +141,188 @@ impl RowMajorMvm {
             x_stores[j % k].write(j / k, xj);
         }
 
-        let mut a_ch = ReadChannel::new(a.row_major_stream(), self.params.matrix_words_per_cycle);
         let tree_latency = self.params.mult_stages + k.ilog2() as usize * self.params.adder_stages;
-        let mut tree: DelayLine<(u64, f64, bool)> = DelayLine::new(tree_latency);
-        // Bounded like the dot-product backlog: the front end stops at two
-        // waiting values, plus whatever the tree still holds in flight.
-        let mut backlog: Fifo<(u64, f64, bool)> = Fifo::new(2 + tree_latency);
-        let mut group = Vec::with_capacity(k);
+        let mut run = RowMvmRun {
+            k,
+            rows,
+            cols,
+            groups_per_row: cols.div_ceil(k),
+            x_stores,
+            a_ch: ReadChannel::new(a.row_major_stream(), self.params.matrix_words_per_cycle),
+            tree: DelayLine::new(tree_latency),
+            // Bounded like the dot-product backlog: the front end stops at
+            // two waiting values, plus whatever the tree holds in flight.
+            backlog: Fifo::new(2 + tree_latency),
+            group: Vec::with_capacity(k),
+            row: 0,
+            group_in_row: 0,
+            y0,
+            // The extra y0 element is injected as the first value of each set.
+            y0_injected: y0.is_none(),
+            y: vec![f64::NAN; rows],
+            done_rows: 0,
+            values_fed: 0,
+            reducer,
+            limit: (rows as u64 * cols as u64 / k as u64 + 1024) * 8 + 200_000,
+            ids: None,
+        };
+        let report = harness.run(&mut run);
 
-        let groups_per_row = cols.div_ceil(k);
-        let mut row = 0usize;
-        let mut group_in_row = 0usize;
-        // The extra y0 element is injected as the first value of each set.
-        let mut y0_injected = y0.is_none();
+        MvmOutcome::new(
+            run.y,
+            report,
+            self.clock,
+            self.params.matrix_words_per_cycle,
+        )
+    }
+}
 
-        let mut y = vec![f64::NAN; rows];
-        let mut done_rows = 0usize;
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let limit = (rows as u64 * cols as u64 / k as u64 + 1024) * 8 + 200_000;
+/// Probe components of one row-major `MvM` run.
+#[derive(Debug, Clone, Copy)]
+struct RowMvmIds {
+    front_end: ProbeId,
+    a_stream: ProbeId,
+    backlog: ProbeId,
+    reducer: ProbeId,
+    reduction_buffer: ProbeId,
+}
 
-        while done_rows < rows {
-            cycles += 1;
-            assert!(cycles < limit, "mvm simulation exceeded cycle budget");
-            let mut cycle_busy = false;
+/// One in-flight row-major `MvM` computation as a harness [`Design`].
+struct RowMvmRun<'a, R: Reducer> {
+    k: usize,
+    rows: usize,
+    cols: usize,
+    groups_per_row: usize,
+    x_stores: Vec<LocalStore>,
+    a_ch: ReadChannel,
+    tree: DelayLine<(u64, f64, bool)>,
+    backlog: Fifo<(u64, f64, bool)>,
+    group: Vec<f64>,
+    row: usize,
+    group_in_row: usize,
+    y0: Option<&'a [f64]>,
+    y0_injected: bool,
+    y: Vec<f64>,
+    done_rows: usize,
+    values_fed: u64,
+    reducer: &'a mut R,
+    limit: u64,
+    ids: Option<RowMvmIds>,
+}
 
-            a_ch.tick();
-            let mut tree_in = None;
-            if row < rows && backlog.len() < 2 {
-                if !y0_injected {
-                    // One injection cycle per row: the carried-in partial.
-                    tree_in = Some((row as u64, y0.expect("guarded")[row], false));
-                    y0_injected = true;
-                } else {
-                    let lo = group_in_row * k;
-                    let hi = (lo + k).min(cols);
-                    a_ch.read_up_to(hi - lo - group.len(), &mut group);
-                    if group.len() == hi - lo {
-                        // Lockstep: multiply each element with its lane's
-                        // stored x and fold through the balanced tree
-                        // (same association as the k-leaf adder tree).
-                        let mut prods = Vec::with_capacity(k);
-                        for (off, &aij) in group.iter().enumerate() {
-                            let j = lo + off;
-                            let xj = x_stores[j % k].read(j / k);
-                            prods.push(mul_f64(aij, xj));
-                        }
-                        let value = balanced(&prods);
-                        group.clear();
-                        let last = group_in_row + 1 == groups_per_row;
-                        tree_in = Some((row as u64, value, last));
-                        cycle_busy = true;
-                        group_in_row += 1;
-                        if last {
-                            row += 1;
-                            group_in_row = 0;
-                            y0_injected = y0.is_none();
-                        }
+impl<R: Reducer> Design for RowMvmRun<'_, R> {
+    fn name(&self) -> &str {
+        "row-mvm"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(RowMvmIds {
+            front_end: probe.component("row-mvm/front-end"),
+            a_stream: probe.component("row-mvm/a-stream"),
+            backlog: probe.component("row-mvm/backlog"),
+            reducer: probe.component("row-mvm/reducer"),
+            reduction_buffer: probe.component("row-mvm/reduction-buffer"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+
+        self.a_ch.tick();
+        let mut tree_in = None;
+        if self.row < self.rows && self.backlog.len() < 2 {
+            if !self.y0_injected {
+                // One injection cycle per row: the carried-in partial. No
+                // FP unit issues and no new words stream in, so neither
+                // busy nor flops nor I/O is charged.
+                tree_in = Some((self.row as u64, self.y0.expect("guarded")[self.row], false));
+                self.y0_injected = true;
+                self.values_fed += 1;
+            } else {
+                let lo = self.group_in_row * self.k;
+                let hi = (lo + self.k).min(self.cols);
+                let got = self
+                    .a_ch
+                    .read_up_to(hi - lo - self.group.len(), &mut self.group);
+                probe.io_in(got as u64);
+                if self.group.len() == hi - lo {
+                    // Lockstep: multiply each element with its lane's
+                    // stored x and fold through the balanced tree
+                    // (same association as the k-leaf adder tree).
+                    let mut prods = Vec::with_capacity(self.k);
+                    for (off, &aij) in self.group.iter().enumerate() {
+                        let j = lo + off;
+                        let xj = self.x_stores[j % self.k].read(j / self.k);
+                        prods.push(mul_f64(aij, xj));
                     }
+                    let value = balanced(&prods);
+                    // One mul per element plus one accumulation add per
+                    // element (tree + reduction, amortized): 2·cols·rows
+                    // over the run, the analytic §4.2 count.
+                    probe.busy(ids.front_end);
+                    probe.flops(2 * self.group.len() as u64);
+                    self.group.clear();
+                    let last = self.group_in_row + 1 == self.groups_per_row;
+                    tree_in = Some((self.row as u64, value, last));
+                    self.group_in_row += 1;
+                    self.values_fed += 1;
+                    if last {
+                        self.row += 1;
+                        self.group_in_row = 0;
+                        self.y0_injected = self.y0.is_none();
+                    }
+                } else {
+                    probe.stall(ids.front_end, StallCause::InputStarved);
                 }
             }
-
-            if let Some(out) = tree.step(tree_in) {
-                backlog
-                    .try_push(out)
-                    .expect("backlog exceeded its 2 + tree-latency bound");
-            }
-            let red_in = if reducer.ready() {
-                backlog.pop().map(|(set_id, value, last)| ReduceInput {
-                    set_id,
-                    value,
-                    last,
-                })
-            } else {
-                None
-            };
-            if red_in.is_some() {
-                cycle_busy = true;
-            }
-            if let Some(ev) = reducer.tick(red_in) {
-                y[ev.set_id as usize] = ev.value;
-                done_rows += 1;
-            }
-            if cycle_busy {
-                busy += 1;
-            }
+        } else if self.row < self.rows {
+            probe.stall(ids.front_end, StallCause::OutputBackpressured);
+        } else {
+            probe.stall(ids.front_end, StallCause::Drain);
         }
 
-        let report = SimReport {
-            cycles,
-            flops: 2 * (rows as u64) * (cols as u64),
-            words_in: (rows * cols) as u64,
-            words_out: rows as u64,
-            busy_cycles: busy,
+        if let Some(out) = self.tree.step(tree_in) {
+            self.backlog
+                .try_push(out)
+                .expect("backlog exceeded its 2 + tree-latency bound");
+        }
+        let red_in = if self.reducer.ready() {
+            self.backlog.pop().map(|(set_id, value, last)| ReduceInput {
+                set_id,
+                value,
+                last,
+            })
+        } else {
+            None
         };
-        MvmOutcome::new(y, report, self.clock, self.params.matrix_words_per_cycle)
+        if red_in.is_some() {
+            probe.busy(ids.reducer);
+        } else if self.row == self.rows {
+            probe.stall(ids.reducer, StallCause::Drain);
+        } else if !self.backlog.is_empty() {
+            probe.stall(ids.reducer, StallCause::OutputBackpressured);
+        }
+        if let Some(ev) = self.reducer.tick(red_in) {
+            self.y[ev.set_id as usize] = ev.value;
+            self.done_rows += 1;
+            probe.io_out(1);
+        }
+
+        self.backlog.probe_occupancy(probe, ids.backlog);
+        probe.sample_depth(ids.reduction_buffer, self.reducer.buffered());
+        self.a_ch.probe_utilization(probe, ids.a_stream);
+    }
+
+    fn done(&self) -> bool {
+        self.done_rows >= self.rows
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.values_fed + self.reducer.adds_issued() + self.done_rows as u64)
     }
 }
 

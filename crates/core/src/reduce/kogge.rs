@@ -204,6 +204,10 @@ impl Reducer for KoggeTreeReducer {
     fn buffer_high_water(&self) -> usize {
         self.high_water
     }
+
+    fn buffered(&self) -> usize {
+        self.levels.iter().filter(|l| l.held.is_some()).count()
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ mod single_adder;
 mod stalling;
 mod two_adder;
 
+use fblas_sim::{Design, Harness, Probe, StallCause};
+
 pub use kogge::KoggeTreeReducer;
 pub use ni_hwang::NiHwangReducer;
 pub use pow2::Pow2Reducer;
@@ -93,6 +95,11 @@ pub trait Reducer {
     /// Highest number of buffered words observed (excludes values inside
     /// the adder pipelines and the one-per-cycle output port).
     fn buffer_high_water(&self) -> usize;
+
+    /// Words currently buffered (same accounting as
+    /// [`Reducer::buffer_high_water`]), so the owning design can sample
+    /// the circuit's occupancy into a probe every cycle.
+    fn buffered(&self) -> usize;
 }
 
 /// Measured outcome of driving a workload through a reduction circuit.
@@ -110,69 +117,129 @@ pub struct ReductionRun {
     pub adds_issued: u64,
 }
 
+/// The [`Design`] wrapper that feeds a reduction workload into a circuit
+/// at one value per cycle (when accepted), honouring `ready()`
+/// back-pressure.
+struct ReduceFeed<'a, R: Reducer> {
+    reducer: &'a mut R,
+    inputs: std::collections::VecDeque<ReduceInput>,
+    pending: Option<ReduceInput>,
+    n_sets: usize,
+    results: Vec<ReduceEvent>,
+    stall_cycles: u64,
+    consumed: u64,
+    limit: u64,
+    ids: Option<(fblas_sim::ProbeId, fblas_sim::ProbeId)>,
+}
+
+impl<R: Reducer> Design for ReduceFeed<'_, R> {
+    fn name(&self) -> &str {
+        self.reducer.name()
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        let circuit = probe.component("reduce/circuit");
+        let buffer = probe.component("reduce/buffer");
+        self.ids = Some((circuit, buffer));
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let (circuit, buffer) = self.ids.expect("setup registered components");
+        let feed = if self.pending.is_some() && self.reducer.ready() {
+            let i = self.pending.take();
+            self.pending = self.inputs.pop_front();
+            self.consumed += 1;
+            i
+        } else {
+            if self.pending.is_some() {
+                self.stall_cycles += 1;
+                probe.stall(circuit, StallCause::OutputBackpressured);
+            } else {
+                probe.stall(circuit, StallCause::Drain);
+            }
+            None
+        };
+        if feed.is_some() {
+            probe.busy(circuit);
+        }
+        if let Some(ev) = self.reducer.tick(feed) {
+            self.results.push(ev);
+        }
+        probe.sample_depth(buffer, self.reducer.buffered());
+    }
+
+    fn done(&self) -> bool {
+        self.results.len() >= self.n_sets
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.consumed + self.reducer.adds_issued() + self.results.len() as u64)
+    }
+}
+
 /// Feed `sets` through a reducer at one value per cycle (when accepted)
-/// and run until completion.
+/// and run until completion, through a locally owned [`Harness`].
 ///
 /// # Panics
 /// Panics if any set is empty, or if the circuit fails to finish within a
 /// generous cycle budget (which would mean a livelocked schedule).
 pub fn run_sets<R: Reducer>(r: &mut R, sets: &[Vec<f64>]) -> ReductionRun {
+    run_sets_in(&mut Harness::new(), r, sets)
+}
+
+/// [`run_sets`] through a caller-supplied harness, so the workload's
+/// stall attribution and buffer occupancy land in the caller's probe.
+pub fn run_sets_in<R: Reducer>(h: &mut Harness, r: &mut R, sets: &[Vec<f64>]) -> ReductionRun {
     let total_inputs: u64 = sets.iter().map(|s| s.len() as u64).sum();
     for (i, s) in sets.iter().enumerate() {
         assert!(!s.is_empty(), "set {i} is empty; sets must have s_i >= 1");
     }
 
-    let mut results = Vec::with_capacity(sets.len());
-    let mut stall_cycles = 0u64;
-    let start_cycle = r.cycles();
-    // Generous budget: even the stalling baseline needs only ~α cycles per
-    // input plus a drain tail.
-    let budget = total_inputs * 64 + 100_000;
-
-    let mut iter = sets.iter().enumerate().flat_map(|(id, s)| {
-        let n = s.len();
-        s.iter().enumerate().map(move |(j, &v)| ReduceInput {
-            set_id: id as u64,
-            value: v,
-            last: j + 1 == n,
+    let mut inputs: std::collections::VecDeque<ReduceInput> = sets
+        .iter()
+        .enumerate()
+        .flat_map(|(id, s)| {
+            let n = s.len();
+            s.iter().enumerate().map(move |(j, &v)| ReduceInput {
+                set_id: id as u64,
+                value: v,
+                last: j + 1 == n,
+            })
         })
-    });
-    let mut pending_input = iter.next();
+        .collect();
+    let pending = inputs.pop_front();
 
-    while results.len() < sets.len() {
-        assert!(
-            r.cycles() - start_cycle < budget,
-            "{} did not finish within {budget} cycles ({} of {} sets done)",
-            r.name(),
-            results.len(),
-            sets.len()
-        );
-        let feed = if pending_input.is_some() && r.ready() {
-            let i = pending_input.take();
-            pending_input = iter.next();
-            i
-        } else {
-            if pending_input.is_some() {
-                stall_cycles += 1;
-            }
-            None
-        };
-        if let Some(ev) = r.tick(feed) {
-            results.push(ev);
-        }
-    }
+    let mut feed = ReduceFeed {
+        reducer: r,
+        inputs,
+        pending,
+        n_sets: sets.len(),
+        results: Vec::with_capacity(sets.len()),
+        stall_cycles: 0,
+        consumed: 0,
+        // Generous budget: even the stalling baseline needs only ~α cycles
+        // per input plus a drain tail.
+        limit: total_inputs * 64 + 100_000,
+        ids: None,
+    };
+    let report = h.run(&mut feed);
+
     assert!(
-        r.is_done(),
+        feed.reducer.is_done(),
         "{}: results complete but circuit not idle",
-        r.name()
+        feed.reducer.name()
     );
 
     ReductionRun {
-        results,
-        total_cycles: r.cycles() - start_cycle,
-        stall_cycles,
-        buffer_high_water: r.buffer_high_water(),
-        adds_issued: r.adds_issued(),
+        results: feed.results,
+        total_cycles: report.cycles,
+        stall_cycles: feed.stall_cycles,
+        buffer_high_water: feed.reducer.buffer_high_water(),
+        adds_issued: feed.reducer.adds_issued(),
     }
 }
 

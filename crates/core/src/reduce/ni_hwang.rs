@@ -147,6 +147,10 @@ impl Reducer for NiHwangReducer {
     fn buffer_high_water(&self) -> usize {
         self.high_water
     }
+
+    fn buffered(&self) -> usize {
+        usize::from(self.held.is_some())
+    }
 }
 
 #[cfg(test)]

@@ -91,7 +91,7 @@ impl Pow2Reducer {
         }
     }
 
-    fn buffered(&self) -> usize {
+    fn buffered_now(&self) -> usize {
         self.levels.iter().filter(|l| l.is_some()).count() + 2 * self.pending_ops.len()
     }
 }
@@ -159,7 +159,7 @@ impl Reducer for Pow2Reducer {
         });
         self.adder.step(op);
 
-        self.high_water = self.high_water.max(self.buffered());
+        self.high_water = self.high_water.max(self.buffered_now());
         self.out_queue.pop_front()
     }
 
@@ -177,6 +177,10 @@ impl Reducer for Pow2Reducer {
 
     fn buffer_high_water(&self) -> usize {
         self.high_water
+    }
+
+    fn buffered(&self) -> usize {
+        self.buffered_now()
     }
 }
 

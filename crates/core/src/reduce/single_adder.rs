@@ -270,6 +270,10 @@ impl Reducer for SingleAdderReducer {
     fn buffer_high_water(&self) -> usize {
         self.high_water
     }
+
+    fn buffered(&self) -> usize {
+        self.stored_items
+    }
 }
 
 #[cfg(test)]

@@ -111,6 +111,10 @@ impl Reducer for StallingReducer {
     fn buffer_high_water(&self) -> usize {
         1 // just the running sum register
     }
+
+    fn buffered(&self) -> usize {
+        usize::from(self.acc.is_some())
+    }
 }
 
 #[cfg(test)]

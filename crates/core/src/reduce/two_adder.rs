@@ -184,6 +184,10 @@ impl Reducer for TwoAdderReducer {
     fn buffer_high_water(&self) -> usize {
         self.high_water
     }
+
+    fn buffered(&self) -> usize {
+        self.stored_items
+    }
 }
 
 #[cfg(test)]

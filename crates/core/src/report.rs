@@ -1,101 +1,10 @@
 //! Per-run simulation reports: the raw numbers behind Tables 3 and 4.
+//!
+//! [`SimReport`] now lives in `fblas-sim`, next to the [`Harness`]
+//! (`fblas_sim::Harness`) that assembles it centrally from probe
+//! counters; this module re-exports it so existing
+//! `fblas_core::report::SimReport` paths keep working.
+//!
+//! [`Harness`]: fblas_sim::Harness
 
-use fblas_sim::ClockDomain;
-
-/// Measured outcome of one architecture simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SimReport {
-    /// Total clock cycles from first input to last output.
-    pub cycles: u64,
-    /// Floating-point operations performed (adds + multiplies).
-    pub flops: u64,
-    /// Words read from external memory.
-    pub words_in: u64,
-    /// Words written to external memory.
-    pub words_out: u64,
-    /// Cycles in which at least one floating-point unit issued an op.
-    pub busy_cycles: u64,
-}
-
-impl SimReport {
-    /// Sustained FLOPS at the given clock.
-    pub fn sustained_flops(&self, clock: &ClockDomain) -> f64 {
-        clock.flops(self.flops, self.cycles)
-    }
-
-    /// Total external-memory traffic in bytes (64-bit words).
-    pub fn io_bytes(&self) -> u64 {
-        (self.words_in + self.words_out) * 8
-    }
-
-    /// Achieved external bandwidth in bytes/second at the given clock.
-    pub fn achieved_bandwidth(&self, clock: &ClockDomain) -> f64 {
-        clock.bandwidth_bytes_per_s(self.io_bytes(), self.cycles)
-    }
-
-    /// Wall-clock latency in seconds at the given clock.
-    pub fn latency_seconds(&self, clock: &ClockDomain) -> f64 {
-        clock.cycles_to_seconds(self.cycles)
-    }
-
-    /// Fraction of a peak FLOPS figure this run sustained.
-    pub fn fraction_of_peak(&self, clock: &ClockDomain, peak_flops: f64) -> f64 {
-        assert!(peak_flops > 0.0);
-        self.sustained_flops(clock) / peak_flops
-    }
-
-    /// Fraction of cycles in which floating-point work was issued.
-    pub fn compute_utilization(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.busy_cycles as f64 / self.cycles as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample() -> SimReport {
-        SimReport {
-            cycles: 1_000,
-            flops: 4_000,
-            words_in: 2_000,
-            words_out: 10,
-            busy_cycles: 900,
-        }
-    }
-
-    #[test]
-    fn sustained_flops_at_clock() {
-        let r = sample();
-        let c = ClockDomain::from_mhz(100.0);
-        // 4000 flops in 10 µs = 400 MFLOPS.
-        assert!((r.sustained_flops(&c) / 1e6 - 400.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn io_accounting() {
-        let r = sample();
-        assert_eq!(r.io_bytes(), 2010 * 8);
-        let c = ClockDomain::from_mhz(100.0);
-        let bw = r.achieved_bandwidth(&c);
-        assert!((bw - 2010.0 * 8.0 / 10e-6).abs() < 1.0);
-    }
-
-    #[test]
-    fn peak_fraction() {
-        let r = sample();
-        let c = ClockDomain::from_mhz(100.0);
-        let frac = r.fraction_of_peak(&c, 800e6);
-        assert!((frac - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn utilization() {
-        assert!((sample().compute_utilization() - 0.9).abs() < 1e-12);
-        assert_eq!(SimReport::default().compute_utilization(), 0.0);
-    }
-}
+pub use fblas_sim::SimReport;

@@ -84,6 +84,12 @@ impl ReadChannel {
     pub fn rate(&self) -> f64 {
         self.throttle.rate()
     }
+
+    /// Sample channel utilization (words delivered since the last sample)
+    /// into a probe. Call once per cycle from the owning design.
+    pub fn probe_utilization(&self, probe: &mut fblas_sim::Probe, id: fblas_sim::ProbeId) {
+        self.throttle.probe_utilization(probe, id);
+    }
 }
 
 /// A rate-limited streaming write port collecting words into a buffer.
@@ -139,6 +145,12 @@ impl WriteChannel {
     /// Borrow everything written so far.
     pub fn data(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Sample channel utilization (words accepted since the last sample)
+    /// into a probe. Call once per cycle from the owning design.
+    pub fn probe_utilization(&self, probe: &mut fblas_sim::Probe, id: fblas_sim::ProbeId) {
+        self.throttle.probe_utilization(probe, id);
     }
 }
 

@@ -116,6 +116,12 @@ impl<T> DelayLine<T> {
             self.total_entered as f64 / self.total_cycles as f64
         }
     }
+
+    /// Sample the pipeline fill (items in flight) into a probe. Call once
+    /// per cycle from the owning design.
+    pub fn probe_occupancy(&self, probe: &mut crate::Probe, id: crate::ProbeId) {
+        probe.sample_depth(id, self.in_flight);
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,13 @@ impl<T> Fifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
     }
+
+    /// Sample the current occupancy into a probe: feeds the component's
+    /// occupancy histogram, high-water mark and (deep mode) waveform.
+    /// Call once per cycle from the owning design.
+    pub fn probe_occupancy(&self, probe: &mut crate::Probe, id: crate::ProbeId) {
+        probe.sample_depth(id, self.items.len());
+    }
 }
 
 #[cfg(test)]

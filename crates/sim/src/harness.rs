@@ -1,0 +1,350 @@
+//! The shared run engine: one loop, one watchdog, one report assembler.
+//!
+//! Every architecture in the workspace implements [`Design`] — a
+//! setup → stream → drain lifecycle over its synchronous components —
+//! and is executed by [`Harness::run`], which owns the cycle loop that
+//! the designs used to hand-roll: the cycle counter, the hard cycle
+//! limit, the livelock watchdog and the final
+//! [`SimReport`](crate::SimReport) assembly from
+//! [`Probe`](crate::Probe) counters.
+//!
+//! The contract mirrors the old per-design loops exactly, so ported
+//! designs keep their cycle counts bit-for-bit: each loop iteration
+//! first increments the cycle counter, asserts it is below
+//! [`Design::cycle_limit`], then runs [`Design::cycle`] once.
+
+use crate::probe::Probe;
+use crate::SimReport;
+
+/// Cycles without forward progress after which [`Harness::run`] declares
+/// a livelock. Generous: the deepest legitimate stall in these models is
+/// a pipeline drain plus a reduction-buffer sweep, far below this.
+pub const LIVELOCK_WINDOW: u64 = 100_000;
+
+/// A simulated architecture with a setup → stream → drain lifecycle.
+///
+/// One call to [`Design::cycle`] advances every component of the design
+/// by one clock; the design reports what the cycle did through the
+/// [`Probe`]. Composite designs tick their sub-components in dataflow
+/// order within `cycle`, exactly as [`Component`]-style models composed
+/// their `tick`s.
+///
+/// [`Component`]: crate#components
+pub trait Design {
+    /// Short name for diagnostics and traces (e.g. `"dot"`).
+    fn name(&self) -> &str;
+
+    /// One-time initialisation before the first cycle: register probe
+    /// components, pre-load local stores, account setup I/O.
+    fn setup(&mut self, _probe: &mut Probe) {}
+
+    /// Advance the design by one clock cycle.
+    fn cycle(&mut self, probe: &mut Probe);
+
+    /// True once every output has been produced (pipelines drained).
+    fn done(&self) -> bool;
+
+    /// Hook after the last cycle: flush results, account trailing I/O.
+    fn drain(&mut self, _probe: &mut Probe) {}
+
+    /// Hard cycle budget; exceeding it is a scheduling bug (a design
+    /// that claims a latency bound must meet it).
+    fn cycle_limit(&self) -> u64;
+
+    /// A monotone counter of useful work (words consumed, results
+    /// emitted, …), if the design tracks one. The harness watchdog
+    /// watches it: a design whose clock advances while its progress
+    /// counter stays frozen for [`LIVELOCK_WINDOW`] cycles is live-locked
+    /// (stuck back-pressure, a lost token, a wedged handshake) and the
+    /// run panics with a diagnosis — naming the most recently stalled
+    /// component and its stall cause from probe data — distinct from the
+    /// cycle-limit overrun.
+    fn progress(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Drives a [`Design`] to completion and assembles its [`SimReport`].
+///
+/// A harness owns a [`Probe`]; several designs can be run back-to-back
+/// through the same harness (blocked drivers, traced multi-design
+/// sessions) and each run reports only its own deltas while the probe
+/// accumulates one continuous timeline.
+#[derive(Debug, Default)]
+pub struct Harness {
+    probe: Probe,
+}
+
+impl Harness {
+    /// A harness with a summary-mode probe (the default for `run()`
+    /// entry points).
+    pub fn new() -> Self {
+        Self {
+            probe: Probe::new(),
+        }
+    }
+
+    /// A harness recording deep traces (waveforms + trace events).
+    pub fn deep() -> Self {
+        Self {
+            probe: Probe::deep(),
+        }
+    }
+
+    /// A harness over a caller-constructed probe.
+    pub fn with_probe(probe: Probe) -> Self {
+        Self { probe }
+    }
+
+    /// The probe (for queries after a run).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Mutable access to the probe (to pre-register components).
+    pub fn probe_mut(&mut self) -> &mut Probe {
+        &mut self.probe
+    }
+
+    /// Consume the harness, yielding the probe and its recordings.
+    pub fn into_probe(self) -> Probe {
+        self.probe
+    }
+
+    /// Run `design` to completion.
+    ///
+    /// Returns the report of this run alone (cycles, FP issues, I/O
+    /// words, busy cycles), derived from probe counters.
+    ///
+    /// # Panics
+    /// * if the cycle counter reaches [`Design::cycle_limit`] — the
+    ///   message names the design and contains `"cycle limit"`;
+    /// * if [`Design::progress`] reports a counter and it stays frozen
+    ///   for [`LIVELOCK_WINDOW`] consecutive cycles — the message starts
+    ///   with `"livelock: no forward progress"` and appends the probe's
+    ///   stall diagnosis.
+    pub fn run<D: Design + ?Sized>(&mut self, design: &mut D) -> SimReport {
+        let mark = self.probe.mark();
+        design.setup(&mut self.probe);
+        let limit = design.cycle_limit();
+        let mut cycles: u64 = 0;
+        let mut last_progress = design.progress();
+        let mut stuck_since: u64 = 0;
+        while !design.done() {
+            cycles += 1;
+            assert!(
+                cycles < limit,
+                "{}: simulation exceeded cycle limit {limit}",
+                design.name()
+            );
+            self.probe.begin_cycle(cycles);
+            design.cycle(&mut self.probe);
+            self.probe.end_cycle();
+            let progress = design.progress();
+            if progress != last_progress {
+                last_progress = progress;
+                stuck_since = cycles;
+            } else if progress.is_some() {
+                assert!(
+                    cycles - stuck_since < LIVELOCK_WINDOW,
+                    "livelock: no forward progress in '{}' for {LIVELOCK_WINDOW} cycles \
+                     (progress counter stuck at {:?} since cycle {stuck_since}); {}",
+                    design.name(),
+                    progress.unwrap_or(0),
+                    self.probe.stall_diagnosis()
+                );
+            }
+        }
+        design.drain(&mut self.probe);
+        let report = self.probe.report_since(&mark, cycles);
+        self.probe.finish_run(cycles);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::StallCause;
+
+    /// Counts up to a target, marking every cycle busy.
+    struct Counter {
+        n: u64,
+        target: u64,
+        limit: u64,
+    }
+    impl Design for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn cycle(&mut self, probe: &mut Probe) {
+            self.n += 1;
+            probe.flops(1);
+        }
+        fn done(&self) -> bool {
+            self.n >= self.target
+        }
+        fn cycle_limit(&self) -> u64 {
+            self.limit
+        }
+    }
+
+    #[test]
+    fn run_counts_cycles_and_builds_report() {
+        let mut h = Harness::new();
+        let r = h.run(&mut Counter {
+            n: 0,
+            target: 42,
+            limit: 100,
+        });
+        assert_eq!(r.cycles, 42);
+        assert_eq!(r.flops, 42);
+        assert_eq!(r.busy_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle limit")]
+    fn run_enforces_limit() {
+        let mut h = Harness::new();
+        h.run(&mut Counter {
+            n: 0,
+            target: u64::MAX,
+            limit: 10,
+        });
+    }
+
+    /// Ticks forever but stops making progress after `stall_at` items.
+    struct Staller {
+        n: u64,
+        items: u64,
+        stall_at: u64,
+    }
+    impl Design for Staller {
+        fn name(&self) -> &str {
+            "staller"
+        }
+        fn setup(&mut self, probe: &mut Probe) {
+            probe.component("staller/feed");
+        }
+        fn cycle(&mut self, probe: &mut Probe) {
+            self.n += 1;
+            if self.items < self.stall_at {
+                self.items += 1;
+            } else {
+                let id = probe.component("staller/feed");
+                probe.stall(id, StallCause::OutputBackpressured);
+            }
+        }
+        fn done(&self) -> bool {
+            false
+        }
+        fn cycle_limit(&self) -> u64 {
+            10 * LIVELOCK_WINDOW
+        }
+        fn progress(&self) -> Option<u64> {
+            Some(self.items)
+        }
+    }
+
+    #[test]
+    fn livelock_fires_before_cycle_limit_and_names_the_component() {
+        let res = std::panic::catch_unwind(|| {
+            let mut h = Harness::new();
+            h.run(&mut Staller {
+                n: 0,
+                items: 0,
+                stall_at: 7,
+            });
+        });
+        let err = res.expect_err("must livelock");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+            err.downcast_ref::<&str>()
+                .map(std::string::ToString::to_string)
+                .unwrap()
+        });
+        assert!(msg.contains("livelock: no forward progress"), "{msg}");
+        assert!(msg.contains("staller/feed"), "{msg}");
+        assert!(msg.contains("output-backpressured"), "{msg}");
+    }
+
+    #[test]
+    fn slow_but_live_progress_is_not_a_livelock() {
+        struct Slow {
+            n: u64,
+        }
+        impl Design for Slow {
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn cycle(&mut self, _probe: &mut Probe) {
+                self.n += 1;
+            }
+            fn done(&self) -> bool {
+                self.n >= 3 * LIVELOCK_WINDOW
+            }
+            fn cycle_limit(&self) -> u64 {
+                4 * LIVELOCK_WINDOW
+            }
+            fn progress(&self) -> Option<u64> {
+                // One unit of work just inside every watchdog window.
+                Some(self.n / (LIVELOCK_WINDOW - 1))
+            }
+        }
+        let r = Harness::new().run(&mut Slow { n: 0 });
+        assert_eq!(r.cycles, 3 * LIVELOCK_WINDOW);
+    }
+
+    #[test]
+    fn designs_without_progress_tracking_skip_the_watchdog() {
+        struct NoProgress {
+            n: u64,
+        }
+        impl Design for NoProgress {
+            fn name(&self) -> &str {
+                "noprogress"
+            }
+            fn cycle(&mut self, _probe: &mut Probe) {
+                self.n += 1;
+            }
+            fn done(&self) -> bool {
+                self.n >= LIVELOCK_WINDOW + 10
+            }
+            fn cycle_limit(&self) -> u64 {
+                2 * LIVELOCK_WINDOW
+            }
+        }
+        let r = Harness::new().run(&mut NoProgress { n: 0 });
+        assert_eq!(r.cycles, LIVELOCK_WINDOW + 10);
+    }
+
+    #[test]
+    fn sequential_runs_report_their_own_deltas() {
+        let mut h = Harness::new();
+        let r1 = h.run(&mut Counter {
+            n: 0,
+            target: 10,
+            limit: 100,
+        });
+        let r2 = h.run(&mut Counter {
+            n: 0,
+            target: 25,
+            limit: 100,
+        });
+        assert_eq!(r1.cycles, 10);
+        assert_eq!(r1.flops, 10);
+        assert_eq!(r2.cycles, 25);
+        assert_eq!(r2.flops, 25);
+    }
+
+    #[test]
+    fn deep_and_summary_probes_produce_identical_reports() {
+        let mut summary = Harness::new();
+        let mut deep = Harness::deep();
+        let mk = || Counter {
+            n: 0,
+            target: 33,
+            limit: 100,
+        };
+        assert_eq!(summary.run(&mut mk()), deep.run(&mut mk()));
+    }
+}

@@ -17,6 +17,27 @@
 //!   sustained FLOPS given a clock frequency in MHz.
 //! * [`Stats`] — occupancy/utilization counters shared by the models.
 //!
+//! On top of the primitives sits the shared run engine:
+//!
+//! * [`Design`] — the setup → stream → drain lifecycle every architecture
+//!   implements; one [`Design::cycle`] call advances all of a design's
+//!   components by one clock.
+//! * [`Harness`] — owns the run loop: cycle counting, the hard cycle
+//!   limit, the livelock watchdog, and [`SimReport`] assembly.
+//! * [`Probe`] — the instrumentation layer: named per-component counters
+//!   with stall-cause attribution ([`StallCause`]), occupancy histograms
+//!   and high-water marks, and — in deep mode — waveforms exportable as
+//!   JSON summaries or Chrome `trace_event` timelines.
+//! * [`SimReport`] — the per-run accounting record behind the paper's
+//!   tables, built centrally by the harness from probe counters.
+//!
+//! # Components
+//!
+//! A *component* here is any stateful struct advanced once per clock from
+//! inside [`Design::cycle`] — the delay lines, FIFOs, throttles and
+//! reducers above. Composite designs tick their sub-components in
+//! dataflow order within one `cycle` call.
+//!
 //! The kernel is deliberately *not* an event-driven simulator: the
 //! architectures in the SC'05 paper are fully synchronous and compute-dense
 //! (some unit does work almost every cycle), so stepping every cycle is both
@@ -27,176 +48,17 @@
 pub mod clock;
 pub mod delay;
 pub mod fifo;
+pub mod harness;
+pub mod probe;
+pub mod report;
 pub mod stats;
 pub mod throttle;
 
 pub use clock::ClockDomain;
 pub use delay::DelayLine;
 pub use fifo::{Fifo, FifoFull};
+pub use harness::{Design, Harness, LIVELOCK_WINDOW};
+pub use probe::{Probe, ProbeId, RunMark, StallCause};
+pub use report::SimReport;
 pub use stats::{Histogram, Stats};
 pub use throttle::Throttle;
-
-/// A synchronous component that advances one clock cycle at a time.
-///
-/// Implementors typically sample their inputs, update internal state and
-/// produce outputs in a single `tick`. Composite designs call `tick` on
-/// their sub-components in dataflow order within their own `tick`.
-pub trait Component {
-    /// Advance the component by one clock cycle.
-    fn tick(&mut self);
-
-    /// Number of cycles this component has executed.
-    fn cycles(&self) -> u64;
-
-    /// A monotone counter of useful work (words consumed, results
-    /// emitted, …), if the component tracks one. [`run_until`] watches it:
-    /// a component whose clock advances while its progress counter stays
-    /// frozen for [`LIVELOCK_WINDOW`] cycles is live-locked (stuck
-    /// back-pressure, a lost token, a wedged handshake) and the run panics
-    /// with a diagnosis distinct from the cycle-limit overrun.
-    fn progress(&self) -> Option<u64> {
-        None
-    }
-}
-
-/// Cycles without forward progress after which [`run_until`] declares a
-/// livelock. Generous: the deepest legitimate stall in these models is a
-/// pipeline drain plus a reduction-buffer sweep, far below this.
-pub const LIVELOCK_WINDOW: u64 = 100_000;
-
-/// Run a component until `done` returns true, with a hard cycle limit.
-///
-/// Returns the number of cycles executed.
-///
-/// # Panics
-/// * if the cycle limit is exceeded — a scheduling bug (a design that
-///   claims a latency bound must meet it);
-/// * if the component reports a [`Component::progress`] counter and it
-///   stays frozen for [`LIVELOCK_WINDOW`] consecutive cycles — a livelock,
-///   reported as such rather than burning the whole cycle budget.
-pub fn run_until<C: Component>(c: &mut C, limit: u64, mut done: impl FnMut(&C) -> bool) -> u64 {
-    let start = c.cycles();
-    let mut last_progress = c.progress();
-    let mut stuck_since = c.cycles();
-    while !done(c) {
-        assert!(
-            c.cycles() - start < limit,
-            "simulation exceeded cycle limit {limit} (started at {start})"
-        );
-        c.tick();
-        let progress = c.progress();
-        if progress != last_progress {
-            last_progress = progress;
-            stuck_since = c.cycles();
-        } else if progress.is_some() {
-            assert!(
-                c.cycles() - stuck_since < LIVELOCK_WINDOW,
-                "livelock: no forward progress for {LIVELOCK_WINDOW} cycles \
-                 (progress counter stuck at {:?} since cycle {stuck_since})",
-                progress.unwrap_or(0)
-            );
-        }
-    }
-    c.cycles() - start
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    struct Counter {
-        n: u64,
-    }
-    impl Component for Counter {
-        fn tick(&mut self) {
-            self.n += 1;
-        }
-        fn cycles(&self) -> u64 {
-            self.n
-        }
-    }
-
-    #[test]
-    fn run_until_counts_cycles() {
-        let mut c = Counter { n: 0 };
-        let ran = run_until(&mut c, 100, |c| c.n == 42);
-        assert_eq!(ran, 42);
-    }
-
-    #[test]
-    fn run_until_is_relative_to_start() {
-        let mut c = Counter { n: 10 };
-        let ran = run_until(&mut c, 100, |c| c.n == 25);
-        assert_eq!(ran, 15);
-    }
-
-    #[test]
-    #[should_panic(expected = "cycle limit")]
-    fn run_until_enforces_limit() {
-        let mut c = Counter { n: 0 };
-        run_until(&mut c, 10, |_| false);
-    }
-
-    /// Ticks forever but stops making progress after `stall_at` items.
-    struct Staller {
-        n: u64,
-        items: u64,
-        stall_at: u64,
-    }
-    impl Component for Staller {
-        fn tick(&mut self) {
-            self.n += 1;
-            if self.items < self.stall_at {
-                self.items += 1;
-            }
-        }
-        fn cycles(&self) -> u64 {
-            self.n
-        }
-        fn progress(&self) -> Option<u64> {
-            Some(self.items)
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "livelock: no forward progress")]
-    fn run_until_detects_livelock_before_cycle_limit() {
-        let mut c = Staller {
-            n: 0,
-            items: 0,
-            stall_at: 7,
-        };
-        // The cycle limit alone would allow 10× longer: the watchdog must
-        // fire first, with its own message.
-        run_until(&mut c, 10 * LIVELOCK_WINDOW, |_| false);
-    }
-
-    #[test]
-    fn slow_but_live_progress_is_not_a_livelock() {
-        struct Slow {
-            n: u64,
-        }
-        impl Component for Slow {
-            fn tick(&mut self) {
-                self.n += 1;
-            }
-            fn cycles(&self) -> u64 {
-                self.n
-            }
-            fn progress(&self) -> Option<u64> {
-                // One unit of work just inside every watchdog window.
-                Some(self.n / (LIVELOCK_WINDOW - 1))
-            }
-        }
-        let mut c = Slow { n: 0 };
-        let ran = run_until(&mut c, 4 * LIVELOCK_WINDOW, |c| c.n >= 3 * LIVELOCK_WINDOW);
-        assert_eq!(ran, 3 * LIVELOCK_WINDOW);
-    }
-
-    #[test]
-    fn components_without_progress_tracking_skip_the_watchdog() {
-        let mut c = Counter { n: 0 };
-        let ran = run_until(&mut c, 2 * LIVELOCK_WINDOW, |c| c.n >= LIVELOCK_WINDOW + 10);
-        assert_eq!(ran, LIVELOCK_WINDOW + 10);
-    }
-}

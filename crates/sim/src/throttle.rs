@@ -121,6 +121,14 @@ impl Throttle {
             self.granted as f64 / self.cycles as f64
         }
     }
+
+    /// Sample channel utilization into a probe: records the words granted
+    /// since the last sample, so the component's occupancy histogram shows
+    /// the delivered words/cycle distribution. Call once per cycle from
+    /// the owning design.
+    pub fn probe_utilization(&self, probe: &mut crate::Probe, id: crate::ProbeId) {
+        probe.sample_rate(id, self.granted);
+    }
 }
 
 #[cfg(test)]

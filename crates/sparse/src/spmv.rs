@@ -12,10 +12,9 @@
 
 use crate::csr::CsrMatrix;
 use fblas_core::reduce::{ReduceInput, Reducer, SingleAdderReducer};
-use fblas_core::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
-use fblas_sim::{ClockDomain, DelayLine};
+use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause, Throttle};
 use fblas_system::io_bound_peak_mvm;
 
 /// Parameters of the `SpMV` design.
@@ -49,13 +48,13 @@ pub struct SpmvOutcome {
     /// The computed y = A·x.
     pub y: Vec<f64>,
     /// Cycle/flop/word accounting. `words_in` counts value + index words.
-    pub report: SimReport,
+    pub report: fblas_sim::SimReport,
     /// Clock domain (tree-design rate).
     pub clock: ClockDomain,
     /// I/O-bound peak: every stored entry costs a value word and an index
     /// word, and contributes two flops.
     pub peak_flops: f64,
-    /// High-water mark of the reduction buffers.
+    /// High-water mark of the reduction buffers (probe-derived).
     pub reduction_buffer_high_water: usize,
 }
 
@@ -99,14 +98,22 @@ impl SpmvDesign {
     /// Compute y = A·x with the paper's reduction circuit.
     pub fn run(&self, a: &CsrMatrix, x: &[f64]) -> SpmvOutcome {
         let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
-        self.run_full(a, x, None, &mut reducer)
+        self.run_full(&mut Harness::new(), a, x, None, &mut reducer)
+    }
+
+    /// [`SpmvDesign::run`] through a caller-supplied harness, so the
+    /// run's stall attribution and occupancy waveforms land in the
+    /// caller's probe.
+    pub fn run_in(&self, harness: &mut Harness, a: &CsrMatrix, x: &[f64]) -> SpmvOutcome {
+        let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
+        self.run_full(harness, a, x, None, &mut reducer)
     }
 
     /// Compute y = y0 + A·x: the blocked driver injects the previous
     /// panel's partials as one extra value into each row's reduction set.
     pub fn run_with_initial(&self, a: &CsrMatrix, x: &[f64], y0: &[f64]) -> SpmvOutcome {
         let mut reducer = SingleAdderReducer::new(self.params.adder_stages);
-        self.run_full(a, x, Some(y0), &mut reducer)
+        self.run_full(&mut Harness::new(), a, x, Some(y0), &mut reducer)
     }
 
     /// Run with an explicit reduction circuit (ablation hook).
@@ -116,11 +123,12 @@ impl SpmvDesign {
         x: &[f64],
         reducer: &mut R,
     ) -> SpmvOutcome {
-        self.run_full(a, x, None, reducer)
+        self.run_full(&mut Harness::new(), a, x, None, reducer)
     }
 
     fn run_full<R: Reducer>(
         &self,
+        harness: &mut Harness,
         a: &CsrMatrix,
         x: &[f64],
         y0: Option<&[f64]>,
@@ -135,116 +143,212 @@ impl SpmvDesign {
 
         // Rows with entries, as (row, its entries chunked into k-groups).
         // With an injected partial, empty rows pass y0 through directly.
-        let mut y = match y0 {
+        let y = match y0 {
             Some(y0) => y0.to_vec(),
             None => vec![0.0f64; n_rows],
         };
         let dense_rows: Vec<usize> = (0..n_rows).filter(|&i| a.row_nnz(i) > 0).collect();
         let expected = dense_rows.len();
 
-        let mut tree: DelayLine<(u64, f64, bool)> =
-            DelayLine::new(self.params.mult_stages + k.ilog2() as usize * self.params.adder_stages);
-        let mut backlog: std::collections::VecDeque<(u64, f64, bool)> =
-            std::collections::VecDeque::new();
-
-        // Entry stream throttle: entries_per_cycle CRS entries arrive per
-        // cycle; a group of up to k same-row entries fires together.
-        let mut throttle = fblas_sim::Throttle::new(self.params.entries_per_cycle);
-
-        let mut row_iter = dense_rows.iter();
-        // (row index, its entries, entries already consumed).
-        type ActiveRow = (usize, Vec<(usize, f64)>, usize);
-        let mut current: Option<ActiveRow> = None;
-        let mut done = 0usize;
-        let mut cycles = 0u64;
-        let mut busy = 0u64;
-        let limit = (a.nnz() as u64 / k as u64 + n_rows as u64 + 1024) * 16 + 200_000;
-
-        while done < expected {
-            cycles += 1;
-            assert!(cycles < limit, "spmv simulation exceeded cycle budget");
-            let mut cycle_busy = false;
-            throttle.tick();
-
-            if current.is_none() {
-                if let Some(&r) = row_iter.next() {
-                    let mut entries: Vec<(usize, f64)> = a.row(r).collect();
-                    if let Some(y0) = y0 {
-                        // The carried-in partial rides as one extra set
-                        // element (a multiply by 1.0 against a constant-1
-                        // x extension in hardware).
-                        entries.push((usize::MAX, y0[r]));
-                    }
-                    current = Some((r, entries, 0));
-                }
-            }
-
-            let mut tree_in = None;
-            if backlog.len() < 2 {
-                if let Some((r, entries, consumed)) = current.as_mut() {
-                    let want = k.min(entries.len() - *consumed);
-                    if throttle.grant(want as u64) {
-                        let group = &entries[*consumed..*consumed + want];
-                        let mut prods: Vec<f64> = group
-                            .iter()
-                            .map(|&(c, v)| if c == usize::MAX { v } else { mul_f64(v, x[c]) })
-                            .collect();
-                        prods.resize(k, 0.0);
-                        let value = balanced(&prods);
-                        *consumed += want;
-                        let last = *consumed == entries.len();
-                        tree_in = Some((*r as u64, value, last));
-                        cycle_busy = true;
-                        if last {
-                            current = None;
-                        }
-                    }
-                }
-            }
-
-            if let Some(out) = tree.step(tree_in) {
-                backlog.push_back(out);
-            }
-            let red_in = if reducer.ready() {
-                backlog
-                    .pop_front()
-                    .map(|(set_id, value, last)| ReduceInput {
-                        set_id,
-                        value,
-                        last,
-                    })
-            } else {
-                None
-            };
-            if red_in.is_some() {
-                cycle_busy = true;
-            }
-            if let Some(ev) = reducer.tick(red_in) {
-                y[ev.set_id as usize] = ev.value;
-                done += 1;
-            }
-            if cycle_busy {
-                busy += 1;
-            }
-        }
-
-        let report = SimReport {
-            cycles,
-            flops: 2 * a.nnz() as u64,
-            // Each stored entry streams a value word and a packed
-            // column-index word.
-            words_in: 2 * a.nnz() as u64,
-            words_out: n_rows as u64,
-            busy_cycles: busy,
+        let mut run = SpmvRun {
+            k,
+            a,
+            x,
+            y0,
+            y,
+            expected,
+            n_rows,
+            tree: DelayLine::new(
+                self.params.mult_stages + k.ilog2() as usize * self.params.adder_stages,
+            ),
+            backlog: std::collections::VecDeque::new(),
+            // Entry stream throttle: entries_per_cycle CRS entries arrive
+            // per cycle; a group of up to k same-row entries fires together.
+            throttle: Throttle::new(self.params.entries_per_cycle),
+            dense_rows,
+            next_row: 0,
+            current: None,
+            done: 0,
+            values_fed: 0,
+            reducer,
+            limit: (a.nnz() as u64 / k as u64 + n_rows as u64 + 1024) * 16 + 200_000,
+            ids: None,
         };
+        let report = harness.run(&mut run);
+        let buffer_id = run.ids.expect("setup ran").reduction_buffer;
+
+        // Bandwidth accounting. lint: allow(native-f64)
         let bw = self.params.entries_per_cycle * 16.0 * self.clock.hz();
         SpmvOutcome {
-            y,
+            y: run.y,
             report,
             clock: self.clock,
             peak_flops: io_bound_peak_mvm(bw / 2.0),
-            reduction_buffer_high_water: reducer.buffer_high_water(),
+            reduction_buffer_high_water: harness.probe().high_water(buffer_id),
         }
+    }
+}
+
+/// Probe components of one `SpMV` run.
+#[derive(Debug, Clone, Copy)]
+struct SpmvIds {
+    front_end: ProbeId,
+    entry_stream: ProbeId,
+    backlog: ProbeId,
+    reducer: ProbeId,
+    reduction_buffer: ProbeId,
+}
+
+/// (row index, its entries, entries already consumed).
+type ActiveRow = (usize, Vec<(usize, f64)>, usize);
+
+/// One in-flight `SpMV` computation as a harness [`Design`].
+struct SpmvRun<'a, R: Reducer> {
+    k: usize,
+    a: &'a CsrMatrix,
+    x: &'a [f64],
+    y0: Option<&'a [f64]>,
+    y: Vec<f64>,
+    expected: usize,
+    n_rows: usize,
+    tree: DelayLine<(u64, f64, bool)>,
+    backlog: std::collections::VecDeque<(u64, f64, bool)>,
+    throttle: Throttle,
+    dense_rows: Vec<usize>,
+    next_row: usize,
+    current: Option<ActiveRow>,
+    done: usize,
+    values_fed: u64,
+    reducer: &'a mut R,
+    limit: u64,
+    ids: Option<SpmvIds>,
+}
+
+impl<R: Reducer> Design for SpmvRun<'_, R> {
+    fn name(&self) -> &str {
+        "spmv"
+    }
+
+    fn setup(&mut self, probe: &mut Probe) {
+        self.ids = Some(SpmvIds {
+            front_end: probe.component("spmv/front-end"),
+            entry_stream: probe.component("spmv/entry-stream"),
+            backlog: probe.component("spmv/backlog"),
+            reducer: probe.component("spmv/reducer"),
+            reduction_buffer: probe.component("spmv/reduction-buffer"),
+        });
+    }
+
+    fn cycle(&mut self, probe: &mut Probe) {
+        let ids = self.ids.expect("setup registered components");
+        self.throttle.tick();
+
+        if self.current.is_none() {
+            if let Some(&r) = self.dense_rows.get(self.next_row) {
+                self.next_row += 1;
+                let mut entries: Vec<(usize, f64)> = self.a.row(r).collect();
+                if let Some(y0) = self.y0 {
+                    // The carried-in partial rides as one extra set
+                    // element (a multiply by 1.0 against a constant-1
+                    // x extension in hardware). It streams from on-chip
+                    // partial storage, so it costs no memory words and
+                    // no fresh flops against the 2·nnz total.
+                    entries.push((usize::MAX, y0[r]));
+                }
+                self.current = Some((r, entries, 0));
+            }
+        }
+
+        let mut tree_in = None;
+        if self.backlog.len() < 2 {
+            if let Some((r, entries, consumed)) = self.current.as_mut() {
+                let want = self.k.min(entries.len() - *consumed);
+                if self.throttle.grant(want as u64) {
+                    let group = &entries[*consumed..*consumed + want];
+                    let real: u64 = group.iter().filter(|&&(c, _)| c != usize::MAX).count() as u64;
+                    let mut prods: Vec<f64> = group
+                        .iter()
+                        .map(|&(c, v)| {
+                            if c == usize::MAX {
+                                v
+                            } else {
+                                mul_f64(v, self.x[c])
+                            }
+                        })
+                        .collect();
+                    prods.resize(self.k, 0.0);
+                    let value = balanced(&prods);
+                    *consumed += want;
+                    let last = *consumed == entries.len();
+                    tree_in = Some((*r as u64, value, last));
+                    probe.busy(ids.front_end);
+                    // Each stored entry: one multiply plus one
+                    // accumulation add (tree + reduction, amortized) and
+                    // a value word + packed column-index word.
+                    probe.flops(2 * real);
+                    probe.io_in(2 * real);
+                    self.values_fed += 1;
+                    if last {
+                        self.current = None;
+                    }
+                } else {
+                    probe.stall(ids.front_end, StallCause::InputStarved);
+                }
+            } else if self.next_row >= self.dense_rows.len() {
+                probe.stall(ids.front_end, StallCause::Drain);
+            }
+        } else if self.current.is_some() {
+            probe.stall(ids.front_end, StallCause::OutputBackpressured);
+        }
+
+        if let Some(out) = self.tree.step(tree_in) {
+            self.backlog.push_back(out);
+        }
+        let red_in = if self.reducer.ready() {
+            self.backlog
+                .pop_front()
+                .map(|(set_id, value, last)| ReduceInput {
+                    set_id,
+                    value,
+                    last,
+                })
+        } else {
+            None
+        };
+        if red_in.is_some() {
+            probe.busy(ids.reducer);
+        } else if self.current.is_none() && self.next_row >= self.dense_rows.len() {
+            probe.stall(ids.reducer, StallCause::Drain);
+        } else if !self.backlog.is_empty() {
+            probe.stall(ids.reducer, StallCause::OutputBackpressured);
+        }
+        if let Some(ev) = self.reducer.tick(red_in) {
+            self.y[ev.set_id as usize] = ev.value;
+            self.done += 1;
+            probe.io_out(1);
+        }
+
+        probe.sample_depth(ids.backlog, self.backlog.len());
+        probe.sample_depth(ids.reduction_buffer, self.reducer.buffered());
+        self.throttle.probe_utilization(probe, ids.entry_stream);
+    }
+
+    fn drain(&mut self, probe: &mut Probe) {
+        // Empty rows bypass the datapath but still write their yᵢ (zero
+        // or the carried partial) back to memory.
+        probe.io_out((self.n_rows - self.expected) as u64);
+    }
+
+    fn done(&self) -> bool {
+        self.done >= self.expected
+    }
+
+    fn cycle_limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.values_fed + self.reducer.adds_issued() + self.done as u64)
     }
 }
 
@@ -346,5 +450,16 @@ mod tests {
         let d = SpmvDesign::new(SpmvParams::with_k(1));
         let out = d.run(&a, &x);
         assert_eq!(out.y, a.ref_spmv(&x));
+    }
+
+    #[test]
+    fn word_accounting_counts_value_and_index_words() {
+        let a = test_matrix(60);
+        let x = vec![1.0; 60];
+        let d = SpmvDesign::new(SpmvParams::with_k(4));
+        let out = d.run(&a, &x);
+        assert_eq!(out.report.words_in, 2 * a.nnz() as u64);
+        assert_eq!(out.report.words_out, 60);
+        assert_eq!(out.report.flops, 2 * a.nnz() as u64);
     }
 }
