@@ -7,6 +7,7 @@
 //!    vs column-major (interleaved accumulators).
 //! 3. Matrix-multiply blocking: cycles and bandwidth as m varies.
 
+use fblas_bench::record_sink::{measure, RecordSink};
 use fblas_bench::trace::TraceOption;
 use fblas_bench::{print_table, synth_int};
 use fblas_core::mm::{BlockEngine, MmParams};
@@ -15,32 +16,69 @@ use fblas_core::reduce::{
     run_sets_in, KoggeTreeReducer, NiHwangReducer, Pow2Reducer, Reducer, ReductionRun,
     SingleAdderReducer, StallingReducer, TwoAdderReducer,
 };
+use fblas_fpu::FP_ADDER;
+use fblas_metrics::RunRecord;
 use fblas_sim::Harness;
 
 const ALPHA: usize = 14;
 
+/// Kebab-case a reducer display name into a record-key-friendly slug.
+fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
 fn bench_reducer<R: Reducer>(
     th: &mut Harness,
+    sink: &mut RecordSink,
     mut r: R,
     sets: &[Vec<f64>],
 ) -> (String, usize, ReductionRun) {
     let name = r.name().to_string();
-    let run = run_sets_in(th, &mut r, sets);
+    let (run, stalls) = measure(th, |h| run_sets_in(h, &mut r, sets));
+    let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+    sink.push(RunRecord::from_sim(
+        &format!("reduce/{}", slug(&name)),
+        &[("alpha", ALPHA as i64), ("sets", sets.len() as i64)],
+        fblas_sim::SimReport {
+            cycles: run.total_cycles,
+            flops: run.adds_issued,
+            words_in: total,
+            words_out: sets.len() as u64,
+            busy_cycles: run.adds_issued.min(run.total_cycles),
+        },
+        stalls,
+        FP_ADDER.clock_mhz,
+        0,
+    ));
     (name, r.adders(), run)
 }
 
-fn reducer_table(th: &mut Harness, title: &str, sets: &[Vec<f64>], include_pow2: bool) {
+fn reducer_table(
+    th: &mut Harness,
+    sink: &mut RecordSink,
+    title: &str,
+    sets: &[Vec<f64>],
+    include_pow2: bool,
+) {
     let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
     let mut runs = vec![
-        bench_reducer(th, SingleAdderReducer::new(ALPHA), sets),
-        bench_reducer(th, TwoAdderReducer::new(ALPHA), sets),
-        bench_reducer(th, KoggeTreeReducer::new(ALPHA), sets),
-        bench_reducer(th, NiHwangReducer::new(ALPHA), sets),
-        bench_reducer(th, StallingReducer::new(ALPHA), sets),
+        bench_reducer(th, sink, SingleAdderReducer::new(ALPHA), sets),
+        bench_reducer(th, sink, TwoAdderReducer::new(ALPHA), sets),
+        bench_reducer(th, sink, KoggeTreeReducer::new(ALPHA), sets),
+        bench_reducer(th, sink, NiHwangReducer::new(ALPHA), sets),
+        bench_reducer(th, sink, StallingReducer::new(ALPHA), sets),
     ];
     if include_pow2 {
         // The RAW'05 circuit only handles power-of-two set sizes.
-        runs.insert(1, bench_reducer(th, Pow2Reducer::new(ALPHA), sets));
+        runs.insert(1, bench_reducer(th, sink, Pow2Reducer::new(ALPHA), sets));
     }
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -73,12 +111,14 @@ fn reducer_table(th: &mut Harness, title: &str, sets: &[Vec<f64>], include_pow2:
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("ablation");
     let mut th = trace.harness();
 
     // ---- 1a. Matrix-vector workload: 256 sets of 64 (n=256, k=4) ----
     let mvm_sets: Vec<Vec<f64>> = (0..256).map(|i| synth_int(i as u64, 64, 16)).collect();
     reducer_table(
         &mut th,
+        &mut sink,
         "Ablation 1a: reduction circuits on the matrix-vector workload (256 sets × 64)",
         &mvm_sets,
         true,
@@ -93,6 +133,7 @@ fn main() {
         .collect();
     reducer_table(
         &mut th,
+        &mut sink,
         "Ablation 1b: reduction circuits on an irregular sparse workload (sizes 1..97)",
         &sparse_sets,
         false,
@@ -102,10 +143,28 @@ fn main() {
     let n = 512usize;
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
     let x = synth_int(4, n, 8);
-    let row = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0).run_in(&mut th, &a, &x);
-    let col = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0).run_in(&mut th, &a, &x);
+    let row_design = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+    let col_design = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+    let (row, row_stalls) = measure(&mut th, |h| row_design.run_in(h, &a, &x));
+    let (col, col_stalls) = measure(&mut th, |h| col_design.run_in(h, &a, &x));
     assert_eq!(row.y, a.ref_mvm(&x));
     assert_eq!(col.y, a.ref_mvm(&x));
+    sink.push(RunRecord::from_sim(
+        "mvm/row",
+        &[("k", 4), ("n", n as i64)],
+        row.report,
+        row_stalls,
+        row.clock.mhz(),
+        0,
+    ));
+    sink.push(RunRecord::from_sim(
+        "mvm/col",
+        &[("k", 4), ("n", n as i64)],
+        col.report,
+        col_stalls,
+        col.clock.mhz(),
+        0,
+    ));
     print_table(
         &format!("Ablation 2: matrix-vector architectures (n = {n}, k = 4)"),
         &["architecture", "cycles", "% of peak", "extra hardware"],
@@ -205,4 +264,5 @@ fn main() {
     );
 
     trace.write(&th);
+    sink.write();
 }

@@ -4,11 +4,14 @@
 //! with the 25 % routing deduction.
 
 use fblas_bench::print_table;
+use fblas_bench::record_sink::RecordSink;
 use fblas_bench::trace::{trace_reference_kernels, TraceOption};
+use fblas_metrics::RunRecord;
 use fblas_system::{ChassisProjection, XC2VP50};
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("fig11");
     let proj = ChassisProjection::xd1(XC2VP50);
 
     let clocks: Vec<u32> = (160..=200).step_by(10).collect();
@@ -52,7 +55,12 @@ fn main() {
     );
     assert!(best.required_sram_bytes_per_s < 12.8e9);
     assert!(best.required_dram_bytes_per_s < 3.2e9);
+    sink.push(
+        RunRecord::modeled("model/projection", &[("xc2vp", 50)], 200.0, 1600)
+            .with_paper("fig11.best.gflops", best.chassis_gflops),
+    );
 
     // This binary is analytic; trace the representative kernels instead.
     trace_reference_kernels(&trace);
+    sink.write();
 }

@@ -6,14 +6,37 @@
 //! that fit on the XC2VP50).
 
 use fblas_bench::print_table;
+use fblas_bench::record_sink::RecordSink;
 use fblas_bench::trace::{trace_reference_kernels, TraceOption};
+use fblas_metrics::RunRecord;
 use fblas_system::{AreaModel, ClockModel, XC2VP50};
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("fig9");
     let area = AreaModel::default();
     let clock = ClockModel::default();
     let max_k = area.max_pes(&XC2VP50);
+
+    // One modeled record per design point; the endpoints carry the
+    // paper's parity figures.
+    for k in 1..=max_k {
+        let mut r = RunRecord::modeled(
+            "mm/model",
+            &[("k", i64::from(k))],
+            clock.mm_mhz(k),
+            u64::from(area.mm_design(k)),
+        );
+        if k == 1 {
+            r = r.with_paper("fig9.clock.k1", clock.mm_mhz(1));
+        }
+        if k == max_k {
+            r = r
+                .with_paper("fig9.clock.k10", clock.mm_mhz(max_k))
+                .with_paper("fig9.max-pes.xc2vp50", f64::from(max_k));
+        }
+        sink.push(r);
+    }
 
     let rows: Vec<Vec<String>> = (1..=max_k)
         .map(|k| {
@@ -53,4 +76,5 @@ fn main() {
 
     // This binary is analytic; trace the representative kernels instead.
     trace_reference_kernels(&trace);
+    sink.write();
 }

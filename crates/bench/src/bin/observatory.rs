@@ -1,0 +1,210 @@
+//! The paper-parity observatory: canonical run records, `BENCH_<n>.json`
+//! trajectory files and CI regression gates.
+//!
+//! ```sh
+//! observatory run  [--quick] [--dir <dir>]      # measure, persist next BENCH_<n>.json
+//! observatory diff <baseline.json> [--quick]    # measure, gate against a committed baseline
+//! observatory report [--dir <dir>] [--doc <md>] # splice scoreboard into EXPERIMENTS.md
+//! ```
+//!
+//! `run` executes the full paper matrix (every kernel family behind
+//! Tables 1–4 and Figures 9–12) through the instrumented harness and
+//! writes the canonical record set to the next free `BENCH_<n>.json` in
+//! `--dir` (default: current directory). The records are
+//! byte-deterministic; host throughput (simulated cycles per second)
+//! goes to a `BENCH_<n>.wallclock.json` sidecar instead.
+//!
+//! `diff` re-measures and compares against a baseline record set
+//! (`baselines/seed.json` in CI): exact cycle/flop/word/stall-counter
+//! equality, bounded sustained-MFLOPS drift, no bound-classification
+//! flips, and every paper-parity figure still inside its tolerance band.
+//! Exit status is non-zero on any regression, so CI can gate on it.
+//!
+//! `report` loads every committed `BENCH_*.json`, renders the
+//! paper-parity scoreboard, the kernel table and the sustained-MFLOPS
+//! trajectory sparklines, and splices them into `EXPERIMENTS.md` between
+//! the observatory markers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fblas_bench::paper_matrix::run_matrix;
+use fblas_metrics::{
+    bench_file_name, diff_sets, list_bench_files, next_bench_index, report as obs_report, RecordSet,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: observatory run  [--quick] [--dir <dir>]\n\
+                observatory diff <baseline.json> [--quick]\n\
+                observatory report [--dir <dir>] [--doc <markdown>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Parse `--flag <value>` / `--flag=<value>` out of `args`, removing it.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if i + 1 >= args.len() {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            }
+            args.remove(i);
+            return Some(args.remove(i));
+        }
+        if let Some(v) = args[i].strip_prefix(&prefix) {
+            let v = v.to_string();
+            args.remove(i);
+            return Some(v);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse a bare `--flag`, removing it.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+fn measure(quick: bool) -> (RecordSet, fblas_metrics::WallClock) {
+    eprintln!(
+        "observatory: running the {} paper matrix...",
+        if quick { "quick" } else { "full" }
+    );
+    let (set, wall) = run_matrix(quick);
+    eprintln!(
+        "observatory: {} record(s), {} simulated cycles in {:.2}s ({:.2}M cycles/s)",
+        set.records.len(),
+        wall.total_cycles(),
+        wall.total_seconds(),
+        wall.cycles_per_second() / 1e6
+    );
+    (set, wall)
+}
+
+fn cmd_run(mut args: Vec<String>) -> ExitCode {
+    let quick = take_flag(&mut args, "--quick");
+    let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
+    if !args.is_empty() {
+        return usage();
+    }
+    let (set, wall) = measure(quick);
+    let index = next_bench_index(&dir);
+    let path = dir.join(bench_file_name(index));
+    if let Err(e) = set.save(&path) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    let sidecar = dir.join(format!("BENCH_{index:04}.wallclock.json"));
+    if let Err(e) = std::fs::write(&sidecar, wall.to_json_string()) {
+        eprintln!("error: cannot write {}: {e}", sidecar.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", path.display());
+    println!("wrote {} (not for committing)", sidecar.display());
+    let failing: Vec<&str> = set
+        .records
+        .iter()
+        .flat_map(|r| &r.paper)
+        .filter(|p| !p.within_tolerance())
+        .map(|p| p.figure_id.as_str())
+        .collect();
+    if failing.is_empty() {
+        println!("paper parity: all figures within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        println!("paper parity: OUT OF TOLERANCE: {}", failing.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_diff(mut args: Vec<String>) -> ExitCode {
+    let quick = take_flag(&mut args, "--quick");
+    if args.len() != 1 {
+        return usage();
+    }
+    let baseline_path = PathBuf::from(&args[0]);
+    let baseline = match RecordSet::load(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (run, _) = measure(quick);
+    let report = diff_sets(&baseline, &run);
+    print!("{}", report.render());
+    println!("\nPaper-parity scoreboard (this run):\n");
+    print!("{}", obs_report::render_scoreboard(&run));
+    if report.passes() {
+        println!(
+            "\nobservatory diff: PASS (baseline {})",
+            baseline_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nobservatory diff: FAIL — {} regression(s) vs {}",
+            report.regressions(),
+            baseline_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_report(mut args: Vec<String>) -> ExitCode {
+    let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
+    let doc =
+        PathBuf::from(take_value(&mut args, "--doc").unwrap_or_else(|| "EXPERIMENTS.md".into()));
+    if !args.is_empty() {
+        return usage();
+    }
+    let mut labels = Vec::new();
+    let mut runs = Vec::new();
+    for (index, path) in list_bench_files(&dir) {
+        match RecordSet::load(&path) {
+            Ok(set) => {
+                labels.push(format!("BENCH_{index:04}"));
+                runs.push(set);
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let section = obs_report::render_section(&labels, &runs);
+    let document = std::fs::read_to_string(&doc).unwrap_or_default();
+    let spliced = obs_report::splice_section(&document, &section);
+    if let Err(e) = std::fs::write(&doc, &spliced) {
+        eprintln!("error: cannot write {}: {e}", doc.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "spliced {} run(s) into {} ({} bytes)",
+        runs.len(),
+        doc.display(),
+        spliced.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "diff" => cmd_diff(args),
+        "report" => cmd_report(args),
+        _ => usage(),
+    }
+}

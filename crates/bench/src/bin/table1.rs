@@ -2,6 +2,7 @@
 //! in reconfigurable systems (SRC `MAPstation` and Cray XD1).
 
 use fblas_bench::print_table;
+use fblas_bench::record_sink::{record_reference_kernels, RecordSink};
 use fblas_bench::trace::{trace_reference_kernels, TraceOption};
 use fblas_mem::{Level, MemoryHierarchy};
 
@@ -21,6 +22,7 @@ fn fmt_bw(bps: f64) -> String {
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("table1");
     let src = MemoryHierarchy::src_mapstation();
     let cray = MemoryHierarchy::cray_xd1();
 
@@ -57,6 +59,9 @@ fn main() {
     println!("\nBoth hierarchies are well-formed (bandwidth strictly decreases,");
     println!("capacity strictly increases down the levels — Figure 5's shape).");
 
-    // This binary is analytic; trace the representative kernels instead.
+    // This binary is analytic; trace/record the representative kernels
+    // instead.
     trace_reference_kernels(&trace);
+    record_reference_kernels(&mut sink);
+    sink.write();
 }

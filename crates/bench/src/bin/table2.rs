@@ -6,13 +6,16 @@
 //! Σsᵢ + 2α².
 
 use fblas_bench::print_table;
+use fblas_bench::record_sink::{measure, RecordSink};
 use fblas_bench::trace::TraceOption;
 use fblas_core::reduce::{run_sets_in, Reducer, SingleAdderReducer};
 use fblas_fpu::{FP_ADDER, FP_MULTIPLIER};
+use fblas_metrics::RunRecord;
 use fblas_system::AreaModel;
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("table2");
     let mut th = trace.harness();
     let area = AreaModel::default();
     let rows = vec![
@@ -50,7 +53,21 @@ fn main() {
         .collect();
     let total: u64 = sizes.iter().map(|&s| s as u64).sum();
     let mut r = SingleAdderReducer::new(alpha);
-    let run = run_sets_in(&mut th, &mut r, &sets);
+    let (run, stalls) = measure(&mut th, |h| run_sets_in(h, &mut r, &sets));
+    sink.push(RunRecord::from_sim(
+        "reduce/single-adder",
+        &[("alpha", alpha as i64), ("sets", sets.len() as i64)],
+        fblas_sim::SimReport {
+            cycles: run.total_cycles,
+            flops: run.adds_issued,
+            words_in: total,
+            words_out: sets.len() as u64,
+            busy_cycles: run.adds_issued,
+        },
+        stalls,
+        FP_ADDER.clock_mhz,
+        u64::from(area.reduction_slices),
+    ));
 
     println!(
         "\nReduction-circuit validation (α = {alpha}, {} sets, {total} values):",
@@ -73,4 +90,5 @@ fn main() {
     assert!(run.total_cycles < total + 2 * (alpha * alpha) as u64);
     println!("  all claims hold.");
     trace.write(&th);
+    sink.write();
 }

@@ -4,14 +4,17 @@
 //! The sustained MFLOPS come from cycle-accurate simulation; area and
 //! clock from the calibrated cost models.
 
+use fblas_bench::record_sink::{measure, RecordSink};
 use fblas_bench::trace::TraceOption;
 use fblas_bench::{print_table, synth_int, vs_paper};
 use fblas_core::dot::{DotParams, DotProductDesign};
 use fblas_core::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_metrics::RunRecord;
 use fblas_system::{AreaModel, Xd1Node, XC2VP50};
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("table3");
     let mut th = trace.harness();
     let n = 2048usize;
     let node = Xd1Node::default();
@@ -21,7 +24,7 @@ fn main() {
     let dot = DotProductDesign::new(DotParams::table3(), &node);
     let u = synth_int(1, n, 8);
     let v = synth_int(2, n, 8);
-    let dout = dot.run_in(&mut th, &u, &v);
+    let (dout, dot_stalls) = measure(&mut th, |h| dot.run_in(h, &u, &v));
     let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
     assert_eq!(dout.result, dref, "dot result mismatch");
 
@@ -29,13 +32,37 @@ fn main() {
     let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
     let x = synth_int(4, n, 8);
-    let mout = mvm.run_in(&mut th, &a, &x);
+    let (mout, mvm_stalls) = measure(&mut th, |h| mvm.run_in(h, &a, &x));
     assert_eq!(mout.y, a.ref_mvm(&x), "mvm result mismatch");
 
     let dot_area = area.dot_design(2);
     let mvm_area = area.mvm_design(4);
     let dot_mflops = dout.report.sustained_flops(&dout.clock) / 1e6;
     let mvm_mflops = mout.report.sustained_flops(&mout.clock) / 1e6;
+    sink.push(
+        RunRecord::from_sim(
+            "dot",
+            &[("k", 2), ("n", n as i64)],
+            dout.report,
+            dot_stalls,
+            dout.clock.mhz(),
+            u64::from(dot_area),
+        )
+        .with_paper("table3.dot.mflops", dot_mflops)
+        .with_paper("table3.dot.slices", f64::from(dot_area)),
+    );
+    sink.push(
+        RunRecord::from_sim(
+            "mvm/row",
+            &[("k", 4), ("n", n as i64)],
+            mout.report,
+            mvm_stalls,
+            mout.clock.mhz(),
+            u64::from(mvm_area),
+        )
+        .with_paper("table3.mvm.mflops", mvm_mflops)
+        .with_paper("table3.mvm.slices", f64::from(mvm_area)),
+    );
 
     let rows = vec![
         vec!["No. of multipliers, k".into(), "2".into(), "4".into()],
@@ -94,4 +121,5 @@ fn main() {
     );
 
     trace.write(&th);
+    sink.write();
 }

@@ -5,15 +5,18 @@
 //! (the staging dominates: ≈6.4 of the ≈8.0 ms total).
 //! Level 3: k = m = 8, b = 512, n = 512 on the hierarchical design.
 
+use fblas_bench::record_sink::{measure, RecordSink};
 use fblas_bench::trace::TraceOption;
 use fblas_bench::{print_table, synth_int, vs_paper};
 use fblas_core::mm::{HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams};
 use fblas_core::mvm::{DenseMatrix, MvmParams, RowMajorMvm};
 use fblas_mem::{DmaModel, SramBanks, SRAM_WORD_BITS};
+use fblas_metrics::{RunRecord, StallBreakdown};
 use fblas_system::{io_bound_peak_mvm, AreaModel, ClockModel, XC2VP50};
 
 fn main() {
     let trace = TraceOption::from_args();
+    let mut sink = RecordSink::from_args("table4");
     let mut th = trace.harness();
     let area = AreaModel::default();
     let clocks = ClockModel::default();
@@ -24,7 +27,7 @@ fn main() {
     let mvm = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
     let a = DenseMatrix::from_rows(n, n, synth_int(3, n * n, 8));
     let x = synth_int(4, n, 8);
-    let out = mvm.run_in(&mut th, &a, &x);
+    let (out, l2_stalls) = measure(&mut th, |h| mvm.run_in(h, &a, &x));
     assert_eq!(out.y, a.ref_mvm(&x), "mvm result mismatch");
 
     let compute_s = out.report.latency_seconds(&l2_clock);
@@ -58,6 +61,32 @@ fn main() {
     let l3_sustained = mout.report.flops as f64 / l3_total_s;
     let l3_peak = fblas_system::device_peak_flops(&XC2VP50, &area, 170.0);
     let l3_dram_bw = mout.report.io_bytes() as f64 / l3_total_s;
+
+    sink.push(
+        RunRecord::from_sim(
+            "mvm/xd1-l2",
+            &[("k", 4), ("n", n as i64)],
+            out.report,
+            l2_stalls,
+            l2_clock.mhz(),
+            u64::from(area.mvm_design_xd1(4)),
+        )
+        .with_paper("table4.l2.latency-ms", total_s * 1e3)
+        .with_paper("table4.l2.mflops", sustained / 1e6)
+        .with_paper("table4.l2.peak-pct", sustained / peak * 100.0),
+    );
+    sink.push(
+        RunRecord::from_sim(
+            "mm/hierarchical",
+            &[("b", 512), ("k", 8), ("m", 8), ("n", nn as i64)],
+            mout.report,
+            StallBreakdown::default(),
+            l3_clock.mhz(),
+            u64::from(area.mm_design_xd1(8)),
+        )
+        .with_paper("table4.l3.gflops", l3_sustained / 1e9)
+        .with_paper("table4.l3.latency-ms", l3_total_s * 1e3),
+    );
 
     let rows = vec![
         vec!["k".into(), "4".into(), "8".into()],
@@ -152,4 +181,5 @@ fn main() {
         LinearArrayMm::new(MmParams::test(4, 16)).run_in(&mut th, &ta, &tb);
     }
     trace.write(&th);
+    sink.write();
 }

@@ -20,8 +20,18 @@
 //!
 //! Run them with `cargo run --release -p fblas-bench --bin <name>`.
 //! Every binary accepts `--trace <out.json>` to dump a Chrome
-//! `trace_event` timeline of its simulated kernels (see [`trace`]).
+//! `trace_event` timeline of its simulated kernels (see [`trace`]) and
+//! `--json <out.json>` to emit its measurements as canonical
+//! [`fblas_metrics`] run records (see [`record_sink`]).
+//!
+//! The `observatory` binary ties the records together: `observatory run`
+//! executes the full paper matrix ([`paper_matrix`]) and persists a
+//! `BENCH_<n>.json` trajectory file, `observatory diff` gates a fresh
+//! run against a committed baseline, and `observatory report` renders
+//! the scoreboard into `EXPERIMENTS.md`.
 
+pub mod paper_matrix;
+pub mod record_sink;
 pub mod trace;
 pub mod workloads;
 

@@ -43,6 +43,63 @@ fn alpha_sweep_runs() {
     run(env!("CARGO_BIN_EXE_alpha_sweep"));
 }
 
+/// `--json` smoke: every bench binary shares the `RecordSink` writer, so
+/// exercising one fast binary proves the flag end to end — the file must
+/// be a schema-versioned record set that loads back.
+#[test]
+fn json_flag_writes_a_record_set() {
+    let out = std::env::temp_dir().join("fblas_table1_records.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .arg("--json")
+        .arg(&out)
+        .status()
+        .expect("failed to launch table1");
+    assert!(status.success(), "table1 --json exited with {status}");
+    let text = std::fs::read_to_string(&out).expect("records file missing");
+    let set = fblas_metrics::RecordSet::load(&out).expect("records must parse");
+    std::fs::remove_file(&out).ok();
+    assert!(
+        text.contains(&format!(
+            "\"schema_version\": {}",
+            fblas_metrics::SCHEMA_VERSION
+        )),
+        "file must carry the schema version"
+    );
+    assert_eq!(set.generator, "table1");
+    assert!(!set.records.is_empty(), "table1 must emit records");
+}
+
+/// `observatory run --quick` smoke: two runs into the same directory must
+/// produce byte-identical BENCH files, and `observatory diff` against the
+/// first file must be clean (exit 0).
+#[test]
+fn observatory_quick_run_is_deterministic_and_self_diffs_clean() {
+    let dir = std::env::temp_dir().join("fblas_observatory_smoke");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+
+    for _ in 0..2 {
+        let status = Command::new(observatory)
+            .args(["run", "--quick", "--dir"])
+            .arg(&dir)
+            .status()
+            .expect("failed to launch observatory");
+        assert!(status.success(), "observatory run exited with {status}");
+    }
+    let first = std::fs::read(dir.join("BENCH_0001.json")).expect("BENCH_0001 missing");
+    let second = std::fs::read(dir.join("BENCH_0002.json")).expect("BENCH_0002 missing");
+    assert_eq!(first, second, "BENCH files must be byte-identical");
+
+    let status = Command::new(observatory)
+        .args(["diff", "--quick"])
+        .arg(dir.join("BENCH_0001.json"))
+        .status()
+        .expect("failed to launch observatory diff");
+    assert!(status.success(), "self-diff must be clean, got {status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--trace` smoke: the flag must produce a non-empty Chrome trace with
 /// the JSON envelope and per-component metadata.
 #[test]

@@ -1,4 +1,5 @@
-//! `drc` — run the design-rule checker over every shipped configuration.
+//! `drc` — run the design-rule checker over every shipped configuration,
+//! plus the paper-parity coverage rule over the shared tolerance table.
 //!
 //! Exit status 0 iff every design point passes with zero errors. Flags:
 //!
@@ -9,6 +10,7 @@
 //!   `§6.2-area` diagnostic, demonstrating what a violation looks like.
 
 use fblas_check::drc::{check, infeasible_k10_with_rt_core, shipped_design_points};
+use fblas_check::parity::coverage_report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,8 +36,11 @@ fn main() {
         print!("{}", report.render(verbose));
         errors += report.count(fblas_check::Severity::Error);
     }
+    let parity = coverage_report();
+    print!("{}", parity.render(verbose));
+    errors += parity.count(fblas_check::Severity::Error);
     println!(
-        "checked {} design point(s), {} error(s)",
+        "checked {} design point(s) + parity coverage, {} error(s)",
         points.len(),
         errors
     );

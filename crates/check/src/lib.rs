@@ -10,17 +10,23 @@
 //!   token-level scanner that rejects native `f64` arithmetic in the
 //!   datapath crates, where every floating-point operation must go
 //!   through the bit-accurate [`fblas_fpu::softfloat`] routines.
+//! * [`parity`] — a **paper-parity coverage rule** proving that every
+//!   row of the shared [`fblas_metrics::PAPER_TOLERANCES`] table is
+//!   claimed by a bench generator and that no generator claims a stale
+//!   id, so a paper figure can never silently go unchecked.
 //!
-//! Both are exposed as libraries (used by the test suite) and as the
+//! All are exposed as libraries (used by the test suite) and through the
 //! `drc` and `lint` binaries (used by CI).
 
 #![forbid(unsafe_code)]
 
 pub mod drc;
 pub mod lint;
+pub mod parity;
 
 pub use drc::{
     check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
     Kernel, Platform, Report, Severity,
 };
 pub use lint::{scan_source, scan_tree, LintHit};
+pub use parity::{check_claims, coverage_report, CLAIMS};

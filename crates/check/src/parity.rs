@@ -1,0 +1,166 @@
+//! Paper-parity coverage: every tolerance in the shared table must be
+//! claimed by a generator, and every claim must exist in the table.
+//!
+//! [`fblas_metrics::PAPER_TOLERANCES`] is the single source of truth for
+//! the paper's headline numbers; `verify_all` and `observatory` gate
+//! measurements against it at run time. This module closes the loop
+//! *statically*: [`CLAIMS`] names which bench generator vouches for each
+//! tolerance id, and [`coverage_report`] proves the two lists agree — an
+//! id nobody measures, or a claim the table no longer carries, is an
+//! [`Severity::Error`] before a single benchmark runs. The `drc` binary
+//! appends this report to its sweep, so the same CI gate that proves
+//! feasibility also proves parity coverage.
+
+use crate::drc::{Diagnostic, Report, Severity};
+use fblas_metrics::{lookup, PAPER_TOLERANCES};
+
+/// Which generator (bench binary / observatory matrix entry) claims to
+/// measure or model each paper-tolerance id.
+///
+/// Kept sorted by generator name; ids within a claim are sorted too.
+pub const CLAIMS: &[(&str, &[&str])] = &[
+    ("fig11", &["fig11.best.gflops"]),
+    ("fig12", &["fig12.best.gflops"]),
+    (
+        "fig9",
+        &["fig9.clock.k1", "fig9.clock.k10", "fig9.max-pes.xc2vp50"],
+    ),
+    (
+        "table3",
+        &[
+            "table3.dot.mflops",
+            "table3.dot.slices",
+            "table3.mvm.mflops",
+            "table3.mvm.slices",
+        ],
+    ),
+    (
+        "table4",
+        &[
+            "table4.l2.latency-ms",
+            "table4.l2.mflops",
+            "table4.l2.peak-pct",
+            "table4.l3.gflops",
+            "table4.l3.latency-ms",
+        ],
+    ),
+    (
+        "verify_all",
+        &[
+            "sec6.chassis.gflops",
+            "sec6.chassis12.gflops",
+            "sec6.device-peak.gflops",
+        ],
+    ),
+];
+
+/// Check one claims list against the shared tolerance table.
+///
+/// Exposed separately from [`coverage_report`] so tests can feed
+/// deliberately broken claim sets through the same logic.
+pub fn check_claims(claims: &[(&str, &[&str])]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Every claimed id must exist in the table.
+    for (generator, ids) in claims {
+        for id in *ids {
+            match lookup(id) {
+                Some(t) => diags.push(Diagnostic {
+                    rule_id: "parity-coverage",
+                    severity: Severity::Info,
+                    message: format!("{generator} claims {id}: {} {}", t.paper, t.unit),
+                    quantities: vec![("paper", t.paper), ("tol_frac", t.tol_frac)],
+                }),
+                None => diags.push(Diagnostic {
+                    rule_id: "parity-coverage",
+                    severity: Severity::Error,
+                    message: format!(
+                        "{generator} claims `{id}` but the shared tolerance table has \
+                         no such row — stale claim or renamed id"
+                    ),
+                    quantities: vec![],
+                }),
+            }
+        }
+    }
+
+    // Every table row must be claimed by someone.
+    for t in PAPER_TOLERANCES {
+        let claimed = claims.iter().any(|(_, ids)| ids.contains(&t.id));
+        if !claimed {
+            diags.push(Diagnostic {
+                rule_id: "parity-coverage",
+                severity: Severity::Error,
+                message: format!(
+                    "tolerance `{}` ({}) is in the shared table but no generator \
+                     claims it — the paper figure would go unchecked",
+                    t.id, t.description
+                ),
+                quantities: vec![("paper", t.paper), ("tol_frac", t.tol_frac)],
+            });
+        }
+    }
+
+    diags
+}
+
+/// The parity-coverage report over the shipped [`CLAIMS`].
+pub fn coverage_report() -> Report {
+    Report {
+        design: "paper-parity coverage".to_string(),
+        diagnostics: check_claims(CLAIMS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_claims_cover_the_whole_table() {
+        let report = coverage_report();
+        assert!(
+            report.is_feasible(),
+            "parity coverage has errors:\n{}",
+            report.render(true)
+        );
+        // One Info diagnostic per table row — full, non-overlapping cover.
+        assert_eq!(report.count(Severity::Info), PAPER_TOLERANCES.len());
+    }
+
+    #[test]
+    fn claims_are_sorted_and_disjoint() {
+        for pair in CLAIMS.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{} !< {}", pair[0].0, pair[1].0);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (generator, ids) in CLAIMS {
+            for pair in ids.windows(2) {
+                assert!(pair[0] < pair[1], "{generator}: {} !< {}", pair[0], pair[1]);
+            }
+            for id in *ids {
+                assert!(seen.insert(*id), "id {id} claimed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_claim_is_an_error() {
+        let claims: &[(&str, &[&str])] = &[("ghost", &["no.such.figure"])];
+        let diags = check_claims(claims);
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("no.such.figure")));
+    }
+
+    #[test]
+    fn unclaimed_tolerance_is_an_error() {
+        // An empty claims list leaves every table row unclaimed.
+        let diags = check_claims(&[]);
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        assert_eq!(errors, PAPER_TOLERANCES.len());
+    }
+}

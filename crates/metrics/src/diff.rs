@@ -1,0 +1,348 @@
+//! Regression gating: compare a run against a committed baseline and the
+//! paper-parity scoreboard.
+//!
+//! The simulator is deterministic, so the baseline comparison is strict:
+//! any drift in cycles, FLOPs, I/O words, busy cycles or stall
+//! attribution for a matching (kernel, config) key is a finding, as is a
+//! kernel that disappeared from the run. Sustained MFLOPS gets a small
+//! relative tolerance (it is derived from cycles through a float divide)
+//! and paper parity is gated through the shared tolerance table — a
+//! measurement may move *within* its tolerance band, but a delta that
+//! leaves the band fails the diff.
+
+use crate::record::RunRecord;
+use crate::store::RecordSet;
+use crate::tolerance;
+
+/// Relative slack for derived floating-point metrics (MFLOPS).
+pub const MFLOPS_REL_TOL: f64 = 1e-6;
+
+/// How bad one diff finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiffSeverity {
+    /// Informational (new kernel, classification note).
+    Note,
+    /// Fails the gate.
+    Regression,
+}
+
+/// One finding of the baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffFinding {
+    /// Record identity key the finding concerns.
+    pub key: String,
+    /// Metric that moved, e.g. `"cycles"`, `"paper:table3.dot.mflops"`.
+    pub metric: String,
+    /// Severity.
+    pub severity: DiffSeverity,
+    /// Human-readable explanation with both values.
+    pub message: String,
+}
+
+/// Outcome of diffing a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// All findings, in record order.
+    pub findings: Vec<DiffFinding>,
+    /// Keys compared without any finding.
+    pub clean: Vec<String>,
+}
+
+impl DiffReport {
+    /// Number of gate-failing findings.
+    pub fn regressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == DiffSeverity::Regression)
+            .count()
+    }
+
+    /// True iff the gate passes.
+    pub fn passes(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Exit status for a gating binary.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.passes())
+    }
+
+    /// Render as a fixed-order text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = match f.severity {
+                DiffSeverity::Note => "note",
+                DiffSeverity::Regression => "REGRESSION",
+            };
+            out.push_str(&format!(
+                "{tag:>10}  {} :: {}  {}\n",
+                f.key, f.metric, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} kernel(s) clean, {} finding(s), {} regression(s)\n",
+            self.clean.len(),
+            self.findings.len(),
+            self.regressions()
+        ));
+        out
+    }
+
+    fn push(&mut self, key: &str, metric: &str, severity: DiffSeverity, message: String) {
+        self.findings.push(DiffFinding {
+            key: key.to_string(),
+            metric: metric.to_string(),
+            severity,
+            message,
+        });
+    }
+}
+
+fn diff_u64(report: &mut DiffReport, key: &str, metric: &str, baseline: u64, run: u64) -> bool {
+    if baseline == run {
+        return true;
+    }
+    report.push(
+        key,
+        metric,
+        DiffSeverity::Regression,
+        format!(
+            "baseline {baseline}, run {run} ({:+})",
+            run as i64 - baseline as i64
+        ),
+    );
+    false
+}
+
+/// Compare `run` against `baseline`.
+///
+/// Gate-failing findings: exact-counter drift (cycles, flops, words,
+/// busy cycles, per-cause stalls), sustained-MFLOPS drift beyond
+/// [`MFLOPS_REL_TOL`], paper parity leaving its tolerance band, a
+/// baseline kernel missing from the run, and a bound-classification flip.
+/// Kernels present only in the run are notes (the matrix may grow).
+pub fn diff_sets(baseline: &RecordSet, run: &RecordSet) -> DiffReport {
+    let mut report = DiffReport::default();
+    for base in &baseline.records {
+        let key = base.key();
+        let Some(current) = run.find(&key) else {
+            report.push(
+                &key,
+                "presence",
+                DiffSeverity::Regression,
+                "kernel present in baseline but missing from the run".to_string(),
+            );
+            continue;
+        };
+        let before = report.findings.len();
+        diff_record(&mut report, &key, base, current);
+        if report.findings.len() == before {
+            report.clean.push(key);
+        }
+    }
+    for current in &run.records {
+        if baseline.find(&current.key()).is_none() {
+            report.push(
+                &current.key(),
+                "presence",
+                DiffSeverity::Note,
+                "new kernel, not in baseline".to_string(),
+            );
+        }
+    }
+    report
+}
+
+fn diff_record(report: &mut DiffReport, key: &str, base: &RunRecord, run: &RunRecord) {
+    diff_u64(report, key, "cycles", base.cycles, run.cycles);
+    diff_u64(report, key, "flops", base.flops, run.flops);
+    diff_u64(report, key, "words_in", base.words_in, run.words_in);
+    diff_u64(report, key, "words_out", base.words_out, run.words_out);
+    diff_u64(
+        report,
+        key,
+        "busy_cycles",
+        base.busy_cycles,
+        run.busy_cycles,
+    );
+    for (i, &cause) in fblas_sim::StallCause::ALL.iter().enumerate() {
+        diff_u64(
+            report,
+            key,
+            &format!("stalls.{}", cause.name()),
+            base.stalls.by_cause[i],
+            run.stalls.by_cause[i],
+        );
+    }
+    let denom = base.sustained_mflops.abs().max(1e-12);
+    let rel = (run.sustained_mflops - base.sustained_mflops).abs() / denom;
+    if rel > MFLOPS_REL_TOL {
+        report.push(
+            key,
+            "sustained_mflops",
+            DiffSeverity::Regression,
+            format!(
+                "baseline {:.3}, run {:.3} ({:+.3}%)",
+                base.sustained_mflops,
+                run.sustained_mflops,
+                (run.sustained_mflops - base.sustained_mflops) / denom * 100.0
+            ),
+        );
+    }
+    if base.bound != run.bound {
+        report.push(
+            key,
+            "bound",
+            DiffSeverity::Regression,
+            format!(
+                "classification flipped: baseline {}, run {}",
+                base.bound.name(),
+                run.bound.name()
+            ),
+        );
+    }
+    // Paper parity: every baseline figure must still be measured, and the
+    // run's delta must stay inside the shared tolerance band.
+    for bp in &base.paper {
+        let metric = format!("paper:{}", bp.figure_id);
+        let Some(rp) = run.paper.iter().find(|p| p.figure_id == bp.figure_id) else {
+            report.push(
+                key,
+                &metric,
+                DiffSeverity::Regression,
+                "parity figure no longer measured".to_string(),
+            );
+            continue;
+        };
+        match tolerance::lookup(&bp.figure_id) {
+            None => report.push(
+                key,
+                &metric,
+                DiffSeverity::Regression,
+                "figure id unknown to the shared tolerance table".to_string(),
+            ),
+            Some(t) => {
+                if !t.accepts(rp.measured) {
+                    report.push(
+                        key,
+                        &metric,
+                        DiffSeverity::Regression,
+                        format!(
+                            "paper delta {:+.2}% exceeds ±{:.0}% (paper {} {}, run {:.4}, \
+                             baseline {:.4})",
+                            t.delta_frac(rp.measured) * 100.0,
+                            t.tol_frac * 100.0,
+                            t.paper,
+                            t.unit,
+                            rp.measured,
+                            bp.measured
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::StallBreakdown;
+    use fblas_sim::SimReport;
+
+    fn record(cycles: u64, mflops_paper: f64) -> RunRecord {
+        RunRecord::from_sim(
+            "dot",
+            &[("k", 2), ("n", 64)],
+            SimReport {
+                cycles,
+                flops: 128,
+                words_in: 128,
+                words_out: 1,
+                busy_cycles: 32,
+            },
+            StallBreakdown::default(),
+            170.0,
+            5220,
+        )
+        .with_paper("table3.dot.mflops", mflops_paper)
+    }
+
+    fn set(records: Vec<RunRecord>) -> RecordSet {
+        let mut s = RecordSet::new("test");
+        for r in records {
+            s.push(r);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_sets_pass() {
+        let a = set(vec![record(40, 557.0)]);
+        let d = diff_sets(&a, &a.clone());
+        assert!(d.passes(), "{}", d.render());
+        assert_eq!(d.clean, vec!["dot[k=2,n=64]"]);
+        assert_eq!(d.exit_code(), 0);
+    }
+
+    #[test]
+    fn cycle_drift_is_a_regression() {
+        let d = diff_sets(&set(vec![record(40, 557.0)]), &set(vec![record(41, 557.0)]));
+        assert!(!d.passes());
+        assert!(d.findings.iter().any(|f| f.metric == "cycles"));
+        // Cycle drift also moves derived MFLOPS.
+        assert!(d.findings.iter().any(|f| f.metric == "sustained_mflops"));
+        assert_eq!(d.exit_code(), 1);
+    }
+
+    #[test]
+    fn paper_delta_leaving_the_band_fails() {
+        // Baseline inside tolerance; run wanders out of ±15 %.
+        let d = diff_sets(
+            &set(vec![record(40, 557.0)]),
+            &set(vec![record(40, 557.0 * 1.2)]),
+        );
+        assert!(!d.passes());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "paper:table3.dot.mflops"));
+    }
+
+    #[test]
+    fn missing_kernel_fails_new_kernel_notes() {
+        let base = set(vec![record(40, 557.0)]);
+        let d = diff_sets(&base, &set(vec![]));
+        assert!(!d.passes());
+        assert!(d.findings[0].message.contains("missing"));
+
+        let mut grown = base.clone();
+        grown.push(RunRecord::modeled("mm/model", &[("k", 10)], 125.0, 21580));
+        let d = diff_sets(&base, &grown);
+        assert!(d.passes(), "{}", d.render());
+        assert_eq!(d.findings.len(), 1);
+        assert_eq!(d.findings[0].severity, DiffSeverity::Note);
+    }
+
+    #[test]
+    fn stall_attribution_drift_is_caught() {
+        let base = record(40, 557.0);
+        let mut run = base.clone();
+        run.stalls.by_cause[0] = 5;
+        let d = diff_sets(&set(vec![base]), &set(vec![run]));
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "stalls.input-starved"));
+    }
+
+    #[test]
+    fn render_mentions_every_finding() {
+        let d = diff_sets(&set(vec![record(40, 557.0)]), &set(vec![record(44, 557.0)]));
+        let text = d.render();
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("cycles"));
+        assert!(text.contains("regression(s)"));
+    }
+}

@@ -1,0 +1,428 @@
+//! Minimal, dependency-free JSON: a value tree, a byte-deterministic
+//! writer and a strict recursive-descent parser.
+//!
+//! The workspace vendors no serialization crates (the build environment is
+//! offline), so the observatory hand-rolls its JSON exactly like the
+//! probe's trace exporters do — but through a shared value tree so the
+//! records can be read back for diffing and trend rendering.
+//!
+//! Determinism contract: [`Json::render`] emits object members in
+//! insertion order, numbers via Rust's shortest-round-trip formatting and
+//! no whitespace beyond a fixed indentation scheme. Rendering the same
+//! value tree twice yields byte-identical output on every platform; the
+//! `BENCH_*.json` byte-stability tests rely on this.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Stored as `f64`; integral values within `u64` range
+    /// render without a fractional part.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (order is part of the byte contract).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a member to an object (panics on non-objects).
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(members) => members.push((key.to_string(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Builder-style [`Json::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: Json) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if members.is_empty() => out.push_str("{}"),
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Strict: rejects trailing garbage, duplicate
+    /// keys are kept as-is (first wins on [`Json::get`]).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    assert!(x.is_finite(), "JSON cannot represent {x}");
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        // Shortest round-trip representation; deterministic across runs.
+        let _ = write!(out, "{x:?}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: &str) -> Self {
+        Self {
+            offset,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::at(*pos, &format!("expected '{}'", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, &format!("expected '{lit}'")))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::at(start, &format!("invalid number '{text}'")))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::at(*pos, "non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError::at(*pos, "invalid codepoint"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let doc = Json::obj()
+            .with("name", Json::Str("dot k=2".into()))
+            .with("cycles", Json::Num(1234.0))
+            .with("ratio", Json::Num(0.8062))
+            .with("ok", Json::Bool(true))
+            .with(
+                "stalls",
+                Json::Arr(vec![Json::Num(0.0), Json::Num(7.0), Json::Null]),
+            );
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mk = || {
+            Json::obj()
+                .with("a", Json::Num(1e-7))
+                .with("b", Json::Num(557.25))
+                .with("s", Json::Str("α ≤ 2α²\n\"quoted\"".into()))
+        };
+        assert_eq!(mk().render(), mk().render());
+        // And round-trips through the parser byte-identically.
+        let text = mk().render();
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        let mut s = String::new();
+        write_num(&mut s, 148300000000.0);
+        assert_eq!(s, "148300000000");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_docs() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse("{\"n\": 42, \"s\": \"hi\", \"a\": [1, 2]}").unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(42));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("missing"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! Paper-parity observatory: canonical run records, trajectory files and
+//! regression gates.
+//!
+//! The SC'05 reproduction derives all of its value from a set of numbers —
+//! sustained MFLOPS, cycle counts, slices and clock rates versus Tables
+//! 1–4 and Figures 9–12. This crate makes those numbers *persistent
+//! artifacts* instead of transient stdout:
+//!
+//! * [`RunRecord`] — one schema-versioned measurement: kernel + config
+//!   identity, the raw [`SimReport`](fblas_sim::SimReport) counters, the
+//!   probe layer's stall-cause breakdown, modeled area/clock, sustained
+//!   MFLOPS, compute- vs bandwidth-bound classification and paper-parity
+//!   deltas.
+//! * [`RecordSet`] / [`store`] — deterministic JSON persistence and the
+//!   `BENCH_<n>.json` trajectory convention.
+//! * [`tolerance`] — the one shared table of paper-reported values and
+//!   tolerances; [`ParityGate`] is the PASS/FAIL gate every tool uses.
+//! * [`diff`] — strict baseline comparison (cycle drift, MFLOPS drift,
+//!   stall-attribution drift, parity-band exits) with a CI exit code.
+//! * [`report`] — markdown scoreboards and ASCII-sparkline trajectories
+//!   spliced into `EXPERIMENTS.md`.
+//!
+//! JSON is hand-rolled ([`json`]) because the workspace vendors no
+//! serialization crates; the writer is byte-deterministic by contract.
+
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod json;
+pub mod record;
+pub mod report;
+pub mod store;
+pub mod tolerance;
+
+pub use diff::{diff_sets, DiffReport, DiffSeverity};
+pub use json::Json;
+pub use record::{Bound, PaperParity, RecordKind, RunRecord, StallBreakdown, SCHEMA_VERSION};
+pub use store::{
+    bench_file_name, list_bench_files, next_bench_index, parse_bench_index, RecordSet, WallClock,
+};
+pub use tolerance::{lookup, PaperTolerance, ParityGate, PAPER_TOLERANCES};

@@ -1,0 +1,275 @@
+//! Scoreboard and trajectory rendering: markdown tables plus ASCII
+//! sparklines over the committed `BENCH_*.json` history.
+//!
+//! The output is spliced into `EXPERIMENTS.md` between the
+//! `<!-- observatory:begin -->` / `<!-- observatory:end -->` markers by
+//! `observatory report`, and the golden-scoreboard test pins the exact
+//! rendering so a formatting change is a conscious decision.
+
+use crate::record::RecordKind;
+use crate::store::RecordSet;
+use crate::tolerance;
+
+/// Marker opening the generated section of `EXPERIMENTS.md`.
+pub const SECTION_BEGIN: &str = "<!-- observatory:begin -->";
+/// Marker closing the generated section of `EXPERIMENTS.md`.
+pub const SECTION_END: &str = "<!-- observatory:end -->";
+
+/// ASCII levels for sparklines, lowest to highest.
+const SPARK_LEVELS: &[u8] = b"_.-:=+*#";
+
+/// Render a sequence of values as an ASCII sparkline.
+///
+/// Values are scaled to the min..max range of the sequence; a flat
+/// sequence renders as all midpoints. Non-finite values render as `?`.
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '?'
+            } else if max <= min {
+                SPARK_LEVELS[SPARK_LEVELS.len() / 2] as char
+            } else {
+                let t = (v - min) / (max - min);
+                let idx = (t * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+                SPARK_LEVELS[idx] as char
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-parity scoreboard of one record set as a markdown
+/// table: one row per parity figure, with the measured value, the paper
+/// value, the delta and the PASS/FAIL verdict from the shared table.
+pub fn render_scoreboard(set: &RecordSet) -> String {
+    let mut out = String::new();
+    out.push_str("| figure | kernel | measured | paper | Δ | tol | verdict |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for record in &set.records {
+        for parity in &record.paper {
+            let Some(t) = tolerance::lookup(&parity.figure_id) else {
+                out.push_str(&format!(
+                    "| {} | {} | {:.4} | ? | ? | ? | UNKNOWN |\n",
+                    parity.figure_id,
+                    record.key(),
+                    parity.measured
+                ));
+                continue;
+            };
+            out.push_str(&format!(
+                "| {} | {} | {:.4} {} | {:.4} | {:+.1}% | ±{:.0}% | {} |\n",
+                t.id,
+                record.key(),
+                parity.measured,
+                t.unit,
+                t.paper,
+                t.delta_frac(parity.measured) * 100.0,
+                t.tol_frac * 100.0,
+                if t.accepts(parity.measured) {
+                    "PASS"
+                } else {
+                    "**FAIL**"
+                }
+            ));
+        }
+    }
+    out
+}
+
+/// Render the kernel measurement table of one record set: cycles, FLOPs,
+/// utilization, stall shares and bound classification per simulated
+/// kernel.
+pub fn render_kernel_table(set: &RecordSet) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| kernel | cycles | MFLOPS | util | stalls (starve/backpr/hazard/drain) | bound |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|\n");
+    for r in &set.records {
+        if r.kind != RecordKind::Simulated {
+            continue;
+        }
+        let s = &r.stalls.by_cause;
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.0}% | {}/{}/{}/{} | {} |\n",
+            r.key(),
+            r.cycles,
+            r.sustained_mflops,
+            r.utilization() * 100.0,
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            r.bound.name()
+        ));
+    }
+    out
+}
+
+/// Render the trajectory: per kernel key, the sustained-MFLOPS history
+/// across the given runs (oldest first) as a sparkline plus the first and
+/// latest values. `labels` names each run (e.g. the `BENCH_*` index).
+pub fn render_trajectory(labels: &[String], runs: &[RecordSet]) -> String {
+    assert_eq!(labels.len(), runs.len());
+    let mut out = String::new();
+    if runs.is_empty() {
+        out.push_str("no committed BENCH runs yet\n");
+        return out;
+    }
+    out.push_str(&format!("{} run(s): {}\n\n", runs.len(), labels.join(", ")));
+    out.push_str("| kernel | trend | first | latest |\n|---|---|---|---|\n");
+    // Keys in latest-run order, so the table tracks the current matrix.
+    let latest = runs.last().expect("non-empty");
+    for record in &latest.records {
+        if record.kind != RecordKind::Simulated {
+            continue;
+        }
+        let key = record.key();
+        let series: Vec<f64> = runs
+            .iter()
+            .map(|set| set.find(&key).map_or(f64::NAN, |r| r.sustained_mflops))
+            .collect();
+        let first = series.iter().copied().find(|v| v.is_finite());
+        out.push_str(&format!(
+            "| {key} | `{}` | {} | {:.1} |\n",
+            sparkline(&series),
+            first.map_or("—".to_string(), |v| format!("{v:.1}")),
+            record.sustained_mflops
+        ));
+    }
+    out
+}
+
+/// Build the full generated section (without the markers).
+pub fn render_section(labels: &[String], runs: &[RecordSet]) -> String {
+    let mut out = String::new();
+    out.push_str("## Observatory — paper-parity scoreboard and trajectory\n\n");
+    out.push_str(
+        "Generated by `cargo run --release -p fblas-bench --bin observatory -- report`.\n\
+         Do not edit between the markers; re-run the command instead.\n\n",
+    );
+    if let Some(latest) = runs.last() {
+        out.push_str("### Scoreboard (latest run)\n\n");
+        out.push_str(&render_scoreboard(latest));
+        out.push_str("\n### Kernel measurements (latest run)\n\n");
+        out.push_str(&render_kernel_table(latest));
+        out.push_str("\n### Sustained-MFLOPS trajectory\n\n");
+    }
+    out.push_str(&render_trajectory(labels, runs));
+    out
+}
+
+/// Splice `section` into `document` between the observatory markers.
+///
+/// If the markers are absent they are appended (with the section) at the
+/// end of the document.
+pub fn splice_section(document: &str, section: &str) -> String {
+    let block = format!("{SECTION_BEGIN}\n{section}{SECTION_END}");
+    match (document.find(SECTION_BEGIN), document.find(SECTION_END)) {
+        (Some(begin), Some(end)) if begin < end => {
+            let after = end + SECTION_END.len();
+            format!("{}{}{}", &document[..begin], block, &document[after..])
+        }
+        _ => {
+            let sep = if document.ends_with('\n') {
+                "\n"
+            } else {
+                "\n\n"
+            };
+            format!("{document}{sep}{block}\n")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunRecord, StallBreakdown};
+    use fblas_sim::SimReport;
+
+    fn record(cycles: u64) -> RunRecord {
+        RunRecord::from_sim(
+            "dot",
+            &[("k", 2), ("n", 64)],
+            SimReport {
+                cycles,
+                flops: 128,
+                words_in: 128,
+                words_out: 1,
+                busy_cycles: 32,
+            },
+            StallBreakdown::default(),
+            170.0,
+            5220,
+        )
+        .with_paper("table3.dot.mflops", 128.0 * 170.0 / cycles as f64)
+    }
+
+    fn set(cycles: u64) -> RecordSet {
+        let mut s = RecordSet::new("test");
+        s.push(record(cycles));
+        s
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_edges() {
+        assert_eq!(sparkline(&[1.0, 2.0, 3.0]).len(), 3);
+        assert_eq!(sparkline(&[0.0, 1.0]), "_#");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "===");
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0]), "_?#");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn scoreboard_has_verdicts() {
+        let text = render_scoreboard(&set(40));
+        assert!(text.contains("table3.dot.mflops"));
+        assert!(text.contains("PASS") || text.contains("FAIL"));
+    }
+
+    #[test]
+    fn trajectory_tracks_series_across_runs() {
+        let labels = vec!["BENCH_0001".to_string(), "BENCH_0002".to_string()];
+        let text = render_trajectory(&labels, &[set(40), set(40)]);
+        assert!(text.contains("dot[k=2,n=64]"));
+        assert!(text.contains("BENCH_0001, BENCH_0002"));
+    }
+
+    #[test]
+    fn splice_replaces_existing_section() {
+        let doc = format!("# head\n\n{SECTION_BEGIN}\nold\n{SECTION_END}\n\n# tail\n");
+        let spliced = splice_section(&doc, "new content\n");
+        assert!(spliced.contains("new content"));
+        assert!(!spliced.contains("old"));
+        assert!(spliced.contains("# head"));
+        assert!(spliced.contains("# tail"));
+        // Splicing again is idempotent in shape.
+        let again = splice_section(&spliced, "new content\n");
+        assert_eq!(again, spliced);
+    }
+
+    #[test]
+    fn splice_appends_when_markers_missing() {
+        let spliced = splice_section("# doc\n", "content\n");
+        assert!(spliced.contains(SECTION_BEGIN));
+        assert!(spliced.contains("content"));
+        assert!(spliced.contains(SECTION_END));
+    }
+
+    #[test]
+    fn golden_scoreboard() {
+        // Pins the exact rendering: a formatting change must update this.
+        let text = render_scoreboard(&set(40));
+        let expected = "\
+| figure | kernel | measured | paper | Δ | tol | verdict |
+|---|---|---|---|---|---|---|
+| table3.dot.mflops | dot[k=2,n=64] | 544.0000 MFLOPS | 557.0000 | -2.3% | ±15% | PASS |
+";
+        assert_eq!(text, expected);
+    }
+}

@@ -1,0 +1,308 @@
+//! Persistence: schema-versioned record sets and the `BENCH_<n>.json`
+//! trajectory convention.
+//!
+//! A [`RecordSet`] is what one observatory (or bench-binary `--json`) run
+//! emits: the schema version, the generator name and the records, in run
+//! order. Sets serialize deterministically — no timestamps, no host
+//! information — so re-running an unchanged tree produces byte-identical
+//! files; the volatile simulator-throughput numbers ride in a separate
+//! [`WallClock`] sidecar instead.
+//!
+//! Trajectory convention: committed runs live at the repository root as
+//! `BENCH_0001.json`, `BENCH_0002.json`, … ([`bench_file_name`]);
+//! [`next_bench_index`] scans a directory for the first free index and
+//! [`list_bench_files`] returns the committed trajectory in index order.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::record::{RunRecord, SCHEMA_VERSION};
+
+/// An ordered collection of records from one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSet {
+    /// Tool that produced the set, e.g. `"observatory run"`, `"table3"`.
+    pub generator: String,
+    /// The records, in run order.
+    pub records: Vec<RunRecord>,
+}
+
+impl RecordSet {
+    /// An empty set for `generator`.
+    pub fn new(generator: &str) -> Self {
+        Self {
+            generator: generator.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Find a record by its identity key.
+    pub fn find(&self, key: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.key() == key)
+    }
+
+    /// Serialize to the canonical byte-deterministic JSON document.
+    pub fn to_json_string(&self) -> String {
+        Json::obj()
+            .with("schema_version", Json::Num(SCHEMA_VERSION as f64))
+            .with("generator", Json::Str(self.generator.clone()))
+            .with(
+                "records",
+                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+            )
+            .render()
+    }
+
+    /// Parse a document produced by [`RecordSet::to_json_string`].
+    ///
+    /// Rejects schema-version mismatches outright: a record written by a
+    /// different schema must be regenerated, not reinterpreted.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "document missing 'schema_version'".to_string())?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version mismatch: file has v{version}, this tool speaks v{SCHEMA_VERSION} \
+                 — regenerate the record set"
+            ));
+        }
+        let generator = doc
+            .get("generator")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "document missing 'generator'".to_string())?
+            .to_string();
+        let records = doc
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "document missing 'records' array".to_string())?
+            .iter()
+            .map(RunRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { generator, records })
+    }
+
+    /// Read and parse a record-set file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write the canonical document to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json_string())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// Volatile per-run simulator-throughput measurements, kept out of the
+/// deterministic record set. One entry per simulated record: the key and
+/// the host wall-clock rate at which the harness retired simulated cycles.
+#[derive(Debug, Clone, Default)]
+pub struct WallClock {
+    /// `(record key, simulated cycles, wall seconds)` per run.
+    pub entries: Vec<(String, u64, f64)>,
+}
+
+impl WallClock {
+    /// An empty sidecar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one run.
+    pub fn push(&mut self, key: &str, cycles: u64, seconds: f64) {
+        self.entries.push((key.to_string(), cycles, seconds));
+    }
+
+    /// Total simulated cycles across entries.
+    pub fn total_cycles(&self) -> u64 {
+        self.entries.iter().map(|(_, c, _)| c).sum()
+    }
+
+    /// Total wall seconds across entries.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|(_, _, s)| s).sum()
+    }
+
+    /// Aggregate simulated cycles per wall second (0 if nothing ran).
+    pub fn cycles_per_second(&self) -> f64 {
+        let s = self.total_seconds();
+        if s > 0.0 {
+            self.total_cycles() as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize the sidecar (not byte-deterministic — contains timings).
+    pub fn to_json_string(&self) -> String {
+        Json::obj()
+            .with("schema_version", Json::Num(SCHEMA_VERSION as f64))
+            .with("sim_cycles_per_second", Json::Num(self.cycles_per_second()))
+            .with("total_cycles", Json::Num(self.total_cycles() as f64))
+            .with("total_seconds", Json::Num(self.total_seconds()))
+            .with(
+                "runs",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|(key, cycles, seconds)| {
+                            Json::obj()
+                                .with("key", Json::Str(key.clone()))
+                                .with("cycles", Json::Num(*cycles as f64))
+                                .with("seconds", Json::Num(*seconds))
+                                .with(
+                                    "cycles_per_second",
+                                    Json::Num(if *seconds > 0.0 {
+                                        *cycles as f64 / *seconds
+                                    } else {
+                                        0.0
+                                    }),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+            .render()
+    }
+}
+
+/// File name of trajectory point `index`: `BENCH_0007.json`.
+pub fn bench_file_name(index: u64) -> String {
+    format!("BENCH_{index:04}.json")
+}
+
+/// Parse an index out of a `BENCH_<n>.json` file name.
+pub fn parse_bench_index(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    // Reject the wall-clock sidecars (`BENCH_0001.wallclock.json`).
+    if rest.contains('.') {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// The `BENCH_*.json` files in `dir`, sorted by index.
+pub fn list_bench_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(index) = entry.file_name().to_str().and_then(parse_bench_index) {
+                found.push((index, entry.path()));
+            }
+        }
+    }
+    found.sort_by_key(|&(index, _)| index);
+    found
+}
+
+/// First unused trajectory index in `dir` (1-based).
+pub fn next_bench_index(dir: &Path) -> u64 {
+    list_bench_files(dir)
+        .last()
+        .map_or(1, |&(index, _)| index + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::StallBreakdown;
+    use fblas_sim::SimReport;
+
+    fn sample_set() -> RecordSet {
+        let mut set = RecordSet::new("unit-test");
+        set.push(
+            RunRecord::from_sim(
+                "dot",
+                &[("k", 2), ("n", 64)],
+                SimReport {
+                    cycles: 40,
+                    flops: 128,
+                    words_in: 128,
+                    words_out: 1,
+                    busy_cycles: 32,
+                },
+                StallBreakdown::default(),
+                170.0,
+                5220,
+            )
+            .with_paper("table3.dot.mflops", 544.0),
+        );
+        set.push(RunRecord::modeled("mm/model", &[("k", 10)], 125.0, 21580));
+        set
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let set = sample_set();
+        let text = set.to_json_string();
+        let parsed = RecordSet::from_json_str(&text).unwrap();
+        assert_eq!(parsed, set);
+        assert!(parsed.find("dot[k=2,n=64]").is_some());
+        assert!(parsed.find("dot[k=2,n=65]").is_none());
+    }
+
+    #[test]
+    fn serialization_is_byte_deterministic() {
+        assert_eq!(sample_set().to_json_string(), sample_set().to_json_string());
+    }
+
+    #[test]
+    fn schema_version_bump_is_detected() {
+        let text = sample_set().to_json_string().replacen(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
+            1,
+        );
+        let err = RecordSet::from_json_str(&text).unwrap_err();
+        assert!(err.contains("schema version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn bench_file_names() {
+        assert_eq!(bench_file_name(3), "BENCH_0003.json");
+        assert_eq!(parse_bench_index("BENCH_0003.json"), Some(3));
+        assert_eq!(parse_bench_index("BENCH_12.json"), Some(12));
+        assert_eq!(parse_bench_index("BENCH_0003.wallclock.json"), None);
+        assert_eq!(parse_bench_index("baseline.json"), None);
+    }
+
+    #[test]
+    fn trajectory_scan_and_next_index() {
+        let dir = std::env::temp_dir().join("fblas_metrics_store_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_index(&dir), 1);
+        let set = sample_set();
+        set.save(&dir.join(bench_file_name(1))).unwrap();
+        set.save(&dir.join(bench_file_name(2))).unwrap();
+        std::fs::write(dir.join("BENCH_0002.wallclock.json"), "{}").unwrap();
+        let files = list_bench_files(&dir);
+        assert_eq!(files.iter().map(|&(i, _)| i).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(next_bench_index(&dir), 3);
+        let loaded = RecordSet::load(&files[0].1).unwrap();
+        assert_eq!(loaded, set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wallclock_aggregates() {
+        let mut w = WallClock::new();
+        w.push("dot[k=2,n=64]", 1000, 0.5);
+        w.push("mvm[k=4,n=64]", 3000, 0.5);
+        assert_eq!(w.total_cycles(), 4000);
+        assert!((w.cycles_per_second() - 4000.0).abs() < 1e-9);
+        let text = w.to_json_string();
+        assert!(text.contains("sim_cycles_per_second"));
+        assert_eq!(WallClock::new().cycles_per_second(), 0.0);
+    }
+}

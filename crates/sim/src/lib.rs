@@ -58,7 +58,7 @@ pub use clock::ClockDomain;
 pub use delay::DelayLine;
 pub use fifo::{Fifo, FifoFull};
 pub use harness::{Design, Harness, LIVELOCK_WINDOW};
-pub use probe::{Probe, ProbeId, RunMark, StallCause};
+pub use probe::{ComponentStats, Probe, ProbeId, RunMark, StallCause};
 pub use report::SimReport;
 pub use stats::{Histogram, Stats};
 pub use throttle::Throttle;

@@ -113,6 +113,22 @@ impl Comp {
     }
 }
 
+/// Copy of one component's always-on counters, exported by
+/// [`Probe::component_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Component name as registered (e.g. `"dot/front-end"`).
+    pub name: String,
+    /// FP-issue marks the component recorded.
+    pub busy_marks: u64,
+    /// Stalled cycles per cause, indexed like [`StallCause::ALL`].
+    pub stalls: [u64; 4],
+    /// Highest occupancy sampled.
+    pub occupancy_high_water: usize,
+    /// Number of occupancy samples taken.
+    pub occupancy_samples: u64,
+}
+
 /// Snapshot of the probe's run-scoped counters, taken by the harness at
 /// the start of a run so a shared probe can report per-run deltas.
 #[derive(Debug, Clone, Copy)]
@@ -299,6 +315,38 @@ impl Probe {
     /// FP-issue marks recorded by `id`.
     pub fn busy_marks(&self, id: ProbeId) -> u64 {
         self.comps[id.0].busy_marks
+    }
+
+    /// Aggregated stall totals across all components, indexed like
+    /// [`StallCause::ALL`]. Snapshot before and after a run to attribute
+    /// a single run's stalls on a shared probe (the `RunRecord`
+    /// conversion path does exactly this).
+    pub fn stall_totals(&self) -> [u64; 4] {
+        let mut totals = [0u64; 4];
+        for c in &self.comps {
+            for (t, s) in totals.iter_mut().zip(&c.stalls) {
+                *t += s;
+            }
+        }
+        totals
+    }
+
+    /// Per-component counter snapshot, in registration order: one
+    /// [`ComponentStats`] per registered component. This is the read-only
+    /// export surface for observability tooling (run records, external
+    /// dashboards) — it copies the cheap counters and leaves waveforms to
+    /// the trace exporters.
+    pub fn component_stats(&self) -> Vec<ComponentStats> {
+        self.comps
+            .iter()
+            .map(|c| ComponentStats {
+                name: c.name.clone(),
+                busy_marks: c.busy_marks,
+                stalls: c.stalls,
+                occupancy_high_water: c.high_water,
+                occupancy_samples: c.hist.samples(),
+            })
+            .collect()
     }
 
     /// Snapshot the run-scoped counters; the harness pairs this with
@@ -504,6 +552,37 @@ mod tests {
         assert_eq!(p.stalls(a, StallCause::InputStarved), 1);
         assert_eq!(p.total_stalls(a), 1);
         assert_eq!(p.busy_marks(a), 1);
+    }
+
+    #[test]
+    fn stall_totals_aggregate_across_components() {
+        let mut p = Probe::new();
+        let a = p.component("a");
+        let b = p.component("b");
+        p.begin_cycle(1);
+        p.stall(a, StallCause::InputStarved);
+        p.stall(b, StallCause::InputStarved);
+        p.stall(b, StallCause::Drain);
+        p.end_cycle();
+        assert_eq!(p.stall_totals(), [2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn component_stats_snapshot_copies_counters() {
+        let mut p = Probe::new();
+        let a = p.component("alpha");
+        p.begin_cycle(1);
+        p.busy(a);
+        p.sample_depth(a, 9);
+        p.stall(a, StallCause::HazardWindow);
+        p.end_cycle();
+        let stats = p.component_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "alpha");
+        assert_eq!(stats[0].busy_marks, 1);
+        assert_eq!(stats[0].stalls, [0, 0, 1, 0]);
+        assert_eq!(stats[0].occupancy_high_water, 9);
+        assert_eq!(stats[0].occupancy_samples, 1);
     }
 
     #[test]
