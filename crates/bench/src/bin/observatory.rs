@@ -2,9 +2,9 @@
 //! trajectory files and CI regression gates.
 //!
 //! ```sh
-//! observatory run  [--quick] [--dir <dir>]      # measure, persist next BENCH_<n>.json
-//! observatory diff <baseline.json> [--quick]    # measure, gate against a committed baseline
-//! observatory report [--dir <dir>] [--doc <md>] # splice scoreboard into EXPERIMENTS.md
+//! observatory run  [--quick] [--jobs <n>] [--dir <dir>]   # measure, persist next BENCH_<n>.json
+//! observatory diff <baseline.json> [--quick] [--jobs <n>] # measure, gate against a baseline
+//! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboard into EXPERIMENTS.md
 //! ```
 //!
 //! `run` executes the full paper matrix (every kernel family behind
@@ -13,6 +13,12 @@
 //! `--dir` (default: current directory). The records are
 //! byte-deterministic; host throughput (simulated cycles per second)
 //! goes to a `BENCH_<n>.wallclock.json` sidecar instead.
+//!
+//! `--jobs <n>` runs the matrix entries on an n-worker pool (default:
+//! the host's available parallelism). The pool merges results through a
+//! deterministic ordered reducer, so the `BENCH_<n>.json` bytes are
+//! identical for every `--jobs` value — only the wallclock sidecar (and
+//! its speedup fields) reflects the parallelism.
 //!
 //! `diff` re-measures and compares against a baseline record set
 //! (`baselines/seed.json` in CI): exact cycle/flop/word/stall-counter
@@ -28,15 +34,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fblas_bench::paper_matrix::run_matrix;
+use fblas_bench::paper_matrix::run_matrix_with_jobs;
+use fblas_bench::pool;
 use fblas_metrics::{
     bench_file_name, diff_sets, list_bench_files, next_bench_index, report as obs_report, RecordSet,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: observatory run  [--quick] [--dir <dir>]\n\
-                observatory diff <baseline.json> [--quick]\n\
+        "usage: observatory run  [--quick] [--jobs <n>] [--dir <dir>]\n\
+                observatory diff <baseline.json> [--quick] [--jobs <n>]\n\
                 observatory report [--dir <dir>] [--doc <markdown>]"
     );
     ExitCode::from(2)
@@ -72,17 +79,35 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
-fn measure(quick: bool) -> (RecordSet, fblas_metrics::WallClock) {
+/// Parse `--jobs <n>` out of `args`; default is the host parallelism.
+fn take_jobs(args: &mut Vec<String>) -> usize {
+    match take_value(args, "--jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --jobs requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => pool::default_jobs(),
+    }
+}
+
+fn measure(quick: bool, jobs: usize) -> (RecordSet, fblas_metrics::WallClock) {
     eprintln!(
-        "observatory: running the {} paper matrix...",
-        if quick { "quick" } else { "full" }
+        "observatory: running the {} paper matrix on {} job(s)...",
+        if quick { "quick" } else { "full" },
+        jobs
     );
-    let (set, wall) = run_matrix(quick);
+    let (set, wall) = run_matrix_with_jobs(quick, jobs);
     eprintln!(
-        "observatory: {} record(s), {} simulated cycles in {:.2}s ({:.2}M cycles/s)",
+        "observatory: {} record(s), {} simulated cycles in {:.2}s elapsed \
+         ({:.2}s summed, {:.2}x speedup, {:.2}M cycles/s)",
         set.records.len(),
         wall.total_cycles(),
+        wall.elapsed_seconds,
         wall.total_seconds(),
+        wall.aggregate_speedup(),
         wall.cycles_per_second() / 1e6
     );
     (set, wall)
@@ -90,11 +115,12 @@ fn measure(quick: bool) -> (RecordSet, fblas_metrics::WallClock) {
 
 fn cmd_run(mut args: Vec<String>) -> ExitCode {
     let quick = take_flag(&mut args, "--quick");
+    let jobs = take_jobs(&mut args);
     let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
     if !args.is_empty() {
         return usage();
     }
-    let (set, wall) = measure(quick);
+    let (set, wall) = measure(quick, jobs);
     let index = next_bench_index(&dir);
     let path = dir.join(bench_file_name(index));
     if let Err(e) = set.save(&path) {
@@ -126,6 +152,7 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
 
 fn cmd_diff(mut args: Vec<String>) -> ExitCode {
     let quick = take_flag(&mut args, "--quick");
+    let jobs = take_jobs(&mut args);
     if args.len() != 1 {
         return usage();
     }
@@ -137,7 +164,7 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (run, _) = measure(quick);
+    let (run, _) = measure(quick, jobs);
     let report = diff_sets(&baseline, &run);
     print!("{}", report.render());
     println!("\nPaper-parity scoreboard (this run):\n");

@@ -31,6 +31,7 @@
 //! the scoreboard into `EXPERIMENTS.md`.
 
 pub mod paper_matrix;
+pub mod pool;
 pub mod record_sink;
 pub mod trace;
 pub mod workloads;

@@ -10,6 +10,13 @@
 //! but returned in the separate [`WallClock`] sidecar so it never
 //! perturbs the committed bytes.
 //!
+//! Every entry is an independent [`Job`]: it synthesizes its own
+//! workload, instantiates its own design and cost models, and runs on a
+//! worker-owned harness. [`run_matrix_with_jobs`] schedules the jobs on
+//! the shared pool ([`crate::pool`]) and reassembles the records in
+//! submission order, so `--jobs N` output is byte-identical to serial
+//! (see DESIGN.md §10 for the determinism argument).
+//!
 //! `quick` mode shrinks the problem sizes and skips the two expensive
 //! Level-2/3 XD1 runs so debug-build smoke tests stay fast; quick
 //! records carry no paper-parity entries (the paper's numbers are for
@@ -33,321 +40,406 @@ use fblas_system::{
     XC2VP100, XC2VP50,
 };
 
+use crate::pool::{self, Job};
 use crate::record_sink::measure;
 use crate::synth_int;
 use crate::workloads::laplacian_2d;
 
-/// Collects the matrix: harness, record set and wall-clock sidecar.
-struct Matrix {
-    harness: Harness,
-    set: RecordSet,
-    wall: WallClock,
+/// What one matrix job yields: the deterministic record plus, for
+/// simulated entries, the host seconds the kernel took (`None` for
+/// modeled records, which contribute no wall-clock entry).
+struct Entry {
+    record: RunRecord,
+    seconds: Option<f64>,
 }
 
-impl Matrix {
-    /// Run one simulated kernel, timing it and attributing its stalls.
-    fn sim<T>(&mut self, run: impl FnOnce(&mut Harness) -> T) -> (T, StallBreakdown, f64) {
-        let t0 = Instant::now();
-        let (out, stalls) = measure(&mut self.harness, run);
-        (out, stalls, t0.elapsed().as_secs_f64())
+impl Entry {
+    fn simulated(record: RunRecord, seconds: f64) -> Self {
+        Self {
+            record,
+            seconds: Some(seconds),
+        }
     }
 
-    /// Push a simulated record plus its wall-clock entry.
-    fn push(&mut self, record: RunRecord, seconds: f64) {
-        self.wall.push(&record.key(), record.cycles, seconds);
-        self.set.push(record);
+    fn modeled(record: RunRecord) -> Self {
+        Self {
+            record,
+            seconds: None,
+        }
     }
 }
 
-/// Execute the full (or quick) paper matrix and return the canonical
-/// record set plus the host-throughput sidecar.
-pub fn run_matrix(quick: bool) -> (RecordSet, WallClock) {
-    let mut m = Matrix {
-        harness: Harness::new(),
-        set: RecordSet::new(if quick {
-            "observatory-quick"
-        } else {
-            "observatory"
-        }),
-        wall: WallClock::new(),
-    };
-    let node = Xd1Node::default();
-    let area = AreaModel::default();
-    let clocks = ClockModel::default();
+/// Run one simulated kernel on `h`, timing it and attributing its stalls.
+fn timed<T>(h: &mut Harness, run: impl FnOnce(&mut Harness) -> T) -> (T, StallBreakdown, f64) {
+    let t0 = Instant::now();
+    let (out, stalls) = measure(h, run);
+    (out, stalls, t0.elapsed().as_secs_f64())
+}
+
+/// The full (or quick) paper matrix as an ordered job list. Submission
+/// order is the record order of the serialized set — the byte format —
+/// so jobs must be listed here in the canonical sequence.
+fn jobs(quick: bool) -> Vec<Job<Entry>> {
+    let mut list: Vec<Job<Entry>> = Vec::new();
 
     // ---- Level 1: dot product (Table 3, k = 2) ----
     let n = if quick { 256 } else { 2048 };
-    let dot = DotProductDesign::new(DotParams::table3(), &node);
-    let u = synth_int(1, n, 8);
-    let v = synth_int(2, n, 8);
-    let (out, stalls, secs) = m.sim(|h| dot.run_in(h, &u, &v));
-    let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
-    assert_eq!(out.result, dref, "dot result mismatch");
-    let mut r = RunRecord::from_sim(
-        "dot",
-        &[("k", 2), ("n", n as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        u64::from(area.dot_design(2)),
-    );
-    if !quick {
-        let mflops = r.sustained_mflops;
-        r = r
-            .with_paper("table3.dot.mflops", mflops)
-            .with_paper("table3.dot.slices", f64::from(area.dot_design(2)));
-    }
-    m.push(r, secs);
+    list.push(Job::new("dot", move |h| {
+        let node = Xd1Node::default();
+        let area = AreaModel::default();
+        let dot = DotProductDesign::new(DotParams::table3(), &node);
+        let u = synth_int(1, n, 8);
+        let v = synth_int(2, n, 8);
+        let (out, stalls, secs) = timed(h, |h| dot.run_in(h, &u, &v));
+        let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
+        assert_eq!(out.result, dref, "dot result mismatch");
+        let mut r = RunRecord::from_sim(
+            "dot",
+            &[("k", 2), ("n", n as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            u64::from(area.dot_design(2)),
+        );
+        if !quick {
+            let mflops = r.sustained_mflops;
+            r = r
+                .with_paper("table3.dot.mflops", mflops)
+                .with_paper("table3.dot.slices", f64::from(area.dot_design(2)));
+        }
+        Entry::simulated(r, secs)
+    }));
 
     // ---- Level 1: axpy / scal / asum streams ----
-    let axpy = AxpyDesign::new(Level1Params::with_k(2));
-    let x = synth_int(5, n, 8);
-    let y = synth_int(6, n, 8);
-    let (out, stalls, secs) = m.sim(|h| axpy.run_in(h, 3.0, &x, &y));
-    let r = RunRecord::from_sim(
-        "axpy",
-        &[("k", 2), ("n", n as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        0,
-    );
-    m.push(r, secs);
+    list.push(Job::new("axpy", move |h| {
+        let axpy = AxpyDesign::new(Level1Params::with_k(2));
+        let x = synth_int(5, n, 8);
+        let y = synth_int(6, n, 8);
+        let (out, stalls, secs) = timed(h, |h| axpy.run_in(h, 3.0, &x, &y));
+        let r = RunRecord::from_sim(
+            "axpy",
+            &[("k", 2), ("n", n as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            0,
+        );
+        Entry::simulated(r, secs)
+    }));
 
-    let scal = ScalDesign::new(Level1Params::with_k(2));
-    let (out, stalls, secs) = m.sim(|h| scal.run_in(h, 3.0, &x));
-    let r = RunRecord::from_sim(
-        "scal",
-        &[("k", 2), ("n", n as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        0,
-    );
-    m.push(r, secs);
+    list.push(Job::new("scal", move |h| {
+        let scal = ScalDesign::new(Level1Params::with_k(2));
+        let x = synth_int(5, n, 8);
+        let (out, stalls, secs) = timed(h, |h| scal.run_in(h, 3.0, &x));
+        let r = RunRecord::from_sim(
+            "scal",
+            &[("k", 2), ("n", n as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            0,
+        );
+        Entry::simulated(r, secs)
+    }));
 
     let an = if quick { 200 } else { 1000 };
-    let asum = AsumDesign::new(Level1Params::with_k(4));
-    let ax = synth_int(7, an, 8);
-    let (out, stalls, secs) = m.sim(|h| asum.run_in(h, &ax));
-    let r = RunRecord::from_sim(
-        "asum",
-        &[("k", 4), ("n", an as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        0,
-    );
-    m.push(r, secs);
+    list.push(Job::new("asum", move |h| {
+        let asum = AsumDesign::new(Level1Params::with_k(4));
+        let ax = synth_int(7, an, 8);
+        let (out, stalls, secs) = timed(h, |h| asum.run_in(h, &ax));
+        let r = RunRecord::from_sim(
+            "asum",
+            &[("k", 4), ("n", an as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            0,
+        );
+        Entry::simulated(r, secs)
+    }));
 
     // ---- Level 2: row- and column-major matrix-vector ----
     let mn = if quick { 128 } else { 2048 };
-    let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
-    let a = DenseMatrix::from_rows(mn, mn, synth_int(3, mn * mn, 8));
-    let xv = synth_int(4, mn, 8);
-    let (out, stalls, secs) = m.sim(|h| mvm.run_in(h, &a, &xv));
-    assert_eq!(out.y, a.ref_mvm(&xv), "row-major mvm mismatch");
-    let mut r = RunRecord::from_sim(
-        "mvm/row",
-        &[("k", 4), ("n", mn as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        u64::from(area.mvm_design(4)),
-    );
-    if !quick {
-        let mflops = r.sustained_mflops;
-        r = r
-            .with_paper("table3.mvm.mflops", mflops)
-            .with_paper("table3.mvm.slices", f64::from(area.mvm_design(4)));
-    }
-    m.push(r, secs);
+    list.push(Job::new("mvm/row", move |h| {
+        let node = Xd1Node::default();
+        let area = AreaModel::default();
+        let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
+        let a = DenseMatrix::from_rows(mn, mn, synth_int(3, mn * mn, 8));
+        let xv = synth_int(4, mn, 8);
+        let (out, stalls, secs) = timed(h, |h| mvm.run_in(h, &a, &xv));
+        assert_eq!(out.y, a.ref_mvm(&xv), "row-major mvm mismatch");
+        let mut r = RunRecord::from_sim(
+            "mvm/row",
+            &[("k", 4), ("n", mn as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            u64::from(area.mvm_design(4)),
+        );
+        if !quick {
+            let mflops = r.sustained_mflops;
+            r = r
+                .with_paper("table3.mvm.mflops", mflops)
+                .with_paper("table3.mvm.slices", f64::from(area.mvm_design(4)));
+        }
+        Entry::simulated(r, secs)
+    }));
 
     let cn = if quick { 128 } else { 512 };
-    let col = ColMajorMvm::new(MvmParams::with_k(4), &node);
-    let ca = DenseMatrix::from_rows(cn, cn, synth_int(8, cn * cn, 8));
-    let cx = synth_int(9, cn, 8);
-    let (out, stalls, secs) = m.sim(|h| col.run_in(h, &ca, &cx));
-    assert_eq!(out.y, ca.ref_mvm(&cx), "col-major mvm mismatch");
-    let r = RunRecord::from_sim(
-        "mvm/col",
-        &[("k", 4), ("n", cn as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        0,
-    );
-    m.push(r, secs);
+    list.push(Job::new("mvm/col", move |h| {
+        let node = Xd1Node::default();
+        let col = ColMajorMvm::new(MvmParams::with_k(4), &node);
+        let ca = DenseMatrix::from_rows(cn, cn, synth_int(8, cn * cn, 8));
+        let cx = synth_int(9, cn, 8);
+        let (out, stalls, secs) = timed(h, |h| col.run_in(h, &ca, &cx));
+        assert_eq!(out.y, ca.ref_mvm(&cx), "col-major mvm mismatch");
+        let r = RunRecord::from_sim(
+            "mvm/col",
+            &[("k", 4), ("n", cn as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            0,
+        );
+        Entry::simulated(r, secs)
+    }));
 
     // ---- Level 2 on XD1 (Table 4): compute + DRAM→SRAM staging ----
     if !quick {
-        let n2 = 1024usize;
-        let l2_clock = clocks.xd1_l2();
-        let l2 = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
-        let a2 = DenseMatrix::from_rows(n2, n2, synth_int(5, n2 * n2, 8));
-        let x2 = synth_int(6, n2, 8);
-        let (out, stalls, secs) = m.sim(|h| l2.run_in(h, &a2, &x2));
-        let dma = DmaModel::xd1_dram();
-        let staging_s = dma.transfer_seconds_words((n2 * n2 + n2) as u64);
-        let total_s = out.report.latency_seconds(&l2_clock) + staging_s;
-        let sustained = out.report.flops as f64 / total_s;
-        let r = RunRecord::from_sim(
-            "mvm/xd1-l2",
-            &[("k", 4), ("n", n2 as i64)],
-            out.report,
-            stalls,
-            l2_clock.mhz(),
-            u64::from(area.mvm_design_xd1(4)),
-        )
-        .with_paper("table4.l2.latency-ms", total_s * 1e3)
-        .with_paper("table4.l2.mflops", sustained / 1e6)
-        .with_paper(
-            "table4.l2.peak-pct",
-            sustained / io_bound_peak_mvm(dma.bandwidth_bytes_per_s) * 100.0,
-        );
-        m.push(r, secs);
+        list.push(Job::new("mvm/xd1-l2", move |h| {
+            let area = AreaModel::default();
+            let clocks = ClockModel::default();
+            let n2 = 1024usize;
+            let l2_clock = clocks.xd1_l2();
+            let l2 = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
+            let a2 = DenseMatrix::from_rows(n2, n2, synth_int(5, n2 * n2, 8));
+            let x2 = synth_int(6, n2, 8);
+            let (out, stalls, secs) = timed(h, |h| l2.run_in(h, &a2, &x2));
+            let dma = DmaModel::xd1_dram();
+            let staging_s = dma.transfer_seconds_words((n2 * n2 + n2) as u64);
+            let total_s = out.report.latency_seconds(&l2_clock) + staging_s;
+            let sustained = out.report.flops as f64 / total_s;
+            let r = RunRecord::from_sim(
+                "mvm/xd1-l2",
+                &[("k", 4), ("n", n2 as i64)],
+                out.report,
+                stalls,
+                l2_clock.mhz(),
+                u64::from(area.mvm_design_xd1(4)),
+            )
+            .with_paper("table4.l2.latency-ms", total_s * 1e3)
+            .with_paper("table4.l2.mflops", sustained / 1e6)
+            .with_paper(
+                "table4.l2.peak-pct",
+                sustained / io_bound_peak_mvm(dma.bandwidth_bytes_per_s) * 100.0,
+            );
+            Entry::simulated(r, secs)
+        }));
     }
 
     // ---- Level 3: linear-array block multiply (§5.1) ----
-    let bm = 16usize;
-    let bn = 32usize;
-    let mm = LinearArrayMm::new(MmParams::test(4, bm));
-    let ma = DenseMatrix::from_rows(bn, bn, synth_int(5, bn * bn, 4));
-    let mb = DenseMatrix::from_rows(bn, bn, synth_int(6, bn * bn, 4));
-    let (out, stalls, secs) = m.sim(|h| mm.run_in(h, &ma, &mb));
-    let r = RunRecord::from_sim(
-        "mm/linear",
-        &[("k", 4), ("m", bm as i64), ("n", bn as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        u64::from(area.mm_design(4)),
-    );
-    m.push(r, secs);
+    list.push(Job::new("mm/linear", move |h| {
+        let area = AreaModel::default();
+        let bm = 16usize;
+        let bn = 32usize;
+        let mm = LinearArrayMm::new(MmParams::test(4, bm));
+        let ma = DenseMatrix::from_rows(bn, bn, synth_int(5, bn * bn, 4));
+        let mb = DenseMatrix::from_rows(bn, bn, synth_int(6, bn * bn, 4));
+        let (out, stalls, secs) = timed(h, |h| mm.run_in(h, &ma, &mb));
+        let r = RunRecord::from_sim(
+            "mm/linear",
+            &[("k", 4), ("m", bm as i64), ("n", bn as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            u64::from(area.mm_design(4)),
+        );
+        Entry::simulated(r, secs)
+    }));
 
     // ---- Level 3: hierarchical design on one XD1 FPGA (Table 4) ----
     // `HierarchicalMm::run` aggregates its blocks analytically (no
     // harness), so stall attribution is empty; classification falls back
     // to arithmetic intensity.
     if !quick {
-        let hp = HierarchicalParams::xd1_single_node();
-        let hier = HierarchicalMm::new(hp);
-        let n3 = 512usize;
-        let ha = DenseMatrix::from_rows(n3, n3, synth_int(7, n3 * n3, 4));
-        let hb = DenseMatrix::from_rows(n3, n3, synth_int(8, n3 * n3, 4));
-        let t0 = Instant::now();
-        let out = hier.run(&ha, &hb);
-        let secs = t0.elapsed().as_secs_f64();
-        let r = RunRecord::from_sim(
-            "mm/hierarchical",
-            &[("b", 512), ("k", 8), ("m", 8), ("n", n3 as i64)],
-            out.report,
-            StallBreakdown::default(),
-            out.clock.mhz(),
-            u64::from(area.mm_design_xd1(8)),
-        )
-        .with_paper("table4.l3.gflops", out.sustained_gflops())
-        .with_paper(
-            "table4.l3.latency-ms",
-            out.report.latency_seconds(&out.clock) * 1e3,
-        );
-        m.push(r, secs);
+        list.push(Job::new("mm/hierarchical", move |_h| {
+            let area = AreaModel::default();
+            let hp = HierarchicalParams::xd1_single_node();
+            let hier = HierarchicalMm::new(hp);
+            let n3 = 512usize;
+            let ha = DenseMatrix::from_rows(n3, n3, synth_int(7, n3 * n3, 4));
+            let hb = DenseMatrix::from_rows(n3, n3, synth_int(8, n3 * n3, 4));
+            let t0 = Instant::now();
+            let out = hier.run(&ha, &hb);
+            let secs = t0.elapsed().as_secs_f64();
+            let r = RunRecord::from_sim(
+                "mm/hierarchical",
+                &[("b", 512), ("k", 8), ("m", 8), ("n", n3 as i64)],
+                out.report,
+                StallBreakdown::default(),
+                out.clock.mhz(),
+                u64::from(area.mm_design_xd1(8)),
+            )
+            .with_paper("table4.l3.gflops", out.sustained_gflops())
+            .with_paper(
+                "table4.l3.latency-ms",
+                out.report.latency_seconds(&out.clock) * 1e3,
+            );
+            Entry::simulated(r, secs)
+        }));
     }
 
     // ---- Reduction circuit (§4.3, α = adder depth) ----
-    let alpha = 14usize;
     let n_sets = if quick { 40 } else { 150 };
-    let sets: Vec<Vec<f64>> = (0..n_sets)
-        .map(|i| synth_int(i as u64, 1 + (i * 53 + 7) % 211, 16))
-        .collect();
-    let total_words: u64 = sets.iter().map(|s| s.len() as u64).sum();
-    let mut red = SingleAdderReducer::new(alpha);
-    let (run, stalls, secs) = m.sim(|h| run_sets_in(h, &mut red, &sets));
-    let r = RunRecord::from_sim(
-        "reduce/single-adder",
-        &[("alpha", alpha as i64), ("sets", n_sets as i64)],
-        fblas_sim::SimReport {
-            cycles: run.total_cycles,
-            flops: run.adds_issued,
-            words_in: total_words,
-            words_out: sets.len() as u64,
-            busy_cycles: run.adds_issued,
-        },
-        stalls,
-        FP_ADDER.clock_mhz,
-        u64::from(area.reduction_slices),
-    );
-    m.push(r, secs);
+    list.push(Job::new("reduce/single-adder", move |h| {
+        let area = AreaModel::default();
+        let alpha = 14usize;
+        let sets: Vec<Vec<f64>> = (0..n_sets)
+            .map(|i| synth_int(i as u64, 1 + (i * 53 + 7) % 211, 16))
+            .collect();
+        let total_words: u64 = sets.iter().map(|s| s.len() as u64).sum();
+        let mut red = SingleAdderReducer::new(alpha);
+        let (run, stalls, secs) = timed(h, |h| run_sets_in(h, &mut red, &sets));
+        let r = RunRecord::from_sim(
+            "reduce/single-adder",
+            &[("alpha", alpha as i64), ("sets", n_sets as i64)],
+            fblas_sim::SimReport {
+                cycles: run.total_cycles,
+                flops: run.adds_issued,
+                words_in: total_words,
+                words_out: sets.len() as u64,
+                busy_cycles: run.adds_issued,
+            },
+            stalls,
+            FP_ADDER.clock_mhz,
+            u64::from(area.reduction_slices),
+        );
+        Entry::simulated(r, secs)
+    }));
 
     // ---- Sparse matrix-vector (tree design + reduction circuit) ----
     let grid = if quick { 8 } else { 32 };
-    let sa = laplacian_2d(grid);
-    let sn = grid * grid;
-    let sx = synth_int(11, sn, 8);
-    let spmv = SpmvDesign::new(SpmvParams::with_k(4));
-    let (out, stalls, secs) = m.sim(|h| spmv.run_in(h, &sa, &sx));
-    let r = RunRecord::from_sim(
-        "spmv",
-        &[("k", 4), ("n", sn as i64)],
-        out.report,
-        stalls,
-        out.clock.mhz(),
-        0,
-    );
-    m.push(r, secs);
+    list.push(Job::new("spmv", move |h| {
+        let sa = laplacian_2d(grid);
+        let sn = grid * grid;
+        let sx = synth_int(11, sn, 8);
+        let spmv = SpmvDesign::new(SpmvParams::with_k(4));
+        let (out, stalls, secs) = timed(h, |h| spmv.run_in(h, &sa, &sx));
+        let r = RunRecord::from_sim(
+            "spmv",
+            &[("k", 4), ("n", sn as i64)],
+            out.report,
+            stalls,
+            out.clock.mhz(),
+            0,
+        );
+        Entry::simulated(r, secs)
+    }));
 
     // ---- Modeled records: Figure 9 and the §6 projections ----
-    m.set.push(
-        RunRecord::modeled(
-            "mm/model",
-            &[("k", 1)],
-            clocks.mm_mhz(1),
-            u64::from(area.mm_design(1)),
+    list.push(Job::new("mm/model[k=1]", |_h| {
+        let area = AreaModel::default();
+        let clocks = ClockModel::default();
+        Entry::modeled(
+            RunRecord::modeled(
+                "mm/model",
+                &[("k", 1)],
+                clocks.mm_mhz(1),
+                u64::from(area.mm_design(1)),
+            )
+            .with_paper("fig9.clock.k1", clocks.mm_mhz(1)),
         )
-        .with_paper("fig9.clock.k1", clocks.mm_mhz(1)),
-    );
-    m.set.push(
-        RunRecord::modeled(
-            "mm/model",
-            &[("k", 10)],
-            clocks.mm_mhz(10),
-            u64::from(area.mm_design(10)),
+    }));
+    list.push(Job::new("mm/model[k=10]", |_h| {
+        let area = AreaModel::default();
+        let clocks = ClockModel::default();
+        Entry::modeled(
+            RunRecord::modeled(
+                "mm/model",
+                &[("k", 10)],
+                clocks.mm_mhz(10),
+                u64::from(area.mm_design(10)),
+            )
+            .with_paper("fig9.clock.k10", clocks.mm_mhz(10))
+            .with_paper("fig9.max-pes.xc2vp50", f64::from(area.max_pes(&XC2VP50))),
         )
-        .with_paper("fig9.clock.k10", clocks.mm_mhz(10))
-        .with_paper("fig9.max-pes.xc2vp50", f64::from(area.max_pes(&XC2VP50))),
-    );
-    m.set.push(
-        RunRecord::modeled("model/device-peak", &[], 170.0, 0).with_paper(
-            "sec6.device-peak.gflops",
-            device_peak_flops(&XC2VP50, &area, 170.0) / 1e9,
-        ),
-    );
-    m.set.push(
-        RunRecord::modeled("model/chassis", &[("nodes", 6)], 130.0, 0)
-            .with_paper("sec6.chassis.gflops", scaled_sustained_gflops(2.06, 6)),
-    );
-    m.set.push(
-        RunRecord::modeled("model/chassis", &[("nodes", 72)], 130.0, 0)
-            .with_paper("sec6.chassis12.gflops", scaled_sustained_gflops(2.06, 72)),
-    );
-    m.set.push(
-        RunRecord::modeled("model/projection", &[("xc2vp", 50)], 200.0, 1600).with_paper(
-            "fig11.best.gflops",
-            ChassisProjection::xd1(XC2VP50)
-                .point(1600, 200.0)
-                .chassis_gflops,
-        ),
-    );
-    m.set.push(
-        RunRecord::modeled("model/projection", &[("xc2vp", 100)], 200.0, 1600).with_paper(
-            "fig12.best.gflops",
-            ChassisProjection::xd1(XC2VP100)
-                .point(1600, 200.0)
-                .chassis_gflops,
-        ),
-    );
+    }));
+    list.push(Job::new("model/device-peak", |_h| {
+        let area = AreaModel::default();
+        Entry::modeled(
+            RunRecord::modeled("model/device-peak", &[], 170.0, 0).with_paper(
+                "sec6.device-peak.gflops",
+                device_peak_flops(&XC2VP50, &area, 170.0) / 1e9,
+            ),
+        )
+    }));
+    list.push(Job::new("model/chassis[nodes=6]", |_h| {
+        Entry::modeled(
+            RunRecord::modeled("model/chassis", &[("nodes", 6)], 130.0, 0)
+                .with_paper("sec6.chassis.gflops", scaled_sustained_gflops(2.06, 6)),
+        )
+    }));
+    list.push(Job::new("model/chassis[nodes=72]", |_h| {
+        Entry::modeled(
+            RunRecord::modeled("model/chassis", &[("nodes", 72)], 130.0, 0)
+                .with_paper("sec6.chassis12.gflops", scaled_sustained_gflops(2.06, 72)),
+        )
+    }));
+    list.push(Job::new("model/projection[xc2vp=50]", |_h| {
+        Entry::modeled(
+            RunRecord::modeled("model/projection", &[("xc2vp", 50)], 200.0, 1600).with_paper(
+                "fig11.best.gflops",
+                ChassisProjection::xd1(XC2VP50)
+                    .point(1600, 200.0)
+                    .chassis_gflops,
+            ),
+        )
+    }));
+    list.push(Job::new("model/projection[xc2vp=100]", |_h| {
+        Entry::modeled(
+            RunRecord::modeled("model/projection", &[("xc2vp", 100)], 200.0, 1600).with_paper(
+                "fig12.best.gflops",
+                ChassisProjection::xd1(XC2VP100)
+                    .point(1600, 200.0)
+                    .chassis_gflops,
+            ),
+        )
+    }));
 
-    (m.set, m.wall)
+    list
+}
+
+/// Execute the full (or quick) paper matrix on `workers` pool workers and
+/// return the canonical record set plus the host-throughput sidecar.
+///
+/// The record set is byte-identical for every `workers` value (ordered
+/// reduce over independent jobs); only the sidecar's timings — and its
+/// `jobs`/`elapsed_seconds`/speedup fields — vary.
+pub fn run_matrix_with_jobs(quick: bool, workers: usize) -> (RecordSet, WallClock) {
+    let t0 = Instant::now();
+    let entries = pool::run_ordered(jobs(quick), workers);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut set = RecordSet::new(if quick {
+        "observatory-quick"
+    } else {
+        "observatory"
+    });
+    let mut wall = WallClock::new();
+    wall.jobs = workers.max(1) as u64;
+    wall.elapsed_seconds = elapsed;
+    for entry in entries {
+        if let Some(seconds) = entry.seconds {
+            wall.push(&entry.record.key(), entry.record.cycles, seconds);
+        }
+        set.push(entry.record);
+    }
+    (set, wall)
+}
+
+/// Serial paper matrix: [`run_matrix_with_jobs`] with one worker.
+pub fn run_matrix(quick: bool) -> (RecordSet, WallClock) {
+    run_matrix_with_jobs(quick, 1)
 }
 
 #[cfg(test)]
@@ -374,5 +466,25 @@ mod tests {
         let (b, _) = run_matrix(true);
         let d = fblas_metrics::diff_sets(&a, &b);
         assert!(d.passes(), "{}", d.render());
+    }
+
+    /// The tentpole invariant: the pooled matrix must serialize to the
+    /// exact bytes of the serial matrix, for any worker count, and the
+    /// sidecar must cover every simulated record either way.
+    #[test]
+    fn parallel_matrix_bytes_match_serial() {
+        let (serial, wall1) = run_matrix_with_jobs(true, 1);
+        assert_eq!(wall1.jobs, 1);
+        for workers in [2, 3, 8] {
+            let (pooled, wall) = run_matrix_with_jobs(true, workers);
+            assert_eq!(
+                serial.to_json_string(),
+                pooled.to_json_string(),
+                "bytes diverged at {workers} workers"
+            );
+            assert_eq!(wall.jobs, workers as u64);
+            assert_eq!(wall.entries.len(), wall1.entries.len());
+            assert!(wall.elapsed_seconds > 0.0);
+        }
     }
 }

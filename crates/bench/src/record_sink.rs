@@ -20,6 +20,13 @@ pub struct RecordSink {
     set: RecordSet,
 }
 
+/// Compile-time audit: sinks hold only owned data, so a future parallel
+/// binary can move one into a worker or collect records across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RecordSink>();
+};
+
 impl RecordSink {
     /// Scan `std::env::args` for `--json <path>` / `--json=<path>`.
     ///

@@ -100,6 +100,41 @@ fn observatory_quick_run_is_deterministic_and_self_diffs_clean() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `observatory run --jobs N` smoke: the pooled run must write BENCH
+/// bytes identical to the serial run, and its wallclock sidecar must
+/// carry the job count and speedup fields.
+#[test]
+fn observatory_parallel_run_matches_serial_bytes() {
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+    let mut bench = Vec::new();
+    for jobs in ["1", "3"] {
+        let dir = std::env::temp_dir().join(format!("fblas_observatory_jobs_{jobs}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let status = Command::new(observatory)
+            .args(["run", "--quick", "--jobs", jobs, "--dir"])
+            .arg(&dir)
+            .status()
+            .expect("failed to launch observatory");
+        assert!(status.success(), "--jobs {jobs} run exited with {status}");
+        bench.push(std::fs::read(dir.join("BENCH_0001.json")).expect("BENCH_0001 missing"));
+        let sidecar = std::fs::read_to_string(dir.join("BENCH_0001.wallclock.json"))
+            .expect("wallclock sidecar missing");
+        assert!(
+            sidecar.contains(&format!("\"jobs\": {jobs}")),
+            "sidecar must record the job count: {sidecar}"
+        );
+        for field in ["elapsed_seconds", "aggregate_speedup", "speedup_share"] {
+            assert!(sidecar.contains(field), "sidecar lacks {field}: {sidecar}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        bench[0], bench[1],
+        "BENCH bytes must not depend on the worker count"
+    );
+}
+
 /// `--trace` smoke: the flag must produce a non-empty Chrome trace with
 /// the JSON envelope and per-component metadata.
 #[test]

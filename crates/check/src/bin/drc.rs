@@ -1,5 +1,6 @@
 //! `drc` — run the design-rule checker over every shipped configuration,
-//! plus the paper-parity coverage rule over the shared tolerance table.
+//! plus the paper-parity coverage rule over the shared tolerance table
+//! and the bench-thread-containment rule over the bench sources.
 //!
 //! Exit status 0 iff every design point passes with zero errors. Flags:
 //!
@@ -11,6 +12,7 @@
 
 use fblas_check::drc::{check, infeasible_k10_with_rt_core, shipped_design_points};
 use fblas_check::parity::coverage_report;
+use fblas_check::threads::{bench_thread_report, repo_root};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,8 +41,18 @@ fn main() {
     let parity = coverage_report();
     print!("{}", parity.render(verbose));
     errors += parity.count(fblas_check::Severity::Error);
+    match bench_thread_report(&repo_root()) {
+        Ok(threads) => {
+            print!("{}", threads.render(verbose));
+            errors += threads.count(fblas_check::Severity::Error);
+        }
+        Err(e) => {
+            eprintln!("drc: cannot scan bench sources: {e}");
+            std::process::exit(2);
+        }
+    }
     println!(
-        "checked {} design point(s) + parity coverage, {} error(s)",
+        "checked {} design point(s) + parity coverage + thread containment, {} error(s)",
         points.len(),
         errors
     );

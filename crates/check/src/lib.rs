@@ -14,6 +14,10 @@
 //!   row of the shared [`fblas_metrics::PAPER_TOLERANCES`] table is
 //!   claimed by a bench generator and that no generator claims a stale
 //!   id, so a paper figure can never silently go unchecked.
+//! * [`threads`] — a **bench-thread-containment rule**: the observatory's
+//!   byte-determinism rests on all bench parallelism flowing through the
+//!   shared worker pool's ordered reducer, so any thread-creation call in
+//!   `fblas-bench` outside `pool.rs` is an error.
 //!
 //! All are exposed as libraries (used by the test suite) and through the
 //! `drc` and `lint` binaries (used by CI).
@@ -23,6 +27,7 @@
 pub mod drc;
 pub mod lint;
 pub mod parity;
+pub mod threads;
 
 pub use drc::{
     check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
@@ -30,3 +35,4 @@ pub use drc::{
 };
 pub use lint::{scan_source, scan_tree, LintHit};
 pub use parity::{check_claims, coverage_report, CLAIMS};
+pub use threads::{bench_thread_report, scan_bench_tree, ThreadSite};

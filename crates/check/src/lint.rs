@@ -117,8 +117,10 @@ struct Tok {
 }
 
 /// Replace comments, strings and char literals with spaces, preserving
-/// line structure so token line numbers stay correct.
-fn strip(source: &str) -> String {
+/// line structure so token line numbers stay correct. Shared with the
+/// bench-thread-containment rule ([`crate::threads`]), which must not
+/// fire on `thread::spawn` mentioned in a doc comment.
+pub(crate) fn strip(source: &str) -> String {
     let chars: Vec<char> = source.chars().collect();
     let mut out = String::with_capacity(source.len());
     let mut i = 0;

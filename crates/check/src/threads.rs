@@ -1,0 +1,226 @@
+//! Bench-thread-containment rule: `fblas-bench` may only spawn threads
+//! through the shared worker pool.
+//!
+//! The observatory's determinism argument (DESIGN.md §10) rests on every
+//! parallel execution path going through `crates/bench/src/pool.rs`: the
+//! pool's ordered reducer is what keeps `BENCH_<n>.json` byte-identical
+//! across worker counts, and its `Send`-bounded job type is the
+//! compile-time audit of shared state. A bench binary that called
+//! `std::thread::spawn` on its own would bypass both. This rule scans the
+//! bench crate's sources (comments and strings stripped, so prose about
+//! threads is fine) and reports an [`Severity::Error`] for any
+//! thread-creation call outside the allowed pool module; the pool's own
+//! uses are reported as [`Severity::Info`] so the sweep shows the rule is
+//! looking at live code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::drc::{Diagnostic, Report, Severity};
+use crate::lint::strip;
+
+/// The one module allowed to create threads, relative to the repo root.
+pub const ALLOWED_THREAD_SITES: &[&str] = &["crates/bench/src/pool.rs"];
+
+/// The source tree the rule polices, relative to the repo root.
+pub const BENCH_SRC: &str = "crates/bench/src";
+
+/// Thread-creation constructs the scanner looks for. Substring match on
+/// comment-/string-stripped source: `thread::spawn(`, `thread::scope(`
+/// and `thread::Builder` cover `std::thread` whatever the import style
+/// (`std::thread::spawn`, `thread::spawn` after `use std::thread`).
+const THREAD_PATTERNS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// One thread-creation site found by the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSite {
+    /// Repo-root-relative path of the file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which pattern matched.
+    pub pattern: &'static str,
+    /// Whether the file is on the allowlist.
+    pub allowed: bool,
+}
+
+/// Scan one source file (already labelled repo-relative) for
+/// thread-creation constructs.
+pub fn scan_source(file_label: &str, source: &str) -> Vec<ThreadSite> {
+    let allowed = ALLOWED_THREAD_SITES.contains(&file_label);
+    let stripped = strip(source);
+    let mut sites = Vec::new();
+    for (i, line) in stripped.lines().enumerate() {
+        // Whitespace-insensitive: `thread :: spawn` still matches.
+        let squeezed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        for pattern in THREAD_PATTERNS {
+            if squeezed.contains(pattern) {
+                sites.push(ThreadSite {
+                    file: file_label.to_string(),
+                    line: i + 1,
+                    pattern,
+                    allowed,
+                });
+            }
+        }
+    }
+    sites
+}
+
+fn scan_dir(dir: &Path, repo_root: &Path, sites: &mut Vec<ThreadSite>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            scan_dir(&path, repo_root, sites)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let label = path
+                .strip_prefix(repo_root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = fs::read_to_string(&path)?;
+            sites.extend(scan_source(&label, &source));
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole bench source tree under `repo_root`.
+pub fn scan_bench_tree(repo_root: &Path) -> io::Result<Vec<ThreadSite>> {
+    let root = repo_root.join(BENCH_SRC);
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("bench source tree {} not found", root.display()),
+        ));
+    }
+    let mut sites = Vec::new();
+    scan_dir(&root, repo_root, &mut sites)?;
+    Ok(sites)
+}
+
+/// Turn scanned sites into rule diagnostics.
+pub fn diagnostics(sites: &[ThreadSite]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for site in sites {
+        if site.allowed {
+            diags.push(Diagnostic {
+                rule_id: "bench-thread-containment",
+                severity: Severity::Info,
+                message: format!(
+                    "{}:{}: `{}` inside the shared pool (allowed site)",
+                    site.file, site.line, site.pattern
+                ),
+                quantities: vec![],
+            });
+        } else {
+            diags.push(Diagnostic {
+                rule_id: "bench-thread-containment",
+                severity: Severity::Error,
+                message: format!(
+                    "{}:{}: `{}` outside the shared worker pool — bench code must \
+                     schedule work through crates/bench/src/pool.rs so the ordered \
+                     reducer keeps BENCH output deterministic",
+                    site.file, site.line, site.pattern
+                ),
+                quantities: vec![],
+            });
+        }
+    }
+    if !sites.iter().any(|s| s.allowed) {
+        // The allowlisted file no longer spawning anything would mean the
+        // pool was gutted or moved without updating this rule.
+        diags.push(Diagnostic {
+            rule_id: "bench-thread-containment",
+            severity: Severity::Warning,
+            message: format!(
+                "no thread-creation site found in the allowed module(s) {ALLOWED_THREAD_SITES:?} \
+                 — pool moved or rule stale?"
+            ),
+            quantities: vec![],
+        });
+    }
+    diags
+}
+
+/// The containment report over the repository at `repo_root`.
+pub fn bench_thread_report(repo_root: &Path) -> io::Result<Report> {
+    Ok(Report {
+        design: "bench thread containment".to_string(),
+        diagnostics: diagnostics(&scan_bench_tree(repo_root)?),
+    })
+}
+
+/// Repo root as seen from this crate's build-time manifest location.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_spawn_is_allowed_foreign_spawn_is_not() {
+        let pool = scan_source(
+            "crates/bench/src/pool.rs",
+            "fn f() { scope.spawn(|| {}); std::thread::scope(|s| {}); }",
+        );
+        assert!(pool.iter().all(|s| s.allowed), "{pool:?}");
+        let rogue = scan_source(
+            "crates/bench/src/bin/table9.rs",
+            "fn main() { std::thread::spawn(|| {}); }",
+        );
+        assert_eq!(rogue.len(), 1);
+        assert!(!rogue[0].allowed);
+        let diags = diagnostics(&rogue);
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("table9.rs:1")));
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "// thread::spawn is forbidden here\nfn f() { let _ = \"thread::spawn\"; }";
+        assert!(scan_source("crates/bench/src/bin/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn whitespace_and_builder_forms_are_caught() {
+        let src = "fn f() { std::thread :: spawn(|| {}); thread::Builder::new(); }";
+        let sites = scan_source("crates/bench/src/bin/x.rs", src);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+    }
+
+    #[test]
+    fn missing_allowed_site_is_a_warning() {
+        let diags = diagnostics(&[]);
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Warning && d.message.contains("pool moved")));
+    }
+
+    /// The live tree must pass: the pool is the only thread site, and it
+    /// actually contains one.
+    #[test]
+    fn shipped_bench_tree_is_contained() {
+        let report = bench_thread_report(&repo_root()).expect("scan");
+        assert!(
+            report.is_feasible(),
+            "thread containment errors:\n{}",
+            report.render(true)
+        );
+        assert!(report.count(Severity::Info) > 0, "pool site not seen");
+        assert_eq!(report.count(Severity::Warning), 0);
+    }
+}

@@ -10,7 +10,11 @@
 //! insertion order, numbers via Rust's shortest-round-trip formatting and
 //! no whitespace beyond a fixed indentation scheme. Rendering the same
 //! value tree twice yields byte-identical output on every platform; the
-//! `BENCH_*.json` byte-stability tests rely on this.
+//! `BENCH_*.json` byte-stability tests rely on this. Two deliberate
+//! number rules keep degenerate metrics from breaking the contract:
+//! non-finite values (NaN, ±∞ — e.g. a rate derived from a zero-cycle
+//! run) render as `null` instead of panicking, and `-0.0` renders as `0`
+//! so the sign of zero can never flip a committed byte.
 
 use std::fmt::Write as _;
 
@@ -22,7 +26,10 @@ pub enum Json {
     /// `true` / `false`.
     Bool(bool),
     /// Any number. Stored as `f64`; integral values within `u64` range
-    /// render without a fractional part.
+    /// render without a fractional part. JSON has no non-finite numbers,
+    /// so NaN and ±infinity render as `null` (a defined encoding rather
+    /// than a panic), and `-0.0` renders as `0` so byte-determinism can
+    /// never depend on the sign of zero.
     Num(f64),
     /// A string.
     Str(String),
@@ -162,8 +169,15 @@ fn newline(out: &mut String, indent: usize) {
 }
 
 fn write_num(out: &mut String, x: f64) {
-    assert!(x.is_finite(), "JSON cannot represent {x}");
-    if x.fract() == 0.0 && x.abs() < 1e15 {
+    if !x.is_finite() {
+        // JSON has no NaN/Inf. A degenerate measurement (zero-cycle run,
+        // zero-second timing) must not panic the writer mid-document, so
+        // non-finite numbers get a defined `null` encoding instead.
+        out.push_str("null");
+    } else if x == 0.0 {
+        // Covers -0.0 too: both zeros render as the same byte.
+        out.push('0');
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
         let _ = write!(out, "{}", x as i64);
     } else {
         // Shortest round-trip representation; deterministic across runs.
@@ -404,6 +418,55 @@ mod tests {
         let mut s = String::new();
         write_num(&mut s, 148300000000.0);
         assert_eq!(s, "148300000000");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null_not_panic() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::obj().with("rate", Json::Num(x));
+            let text = doc.render();
+            assert_eq!(text, "{\n  \"rate\": null\n}\n", "for {x}");
+            // And the document stays parseable (reads back as Null).
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed.get("rate"), Some(&Json::Null));
+        }
+    }
+
+    #[test]
+    fn negative_zero_renders_identically_to_zero() {
+        let mut pos = String::new();
+        let mut neg = String::new();
+        write_num(&mut pos, 0.0);
+        write_num(&mut neg, -0.0);
+        assert_eq!(pos, "0");
+        assert_eq!(neg, pos, "byte-determinism must not depend on sign of zero");
+        // Through the full pipeline too.
+        assert_eq!(
+            Json::obj().with("x", Json::Num(-0.0)).render(),
+            Json::obj().with("x", Json::Num(0.0)).render()
+        );
+    }
+
+    #[test]
+    fn extreme_magnitudes_round_trip() {
+        for x in [
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1e15,   // first magnitude past the integer-rendering window
+            -1e15,
+            1e308,
+            -1e-308,
+        ] {
+            let doc = Json::obj().with("x", Json::Num(x));
+            let text = doc.render();
+            let parsed = Json::parse(&text).unwrap();
+            let y = parsed.get("x").and_then(Json::as_f64).unwrap();
+            assert_eq!(y.to_bits(), x.to_bits(), "{x} round-trips exactly");
+            // And re-rendering is byte-stable.
+            assert_eq!(parsed.render(), text);
+        }
     }
 
     #[test]

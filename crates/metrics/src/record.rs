@@ -285,6 +285,11 @@ impl RunRecord {
     }
 
     /// Fraction of cycles with FP work issued.
+    ///
+    /// Guarded like the `sustained_mflops` derivation in
+    /// [`RunRecord::from_sim`]: a zero-cycle run (a degenerate workload or
+    /// a modeled record) reports 0 utilization instead of a NaN that would
+    /// poison downstream JSON or scoreboard math.
     pub fn utilization(&self) -> f64 {
         if self.cycles == 0 {
             0.0
@@ -490,6 +495,37 @@ mod tests {
         // And a modeled record too.
         let m = RunRecord::modeled("mm/model", &[("k", 3)], 149.0, 6474);
         assert_eq!(RunRecord::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    /// Regression: a zero-cycle simulated run (degenerate workload) must
+    /// not divide by zero anywhere — `utilization`, `sustained_mflops` and
+    /// classification all take the guarded path, and the record still
+    /// serializes and round-trips without a panic.
+    #[test]
+    fn zero_cycle_record_is_finite_and_round_trips() {
+        let r = RunRecord::from_sim(
+            "dot",
+            &[("k", 2), ("n", 0)],
+            SimReport {
+                cycles: 0,
+                flops: 0,
+                words_in: 0,
+                words_out: 0,
+                busy_cycles: 0,
+            },
+            StallBreakdown::default(),
+            170.0,
+            5220,
+        );
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.sustained_mflops, 0.0);
+        assert_eq!(r.bound, Bound::Unclassified);
+        let rendered = r.to_json().render();
+        assert!(
+            !rendered.contains("null"),
+            "no field should degrade: {rendered}"
+        );
+        assert_eq!(RunRecord::from_json(&r.to_json()).unwrap(), r);
     }
 
     #[test]

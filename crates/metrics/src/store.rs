@@ -106,10 +106,30 @@ impl RecordSet {
 /// Volatile per-run simulator-throughput measurements, kept out of the
 /// deterministic record set. One entry per simulated record: the key and
 /// the host wall-clock rate at which the harness retired simulated cycles.
-#[derive(Debug, Clone, Default)]
+///
+/// Since the matrix can run on a worker pool, the sidecar also carries the
+/// job count and the end-to-end elapsed time, from which it derives the
+/// aggregate speedup (sum of per-entry seconds over elapsed seconds) and a
+/// per-entry `speedup_share` (that entry's contribution to the aggregate).
+#[derive(Debug, Clone)]
 pub struct WallClock {
     /// `(record key, simulated cycles, wall seconds)` per run.
     pub entries: Vec<(String, u64, f64)>,
+    /// Worker count the matrix ran with (1 = serial).
+    pub jobs: u64,
+    /// End-to-end wall time for the whole matrix. Under a pool this is
+    /// less than [`WallClock::total_seconds`]; 0.0 means "not measured".
+    pub elapsed_seconds: f64,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            jobs: 1,
+            elapsed_seconds: 0.0,
+        }
+    }
 }
 
 impl WallClock {
@@ -143,13 +163,34 @@ impl WallClock {
         }
     }
 
+    /// Parallel speedup: sum of per-entry seconds over end-to-end elapsed
+    /// seconds. 1.0 means no overlap (serial); `jobs`-way overlap
+    /// approaches `jobs`. 0 when elapsed time was not measured — the same
+    /// clamp the per-entry rates use, so a coarse clock reading 0.0
+    /// seconds never turns into an `inf` in the sidecar.
+    pub fn aggregate_speedup(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.total_seconds() / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+
     /// Serialize the sidecar (not byte-deterministic — contains timings).
+    ///
+    /// Every rate is guarded against a zero denominator (a fast entry can
+    /// measure 0.0 seconds on a coarse clock) and rendered as 0 rather
+    /// than `inf`; the JSON writer would otherwise have to degrade the
+    /// value to `null`.
     pub fn to_json_string(&self) -> String {
         Json::obj()
             .with("schema_version", Json::Num(SCHEMA_VERSION as f64))
+            .with("jobs", Json::Num(self.jobs as f64))
             .with("sim_cycles_per_second", Json::Num(self.cycles_per_second()))
             .with("total_cycles", Json::Num(self.total_cycles() as f64))
             .with("total_seconds", Json::Num(self.total_seconds()))
+            .with("elapsed_seconds", Json::Num(self.elapsed_seconds))
+            .with("aggregate_speedup", Json::Num(self.aggregate_speedup()))
             .with(
                 "runs",
                 Json::Arr(
@@ -164,6 +205,14 @@ impl WallClock {
                                     "cycles_per_second",
                                     Json::Num(if *seconds > 0.0 {
                                         *cycles as f64 / *seconds
+                                    } else {
+                                        0.0
+                                    }),
+                                )
+                                .with(
+                                    "speedup_share",
+                                    Json::Num(if self.elapsed_seconds > 0.0 {
+                                        *seconds / self.elapsed_seconds
                                     } else {
                                         0.0
                                     }),
@@ -304,5 +353,54 @@ mod tests {
         let text = w.to_json_string();
         assert!(text.contains("sim_cycles_per_second"));
         assert_eq!(WallClock::new().cycles_per_second(), 0.0);
+    }
+
+    /// Regression for the sidecar rate math: an entry that measures 0.0
+    /// seconds (coarse host clock) must render a rate of 0, not `inf` or
+    /// `null`, and the document must stay parseable.
+    #[test]
+    fn wallclock_zero_second_entry_renders_zero_rate() {
+        let mut w = WallClock::new();
+        w.push("dot[k=2,n=64]", 1000, 0.0);
+        assert_eq!(w.cycles_per_second(), 0.0);
+        let text = w.to_json_string();
+        assert!(!text.contains("inf") && !text.contains("null"), "{text}");
+        let doc = Json::parse(&text).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            runs[0].get("cycles_per_second").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            runs[0].get("speedup_share").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    /// Speedup accounting: shares sum to the aggregate, the aggregate is
+    /// total-over-elapsed, and an unmeasured elapsed time clamps to 0.
+    #[test]
+    fn wallclock_speedup_fields() {
+        let mut w = WallClock::new();
+        assert_eq!(w.jobs, 1, "serial by default");
+        assert_eq!(w.aggregate_speedup(), 0.0, "unmeasured elapsed clamps");
+        w.push("dot[k=2,n=64]", 1000, 1.5);
+        w.push("mvm[k=4,n=64]", 3000, 0.5);
+        w.jobs = 2;
+        w.elapsed_seconds = 1.0;
+        assert!((w.aggregate_speedup() - 2.0).abs() < 1e-12);
+        let doc = Json::parse(&w.to_json_string()).unwrap();
+        assert_eq!(doc.get("jobs").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("elapsed_seconds").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            doc.get("aggregate_speedup").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        let shares: f64 = runs
+            .iter()
+            .map(|r| r.get("speedup_share").and_then(Json::as_f64).unwrap())
+            .sum();
+        assert!((shares - w.aggregate_speedup()).abs() < 1e-12);
     }
 }

@@ -70,10 +70,28 @@ pub trait Design {
 /// through the same harness (blocked drivers, traced multi-design
 /// sessions) and each run reports only its own deltas while the probe
 /// accumulates one continuous timeline.
+///
+/// A harness is `Send` (pinned by a compile-time assertion below): the
+/// bench worker pool gives each worker its own harness, and nothing in
+/// the harness or probe may ever grow interior shared state (`Rc`, raw
+/// pointers, thread-local handles) that would make moving it across
+/// threads unsound. Designs scheduled onto the pool must be `Send` for
+/// the same reason — the pool's job type enforces that bound.
 #[derive(Debug, Default)]
 pub struct Harness {
     probe: Probe,
 }
+
+/// Compile-time audit: the simulation stack owns all of its state, so
+/// harnesses (and the probes and reports they produce) can move to pool
+/// workers. If a future field breaks this, the build fails here rather
+/// than in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Harness>();
+    assert_send::<Probe>();
+    assert_send::<SimReport>();
+};
 
 impl Harness {
     /// A harness with a summary-mode probe (the default for `run()`
