@@ -4,7 +4,8 @@
 //! ```sh
 //! observatory run  [--quick] [--jobs <n>] [--dir <dir>]   # measure, persist next BENCH_<n>.json
 //! observatory diff <baseline.json> [--quick] [--jobs <n>] # measure, gate against a baseline
-//! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboard into EXPERIMENTS.md
+//! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboards into EXPERIMENTS.md
+//! observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]  # fault campaign
 //! ```
 //!
 //! `run` executes the full paper matrix (every kernel family behind
@@ -29,22 +30,32 @@
 //! `report` loads every committed `BENCH_*.json`, renders the
 //! paper-parity scoreboard, the kernel table and the sustained-MFLOPS
 //! trajectory sparklines, and splices them into `EXPERIMENTS.md` between
-//! the observatory markers.
+//! the observatory markers. When a committed `FAULTS.json` exists it also
+//! splices the fault-coverage scoreboard between the fault markers.
+//!
+//! `faults` runs the seeded fault-injection campaign of `fblas-faults`
+//! across the same worker pool: every trial is a pure function of
+//! `(--seed, family, trial index)`, so the `FAULTS.json` bytes are
+//! identical at any `--jobs` value. Exit status is non-zero if any
+//! ABFT-covered kernel (`mvm/*`, `mm/*`) shows a silent corruption.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fblas_bench::fault_matrix::run_fault_matrix_with_jobs;
 use fblas_bench::paper_matrix::run_matrix_with_jobs;
 use fblas_bench::pool;
 use fblas_metrics::{
-    bench_file_name, diff_sets, list_bench_files, next_bench_index, report as obs_report, RecordSet,
+    bench_file_name, diff_sets, faults as obs_faults, list_bench_files, next_bench_index,
+    report as obs_report, RecordSet,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: observatory run  [--quick] [--jobs <n>] [--dir <dir>]\n\
                 observatory diff <baseline.json> [--quick] [--jobs <n>]\n\
-                observatory report [--dir <dir>] [--doc <markdown>]"
+                observatory report [--dir <dir>] [--doc <markdown>]\n\
+                observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]"
     );
     ExitCode::from(2)
 }
@@ -79,17 +90,33 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
+/// Validate a `--jobs` value: a positive integer, or a diagnostic.
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs requires a positive integer, got {v:?}")),
+    }
+}
+
 /// Parse `--jobs <n>` out of `args`; default is the host parallelism.
 fn take_jobs(args: &mut Vec<String>) -> usize {
     match take_value(args, "--jobs") {
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("error: --jobs requires a positive integer, got {v:?}");
-                std::process::exit(2);
-            }
-        },
+        Some(v) => parse_jobs(&v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
         None => pool::default_jobs(),
+    }
+}
+
+/// Parse `--seed <s>` out of `args`; default is the canonical seed 7.
+fn take_seed(args: &mut Vec<String>) -> u64 {
+    match take_value(args, "--seed") {
+        Some(v) => v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("error: --seed requires an unsigned integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => 7,
     }
 }
 
@@ -208,18 +235,67 @@ fn cmd_report(mut args: Vec<String>) -> ExitCode {
     }
     let section = obs_report::render_section(&labels, &runs);
     let document = std::fs::read_to_string(&doc).unwrap_or_default();
-    let spliced = obs_report::splice_section(&document, &section);
+    let mut spliced = obs_report::splice_section(&document, &section);
+    let faults_path = dir.join("FAULTS.json");
+    let mut fault_note = String::new();
+    if faults_path.exists() {
+        match fblas_metrics::FaultSet::load(&faults_path) {
+            Ok(set) => {
+                let section = obs_faults::render_fault_section(&set);
+                spliced = obs_faults::splice_fault_section(&spliced, &section);
+                fault_note = format!(" + fault coverage ({} trials)", set.records.len());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if let Err(e) = std::fs::write(&doc, &spliced) {
         eprintln!("error: cannot write {}: {e}", doc.display());
         return ExitCode::from(2);
     }
     println!(
-        "spliced {} run(s) into {} ({} bytes)",
+        "spliced {} run(s){} into {} ({} bytes)",
         runs.len(),
+        fault_note,
         doc.display(),
         spliced.len()
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_faults(mut args: Vec<String>) -> ExitCode {
+    let quick = take_flag(&mut args, "--quick");
+    let seed = take_seed(&mut args);
+    let jobs = take_jobs(&mut args);
+    let out = PathBuf::from(take_value(&mut args, "--out").unwrap_or_else(|| "FAULTS.json".into()));
+    if !args.is_empty() {
+        return usage();
+    }
+    eprintln!(
+        "observatory: running the {} fault campaign (seed {}) on {} job(s)...",
+        if quick { "quick" } else { "full" },
+        seed,
+        jobs
+    );
+    let set = run_fault_matrix_with_jobs(seed, quick, jobs);
+    if let Err(e) = set.save(&out) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {} ({} trial(s))\n", out.display(), set.records.len());
+    print!("{}", obs_faults::render_fault_scoreboard(&set));
+    println!("\nGraceful degradation:\n");
+    print!("{}", obs_faults::render_degradation_table(&set));
+    let silent = set.covered_silent_corruptions();
+    if silent == 0 {
+        println!("\nfault coverage: zero silent corruptions on ABFT-covered kernels");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nfault coverage: FAIL — {silent} silent corruption(s) on ABFT-covered kernels");
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -232,6 +308,30 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "diff" => cmd_diff(args),
         "report" => cmd_report(args),
+        "faults" => cmd_faults(args),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_jobs;
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("16"), Ok(16));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero_and_garbage() {
+        for bad in ["0", "-3", "four", "", "1.5"] {
+            let err = parse_jobs(bad).unwrap_err();
+            assert!(
+                err.contains("requires a positive integer"),
+                "{bad:?}: {err}"
+            );
+            assert!(err.contains(bad) || bad.is_empty(), "{bad:?}: {err}");
+        }
     }
 }

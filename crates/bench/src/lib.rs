@@ -27,9 +27,12 @@
 //! The `observatory` binary ties the records together: `observatory run`
 //! executes the full paper matrix ([`paper_matrix`]) and persists a
 //! `BENCH_<n>.json` trajectory file, `observatory diff` gates a fresh
-//! run against a committed baseline, and `observatory report` renders
-//! the scoreboard into `EXPERIMENTS.md`.
+//! run against a committed baseline, `observatory report` renders
+//! the scoreboard into `EXPERIMENTS.md`, and `observatory faults` fans
+//! the seeded fault-injection campaign ([`fault_matrix`]) across the
+//! same worker pool.
 
+pub mod fault_matrix;
 pub mod paper_matrix;
 pub mod pool;
 pub mod record_sink;

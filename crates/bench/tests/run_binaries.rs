@@ -135,6 +135,63 @@ fn observatory_parallel_run_matches_serial_bytes() {
     );
 }
 
+/// Bad `--jobs` values must be rejected up front with exit status 2 and
+/// a diagnostic, not silently clamped or crashed on later.
+#[test]
+fn observatory_rejects_bad_jobs_values() {
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+    for (cmd, bad) in [
+        ("run", "0"),
+        ("run", "four"),
+        ("diff", "0"),
+        ("faults", "-2"),
+    ] {
+        let output = Command::new(observatory)
+            .args([cmd, "--quick", "--jobs", bad])
+            .output()
+            .expect("failed to launch observatory");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{cmd} --jobs {bad}: {:?}",
+            output.status
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--jobs requires a positive integer"),
+            "{cmd} --jobs {bad}: stderr was {stderr:?}"
+        );
+    }
+}
+
+/// `observatory faults` smoke: the campaign must exit clean (zero silent
+/// corruptions on covered kernels), write a loadable fault set, and emit
+/// byte-identical files at any worker count.
+#[test]
+fn observatory_fault_campaign_is_deterministic_across_jobs() {
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+    let mut files = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = std::env::temp_dir().join(format!("fblas_faults_jobs_{jobs}.json"));
+        std::fs::remove_file(&out).ok();
+        let status = Command::new(observatory)
+            .args(["faults", "--quick", "--seed", "7", "--jobs", jobs, "--out"])
+            .arg(&out)
+            .status()
+            .expect("failed to launch observatory faults");
+        assert!(status.success(), "--jobs {jobs} campaign exited {status}");
+        files.push(std::fs::read(&out).expect("FAULTS file missing"));
+        let set = fblas_metrics::FaultSet::load(&out).expect("fault set must parse");
+        assert_eq!(set.seed, 7);
+        assert!(!set.records.is_empty());
+        std::fs::remove_file(&out).ok();
+    }
+    assert_eq!(
+        files[0], files[1],
+        "FAULTS bytes must not depend on the worker count"
+    );
+}
+
 /// `--trace` smoke: the flag must produce a non-empty Chrome trace with
 /// the JSON envelope and per-component metadata.
 #[test]

@@ -1,6 +1,7 @@
 //! `drc` — run the design-rule checker over every shipped configuration,
-//! plus the paper-parity coverage rule over the shared tolerance table
-//! and the bench-thread-containment rule over the bench sources.
+//! plus the paper-parity coverage rule over the shared tolerance table,
+//! the bench-thread-containment rule over the bench sources and the
+//! fault-hook-purity rule over the whole workspace.
 //!
 //! Exit status 0 iff every design point passes with zero errors. Flags:
 //!
@@ -11,6 +12,7 @@
 //!   `§6.2-area` diagnostic, demonstrating what a violation looks like.
 
 use fblas_check::drc::{check, infeasible_k10_with_rt_core, shipped_design_points};
+use fblas_check::hooks::fault_hook_report;
 use fblas_check::parity::coverage_report;
 use fblas_check::threads::{bench_thread_report, repo_root};
 
@@ -51,8 +53,19 @@ fn main() {
             std::process::exit(2);
         }
     }
+    match fault_hook_report(&repo_root()) {
+        Ok(hooks) => {
+            print!("{}", hooks.render(verbose));
+            errors += hooks.count(fblas_check::Severity::Error);
+        }
+        Err(e) => {
+            eprintln!("drc: cannot scan workspace sources: {e}");
+            std::process::exit(2);
+        }
+    }
     println!(
-        "checked {} design point(s) + parity coverage + thread containment, {} error(s)",
+        "checked {} design point(s) + parity coverage + thread containment + hook purity, \
+         {} error(s)",
         points.len(),
         errors
     );

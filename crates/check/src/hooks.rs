@@ -1,0 +1,310 @@
+//! Fault-hook-purity rule: the `.fault_*` mutation hooks stay
+//! unreachable outside the reliability subsystem.
+//!
+//! The disarmed-neutrality argument (DESIGN.md §11) rests on the fault
+//! hooks (`fault_mutate`, `fault_flip_in_flight`, `fault_drop_beats`,
+//! `fault_stuck_at`) being called from exactly two places: the
+//! `Design::inject` implementations that the harness invokes only while
+//! a schedule is armed, and hook bodies that delegate to a deeper
+//! component's hook. A production call anywhere else could perturb a
+//! clean run — exactly the class of bug that would silently corrupt the
+//! byte-pinned BENCH baselines. This rule scans every workspace crate
+//! (comments and strings stripped) and reports a [`Severity::Error`] for
+//! any hook call outside those contexts; `crates/faults` itself and test
+//! code (`#[cfg(test)]` modules, `tests/` trees) are exempt, since
+//! neither is reachable from a measurement run.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::drc::{Diagnostic, Report, Severity};
+use crate::lint::strip;
+
+/// The crate allowed to drive hooks freely (path prefix, repo-relative).
+pub const FAULTS_CRATE_PREFIX: &str = "crates/faults/";
+
+/// The source tree the rule polices, relative to the repo root.
+pub const CRATES_ROOT: &str = "crates";
+
+/// Hook-call pattern: any `.fault_*` method call on whitespace-squeezed,
+/// comment-/string-stripped source. `.fault_log(` is exempt — it is the
+/// harness's read-only accounting query, not a mutation hook.
+const HOOK_CALL: &str = ".fault_";
+const READ_ONLY_EXEMPT: &str = ".fault_log(";
+
+/// Why a hook-call site is tolerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookContext {
+    /// Production code outside every sanctioned context — an error.
+    Forbidden,
+    /// Inside a `fn inject` or `fn fault_*` body (hook delegation).
+    InjectImpl,
+    /// Inside `crates/faults` (the subsystem that owns the hooks).
+    FaultsCrate,
+    /// Test-only code: a `#[cfg(test)]` scope or a `tests/` tree.
+    TestOnly,
+}
+
+/// One `.fault_*` call found by the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HookSite {
+    /// Repo-root-relative path of the file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Classified context of the call.
+    pub context: HookContext,
+}
+
+/// Does this squeezed line open a sanctioned scope on its next brace?
+fn inject_trigger(squeezed: &str) -> bool {
+    squeezed.contains("fninject(") || squeezed.contains("fnfault_")
+}
+
+fn test_trigger(squeezed: &str) -> bool {
+    squeezed.contains("#[cfg(test)]")
+}
+
+/// Scan one source file (already labelled repo-relative) for `.fault_*`
+/// calls, classifying each by its enclosing scope via brace tracking.
+pub fn scan_source(file_label: &str, source: &str) -> Vec<HookSite> {
+    let in_faults = file_label.starts_with(FAULTS_CRATE_PREFIX);
+    let in_test_tree = file_label.contains("/tests/");
+    let stripped = strip(source);
+    let mut sites = Vec::new();
+    // Depths (1-based brace levels) of currently open sanctioned scopes;
+    // a pending trigger attaches to the next `{` that opens.
+    let mut depth = 0usize;
+    let mut inject_scopes: Vec<usize> = Vec::new();
+    let mut test_scopes: Vec<usize> = Vec::new();
+    let mut pending_inject = false;
+    let mut pending_test = false;
+    for (i, line) in stripped.lines().enumerate() {
+        let squeezed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        let line_is_inject = inject_trigger(&squeezed);
+        if line_is_inject {
+            pending_inject = true;
+        }
+        if test_trigger(&squeezed) {
+            pending_test = true;
+        }
+        if squeezed.contains(HOOK_CALL) && !squeezed.contains(READ_ONLY_EXEMPT) {
+            let context = if in_faults {
+                HookContext::FaultsCrate
+            } else if in_test_tree || !test_scopes.is_empty() {
+                HookContext::TestOnly
+            } else if !inject_scopes.is_empty() || line_is_inject {
+                // `line_is_inject` covers a call on the signature line
+                // itself (`fn inject(..) -> bool { self.x.fault_.. }`).
+                HookContext::InjectImpl
+            } else {
+                HookContext::Forbidden
+            };
+            sites.push(HookSite {
+                file: file_label.to_string(),
+                line: i + 1,
+                context,
+            });
+        }
+        for c in squeezed.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_inject {
+                        inject_scopes.push(depth);
+                        pending_inject = false;
+                    }
+                    if pending_test {
+                        test_scopes.push(depth);
+                        pending_test = false;
+                    }
+                }
+                '}' => {
+                    if inject_scopes.last() == Some(&depth) {
+                        inject_scopes.pop();
+                    }
+                    if test_scopes.last() == Some(&depth) {
+                        test_scopes.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+    }
+    sites
+}
+
+fn scan_dir(dir: &Path, repo_root: &Path, sites: &mut Vec<HookSite>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            scan_dir(&path, repo_root, sites)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let label = path
+                .strip_prefix(repo_root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = fs::read_to_string(&path)?;
+            sites.extend(scan_source(&label, &source));
+        }
+    }
+    Ok(())
+}
+
+/// Scan every workspace crate under `repo_root`.
+pub fn scan_workspace_tree(repo_root: &Path) -> io::Result<Vec<HookSite>> {
+    let root = repo_root.join(CRATES_ROOT);
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("workspace source tree {} not found", root.display()),
+        ));
+    }
+    let mut sites = Vec::new();
+    scan_dir(&root, repo_root, &mut sites)?;
+    Ok(sites)
+}
+
+/// Turn scanned sites into rule diagnostics. Test-only sites are silent
+/// (they are the hooks' own unit tests); inject-impl sites surface as
+/// Info so the sweep shows the rule is looking at live code.
+pub fn diagnostics(sites: &[HookSite]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for site in sites {
+        match site.context {
+            HookContext::Forbidden => diags.push(Diagnostic {
+                rule_id: "fault-hook-purity",
+                severity: Severity::Error,
+                message: format!(
+                    "{}:{}: `.fault_*` hook call outside crates/faults and outside any \
+                     `fn inject`/`fn fault_*` body — a production call here could \
+                     perturb a clean (disarmed) run and corrupt the BENCH baselines",
+                    site.file, site.line
+                ),
+                quantities: vec![],
+            }),
+            HookContext::InjectImpl => diags.push(Diagnostic {
+                rule_id: "fault-hook-purity",
+                severity: Severity::Info,
+                message: format!(
+                    "{}:{}: hook call inside an inject/hook body (allowed site)",
+                    site.file, site.line
+                ),
+                quantities: vec![],
+            }),
+            HookContext::FaultsCrate | HookContext::TestOnly => {}
+        }
+    }
+    if !sites.iter().any(|s| s.context == HookContext::InjectImpl) {
+        // No design wiring hooks any more would mean the delivery path
+        // was gutted or renamed without updating this rule.
+        diags.push(Diagnostic {
+            rule_id: "fault-hook-purity",
+            severity: Severity::Warning,
+            message: "no `.fault_*` call found in any `fn inject` body — fault delivery \
+                      removed or rule stale?"
+                .to_string(),
+            quantities: vec![],
+        });
+    }
+    diags
+}
+
+/// The purity report over the repository at `repo_root`.
+pub fn fault_hook_report(repo_root: &Path) -> io::Result<Report> {
+    Ok(Report {
+        design: "fault hook purity".to_string(),
+        diagnostics: diagnostics(&scan_workspace_tree(repo_root)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threads::repo_root;
+
+    #[test]
+    fn inject_body_is_allowed_free_call_is_not() {
+        let src = "impl Design for Run {\n\
+                   fn inject(&mut self, spec: &FaultSpec) -> bool {\n\
+                   self.fifo.fault_mutate(0, |v| *v = 0.0)\n\
+                   }\n\
+                   }\n\
+                   fn main() { run.fifo.fault_mutate(0, |v| *v = 0.0); }\n";
+        let sites = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].context, HookContext::InjectImpl);
+        assert_eq!(sites[1].context, HookContext::Forbidden);
+        let diags = diagnostics(&sites);
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("x.rs:6")));
+    }
+
+    #[test]
+    fn hook_bodies_may_delegate_to_deeper_hooks() {
+        let src = "pub fn fault_flip_in_flight(&mut self, stage: usize, bit: u32) -> bool {\n\
+                   self.pipe.fault_mutate(stage, |t| t.v = flip(t.v, bit))\n\
+                   }\n";
+        let sites = scan_source("crates/fpu/src/x.rs", src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].context, HookContext::InjectImpl);
+    }
+
+    #[test]
+    fn test_code_and_the_faults_crate_are_exempt() {
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { f.fault_mutate(0, id); } \n}\n";
+        let sites = scan_source("crates/sim/src/fifo.rs", test_mod);
+        assert_eq!(sites[0].context, HookContext::TestOnly);
+        let tree = scan_source(
+            "crates/fpu/tests/masks.rs",
+            "fn t() { a.fault_flip_in_flight(1, 2); }",
+        );
+        assert_eq!(tree[0].context, HookContext::TestOnly);
+        let faults = scan_source(
+            "crates/faults/src/x.rs",
+            "fn f() { a.fault_mutate(0, id); }",
+        );
+        assert_eq!(faults[0].context, HookContext::FaultsCrate);
+        assert!(diagnostics(&sites)
+            .iter()
+            .all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn read_only_fault_log_and_prose_do_not_fire() {
+        let src = "// .fault_mutate is forbidden\n\
+                   fn f() { let n = h.fault_log().unwrap(); let s = \".fault_mutate(\"; }\n";
+        assert!(scan_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_inject_sites_is_a_warning() {
+        let diags = diagnostics(&[]);
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Warning && d.message.contains("rule stale")));
+    }
+
+    /// The live tree must pass: every hook call sits in an inject/hook
+    /// body, a test, or the faults crate — and the inject wiring exists.
+    #[test]
+    fn shipped_workspace_is_pure() {
+        let report = fault_hook_report(&repo_root()).expect("scan");
+        assert!(
+            report.is_feasible(),
+            "fault-hook purity errors:\n{}",
+            report.render(true)
+        );
+        assert!(report.count(Severity::Info) > 0, "inject sites not seen");
+        assert_eq!(report.count(Severity::Warning), 0);
+    }
+}

@@ -18,6 +18,11 @@
 //!   byte-determinism rests on all bench parallelism flowing through the
 //!   shared worker pool's ordered reducer, so any thread-creation call in
 //!   `fblas-bench` outside `pool.rs` is an error.
+//! * [`hooks`] — a **fault-hook-purity rule**: the reliability
+//!   subsystem's disarmed-neutrality argument rests on the `.fault_*`
+//!   mutation hooks being reachable only from `Design::inject` bodies and
+//!   `crates/faults`, so a hook call anywhere else in production code is
+//!   an error.
 //!
 //! All are exposed as libraries (used by the test suite) and through the
 //! `drc` and `lint` binaries (used by CI).
@@ -25,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod drc;
+pub mod hooks;
 pub mod lint;
 pub mod parity;
 pub mod threads;
@@ -33,6 +39,7 @@ pub use drc::{
     check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
     Kernel, Platform, Report, Severity,
 };
+pub use hooks::{fault_hook_report, scan_workspace_tree, HookContext, HookSite};
 pub use lint::{scan_source, scan_tree, LintHit};
 pub use parity::{check_claims, coverage_report, CLAIMS};
 pub use threads::{bench_thread_report, scan_bench_tree, ThreadSite};

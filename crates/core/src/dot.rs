@@ -18,7 +18,10 @@ use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::ReadChannel;
-use fblas_sim::{ClockDomain, DelayLine, Design, Fifo, Harness, Probe, ProbeId, StallCause};
+use fblas_sim::{
+    flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Fifo, Harness, Probe,
+    ProbeId, StallCause,
+};
 use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
 
 /// Parameters of the tree-based dot-product design.
@@ -382,6 +385,19 @@ impl<R: Reducer> Design for DotRun<'_, R> {
 
     fn progress(&self) -> Option<u64> {
         Some(self.groups_in as u64 + self.reducer.adds_issued())
+    }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            FaultKind::PipelineBitFlip { stage, bit } => self
+                .tree
+                .fault_mutate(stage, |t| t.0 = flip_f64_bit(t.0, bit)),
+            FaultKind::BufferBitFlip { slot, bit } => self
+                .backlog
+                .fault_mutate(slot, |t| t.0 = flip_f64_bit(t.0, bit)),
+            FaultKind::ChannelStall { beats } => self.u_ch.fault_drop_beats(beats),
+            FaultKind::StuckAtZero { slot, bit } => self.reducer.fault_stuck_at(slot, bit),
+        }
     }
 }
 

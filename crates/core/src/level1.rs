@@ -26,7 +26,10 @@ use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::{ReadChannel, WriteChannel};
-use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause};
+use fblas_sim::{
+    flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Harness, Probe, ProbeId,
+    StallCause,
+};
 use fblas_system::io_bound_peak_dot;
 
 /// Parameters of the streaming Level-1 designs.
@@ -228,6 +231,28 @@ impl Design for AxpyRun {
     fn progress(&self) -> Option<u64> {
         Some(self.fed as u64 + self.out_ch.words_written() as u64)
     }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            // Lane 0 of the in-flight batch at `stage`: all lanes are
+            // identical registers, so one lane stands for the bank.
+            FaultKind::PipelineBitFlip { stage, bit } => self
+                .pipe
+                .fault_mutate(stage, |batch| batch[0] = flip_f64_bit(batch[0], bit)),
+            FaultKind::BufferBitFlip { slot, bit } => {
+                if self.xb.is_empty() {
+                    return false;
+                }
+                let idx = slot % self.xb.len();
+                self.xb[idx] = flip_f64_bit(self.xb[idx], bit);
+                true
+            }
+            FaultKind::ChannelStall { beats } => self.x_ch.fault_drop_beats(beats),
+            // No reduction circuit in this design: stuck-at faults on
+            // reduction state have nothing to land on.
+            FaultKind::StuckAtZero { .. } => false,
+        }
+    }
 }
 
 /// x ← a·x on k multiplier lanes.
@@ -359,6 +384,24 @@ impl Design for ScalRun {
 
     fn progress(&self) -> Option<u64> {
         Some(self.fed as u64 + self.out_ch.words_written() as u64)
+    }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            FaultKind::PipelineBitFlip { stage, bit } => self
+                .pipe
+                .fault_mutate(stage, |batch| batch[0] = flip_f64_bit(batch[0], bit)),
+            FaultKind::BufferBitFlip { slot, bit } => {
+                if self.xb.is_empty() {
+                    return false;
+                }
+                let idx = slot % self.xb.len();
+                self.xb[idx] = flip_f64_bit(self.xb[idx], bit);
+                true
+            }
+            FaultKind::ChannelStall { beats } => self.x_ch.fault_drop_beats(beats),
+            FaultKind::StuckAtZero { .. } => false,
+        }
     }
 }
 
@@ -535,6 +578,24 @@ impl Design for AsumRun {
 
     fn progress(&self) -> Option<u64> {
         Some(self.groups_in as u64 + self.reducer.adds_issued())
+    }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            FaultKind::PipelineBitFlip { stage, bit } => self
+                .tree
+                .fault_mutate(stage, |t| t.0 = flip_f64_bit(t.0, bit)),
+            FaultKind::BufferBitFlip { slot, bit } => {
+                if self.buf.is_empty() {
+                    return false;
+                }
+                let idx = slot % self.buf.len();
+                self.buf[idx] = flip_f64_bit(self.buf[idx], bit);
+                true
+            }
+            FaultKind::ChannelStall { beats } => self.x_ch.fault_drop_beats(beats),
+            FaultKind::StuckAtZero { slot, bit } => self.reducer.fault_stuck_at(slot, bit),
+        }
     }
 }
 

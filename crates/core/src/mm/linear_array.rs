@@ -26,7 +26,10 @@ use super::{HazardPolicy, MmParams};
 use crate::mvm::DenseMatrix;
 use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
-use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause};
+use fblas_sim::{
+    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Harness,
+    Probe, ProbeId, StallCause,
+};
 use fblas_system::{AreaModel, ClockModel, XC2VP50};
 
 /// Measured outcome of one block multiply on the PE array.
@@ -273,6 +276,32 @@ impl Design for BlockRun<'_> {
 
     fn progress(&self) -> Option<u64> {
         Some(self.macs + self.writes_done)
+    }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            FaultKind::PipelineBitFlip { stage, bit } => {
+                self.mult_pipe.fault_mutate(stage, |prods| {
+                    if let Some(p) = prods.first_mut() {
+                        p.1 = flip_f64_bit(p.1, bit);
+                    }
+                })
+            }
+            // C′ is the PE array's accumulator storage.
+            FaultKind::BufferBitFlip { slot, bit } => {
+                let idx = slot % self.c.len();
+                self.c[idx] = flip_f64_bit(self.c[idx], bit);
+                true
+            }
+            // The block engine owns no streaming channel: A/B arrive via
+            // direct block reads, so a channel glitch has no landing site.
+            FaultKind::ChannelStall { .. } => false,
+            FaultKind::StuckAtZero { slot, bit } => {
+                let idx = slot % self.c.len();
+                self.c[idx] = clear_f64_bit(self.c[idx], bit);
+                true
+            }
+        }
     }
 }
 

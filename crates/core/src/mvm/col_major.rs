@@ -13,7 +13,10 @@
 use super::{DenseMatrix, MvmOutcome, MvmParams};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
-use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause};
+use fblas_sim::{
+    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Harness,
+    Probe, ProbeId, StallCause,
+};
 use fblas_system::{ClockModel, Xd1Node};
 
 /// One in-flight multiply-accumulate: target y index and addend.
@@ -286,6 +289,35 @@ impl Design for ColMvmRun<'_> {
 
     fn progress(&self) -> Option<u64> {
         Some(self.values_fed + self.writes_done)
+    }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            // Try the multiplier bank first; if the stage is a bubble
+            // there, the same register index in the adder bank.
+            FaultKind::PipelineBitFlip { stage, bit } => {
+                let flip = |batch: &mut MacBatch| {
+                    if let Some(mac) = batch.first_mut() {
+                        mac.1 = flip_f64_bit(mac.1, bit);
+                    }
+                };
+                self.mult.fault_mutate(stage, flip) || self.adder.fault_mutate(stage, flip)
+            }
+            FaultKind::BufferBitFlip { slot, bit } => {
+                if self.group.is_empty() {
+                    return false;
+                }
+                let idx = slot % self.group.len();
+                self.group[idx] = flip_f64_bit(self.group[idx], bit);
+                true
+            }
+            FaultKind::ChannelStall { beats } => self.a_ch.fault_drop_beats(beats),
+            // The interleaved accumulator store *is* this design's
+            // reduction state.
+            FaultKind::StuckAtZero { slot, bit } => self
+                .y_store
+                .fault_mutate(slot, |v| *v = clear_f64_bit(*v, bit)),
+        }
     }
 }
 

@@ -13,7 +13,10 @@ use super::{DenseMatrix, MvmOutcome, MvmParams};
 use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
-use fblas_sim::{ClockDomain, DelayLine, Design, Fifo, Harness, Probe, ProbeId, StallCause};
+use fblas_sim::{
+    flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Fifo, Harness, Probe,
+    ProbeId, StallCause,
+};
 use fblas_system::{ClockModel, Xd1Node};
 
 /// The tree-based row-major matrix-vector design.
@@ -323,6 +326,19 @@ impl<R: Reducer> Design for RowMvmRun<'_, R> {
 
     fn progress(&self) -> Option<u64> {
         Some(self.values_fed + self.reducer.adds_issued() + self.done_rows as u64)
+    }
+
+    fn inject(&mut self, fault: &FaultSpec) -> bool {
+        match fault.kind {
+            FaultKind::PipelineBitFlip { stage, bit } => self
+                .tree
+                .fault_mutate(stage, |t| t.1 = flip_f64_bit(t.1, bit)),
+            FaultKind::BufferBitFlip { slot, bit } => self
+                .backlog
+                .fault_mutate(slot, |t| t.1 = flip_f64_bit(t.1, bit)),
+            FaultKind::ChannelStall { beats } => self.a_ch.fault_drop_beats(beats),
+            FaultKind::StuckAtZero { slot, bit } => self.reducer.fault_stuck_at(slot, bit),
+        }
     }
 }
 

@@ -100,6 +100,20 @@ pub trait Reducer {
     /// [`Reducer::buffer_high_water`]), so the owning design can sample
     /// the circuit's occupancy into a probe every cycle.
     fn buffered(&self) -> usize;
+
+    /// Fault-injection hook: force `bit` of one buffered word to zero,
+    /// modelling a stuck-at-0 storage cell in the circuit's buffers. The
+    /// `slot` selects among currently buffered words (reduced modulo the
+    /// occupancy, implementation-defined ordering). Returns false when
+    /// the circuit buffers nothing injectable this cycle — the fault is
+    /// architecturally masked. The default is a circuit with no exposed
+    /// storage: every such fault is masked.
+    ///
+    /// Only call this from a [`Design::inject`] implementation (enforced
+    /// by the `fault-hook-purity` DRC rule).
+    fn fault_stuck_at(&mut self, _slot: usize, _bit: u32) -> bool {
+        false
+    }
 }
 
 /// Measured outcome of driving a workload through a reduction circuit.

@@ -274,6 +274,25 @@ impl Reducer for SingleAdderReducer {
     fn buffered(&self) -> usize {
         self.stored_items
     }
+
+    /// Targets the architecturally committed words (`avail` pools, oldest
+    /// row first, push order within a row); in-flight adder state is not
+    /// addressable here — use the pipeline hooks for that.
+    fn fault_stuck_at(&mut self, slot: usize, bit: u32) -> bool {
+        let total: usize = self.rows.iter().map(|r| r.avail.len()).sum();
+        if total == 0 {
+            return false;
+        }
+        let mut idx = slot % total;
+        for row in &mut self.rows {
+            if idx < row.avail.len() {
+                row.avail[idx] = fblas_sim::clear_f64_bit(row.avail[idx], bit);
+                return true;
+            }
+            idx -= row.avail.len();
+        }
+        unreachable!("idx reduced modulo the total avail count")
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +441,44 @@ mod tests {
         let r = SingleAdderReducer::with_paper_adder();
         assert_eq!(r.alpha(), 14);
         assert_eq!(r.buffer_capacity(), 392);
+    }
+
+    #[test]
+    fn fault_stuck_at_clears_a_buffered_bit_or_masks_when_empty() {
+        use crate::reduce::ReduceInput;
+        let mut r = SingleAdderReducer::new(4);
+        assert!(!r.fault_stuck_at(0, 52), "empty circuit masks the fault");
+        // Buffer three values of an open set (fewer than α, all committed).
+        for &v in &[3.0, 5.0, 7.0] {
+            r.tick(Some(ReduceInput {
+                set_id: 0,
+                value: v,
+                last: false,
+            }));
+        }
+        // Slot 1 is 5.0 = 1.25·2²; clearing exponent bit 52 makes 2.5.
+        assert!(r.fault_stuck_at(1, 52));
+        r.tick(Some(ReduceInput {
+            set_id: 0,
+            value: 1.0,
+            last: true,
+        }));
+        let mut result = None;
+        for _ in 0..200 {
+            if let Some(ev) = r.tick(None) {
+                result = Some(ev);
+            }
+            if r.is_done() {
+                break;
+            }
+        }
+        assert_eq!(result.expect("set retires").value, 3.0 + 2.5 + 7.0 + 1.0);
+    }
+
+    #[test]
+    fn reducers_without_exposed_storage_mask_stuck_at_faults() {
+        let mut r = crate::reduce::StallingReducer::new(4);
+        assert!(!r.fault_stuck_at(0, 5), "trait default masks");
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Algorithm-based fault tolerance for the Level-2/3 designs, plus
+//! software residual gates for Level-1.
+//!
+//! The Huang–Abraham construction: augment the input matrix with a
+//! checksum row (each entry the column sum of A), let the *hardware*
+//! compute the matrix-vector product on the augmented matrix, and verify
+//! after the run that the extra output element equals the sum of the
+//! ordinary outputs. A single upset anywhere in the datapath perturbs one
+//! side of that identity but not the other.
+//!
+//! All verification sums are kept in double-double ([`crate::dd`]) and
+//! compared *without collapsing*: a mantissa-bit-0 upset shifts a y
+//! element by one ulp, which survives in the `lo` component of the
+//! double-double sum but would round away if the sum were collapsed to a
+//! single f64 before comparison.
+//!
+//! Exactness contract: the checks are exact (tolerance zero) whenever
+//! inputs are integer-valued and small enough that every intermediate is
+//! exactly representable — which the campaign generator guarantees. For
+//! general floating-point workloads the residuals remain available, but
+//! a caller must supply its own tolerance policy.
+
+use fblas_core::mvm::{ColMajorMvm, DenseMatrix, RowMajorMvm};
+use fblas_sim::Harness;
+
+use crate::dd::Dd;
+
+/// NaN-aware semantic equality: equal values, or both NaN.
+pub fn same_value(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+/// Whether two result vectors differ anywhere (NaN-aware, sign of zero
+/// ignored — a −0.0/0.0 split is not a numeric corruption).
+pub fn values_differ(a: &[f64], b: &[f64]) -> bool {
+    a.len() != b.len() || a.iter().zip(b).any(|(&x, &y)| !same_value(x, y))
+}
+
+fn same_dd(a: Dd, b: Dd) -> bool {
+    same_value(a.hi, b.hi) && same_value(a.lo, b.lo)
+}
+
+/// Augment A with a checksum row: entry `j` of the extra row is the
+/// double-double column sum of column `j`, collapsed once (exact for
+/// integer-valued A).
+pub fn augment_checksum_row(a: &DenseMatrix) -> DenseMatrix {
+    let (rows, cols) = (a.rows(), a.cols());
+    DenseMatrix::from_fn(rows + 1, cols, |i, j| {
+        if i < rows {
+            a.at(i, j)
+        } else {
+            (0..rows)
+                .fold(Dd::default(), |acc, r| acc + a.at(r, j))
+                .value()
+        }
+    })
+}
+
+/// Outcome of an ABFT-checked matrix-vector run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedMvm {
+    /// The ordinary result elements y₀..yₙ₋₁ (checksum element stripped).
+    pub y: Vec<f64>,
+    /// The checksum element the hardware produced (row n of A′ times x).
+    pub check: f64,
+    /// Σᵢ yᵢ recomputed in double-double, collapsed once (informational;
+    /// detection compares the uncollapsed pair).
+    pub expected: f64,
+    /// Whether the checksum identity failed — a datapath fault upstream.
+    pub detected: bool,
+    /// Cycles the run took (includes the checksum row's extra work).
+    pub cycles: u64,
+}
+
+/// Verify the checksum identity on an augmented result vector.
+///
+/// `y_aug` holds the n ordinary elements followed by the hardware
+/// checksum element.
+pub fn check_augmented_y(y_aug: &[f64], cycles: u64) -> CheckedMvm {
+    assert!(
+        !y_aug.is_empty(),
+        "augmented result has at least the checksum"
+    );
+    let n = y_aug.len() - 1;
+    let check = y_aug[n];
+    let y = y_aug[..n].to_vec();
+    let sum = y.iter().fold(Dd::default(), |acc, &v| acc + v);
+    let detected = !same_dd(sum, Dd::from_f64(check));
+    CheckedMvm {
+        expected: sum.value(),
+        y,
+        check,
+        detected,
+        cycles,
+    }
+}
+
+/// Run the §4.2 row-major tree `MvM` on the checksum-augmented matrix and
+/// verify the identity. The harness may carry an armed fault schedule.
+pub fn row_mvm_checked_in(
+    harness: &mut Harness,
+    design: &RowMajorMvm,
+    a: &DenseMatrix,
+    x: &[f64],
+) -> CheckedMvm {
+    let out = design.run_in(harness, &augment_checksum_row(a), x);
+    check_augmented_y(&out.y, out.report.cycles)
+}
+
+/// Run the §4.2 column-major interleaved `MvM` on the checksum-augmented
+/// matrix and verify the identity. The extra row keeps the hazard
+/// condition intact (rows only grow).
+pub fn col_mvm_checked_in(
+    harness: &mut Harness,
+    design: &ColMajorMvm,
+    a: &DenseMatrix,
+    x: &[f64],
+) -> CheckedMvm {
+    let out = design.run_in(harness, &augment_checksum_row(a), x);
+    check_augmented_y(&out.y, out.report.cycles)
+}
+
+/// Column-sum identity for C = A·B: for every column j,
+/// `Σᵢ C[i,j] = Σ_q (Σᵢ A[i,q]) · B[q,j]`.
+///
+/// An O(n²) post-run check against the O(n³) product — this is the ABFT
+/// form usable with the §5.1 linear array, which requires square
+/// operands and so cannot stream a physically augmented matrix. Returns
+/// `(detected, worst_residual)`; the residual is informational and only
+/// meaningful for non-exact workloads.
+pub fn mm_colsum_check(a: &DenseMatrix, b: &DenseMatrix, c: &DenseMatrix) -> (bool, f64) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions");
+    assert_eq!(c.rows(), a.rows(), "C row shape");
+    assert_eq!(c.cols(), b.cols(), "C column shape");
+    let col_sums_a: Vec<Dd> = (0..a.cols())
+        .map(|q| (0..a.rows()).fold(Dd::default(), |acc, i| acc + a.at(i, q)))
+        .collect();
+    let mut detected = false;
+    let mut worst = 0.0f64;
+    for j in 0..c.cols() {
+        let got = (0..c.rows()).fold(Dd::default(), |acc, i| acc + c.at(i, j));
+        let want = col_sums_a
+            .iter()
+            .enumerate()
+            .fold(Dd::default(), |acc, (q, s)| {
+                acc.add_prod(s.hi, b.at(q, j)).add_prod(s.lo, b.at(q, j))
+            });
+        if !same_dd(got, want) {
+            detected = true;
+            let r = (got.value() - want.value()).abs();
+            // NaN-propagating max: a NaN residual poisons `worst` visibly.
+            if r > worst || r.is_nan() {
+                worst = r;
+            }
+        }
+    }
+    (detected, worst)
+}
+
+/// Software residual gate for the Level-1 kernels: exact elementwise
+/// comparison of a hardware result against the `fblas-sw` oracle.
+/// Returns `(detected, worst_residual)`.
+pub fn residual_gate(got: &[f64], want: &[f64]) -> (bool, f64) {
+    assert_eq!(got.len(), want.len(), "gate needs matching shapes");
+    let mut detected = false;
+    let mut worst = 0.0f64;
+    for (&g, &w) in got.iter().zip(want) {
+        if !same_value(g, w) {
+            detected = true;
+            let r = (g - w).abs();
+            // NaN-propagating max: a NaN residual poisons `worst` visibly.
+            if r > worst || r.is_nan() {
+                worst = r;
+            }
+        }
+    }
+    (detected, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_core::mvm::MvmParams;
+    use fblas_sim::flip_f64_bit;
+
+    fn int_matrix(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |i, j| ((i * 3 + j * 7) % 16) as f64 - 8.0)
+    }
+
+    fn int_vector(n: usize) -> Vec<f64> {
+        (0..n).map(|j| ((j * 5 + 1) % 16) as f64 - 8.0).collect()
+    }
+
+    #[test]
+    fn augmented_row_is_the_exact_column_sums() {
+        let a = int_matrix(6, 4);
+        let aug = augment_checksum_row(&a);
+        assert_eq!(aug.rows(), 7);
+        for j in 0..4 {
+            let want: f64 = (0..6).map(|i| a.at(i, j)).sum();
+            assert_eq!(aug.at(6, j), want);
+        }
+    }
+
+    #[test]
+    fn clean_row_mvm_passes_the_checksum_identity() {
+        let (a, x) = (int_matrix(16, 16), int_vector(16));
+        let design = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let checked = row_mvm_checked_in(&mut Harness::new(), &design, &a, &x);
+        assert!(!checked.detected);
+        assert_eq!(checked.y, a.ref_mvm(&x));
+        assert_eq!(checked.check, checked.expected);
+    }
+
+    #[test]
+    fn checksum_identity_catches_an_ulp_scale_flip() {
+        let (a, x) = (int_matrix(16, 16), int_vector(16));
+        let mut y_aug = augment_checksum_row(&a).ref_mvm(&x);
+        // Find a nonzero ordinary element and flip its lowest mantissa
+        // bit: the perturbation is ~1e-14 relative, far below what a
+        // collapsed f64 checksum could see.
+        let idx = y_aug[..16].iter().position(|&v| v != 0.0).expect("nonzero");
+        y_aug[idx] = flip_f64_bit(y_aug[idx], 0);
+        assert!(check_augmented_y(&y_aug, 0).detected);
+    }
+
+    #[test]
+    fn checksum_identity_catches_a_corrupted_checksum_element() {
+        let (a, x) = (int_matrix(12, 12), int_vector(12));
+        let mut y_aug = augment_checksum_row(&a).ref_mvm(&x);
+        let last = y_aug.len() - 1;
+        y_aug[last] = flip_f64_bit(y_aug[last], 62);
+        assert!(check_augmented_y(&y_aug, 0).detected);
+    }
+
+    #[test]
+    fn mm_colsum_identity_is_exact_on_clean_integer_products() {
+        let a = int_matrix(8, 8);
+        let b = int_matrix(8, 8);
+        let c_flat = fblas_sw::gemm_naive(a.as_slice(), b.as_slice(), 8);
+        let c = DenseMatrix::from_rows(8, 8, c_flat);
+        let (detected, worst) = mm_colsum_check(&a, &b, &c);
+        assert!(!detected);
+        assert_eq!(worst, 0.0);
+    }
+
+    #[test]
+    fn mm_colsum_identity_catches_any_single_bit_flip_in_c() {
+        let a = int_matrix(6, 6);
+        let b = int_matrix(6, 6);
+        let clean = fblas_sw::gemm_naive(a.as_slice(), b.as_slice(), 6);
+        let idx = clean.iter().position(|&v| v != 0.0).expect("nonzero entry");
+        for bit in 0..64 {
+            let mut c_flat = clean.clone();
+            c_flat[idx] = flip_f64_bit(c_flat[idx], bit);
+            let c = DenseMatrix::from_rows(6, 6, c_flat);
+            assert!(
+                mm_colsum_check(&a, &b, &c).0,
+                "bit {bit} flip escaped the column-sum identity"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_gate_is_exact_and_nan_aware() {
+        let want = [1.0, -2.0, 0.0];
+        assert!(!residual_gate(&[1.0, -2.0, 0.0], &want).0);
+        // Sign-of-zero is not a corruption.
+        assert!(!residual_gate(&[1.0, -2.0, -0.0], &want).0);
+        let (detected, worst) = residual_gate(&[1.0, -2.5, 0.0], &want);
+        assert!(detected);
+        assert_eq!(worst, 0.5);
+        assert!(residual_gate(&[f64::NAN, -2.0, 0.0], &want).0);
+    }
+}

@@ -1,0 +1,524 @@
+//! The deterministic campaign runner: inject, detect, classify, recover.
+//!
+//! One *trial* = one kernel run with one scheduled fault armed. The
+//! runner executes a clean reference run first (also fixing the fault's
+//! injection cycle inside the kernel's real active window), then the
+//! faulted run, classifies the outcome, and — when the fault was caught —
+//! exercises retry-with-replay: the kernel re-runs from its staged
+//! inputs, with bounded attempts and an exponential backoff charged in
+//! simulated cycles, until the result is bit-exact against the clean run.
+//!
+//! Determinism contract: every trial is a pure function of
+//! `(campaign seed, family, trial index)`. Inputs come from
+//! [`FaultRng::derive`] streams, fault sites from [`crate::plan`], and no
+//! trial shares mutable state with another — so a campaign produces
+//! byte-identical records at any worker count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fblas_core::dot::{DotParams, DotProductDesign};
+use fblas_core::level1::{AsumDesign, AxpyDesign, Level1Params, ScalDesign};
+use fblas_core::mm::{LinearArrayMm, MmParams};
+use fblas_core::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_sim::{FaultKind, FaultSpec, Harness};
+
+use crate::abft::{
+    col_mvm_checked_in, mm_colsum_check, residual_gate, row_mvm_checked_in, values_differ,
+};
+use crate::plan::random_kind;
+use crate::prng::FaultRng;
+
+/// The kernel families a campaign fans faults across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// §4.1 tree dot product (k = 2), residual-gated against `fblas-sw`.
+    Dot,
+    /// §4.1 axpy lanes (k = 4), residual-gated.
+    Axpy,
+    /// §4.1 scal lanes (k = 4), residual-gated.
+    Scal,
+    /// §4.1 asum tree (k = 4), residual-gated.
+    Asum,
+    /// §4.2 row-major tree `MvM` (k = 4), ABFT checksum row.
+    MvmRow,
+    /// §4.2 column-major interleaved `MvM` (k = 4), ABFT checksum row.
+    MvmCol,
+    /// §5.1 linear-array MM (k = 2, m = 8), ABFT column-sum identity.
+    Mm,
+}
+
+impl Family {
+    /// Every campaign family, in fixed report order.
+    pub const ALL: [Family; 7] = [
+        Family::Dot,
+        Family::Axpy,
+        Family::Scal,
+        Family::Asum,
+        Family::MvmRow,
+        Family::MvmCol,
+        Family::Mm,
+    ];
+
+    /// Stable name used in records and scoreboards.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Dot => "dot",
+            Family::Axpy => "axpy",
+            Family::Scal => "scal",
+            Family::Asum => "asum",
+            Family::MvmRow => "mvm/row",
+            Family::MvmCol => "mvm/col",
+            Family::Mm => "mm/linear",
+        }
+    }
+
+    /// Whether the family is covered by a hardware-side ABFT check (the
+    /// zero-silent-corruption acceptance gate applies to these).
+    pub fn abft_covered(self) -> bool {
+        matches!(self, Family::MvmRow | Family::MvmCol | Family::Mm)
+    }
+}
+
+/// Classified end state of one faulted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// A detector (ABFT, residual gate, or a design invariant) caught it.
+    Detected,
+    /// The result differs from the clean run and nothing noticed — the
+    /// failure mode the subsystem exists to measure.
+    SilentCorruption,
+    /// The run completed with a bit-identical result (fault hit a bubble,
+    /// an empty buffer, a dead bit, or only perturbed timing).
+    Masked,
+    /// The run tripped the harness watchdog (livelock / cycle limit).
+    Hang,
+}
+
+impl FaultOutcome {
+    /// Stable name used in records and scoreboards.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::SilentCorruption => "silent-corruption",
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Hang => "hang",
+        }
+    }
+}
+
+/// Retry-with-replay accounting for a detected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Replay attempts consumed (1 = first replay succeeded).
+    pub attempts: u32,
+    /// Whether a replay reproduced the clean result bit-exactly.
+    pub recovered: bool,
+    /// Total cycles charged: the wasted faulted run, plus per-attempt
+    /// backoff, plus each replay run.
+    pub recovery_cycles: u64,
+}
+
+/// One fully classified trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// Kernel family name.
+    pub family: &'static str,
+    /// Fault kind name.
+    pub fault: &'static str,
+    /// Injection cycle actually armed (inside the clean active window).
+    pub cycle: u64,
+    /// Whether the design reported the fault as landed.
+    pub landed: bool,
+    /// Classified outcome.
+    pub outcome: FaultOutcome,
+    /// Which detector fired: `"abft"`, `"residual"`, `"invariant"`,
+    /// `"watchdog"`, or `"none"`.
+    pub detector: &'static str,
+    /// Cycles the faulted run took (clean-run estimate when it panicked).
+    pub faulted_cycles: u64,
+    /// Present when a response was exercised (outcome detected or hang).
+    pub recovery: Option<Recovery>,
+}
+
+/// One trial of a campaign matrix, fully determined at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Kernel family under test.
+    pub family: Family,
+    /// Seed for the family's staged input data.
+    pub data_seed: u64,
+    /// Raw draw reduced modulo the clean run's cycle count to place the
+    /// fault inside the kernel's real active window.
+    pub cycle_salt: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// Build the seeded fault matrix: `trials_per_family` trials for every
+/// family, each a pure function of `(seed, family, trial index)`.
+pub fn trial_specs(seed: u64, trials_per_family: usize) -> Vec<TrialSpec> {
+    let mut specs = Vec::with_capacity(Family::ALL.len() * trials_per_family);
+    for (fi, &family) in Family::ALL.iter().enumerate() {
+        for t in 0..trials_per_family {
+            let mut rng = FaultRng::derive(seed, ((fi as u64) << 32) | t as u64);
+            specs.push(TrialSpec {
+                family,
+                data_seed: seed ^ (fi as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                cycle_salt: rng.next_u64(),
+                kind: random_kind(&mut rng),
+            });
+        }
+    }
+    specs
+}
+
+/// Result of one kernel execution plus its detector verdict.
+struct Exec {
+    values: Vec<f64>,
+    detected: bool,
+    detector: &'static str,
+    cycles: u64,
+}
+
+fn synth(seed: u64, stream: u64, n: usize) -> Vec<f64> {
+    let mut rng = FaultRng::derive(seed, stream);
+    (0..n).map(|_| rng.int_value()).collect()
+}
+
+fn synth_matrix(seed: u64, stream: u64, rows: usize, cols: usize) -> DenseMatrix {
+    let data = synth(seed, stream, rows * cols);
+    DenseMatrix::from_rows(rows, cols, data)
+}
+
+/// Run one kernel family on its staged inputs inside `harness` (which may
+/// carry an armed fault schedule) and apply the family's detector.
+fn execute(family: Family, data_seed: u64, harness: &mut Harness) -> Exec {
+    match family {
+        Family::Dot => {
+            let (u, v) = (synth(data_seed, 1, 256), synth(data_seed, 2, 256));
+            let design = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+            let out = design.run_in(harness, &u, &v);
+            let (detected, _) = residual_gate(&[out.result], &[fblas_sw::dot_naive(&u, &v)]);
+            Exec {
+                values: vec![out.result],
+                detected,
+                detector: "residual",
+                cycles: out.report.cycles,
+            }
+        }
+        Family::Axpy => {
+            let (x, y) = (synth(data_seed, 1, 128), synth(data_seed, 2, 128));
+            let a = 3.0;
+            let design = AxpyDesign::new(Level1Params::with_k(4));
+            let out = design.run_in(harness, a, &x, &y);
+            let mut want = y.clone();
+            fblas_sw::axpy(a, &x, &mut want);
+            let (detected, _) = residual_gate(&out.result, &want);
+            Exec {
+                values: out.result,
+                detected,
+                detector: "residual",
+                cycles: out.report.cycles,
+            }
+        }
+        Family::Scal => {
+            let x = synth(data_seed, 1, 128);
+            let a = -5.0;
+            let design = ScalDesign::new(Level1Params::with_k(4));
+            let out = design.run_in(harness, a, &x);
+            let mut want = x.clone();
+            fblas_sw::scal(a, &mut want);
+            let (detected, _) = residual_gate(&out.result, &want);
+            Exec {
+                values: out.result,
+                detected,
+                detector: "residual",
+                cycles: out.report.cycles,
+            }
+        }
+        Family::Asum => {
+            let x = synth(data_seed, 1, 128);
+            let design = AsumDesign::new(Level1Params::with_k(4));
+            let out = design.run_in(harness, &x);
+            let (detected, _) = residual_gate(&[out.result], &[fblas_sw::asum(&x)]);
+            Exec {
+                values: vec![out.result],
+                detected,
+                detector: "residual",
+                cycles: out.report.cycles,
+            }
+        }
+        Family::MvmRow => {
+            let a = synth_matrix(data_seed, 1, 32, 32);
+            let x = synth(data_seed, 2, 32);
+            let design = RowMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+            let checked = row_mvm_checked_in(harness, &design, &a, &x);
+            Exec {
+                values: checked.y.clone(),
+                detected: checked.detected,
+                detector: "abft",
+                cycles: checked.cycles,
+            }
+        }
+        Family::MvmCol => {
+            // 64 rows so the augmented 65-row matrix still satisfies the
+            // interleaving hazard condition ⌈rows/k⌉ ≥ α.
+            let a = synth_matrix(data_seed, 1, 64, 32);
+            let x = synth(data_seed, 2, 32);
+            let design = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+            let checked = col_mvm_checked_in(harness, &design, &a, &x);
+            Exec {
+                values: checked.y.clone(),
+                detected: checked.detected,
+                detector: "abft",
+                cycles: checked.cycles,
+            }
+        }
+        Family::Mm => {
+            let a = synth_matrix(data_seed, 1, 16, 16);
+            let b = synth_matrix(data_seed, 2, 16, 16);
+            let design = LinearArrayMm::new(MmParams::test(2, 8));
+            let out = design.run_in(harness, &a, &b);
+            let (detected, _) = mm_colsum_check(&a, &b, &out.c);
+            Exec {
+                values: out.c.as_slice().to_vec(),
+                detected,
+                detector: "abft",
+                cycles: out.report.cycles,
+            }
+        }
+    }
+}
+
+const MAX_REPLAY_ATTEMPTS: u32 = 3;
+const BACKOFF_BASE_CYCLES: u64 = 32;
+
+/// Retry-with-replay: re-run the kernel from its staged inputs (the
+/// fault was transient, so the replay is clean), verifying each attempt
+/// against the clean result. Cycle accounting charges the wasted faulted
+/// run plus an exponential backoff per attempt plus every replay.
+fn replay(spec: &TrialSpec, clean: &Exec, wasted_cycles: u64) -> Recovery {
+    let mut recovery_cycles = wasted_cycles;
+    for attempt in 1..=MAX_REPLAY_ATTEMPTS {
+        recovery_cycles += BACKOFF_BASE_CYCLES << (attempt - 1);
+        let rerun = execute(spec.family, spec.data_seed, &mut Harness::new());
+        recovery_cycles += rerun.cycles;
+        if !rerun.detected && !values_differ(&rerun.values, &clean.values) {
+            return Recovery {
+                attempts: attempt,
+                recovered: true,
+                recovery_cycles,
+            };
+        }
+    }
+    Recovery {
+        attempts: MAX_REPLAY_ATTEMPTS,
+        recovered: false,
+        recovery_cycles,
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("opaque panic payload")
+    }
+}
+
+/// Run one trial end to end: clean run, faulted run, classification,
+/// and the recovery response when a detector fired.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    let clean = execute(spec.family, spec.data_seed, &mut Harness::new());
+    assert!(
+        !clean.detected,
+        "{}: clean run failed its own detector",
+        spec.family.name()
+    );
+    let cycle = 1 + spec.cycle_salt % clean.cycles.max(1);
+    let fault = FaultSpec {
+        cycle,
+        kind: spec.kind,
+    };
+    // Fresh harness per faulted run: a panicking design may leave any
+    // shared harness in a corrupted state.
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut harness = Harness::new();
+        harness.arm_faults(vec![fault]);
+        let exec = execute(spec.family, spec.data_seed, &mut harness);
+        let log = harness.disarm_faults().expect("schedule was armed");
+        (exec, log)
+    }));
+    let base = TrialResult {
+        family: spec.family.name(),
+        fault: spec.kind.name(),
+        cycle,
+        landed: false,
+        outcome: FaultOutcome::Masked,
+        detector: "none",
+        faulted_cycles: clean.cycles,
+        recovery: None,
+    };
+    match attempt {
+        Err(payload) => {
+            let msg = panic_text(payload.as_ref());
+            let (outcome, detector) = if msg.contains("livelock") || msg.contains("cycle limit") {
+                (FaultOutcome::Hang, "watchdog")
+            } else {
+                // The design's own invariant assertions are a legitimate
+                // detector: the fault was noticed, not silent.
+                (FaultOutcome::Detected, "invariant")
+            };
+            TrialResult {
+                landed: true,
+                outcome,
+                detector,
+                recovery: Some(replay(spec, &clean, clean.cycles)),
+                ..base
+            }
+        }
+        Ok((exec, log)) => {
+            let landed = log.applied > 0;
+            if exec.detected {
+                TrialResult {
+                    landed,
+                    outcome: FaultOutcome::Detected,
+                    detector: exec.detector,
+                    faulted_cycles: exec.cycles,
+                    recovery: Some(replay(spec, &clean, exec.cycles)),
+                    ..base
+                }
+            } else if values_differ(&exec.values, &clean.values) {
+                TrialResult {
+                    landed,
+                    outcome: FaultOutcome::SilentCorruption,
+                    faulted_cycles: exec.cycles,
+                    ..base
+                }
+            } else {
+                TrialResult {
+                    landed,
+                    faulted_cycles: exec.cycles,
+                    ..base
+                }
+            }
+        }
+    }
+}
+
+/// Graceful degradation: a permanently faulted PE is dropped and the
+/// kernel re-scheduled on the largest remaining valid array (half the
+/// lanes, since the tree/array designs need structured k), reporting the
+/// honest degraded throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRun {
+    /// Kernel family name.
+    pub family: &'static str,
+    /// Healthy lane/PE count.
+    pub healthy_k: usize,
+    /// Lane/PE count after dropping the faulted unit and re-scheduling.
+    pub degraded_k: usize,
+    /// Sustained MFLOPS of the healthy configuration.
+    pub healthy_mflops: f64,
+    /// Sustained MFLOPS after degradation (honest: measured, not scaled).
+    pub degraded_mflops: f64,
+    /// Whether the degraded result is still exact against the oracle.
+    pub exact: bool,
+}
+
+/// Degrade the §4.2 row-major `MvM` from k = 4 to k = 2 lanes.
+pub fn degrade_row_mvm(seed: u64) -> DegradedRun {
+    let a = synth_matrix(seed, 1, 32, 32);
+    let x = synth(seed, 2, 32);
+    let want = fblas_sw::gemv_naive(a.as_slice(), 32, 32, &x);
+    let run = |k: usize| {
+        let design = RowMajorMvm::standalone(MvmParams::with_k(k), 170.0);
+        design.run_in(&mut Harness::new(), &a, &x)
+    };
+    let (healthy, degraded) = (run(4), run(2));
+    DegradedRun {
+        family: "mvm/row",
+        healthy_k: 4,
+        degraded_k: 2,
+        healthy_mflops: healthy.report.sustained_flops(&healthy.clock) / 1e6,
+        degraded_mflops: degraded.report.sustained_flops(&degraded.clock) / 1e6,
+        exact: !values_differ(&healthy.y, &want) && !values_differ(&degraded.y, &want),
+    }
+}
+
+/// Degrade the §5.1 linear-array MM from k = 2 to a single PE.
+pub fn degrade_mm(seed: u64) -> DegradedRun {
+    let a = synth_matrix(seed, 1, 16, 16);
+    let b = synth_matrix(seed, 2, 16, 16);
+    let want = fblas_sw::gemm_naive(a.as_slice(), b.as_slice(), 16);
+    let run = |k: usize| {
+        let design = LinearArrayMm::new(MmParams::test(k, 8));
+        design.run_in(&mut Harness::new(), &a, &b)
+    };
+    let (healthy, degraded) = (run(2), run(1));
+    DegradedRun {
+        family: "mm/linear",
+        healthy_k: 2,
+        degraded_k: 1,
+        healthy_mflops: healthy.report.sustained_flops(&healthy.clock) / 1e6,
+        degraded_mflops: degraded.report.sustained_flops(&degraded.clock) / 1e6,
+        exact: !values_differ(healthy.c.as_slice(), &want)
+            && !values_differ(degraded.c.as_slice(), &want),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_are_stable_and_unique() {
+        let names: std::collections::BTreeSet<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), Family::ALL.len());
+        assert!(Family::MvmRow.abft_covered());
+        assert!(!Family::Dot.abft_covered());
+    }
+
+    #[test]
+    fn trial_specs_are_a_pure_function_of_the_seed() {
+        let a = trial_specs(7, 4);
+        let b = trial_specs(7, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), Family::ALL.len() * 4);
+        let c = trial_specs(8, 4);
+        assert_ne!(a, c, "different seeds draw different matrices");
+    }
+
+    #[test]
+    fn clean_executions_pass_their_detectors() {
+        for &family in &Family::ALL {
+            let exec = execute(family, 99, &mut Harness::new());
+            assert!(!exec.detected, "{} clean run flagged", family.name());
+            assert!(exec.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn channel_stalls_are_timing_only_and_classified_masked() {
+        for &family in &[Family::Dot, Family::MvmRow] {
+            let spec = TrialSpec {
+                family,
+                data_seed: 5,
+                cycle_salt: 20,
+                kind: FaultKind::ChannelStall { beats: 4 },
+            };
+            let result = run_trial(&spec);
+            assert_eq!(result.outcome, FaultOutcome::Masked, "{result:?}");
+        }
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(FaultOutcome::Detected.name(), "detected");
+        assert_eq!(FaultOutcome::SilentCorruption.name(), "silent-corruption");
+        assert_eq!(FaultOutcome::Masked.name(), "masked");
+        assert_eq!(FaultOutcome::Hang.name(), "hang");
+    }
+}

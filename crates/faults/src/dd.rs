@@ -1,0 +1,132 @@
+//! Double-double accumulation for the detectors.
+//!
+//! An ABFT checksum computed in plain binary64 can absorb exactly the
+//! faults it exists to expose: a flip of mantissa bit 0 in one addend of
+//! a large sum vanishes in the rounding of the checksum itself. The
+//! detectors therefore accumulate in double-double precision (an
+//! unevaluated `hi + lo` pair maintained with Knuth's `TwoSum` and an
+//! FMA-based `TwoProd`), which represents every sum of campaign-scale
+//! inputs exactly.
+//!
+//! This crate is *instrumentation*, not datapath: it sits outside the
+//! softfloat-purity fence (`crates/core/src`, `crates/mem/src`, the FPU
+//! pipeline), so native f64 arithmetic is the correct tool here — it
+//! models the host-side checking software of §6, not the FPGA.
+
+/// An unevaluated double-double value `hi + lo` with `|lo| ≤ ulp(hi)/2`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing error component.
+    pub lo: f64,
+}
+
+/// Error-free sum: `a + b = s + err` exactly (Knuth `TwoSum`).
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let err = (a - (s - bb)) + (b - bb);
+    (s, err)
+}
+
+/// Error-free product: `a · b = p + err` exactly (FMA `TwoProd`).
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let err = a.mul_add(b, -p);
+    (p, err)
+}
+
+impl Dd {
+    /// Promote a double.
+    pub fn from_f64(v: f64) -> Self {
+        Self { hi: v, lo: 0.0 }
+    }
+
+    /// Accumulate the exact product `a · b`.
+    pub fn add_prod(self, a: f64, b: f64) -> Self {
+        let (p, e) = two_prod(a, b);
+        self + p + e
+    }
+
+    /// Collapse to the nearest double.
+    pub fn value(self) -> f64 {
+        self.hi + self.lo
+    }
+}
+
+/// `Dd + f64`: compensated accumulation of one double.
+impl std::ops::Add<f64> for Dd {
+    type Output = Dd;
+
+    fn add(self, v: f64) -> Dd {
+        let (s, e) = two_sum(self.hi, v);
+        let lo = self.lo + e;
+        let (hi, lo) = two_sum(s, lo);
+        Dd { hi, lo }
+    }
+}
+
+/// Exact sum of a slice, rounded once at the end.
+pub fn dd_sum(values: &[f64]) -> f64 {
+    values.iter().fold(Dd::default(), |acc, &v| acc + v).value()
+}
+
+/// Exact dot product of two slices, rounded once at the end.
+pub fn dd_dot(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "dot needs equal lengths");
+    u.iter()
+        .zip(v)
+        .fold(Dd::default(), |acc, (&a, &b)| acc.add_prod(a, b))
+        .value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_error_free() {
+        let (s, e) = two_sum(1e16, 1.0);
+        assert_eq!(s, 1e16); // 1.0 lost in the leading sum...
+        assert_eq!(e, 1.0); // ...and recovered exactly in the error term.
+    }
+
+    #[test]
+    fn dd_sum_sees_an_ulp_scale_perturbation_plain_f64_absorbs() {
+        // 2^53 + 1 is not representable: a plain f64 sum of [2^53, 1]
+        // rounds the 1 away, so a checksum in plain f64 could not tell
+        // the faulted stream [2^53, 1] from the clean stream [2^53, 0].
+        let big = (1u64 << 53) as f64;
+        let plain_clean: f64 = [big, 0.0].iter().sum();
+        let plain_faulted: f64 = [big, 1.0].iter().sum();
+        assert_eq!(plain_clean, plain_faulted, "plain f64 absorbs the flip");
+        let dd_clean = [big, 0.0].iter().fold(Dd::default(), |a, &v| a + v);
+        let dd_faulted = [big, 1.0].iter().fold(Dd::default(), |a, &v| a + v);
+        assert_ne!(
+            (dd_clean.hi, dd_clean.lo),
+            (dd_faulted.hi, dd_faulted.lo),
+            "double-double keeps the evidence"
+        );
+    }
+
+    #[test]
+    fn dd_dot_matches_exact_integer_arithmetic() {
+        let u: Vec<f64> = (0..100).map(|i| f64::from((i * 7) % 16) - 8.0).collect();
+        let v: Vec<f64> = (0..100).map(|i| f64::from((i * 5) % 16) - 8.0).collect();
+        let exact: i64 = u
+            .iter()
+            .zip(&v)
+            .map(|(&a, &b)| (a as i64) * (b as i64))
+            .sum();
+        assert_eq!(dd_dot(&u, &v), exact as f64);
+    }
+
+    #[test]
+    fn non_finite_values_poison_the_sum_visibly() {
+        // An infinity degenerates to NaN inside TwoSum (∞ − ∞); either
+        // way the poison is non-finite and cannot pass an exact check.
+        assert!(!dd_sum(&[1.0, f64::INFINITY]).is_finite());
+        assert!(dd_sum(&[1.0, f64::NAN]).is_nan());
+    }
+}

@@ -1,0 +1,46 @@
+//! Fault injection, ABFT detection, and recovery campaigns for the
+//! architecture simulations.
+//!
+//! The paper's library targets SRAM-based FPGA fabric (XD1 nodes carry
+//! six Virtex-II Pro application FPGAs per chassis), which is exposed to
+//! single-event upsets: a flipped register or BRAM bit silently corrupts
+//! the datapath without any architectural trap. This crate layers a
+//! reliability subsystem over `fblas-sim`'s cycle-scheduled fault
+//! delivery:
+//!
+//! * [`prng`] / [`plan`] — seeded, deterministic fault schedules
+//!   ([`FaultPlan`]) built from an xorshift generator; no wall clock, no
+//!   global RNG, so a campaign replays bit-identically from its seed.
+//! * [`dd`] — double-double (TwoSum/TwoProd) accumulation used by the
+//!   detectors, so an ABFT checksum does not itself absorb the very
+//!   low-mantissa upsets it is supposed to expose.
+//! * [`abft`] — algorithm-based fault tolerance in the Huang–Abraham
+//!   style: checksum-row augmentation for the §4.2 matrix-vector designs,
+//!   a column-sum identity for the §5.1 linear-array matrix multiplier,
+//!   and software residual gates for the §4.1 Level-1 kernels.
+//! * [`campaign`] — the deterministic trial runner: inject one scheduled
+//!   fault into a clean kernel run, classify the outcome
+//!   ([`FaultOutcome`]: detected / silent-corruption / masked / hang),
+//!   and exercise the responses — bounded retry-with-replay from staged
+//!   inputs, and graceful degradation to a smaller PE array with honest
+//!   degraded MFLOPS.
+
+#![forbid(unsafe_code)]
+
+pub mod abft;
+pub mod campaign;
+pub mod dd;
+pub mod plan;
+pub mod prng;
+
+pub use abft::{
+    augment_checksum_row, check_augmented_y, col_mvm_checked_in, mm_colsum_check, residual_gate,
+    row_mvm_checked_in, same_value, values_differ, CheckedMvm,
+};
+pub use campaign::{
+    degrade_mm, degrade_row_mvm, run_trial, trial_specs, DegradedRun, Family, FaultOutcome,
+    Recovery, TrialResult, TrialSpec,
+};
+pub use dd::Dd;
+pub use plan::FaultPlan;
+pub use prng::FaultRng;

@@ -1,0 +1,122 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultPlan`] is the unit a campaign arms on a harness: an explicit
+//! list of `(cycle, kind)` pairs, built either by hand (unit tests,
+//! targeted sweeps) or drawn from a seeded [`FaultRng`] (campaign
+//! matrices). Nothing here samples time or global state, so a plan is a
+//! pure function of its inputs.
+
+use fblas_sim::{FaultKind, FaultSpec};
+
+use crate::prng::FaultRng;
+
+/// A deterministic schedule of faults to arm on a harness.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    schedule: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a fault at `cycle` (1-based, cumulative since arming).
+    pub fn push(&mut self, cycle: u64, kind: FaultKind) -> &mut Self {
+        self.schedule.push(FaultSpec { cycle, kind });
+        self
+    }
+
+    /// Draw `faults` random specs with injection cycles in `1..=window`.
+    pub fn seeded(rng: &mut FaultRng, faults: usize, window: u64) -> Self {
+        let mut plan = Self::new();
+        for _ in 0..faults {
+            let spec = random_spec(rng, window);
+            plan.schedule.push(spec);
+        }
+        plan
+    }
+
+    /// The scheduled specs, in insertion order (the harness sorts on
+    /// arming).
+    pub fn schedule(&self) -> &[FaultSpec] {
+        &self.schedule
+    }
+
+    /// Consume the plan into the schedule vector [`fblas_sim::Harness::arm_faults`]
+    /// expects.
+    pub fn into_schedule(self) -> Vec<FaultSpec> {
+        self.schedule
+    }
+}
+
+/// Draw one fault kind. Site indices are drawn wide (`0..64`) and relied
+/// on to be reduced modulo the component size by each design's `inject`,
+/// so the same draw is meaningful for every kernel family.
+pub fn random_kind(rng: &mut FaultRng) -> FaultKind {
+    match rng.below(4) {
+        0 => FaultKind::PipelineBitFlip {
+            stage: rng.below(32) as usize,
+            bit: rng.below(64) as u32,
+        },
+        1 => FaultKind::BufferBitFlip {
+            slot: rng.below(64) as usize,
+            bit: rng.below(64) as u32,
+        },
+        2 => FaultKind::ChannelStall {
+            beats: 1 + rng.below(8),
+        },
+        _ => FaultKind::StuckAtZero {
+            slot: rng.below(64) as usize,
+            bit: rng.below(64) as u32,
+        },
+    }
+}
+
+/// Draw one spec with an injection cycle in `1..=window`.
+pub fn random_spec(rng: &mut FaultRng, window: u64) -> FaultSpec {
+    FaultSpec {
+        cycle: 1 + rng.below(window.max(1)),
+        kind: random_kind(rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_replay_byte_identically() {
+        let a = FaultPlan::seeded(&mut FaultRng::new(9), 20, 500);
+        let b = FaultPlan::seeded(&mut FaultRng::new(9), 20, 500);
+        assert_eq!(a.schedule(), b.schedule());
+        assert_eq!(a.schedule().len(), 20);
+    }
+
+    #[test]
+    fn cycles_stay_inside_the_window() {
+        let plan = FaultPlan::seeded(&mut FaultRng::new(1), 200, 37);
+        assert!(plan.schedule().iter().all(|s| (1..=37).contains(&s.cycle)));
+    }
+
+    #[test]
+    fn manual_plans_preserve_insertion() {
+        let mut plan = FaultPlan::new();
+        plan.push(5, FaultKind::ChannelStall { beats: 2 })
+            .push(2, FaultKind::BufferBitFlip { slot: 1, bit: 51 });
+        let sched = plan.into_schedule();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].cycle, 5, "plan itself does not reorder");
+    }
+
+    #[test]
+    fn all_kinds_are_reachable() {
+        let mut rng = FaultRng::new(123);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..256 {
+            seen.insert(random_kind(&mut rng).name());
+        }
+        assert_eq!(seen.len(), 4, "all four fault kinds drawn: {seen:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Acceptance tests for the reliability subsystem: zero silent
+//! corruption on ABFT-covered kernels, bit-exact recovery, and campaign
+//! determinism.
+
+use fblas_faults::{
+    degrade_mm, degrade_row_mvm, run_trial, trial_specs, Family, FaultOutcome, TrialSpec,
+};
+use fblas_sim::FaultKind;
+
+/// Every injected single-bit upset in the MM and `MvM` datapaths — every
+/// bit position, across pipeline registers, buffers, and reduction
+/// state — is either architecturally masked or caught by ABFT. None may
+/// survive silently.
+#[test]
+fn abft_catches_every_single_bit_flip_in_mvm_and_mm() {
+    for &family in &[Family::MvmRow, Family::MvmCol, Family::Mm] {
+        for bit in 0..64u32 {
+            for (site, salt) in [(0usize, 11u64), (3, 101), (9, 211)] {
+                for kind in [
+                    FaultKind::PipelineBitFlip { stage: site, bit },
+                    FaultKind::BufferBitFlip { slot: site, bit },
+                    FaultKind::StuckAtZero { slot: site, bit },
+                ] {
+                    let spec = TrialSpec {
+                        family,
+                        data_seed: 42,
+                        cycle_salt: salt.wrapping_mul(7 + u64::from(bit)),
+                        kind,
+                    };
+                    let result = run_trial(&spec);
+                    assert_ne!(
+                        result.outcome,
+                        FaultOutcome::SilentCorruption,
+                        "{} bit {bit} site {site}: {result:?}",
+                        family.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Residual-gated Level-1 kernels also show no silent corruption on the
+/// seeded campaign matrix (their oracle comparison is exact for the
+/// integer-valued staged inputs).
+#[test]
+fn seeded_campaign_matrix_has_no_silent_corruption() {
+    let mut detected = 0u32;
+    let mut landed = 0u32;
+    for spec in trial_specs(7, 6) {
+        let result = run_trial(&spec);
+        assert_ne!(
+            result.outcome,
+            FaultOutcome::SilentCorruption,
+            "{} {:?}: {result:?}",
+            spec.family.name(),
+            spec.kind
+        );
+        landed += u32::from(result.landed);
+        if result.outcome == FaultOutcome::Detected {
+            detected += 1;
+        }
+    }
+    assert!(landed > 0, "campaign never landed a fault");
+    assert!(detected > 0, "campaign never exercised a detector");
+}
+
+/// A detected fault recovers bit-exactly through replay, and the
+/// recovery-cycle accounting charges more than the faulted run alone.
+#[test]
+fn retry_with_replay_recovers_bit_exactly() {
+    // A high-mantissa pipeline flip mid-run on the row MvM tree is
+    // reliably landed and detected.
+    let spec = TrialSpec {
+        family: Family::MvmRow,
+        data_seed: 7,
+        cycle_salt: 80,
+        kind: FaultKind::PipelineBitFlip { stage: 1, bit: 51 },
+    };
+    let result = run_trial(&spec);
+    assert_eq!(result.outcome, FaultOutcome::Detected, "{result:?}");
+    assert!(result.landed);
+    let recovery = result.recovery.expect("detected faults trigger replay");
+    assert!(recovery.recovered, "replay must restore the clean result");
+    assert_eq!(recovery.attempts, 1, "transient fault: first replay wins");
+    assert!(
+        recovery.recovery_cycles > result.faulted_cycles,
+        "accounting must charge backoff and the replay run"
+    );
+}
+
+/// The same spec always classifies identically — trials share no state.
+#[test]
+fn trials_are_deterministic() {
+    for spec in trial_specs(3, 2) {
+        assert_eq!(run_trial(&spec), run_trial(&spec));
+    }
+}
+
+/// Dropping a faulted PE halves the array and reports honest (lower)
+/// throughput while staying exact.
+#[test]
+fn graceful_degradation_reports_honest_mflops() {
+    for degraded in [degrade_row_mvm(7), degrade_mm(7)] {
+        assert!(degraded.exact, "{degraded:?}");
+        assert_eq!(degraded.degraded_k * 2, degraded.healthy_k);
+        assert!(
+            degraded.degraded_mflops < degraded.healthy_mflops,
+            "degradation must not overstate throughput: {degraded:?}"
+        );
+        assert!(degraded.degraded_mflops > 0.0);
+    }
+}

@@ -159,6 +159,17 @@ impl<T> PipelinedAdder<T> {
     pub fn utilization(&self) -> f64 {
         self.unit.pipe.utilization()
     }
+
+    /// Fault-injection hook: flip one bit of the result in flight at
+    /// pipeline stage `stage` (0 = emerging next; reduced modulo the
+    /// depth), modelling an SEU in an adder pipeline register. Returns
+    /// false if that stage holds a bubble. Only call from a
+    /// `Design::inject` implementation (`fault-hook-purity` DRC rule).
+    pub fn fault_flip_in_flight(&mut self, stage: usize, bit: u32) -> bool {
+        self.unit
+            .pipe
+            .fault_mutate(stage, |t| t.value = fblas_sim::flip_f64_bit(t.value, bit))
+    }
 }
 
 impl<T> Default for PipelinedAdder<T> {
@@ -234,6 +245,16 @@ impl<T> PipelinedMultiplier<T> {
     /// Fraction of cycles in which a multiplication was issued.
     pub fn utilization(&self) -> f64 {
         self.unit.pipe.utilization()
+    }
+
+    /// Fault-injection hook: flip one bit of the product in flight at
+    /// pipeline stage `stage` (see
+    /// [`PipelinedAdder::fault_flip_in_flight`]). Only call from a
+    /// `Design::inject` implementation (`fault-hook-purity` DRC rule).
+    pub fn fault_flip_in_flight(&mut self, stage: usize, bit: u32) -> bool {
+        self.unit
+            .pipe
+            .fault_mutate(stage, |t| t.value = fblas_sim::flip_f64_bit(t.value, bit))
     }
 }
 
@@ -460,6 +481,29 @@ mod tests {
         assert_eq!(out.tag, 7);
         assert!(!adder.issue_pending());
         assert_eq!(adder.ops_issued(), 1);
+    }
+
+    #[test]
+    fn fault_flip_corrupts_exactly_one_in_flight_bit() {
+        let mut add = PipelinedAdder::<u8>::with_stages(4);
+        add.step(Some((1.0, 2.0, 1)));
+        add.step(Some((4.0, 8.0, 2)));
+        // Two results in flight: the older emerges at stage 2 (two more
+        // steps of bubbles first), the younger right behind it at stage
+        // 3. Flip the older result's sign bit.
+        assert!(add.fault_flip_in_flight(2, 63));
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            if let Some(r) = add.step(None) {
+                out.push(r);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, -3.0, "sign bit flipped");
+        assert_eq!(out[1].value, 12.0, "younger result untouched");
+        // An empty pipeline masks the fault.
+        let mut idle = PipelinedMultiplier::<()>::with_stages(3);
+        assert!(!idle.fault_flip_in_flight(0, 51));
     }
 
     #[test]

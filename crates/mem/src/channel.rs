@@ -14,6 +14,9 @@ pub struct ReadChannel {
     data: Vec<f64>,
     pos: usize,
     throttle: Throttle,
+    /// Pending fault-injected stall beats; latched into `denied` at tick.
+    stalled: u64,
+    denied: bool,
 }
 
 impl ReadChannel {
@@ -23,12 +26,16 @@ impl ReadChannel {
             data,
             pos: 0,
             throttle: Throttle::new(words_per_cycle),
+            stalled: 0,
+            denied: false,
         }
     }
 
     /// Advance one cycle, accruing bandwidth credit.
     pub fn tick(&mut self) {
         self.throttle.tick();
+        self.denied = self.stalled > 0;
+        self.stalled = self.stalled.saturating_sub(1);
     }
 
     /// Attempt to read the next word this cycle.
@@ -36,6 +43,9 @@ impl ReadChannel {
     /// Returns `None` if the stream is exhausted *or* the bandwidth credit
     /// for this cycle is spent.
     pub fn read(&mut self) -> Option<f64> {
+        if self.denied {
+            return None;
+        }
         if self.pos < self.data.len() && self.throttle.grant(1) {
             let v = self.data[self.pos];
             self.pos += 1;
@@ -89,6 +99,23 @@ impl ReadChannel {
     /// into a probe. Call once per cycle from the owning design.
     pub fn probe_utilization(&self, probe: &mut fblas_sim::Probe, id: fblas_sim::ProbeId) {
         self.throttle.probe_utilization(probe, id);
+    }
+
+    /// Fault-injection hook: drop the next `beats` delivery beats,
+    /// modelling a transient memory-channel glitch (refresh collision,
+    /// link retrain). Reads are denied for exactly `beats` ticks starting
+    /// with the tick that follows injection; no data is lost or
+    /// reordered, so the fault is purely a timing perturbation. Returns
+    /// false for a zero-beat request (architecturally masked).
+    ///
+    /// Only call this from a [`fblas_sim::Design::inject`] implementation
+    /// (enforced by the `fault-hook-purity` DRC rule).
+    pub fn fault_drop_beats(&mut self, beats: u64) -> bool {
+        if beats == 0 {
+            return false;
+        }
+        self.stalled = self.stalled.max(beats);
+        true
     }
 }
 
@@ -204,6 +231,29 @@ mod tests {
         ch.tick();
         assert_eq!(ch.read_up_to(8, &mut out), 3);
         assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn fault_drop_beats_denies_exactly_that_many_ticks() {
+        let mut ch = ReadChannel::new((0..8).map(f64::from).collect(), 1.0);
+        ch.tick();
+        assert_eq!(ch.read(), Some(0.0));
+        assert!(!ch.fault_drop_beats(0), "zero beats is masked");
+        assert!(ch.fault_drop_beats(3));
+        for _ in 0..3 {
+            ch.tick();
+            assert_eq!(ch.read(), None, "stalled beat delivers nothing");
+        }
+        // Stream resumes in order with nothing lost.
+        let mut got = Vec::new();
+        for _ in 0..7 {
+            ch.tick();
+            if let Some(v) = ch.read() {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, (1..8).map(f64::from).collect::<Vec<_>>());
+        assert!(ch.exhausted());
     }
 
     #[test]

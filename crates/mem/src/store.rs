@@ -95,6 +95,22 @@ impl LocalStore {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// Fault-injection hook: mutate the stored word at `idx` (reduced
+    /// modulo the capacity), modelling an SEU in a BRAM cell. Does not
+    /// touch the access counters — a particle strike is not a port
+    /// access. Returns false for a zero-capacity store.
+    ///
+    /// Only call this from a [`fblas_sim::Design::inject`] implementation
+    /// (enforced by the `fault-hook-purity` DRC rule).
+    pub fn fault_mutate(&mut self, idx: usize, f: impl FnOnce(&mut f64)) -> bool {
+        if self.words.is_empty() {
+            return false;
+        }
+        let i = idx % self.words.len();
+        f(&mut self.words[i]);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +141,16 @@ mod tests {
         s.load(&[9.0, 8.0]);
         assert_eq!(s.contents(), &[9.0, 8.0, 0.0, 0.0]);
         assert_eq!(s.writes(), 2);
+    }
+
+    #[test]
+    fn fault_mutate_leaves_access_counters_alone() {
+        let mut s = LocalStore::new("y'", 2);
+        s.write(1, 4.0);
+        assert!(s.fault_mutate(3, |v| *v = -*v), "idx reduced mod capacity");
+        assert_eq!(s.contents(), &[0.0, -4.0]);
+        assert_eq!(s.writes(), 1, "a fault is not a port access");
+        assert!(!LocalStore::new("empty", 0).fault_mutate(0, |_| {}));
     }
 
     #[test]

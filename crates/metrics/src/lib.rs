@@ -19,6 +19,9 @@
 //!   stall-attribution drift, parity-band exits) with a CI exit code.
 //! * [`report`] — markdown scoreboards and ASCII-sparkline trajectories
 //!   spliced into `EXPERIMENTS.md`.
+//! * [`faults`] — fault-coverage records and the reliability scoreboard
+//!   emitted by `observatory faults` (same determinism contract, its own
+//!   schema version and `EXPERIMENTS.md` marker pair).
 //!
 //! JSON is hand-rolled ([`json`]) because the workspace vendors no
 //! serialization crates; the writer is byte-deterministic by contract.
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod diff;
+pub mod faults;
 pub mod json;
 pub mod record;
 pub mod report;
@@ -33,6 +37,10 @@ pub mod store;
 pub mod tolerance;
 
 pub use diff::{diff_sets, DiffReport, DiffSeverity};
+pub use faults::{
+    coverage, render_fault_scoreboard, render_fault_section, splice_fault_section, DegradedRecord,
+    FaultCoverage, FaultRecord, FaultSet, FAULT_SCHEMA_VERSION,
+};
 pub use json::Json;
 pub use record::{Bound, PaperParity, RecordKind, RunRecord, StallBreakdown, SCHEMA_VERSION};
 pub use store::{

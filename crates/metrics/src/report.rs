@@ -169,10 +169,25 @@ pub fn render_section(labels: &[String], runs: &[RecordSet]) -> String {
 /// If the markers are absent they are appended (with the section) at the
 /// end of the document.
 pub fn splice_section(document: &str, section: &str) -> String {
-    let block = format!("{SECTION_BEGIN}\n{section}{SECTION_END}");
-    match (document.find(SECTION_BEGIN), document.find(SECTION_END)) {
+    splice_between(document, SECTION_BEGIN, SECTION_END, section)
+}
+
+/// Splice `section` into `document` between an arbitrary marker pair
+/// (the general form behind [`splice_section`]; the fault scoreboard
+/// uses its own pair so the two generated sections evolve independently).
+///
+/// If the markers are absent they are appended (with the section) at the
+/// end of the document.
+pub fn splice_between(
+    document: &str,
+    begin_marker: &str,
+    end_marker: &str,
+    section: &str,
+) -> String {
+    let block = format!("{begin_marker}\n{section}{end_marker}");
+    match (document.find(begin_marker), document.find(end_marker)) {
         (Some(begin), Some(end)) if begin < end => {
-            let after = end + SECTION_END.len();
+            let after = end + end_marker.len();
             format!("{}{}{}", &document[..begin], block, &document[after..])
         }
         _ => {

@@ -122,6 +122,26 @@ impl<T> DelayLine<T> {
     pub fn probe_occupancy(&self, probe: &mut crate::Probe, id: crate::ProbeId) {
         probe.sample_depth(id, self.in_flight);
     }
+
+    /// Fault-injection hook: mutate the in-flight item at `stage` (0 =
+    /// the slot emerging on the next step, reduced modulo the latency),
+    /// modelling an SEU in a pipeline register. Returns false when the
+    /// targeted stage holds a bubble — the fault is architecturally
+    /// masked.
+    ///
+    /// Only call this from a [`Design::inject`](crate::Design::inject)
+    /// implementation (enforced by the `fault-hook-purity` DRC rule).
+    pub fn fault_mutate(&mut self, stage: usize, f: impl FnOnce(&mut T)) -> bool {
+        let len = self.slots.len();
+        let idx = (self.head + stage % len) % len;
+        match self.slots[idx].as_mut() {
+            Some(item) => {
+                f(item);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +225,19 @@ mod tests {
     #[should_panic(expected = "latency")]
     fn zero_latency_rejected() {
         DelayLine::<u8>::new(0);
+    }
+
+    #[test]
+    fn fault_mutate_targets_stage_relative_to_emergence() {
+        let mut d = DelayLine::new(3);
+        d.step(Some(10u8)); // will emerge in 3 more steps
+        d.step(Some(20u8));
+        // Stage 1 is the slot emerging one step after the head: with two
+        // items two steps from emerging, stage 1 holds the older item.
+        assert!(d.fault_mutate(1, |v| *v += 1));
+        assert!(!d.fault_mutate(0, |_| {}), "head slot is a bubble");
+        assert_eq!(d.step(None), None);
+        assert_eq!(d.step(None), Some(11));
+        assert_eq!(d.step(None), Some(20));
     }
 }

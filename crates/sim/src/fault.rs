@@ -1,0 +1,267 @@
+//! Cycle-scheduled fault injection: the SEU model for the reliability
+//! subsystem (`fblas-faults`).
+//!
+//! The paper's library runs on SRAM-based FPGA fabric, which is
+//! susceptible to single-event upsets: a flipped configuration or user
+//! register bit silently corrupts the datapath. This module provides the
+//! *delivery* half of the fault model — a deterministic schedule of
+//! [`FaultSpec`]s armed on a [`Harness`](crate::Harness) — while the
+//! architecture-specific *landing sites* are chosen by each design's
+//! [`Design::inject`](crate::Design::inject) implementation (a bit of a
+//! pipeline register, a FIFO slot, a memory-channel beat, a
+//! reduction-buffer word).
+//!
+//! Determinism contract: a schedule is an explicit list of
+//! `(cycle, kind)` pairs, the cycle counter counts harness cycles
+//! *cumulatively since arming* (so multi-run designs like the blocked
+//! matrix multiplier see one continuous timeline), and nothing here reads
+//! a clock or a global RNG. The disarmed path is a single `Option` test
+//! per cycle and is covered by a probe-neutrality-style test: byte
+//! outputs with a disarmed harness equal those of a plain harness.
+
+/// What to corrupt when a scheduled fault fires.
+///
+/// The interpretation of `stage`/`slot` is design-relative: each
+/// [`Design::inject`](crate::Design::inject) implementation maps the
+/// index onto one of its own components (reducing it modulo the
+/// component's size), so any index is valid for any design and a seeded
+/// campaign can draw indices without knowing design internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of a value in flight inside a pipelined unit
+    /// (FPU pipeline register upset).
+    PipelineBitFlip {
+        /// Pipeline stage to target (reduced modulo the pipeline depth).
+        stage: usize,
+        /// Bit index into the IEEE-754 binary64 word (reduced modulo 64).
+        bit: u32,
+    },
+    /// Flip one bit of a buffered value (FIFO slot / local-store upset).
+    BufferBitFlip {
+        /// Buffer slot to target (reduced modulo the occupancy).
+        slot: usize,
+        /// Bit index into the binary64 word (reduced modulo 64).
+        bit: u32,
+    },
+    /// Suppress a memory channel's deliveries for `beats` cycles
+    /// (transient link degradation / dropped beats).
+    ChannelStall {
+        /// Number of cycles during which reads are denied.
+        beats: u64,
+    },
+    /// Force one bit of a reduction-circuit state word to zero
+    /// (stuck-at-0 on a buffer cell).
+    StuckAtZero {
+        /// Which buffered word to target (reduced modulo the occupancy).
+        slot: usize,
+        /// Bit index forced to zero (reduced modulo 64).
+        bit: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable name used in campaign records and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::PipelineBitFlip { .. } => "pipeline-bit-flip",
+            FaultKind::BufferBitFlip { .. } => "buffer-bit-flip",
+            FaultKind::ChannelStall { .. } => "channel-stall",
+            FaultKind::StuckAtZero { .. } => "stuck-at-zero",
+        }
+    }
+}
+
+/// One scheduled fault: at harness cycle `cycle` (counted cumulatively
+/// since the schedule was armed), deliver `kind` to the running design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Harness cycle (1-based, cumulative since arming) at which the
+    /// fault is delivered. A fault scheduled for a cycle that has already
+    /// passed fires immediately on the next cycle.
+    pub cycle: u64,
+    /// What to corrupt.
+    pub kind: FaultKind,
+}
+
+/// Outcome counters of an armed schedule, returned on disarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultLog {
+    /// Faults the design reported as landed (its `inject` returned true).
+    pub applied: u64,
+    /// Faults that found no occupied target (injected into a bubble, an
+    /// empty buffer, or an unsupported site) — architecturally masked.
+    pub missed: u64,
+    /// Faults still pending when the schedule was disarmed (scheduled
+    /// beyond the last simulated cycle).
+    pub pending: u64,
+    /// Harness cycles elapsed while armed.
+    pub cycles: u64,
+}
+
+/// An armed fault schedule carried by a [`Harness`](crate::Harness).
+///
+/// The harness delivers due faults at the top of every cycle, *before*
+/// the design's combinational logic runs, so a fault scheduled for cycle
+/// `c` corrupts the state that cycle `c` computes with.
+#[derive(Debug, Clone)]
+pub struct ArmedFaults {
+    /// Schedule sorted by cycle (stable, so same-cycle faults keep their
+    /// submission order).
+    schedule: Vec<FaultSpec>,
+    next: usize,
+    cycle: u64,
+    applied: u64,
+    missed: u64,
+}
+
+impl ArmedFaults {
+    /// Arm a schedule. The specs are sorted by cycle (stable).
+    pub fn new(mut schedule: Vec<FaultSpec>) -> Self {
+        schedule.sort_by_key(|s| s.cycle);
+        Self {
+            schedule,
+            next: 0,
+            cycle: 0,
+            applied: 0,
+            missed: 0,
+        }
+    }
+
+    /// Advance the cumulative cycle counter (called once per harness
+    /// cycle while armed).
+    pub(crate) fn begin_cycle(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// The next fault due at (or before) the current cycle, consuming it.
+    pub(crate) fn pop_due(&mut self) -> Option<FaultSpec> {
+        let spec = *self.schedule.get(self.next)?;
+        if spec.cycle <= self.cycle {
+            self.next += 1;
+            Some(spec)
+        } else {
+            None
+        }
+    }
+
+    /// Record whether the design landed the fault.
+    pub(crate) fn record(&mut self, landed: bool) {
+        if landed {
+            self.applied += 1;
+        } else {
+            self.missed += 1;
+        }
+    }
+
+    /// Snapshot the counters (used for both live queries and disarm).
+    pub fn log(&self) -> FaultLog {
+        FaultLog {
+            applied: self.applied,
+            missed: self.missed,
+            pending: (self.schedule.len() - self.next) as u64,
+            cycles: self.cycle,
+        }
+    }
+}
+
+/// Flip bit `bit % 64` of an IEEE-754 binary64 word. Pure bit
+/// manipulation — no native float arithmetic — so it is safe to call
+/// from lint-policed datapath code.
+pub fn flip_f64_bit(value: f64, bit: u32) -> f64 {
+    f64::from_bits(value.to_bits() ^ (1u64 << (bit % 64)))
+}
+
+/// Force bit `bit % 64` of a binary64 word to zero (stuck-at-0).
+pub fn clear_f64_bit(value: f64, bit: u32) -> f64 {
+    f64::from_bits(value.to_bits() & !(1u64 << (bit % 64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_and_delivered_in_cycle_order() {
+        let mut armed = ArmedFaults::new(vec![
+            FaultSpec {
+                cycle: 5,
+                kind: FaultKind::ChannelStall { beats: 2 },
+            },
+            FaultSpec {
+                cycle: 2,
+                kind: FaultKind::BufferBitFlip { slot: 0, bit: 3 },
+            },
+        ]);
+        armed.begin_cycle(); // cycle 1
+        assert_eq!(armed.pop_due(), None);
+        armed.begin_cycle(); // cycle 2
+        let f = armed.pop_due().expect("due at 2");
+        assert_eq!(f.cycle, 2);
+        assert_eq!(armed.pop_due(), None);
+        for _ in 0..3 {
+            armed.begin_cycle(); // cycles 3..=5
+        }
+        let f = armed.pop_due().expect("due at 5");
+        assert_eq!(f.kind.name(), "channel-stall");
+        assert_eq!(armed.pop_due(), None);
+    }
+
+    #[test]
+    fn log_counts_applied_missed_and_pending() {
+        let mk = |cycle| FaultSpec {
+            cycle,
+            kind: FaultKind::PipelineBitFlip { stage: 0, bit: 51 },
+        };
+        let mut armed = ArmedFaults::new(vec![mk(1), mk(2), mk(900)]);
+        armed.begin_cycle();
+        let f = armed.pop_due().unwrap();
+        assert_eq!(f.cycle, 1);
+        armed.record(true);
+        armed.begin_cycle();
+        armed.pop_due().unwrap();
+        armed.record(false);
+        let log = armed.log();
+        assert_eq!(log.applied, 1);
+        assert_eq!(log.missed, 1);
+        assert_eq!(log.pending, 1);
+        assert_eq!(log.cycles, 2);
+    }
+
+    #[test]
+    fn late_fault_fires_on_next_cycle() {
+        // A spec scheduled for cycle 1 still fires if the counter is
+        // already past it (e.g. armed mid-timeline).
+        let mut armed = ArmedFaults::new(vec![FaultSpec {
+            cycle: 1,
+            kind: FaultKind::StuckAtZero { slot: 4, bit: 9 },
+        }]);
+        for _ in 0..10 {
+            armed.begin_cycle();
+        }
+        assert!(armed.pop_due().is_some());
+    }
+
+    #[test]
+    fn bit_helpers_are_exact_inverses_or_idempotent() {
+        let v = 1234.5678f64;
+        let flipped = flip_f64_bit(v, 17);
+        assert_ne!(flipped.to_bits(), v.to_bits());
+        assert_eq!(flip_f64_bit(flipped, 17).to_bits(), v.to_bits());
+        // Stuck-at-zero is idempotent.
+        let cleared = clear_f64_bit(v, 80); // 80 % 64 = 16
+        assert_eq!(clear_f64_bit(cleared, 16).to_bits(), cleared.to_bits());
+        assert_eq!(cleared.to_bits() & (1 << 16), 0);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            FaultKind::BufferBitFlip { slot: 0, bit: 0 }.name(),
+            "buffer-bit-flip"
+        );
+        assert_eq!(
+            FaultKind::StuckAtZero { slot: 0, bit: 0 }.name(),
+            "stuck-at-zero"
+        );
+    }
+}

@@ -130,6 +130,24 @@ impl<T> Fifo<T> {
     pub fn probe_occupancy(&self, probe: &mut crate::Probe, id: crate::ProbeId) {
         probe.sample_depth(id, self.items.len());
     }
+
+    /// Fault-injection hook: mutate the item in `slot` (0 = oldest,
+    /// reduced modulo the current occupancy), modelling an SEU in a
+    /// buffer cell. Returns false when the FIFO is empty — the fault hit
+    /// unoccupied storage and is architecturally masked.
+    ///
+    /// Only call this from a [`Design::inject`](crate::Design::inject)
+    /// implementation (enforced by the `fault-hook-purity` DRC rule):
+    /// that path runs solely while a fault schedule is armed, keeping
+    /// ordinary simulation provably unperturbed.
+    pub fn fault_mutate(&mut self, slot: usize, f: impl FnOnce(&mut T)) -> bool {
+        if self.items.is_empty() {
+            return false;
+        }
+        let idx = slot % self.items.len();
+        f(&mut self.items[idx]);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +205,18 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f.pop(), Some(42));
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fault_mutate_hits_occupied_slots_and_misses_empty() {
+        let mut f = Fifo::new(4);
+        assert!(!f.fault_mutate(0, |v: &mut u64| *v ^= 1), "empty fifo");
+        f.push(8u64);
+        f.push(16u64);
+        // slot reduced modulo occupancy: 5 % 2 = 1 targets the newest.
+        assert!(f.fault_mutate(5, |v| *v ^= 1));
+        assert_eq!(f.pop(), Some(8));
+        assert_eq!(f.pop(), Some(17));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! first increments the cycle counter, asserts it is below
 //! [`Design::cycle_limit`], then runs [`Design::cycle`] once.
 
+use crate::fault::{ArmedFaults, FaultLog, FaultSpec};
 use crate::probe::Probe;
 use crate::SimReport;
 
@@ -62,6 +63,20 @@ pub trait Design {
     fn progress(&self) -> Option<u64> {
         None
     }
+
+    /// Land a scheduled fault on this design's state.
+    ///
+    /// Called by the harness only while a fault schedule is armed (see
+    /// [`Harness::arm_faults`]), at the top of the cycle the fault is due,
+    /// before the design's combinational logic runs. Implementations map
+    /// the spec onto one of their components via the `fault_*` hooks
+    /// (`Fifo::fault_mutate`, `DelayLine::fault_mutate`, …) and return
+    /// whether the fault found an occupied target; `false` means the
+    /// fault was architecturally masked (bubble, empty buffer, or a site
+    /// this design does not model). The default supports no injection.
+    fn inject(&mut self, _fault: &FaultSpec) -> bool {
+        false
+    }
 }
 
 /// Drives a [`Design`] to completion and assembles its [`SimReport`].
@@ -80,6 +95,9 @@ pub trait Design {
 #[derive(Debug, Default)]
 pub struct Harness {
     probe: Probe,
+    /// Armed fault schedule, if any. `None` (the default) keeps the run
+    /// loop on the zero-cost path: one `Option` test per cycle.
+    faults: Option<ArmedFaults>,
 }
 
 /// Compile-time audit: the simulation stack owns all of its state, so
@@ -99,6 +117,7 @@ impl Harness {
     pub fn new() -> Self {
         Self {
             probe: Probe::new(),
+            faults: None,
         }
     }
 
@@ -106,12 +125,37 @@ impl Harness {
     pub fn deep() -> Self {
         Self {
             probe: Probe::deep(),
+            faults: None,
         }
     }
 
     /// A harness over a caller-constructed probe.
     pub fn with_probe(probe: Probe) -> Self {
-        Self { probe }
+        Self {
+            probe,
+            faults: None,
+        }
+    }
+
+    /// Arm a fault schedule: every subsequent [`Harness::run`] delivers
+    /// due [`FaultSpec`]s to the design's [`Design::inject`] at the top
+    /// of the scheduled cycle. The cycle counter is cumulative across
+    /// runs from this call until [`Harness::disarm_faults`], so designs
+    /// that execute as several back-to-back runs (blocked drivers) see
+    /// one continuous fault timeline.
+    pub fn arm_faults(&mut self, schedule: Vec<FaultSpec>) {
+        self.faults = Some(ArmedFaults::new(schedule));
+    }
+
+    /// Disarm the fault schedule, returning its delivery log (`None` if
+    /// nothing was armed).
+    pub fn disarm_faults(&mut self) -> Option<FaultLog> {
+        self.faults.take().map(|armed| armed.log())
+    }
+
+    /// The delivery log of the currently armed schedule, if any.
+    pub fn fault_log(&self) -> Option<FaultLog> {
+        self.faults.as_ref().map(ArmedFaults::log)
     }
 
     /// The probe (for queries after a run).
@@ -156,6 +200,13 @@ impl Harness {
                 design.name()
             );
             self.probe.begin_cycle(cycles);
+            if let Some(armed) = self.faults.as_mut() {
+                armed.begin_cycle();
+                while let Some(spec) = armed.pop_due() {
+                    let landed = design.inject(&spec);
+                    armed.record(landed);
+                }
+            }
             design.cycle(&mut self.probe);
             self.probe.end_cycle();
             let progress = design.progress();
@@ -352,6 +403,143 @@ mod tests {
         assert_eq!(r1.flops, 10);
         assert_eq!(r2.cycles, 25);
         assert_eq!(r2.flops, 25);
+    }
+
+    /// A design with one injectable register: accumulates cycle numbers
+    /// into `acc`, and `inject` adds a marker value so fault delivery is
+    /// observable and cycle-exact.
+    struct Injectable {
+        n: u64,
+        target: u64,
+        acc: u64,
+        hits: Vec<u64>,
+        support_injection: bool,
+    }
+    impl Design for Injectable {
+        fn name(&self) -> &str {
+            "injectable"
+        }
+        fn cycle(&mut self, _probe: &mut Probe) {
+            self.n += 1;
+            self.acc += self.n;
+        }
+        fn done(&self) -> bool {
+            self.n >= self.target
+        }
+        fn cycle_limit(&self) -> u64 {
+            1000
+        }
+        fn inject(&mut self, fault: &crate::FaultSpec) -> bool {
+            if !self.support_injection {
+                return false;
+            }
+            // Delivered before this cycle's logic: self.n is the
+            // previous cycle, so the fault cycle is n + 1.
+            self.hits.push(self.n + 1);
+            self.acc ^= 1 << 40;
+            let _ = fault;
+            true
+        }
+    }
+
+    #[test]
+    fn armed_faults_are_delivered_on_their_scheduled_cycle() {
+        let mut h = Harness::new();
+        h.arm_faults(vec![
+            crate::FaultSpec {
+                cycle: 3,
+                kind: crate::FaultKind::BufferBitFlip { slot: 0, bit: 1 },
+            },
+            crate::FaultSpec {
+                cycle: 7,
+                kind: crate::FaultKind::ChannelStall { beats: 2 },
+            },
+        ]);
+        let mut d = Injectable {
+            n: 0,
+            target: 10,
+            acc: 0,
+            hits: Vec::new(),
+            support_injection: true,
+        };
+        h.run(&mut d);
+        assert_eq!(d.hits, vec![3, 7]);
+        let log = h.disarm_faults().expect("was armed");
+        assert_eq!(log.applied, 2);
+        assert_eq!(log.missed, 0);
+        assert_eq!(log.pending, 0);
+        assert_eq!(log.cycles, 10);
+        assert!(h.disarm_faults().is_none(), "disarm is one-shot");
+    }
+
+    #[test]
+    fn fault_cycle_counter_is_cumulative_across_runs() {
+        let mut h = Harness::new();
+        h.arm_faults(vec![crate::FaultSpec {
+            cycle: 15,
+            kind: crate::FaultKind::PipelineBitFlip { stage: 0, bit: 0 },
+        }]);
+        let mk = || Injectable {
+            n: 0,
+            target: 10,
+            acc: 0,
+            hits: Vec::new(),
+            support_injection: true,
+        };
+        let mut first = mk();
+        h.run(&mut first);
+        assert!(first.hits.is_empty(), "due at 15, first run ends at 10");
+        let mut second = mk();
+        h.run(&mut second);
+        // Cycle 15 of the armed timeline is cycle 5 of the second run.
+        assert_eq!(second.hits, vec![5]);
+        assert_eq!(h.fault_log().unwrap().applied, 1);
+    }
+
+    #[test]
+    fn unsupported_designs_mask_faults_into_the_log() {
+        let mut h = Harness::new();
+        h.arm_faults(vec![crate::FaultSpec {
+            cycle: 2,
+            kind: crate::FaultKind::StuckAtZero { slot: 0, bit: 0 },
+        }]);
+        let mut d = Injectable {
+            n: 0,
+            target: 5,
+            acc: 0,
+            hits: Vec::new(),
+            support_injection: false,
+        };
+        h.run(&mut d);
+        let log = h.disarm_faults().unwrap();
+        assert_eq!(log.applied, 0);
+        assert_eq!(log.missed, 1);
+    }
+
+    /// Probe-neutrality analogue for the fault layer: a harness that was
+    /// never armed — and one that was armed with an *empty* schedule —
+    /// produces bit-identical design state and reports.
+    #[test]
+    fn disarmed_and_empty_schedules_leave_runs_bit_identical() {
+        let run_with = |arm: Option<Vec<crate::FaultSpec>>| {
+            let mut h = Harness::new();
+            if let Some(schedule) = arm {
+                h.arm_faults(schedule);
+            }
+            let mut d = Injectable {
+                n: 0,
+                target: 50,
+                acc: 0,
+                hits: Vec::new(),
+                support_injection: true,
+            };
+            let report = h.run(&mut d);
+            (d.acc, report)
+        };
+        let (acc_plain, rep_plain) = run_with(None);
+        let (acc_empty, rep_empty) = run_with(Some(Vec::new()));
+        assert_eq!(acc_plain, acc_empty);
+        assert_eq!(rep_plain, rep_empty);
     }
 
     #[test]

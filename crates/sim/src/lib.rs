@@ -47,6 +47,7 @@
 
 pub mod clock;
 pub mod delay;
+pub mod fault;
 pub mod fifo;
 pub mod harness;
 pub mod probe;
@@ -56,6 +57,7 @@ pub mod throttle;
 
 pub use clock::ClockDomain;
 pub use delay::DelayLine;
+pub use fault::{clear_f64_bit, flip_f64_bit, ArmedFaults, FaultKind, FaultLog, FaultSpec};
 pub use fifo::{Fifo, FifoFull};
 pub use harness::{Design, Harness, LIVELOCK_WINDOW};
 pub use probe::{ComponentStats, Probe, ProbeId, RunMark, StallCause};
