@@ -6,6 +6,7 @@
 //! observatory diff <baseline.json> [--quick] [--jobs <n>] # measure, gate against a baseline
 //! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboards into EXPERIMENTS.md
 //! observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]  # fault campaign
+//! observatory analyze [--dir <dir>] [--verbose]           # channel-graph static analyses
 //! ```
 //!
 //! `run` executes the full paper matrix (every kernel family behind
@@ -38,6 +39,13 @@
 //! `(--seed, family, trial index)`, so the `FAULTS.json` bytes are
 //! identical at any `--jobs` value. Exit status is non-zero if any
 //! ABFT-covered kernel (`mvm/*`, `mm/*`) shows a silent corruption.
+//!
+//! `analyze` runs the `fblas-check` channel-graph analyses — the
+//! deadlock-freedom proof and throughput/bandwidth cuts over every
+//! shipped topology — then cross-validates every committed
+//! `BENCH_*.json` record against the static throughput bound rebuilt
+//! from the record's own parameters. Exit status is non-zero if any
+//! proof fails or any measured rate exceeds its bound.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,6 +53,8 @@ use std::process::ExitCode;
 use fblas_bench::fault_matrix::run_fault_matrix_with_jobs;
 use fblas_bench::paper_matrix::run_matrix_with_jobs;
 use fblas_bench::pool;
+use fblas_check::graph::{cross_validate, topology_report};
+use fblas_check::Severity;
 use fblas_metrics::{
     bench_file_name, diff_sets, faults as obs_faults, list_bench_files, next_bench_index,
     report as obs_report, RecordSet,
@@ -55,7 +65,8 @@ fn usage() -> ExitCode {
         "usage: observatory run  [--quick] [--jobs <n>] [--dir <dir>]\n\
                 observatory diff <baseline.json> [--quick] [--jobs <n>]\n\
                 observatory report [--dir <dir>] [--doc <markdown>]\n\
-                observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]"
+                observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]\n\
+                observatory analyze [--dir <dir>] [--verbose]"
     );
     ExitCode::from(2)
 }
@@ -298,6 +309,49 @@ fn cmd_faults(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `analyze`: run the channel-graph analyses (deadlock-freedom proofs,
+/// throughput bounds, composed-bandwidth budgets) over every shipped
+/// topology, then cross-validate every committed `BENCH_*.json` against
+/// the static bounds. Exit status is non-zero on any error, so CI can
+/// gate on the soundness of the model.
+fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
+    let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
+    let verbose = take_flag(&mut args, "--verbose");
+    if !args.is_empty() {
+        return usage();
+    }
+    let mut reports = topology_report();
+    let bench_files = list_bench_files(&dir);
+    if bench_files.is_empty() {
+        eprintln!("error: no BENCH_*.json found in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    for (_index, path) in bench_files {
+        match RecordSet::load(&path) {
+            Ok(set) => reports.push(cross_validate(&set)),
+            Err(e) => {
+                eprintln!("error: cannot load {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut errors = 0;
+    for report in &reports {
+        print!("{}", report.render(verbose));
+        errors += report.count(Severity::Error);
+    }
+    println!(
+        "analyzed {} topology/cross-validation report(s), {} error(s)",
+        reports.len(),
+        errors
+    );
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -309,6 +363,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(args),
         "report" => cmd_report(args),
         "faults" => cmd_faults(args),
+        "analyze" => cmd_analyze(args),
         _ => usage(),
     }
 }

@@ -119,6 +119,32 @@ impl Report {
         }
         out
     }
+
+    /// The report as a machine-readable JSON object (the element shape
+    /// of the `drc --format json` document).
+    pub fn to_json(&self) -> fblas_metrics::Json {
+        use fblas_metrics::Json;
+        let mut diags = Vec::with_capacity(self.diagnostics.len());
+        for d in &self.diagnostics {
+            let mut quantities = Json::obj();
+            for (key, value) in &d.quantities {
+                quantities.set(key, Json::Num(*value));
+            }
+            diags.push(
+                Json::obj()
+                    .with("rule", Json::Str(d.rule_id.to_string()))
+                    .with("severity", Json::Str(d.severity.to_string()))
+                    .with("message", Json::Str(d.message.clone()))
+                    .with("quantities", quantities),
+            );
+        }
+        Json::obj()
+            .with("design", Json::Str(self.design.clone()))
+            .with("feasible", Json::Bool(self.is_feasible()))
+            .with("errors", Json::Num(self.count(Severity::Error) as f64))
+            .with("warnings", Json::Num(self.count(Severity::Warning) as f64))
+            .with("diagnostics", Json::Arr(diags))
+    }
 }
 
 /// Which architecture a design point instantiates, with its parameters

@@ -14,12 +14,11 @@
 //! code (`#[cfg(test)]` modules, `tests/` trees) are exempt, since
 //! neither is reachable from a measurement run.
 
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use crate::drc::{Diagnostic, Report, Severity};
-use crate::lint::strip;
+use crate::source::{strip, walk_rs_files};
 
 /// The crate allowed to drive hooks freely (path prefix, repo-relative).
 pub const FAULTS_CRATE_PREFIX: &str = "crates/faults/";
@@ -136,29 +135,6 @@ pub fn scan_source(file_label: &str, source: &str) -> Vec<HookSite> {
     sites
 }
 
-fn scan_dir(dir: &Path, repo_root: &Path, sites: &mut Vec<HookSite>) -> io::Result<()> {
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
-        .map(|e| e.map(|e| e.path()))
-        .collect::<Result<_, _>>()?;
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            scan_dir(&path, repo_root, sites)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            let label = path
-                .strip_prefix(repo_root)
-                .unwrap_or(&path)
-                .components()
-                .map(|c| c.as_os_str().to_string_lossy())
-                .collect::<Vec<_>>()
-                .join("/");
-            let source = fs::read_to_string(&path)?;
-            sites.extend(scan_source(&label, &source));
-        }
-    }
-    Ok(())
-}
-
 /// Scan every workspace crate under `repo_root`.
 pub fn scan_workspace_tree(repo_root: &Path) -> io::Result<Vec<HookSite>> {
     let root = repo_root.join(CRATES_ROOT);
@@ -169,7 +145,9 @@ pub fn scan_workspace_tree(repo_root: &Path) -> io::Result<Vec<HookSite>> {
         ));
     }
     let mut sites = Vec::new();
-    scan_dir(&root, repo_root, &mut sites)?;
+    for (label, source) in walk_rs_files(&root, repo_root)? {
+        sites.extend(scan_source(&label, &source));
+    }
     Ok(sites)
 }
 

@@ -23,21 +23,41 @@
 //!   mutation hooks being reachable only from `Design::inject` bodies and
 //!   `crates/faults`, so a hook call anywhere else in production code is
 //!   an error.
+//! * [`graph`] — a **channel-graph analyzer** over the
+//!   [`fblas_sim::Topology`] each design exports: a deadlock-freedom
+//!   proof (every FIFO cycle can hold its in-flight token demand), a
+//!   sound steady-state throughput bound cross-validated against the
+//!   committed BENCH records, and composed-bandwidth checks on chained
+//!   topologies.
+//! * [`determinism`] — a **workspace determinism lint**: result-affecting
+//!   code in the simulation and bench crates must not read wall clocks,
+//!   host parallelism, ambient randomness, or iterate hash containers.
+//!
+//! The shared [`source`] module supplies the comment-/string-stripping
+//! and tree-walking primitives all source-level rules build on.
 //!
 //! All are exposed as libraries (used by the test suite) and through the
 //! `drc` and `lint` binaries (used by CI).
 
 #![forbid(unsafe_code)]
 
+pub mod determinism;
 pub mod drc;
+pub mod graph;
 pub mod hooks;
 pub mod lint;
 pub mod parity;
+pub mod source;
 pub mod threads;
 
+pub use determinism::{determinism_report, scan_workspace as scan_determinism, DeterminismSite};
 pub use drc::{
     check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
     Kernel, Platform, Report, Severity,
+};
+pub use graph::{
+    analyze_topology, bench_cross_validation_report, shipped_topologies, topology_report,
+    CycleProof, ThroughputBound,
 };
 pub use hooks::{fault_hook_report, scan_workspace_tree, HookContext, HookSite};
 pub use lint::{scan_source, scan_tree, LintHit};

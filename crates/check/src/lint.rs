@@ -22,9 +22,10 @@
 //! 3. an explicit `// lint: allow(native-f64)` on the offending line or
 //!    the line above it.
 
-use std::fs;
 use std::io;
 use std::path::Path;
+
+use crate::source::{file_label, strip, walk_rs_files};
 
 /// One native-float-arithmetic finding.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,135 +115,6 @@ struct Tok {
     text: String,
     line: usize,
     kind: Kind,
-}
-
-/// Replace comments, strings and char literals with spaces, preserving
-/// line structure so token line numbers stay correct. Shared with the
-/// bench-thread-containment rule ([`crate::threads`]), which must not
-/// fire on `thread::spawn` mentioned in a doc comment.
-pub(crate) fn strip(source: &str) -> String {
-    let chars: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        if c == '/' && next == Some('/') {
-            while i < chars.len() && chars[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-        } else if c == '/' && next == Some('*') {
-            let mut depth = 1;
-            out.push_str("  ");
-            i += 2;
-            while i < chars.len() && depth > 0 {
-                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-        } else if c == 'r' && (next == Some('"') || next == Some('#')) && is_raw_string(&chars, i) {
-            i = skip_raw_string(&chars, i, &mut out);
-        } else if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < chars.len() && chars[i] != '"' {
-                if chars[i] == '\\' {
-                    out.push(' ');
-                    i += 1;
-                }
-                if i < chars.len() {
-                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            out.push(' ');
-            i += 1;
-        } else if c == '\'' {
-            // Char literal vs lifetime: a literal closes within a few
-            // characters; a lifetime is ' followed by an identifier.
-            if let Some(end) = char_literal_end(&chars, i) {
-                for _ in i..=end {
-                    out.push(' ');
-                }
-                i = end + 1;
-            } else {
-                out.push(c);
-                i += 1;
-            }
-        } else {
-            out.push(c);
-            i += 1;
-        }
-    }
-    out
-}
-
-fn is_raw_string(chars: &[char], i: usize) -> bool {
-    let mut j = i + 1;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-fn skip_raw_string(chars: &[char], start: usize, out: &mut String) -> usize {
-    let mut i = start + 1;
-    let mut hashes = 0;
-    out.push(' ');
-    while chars.get(i) == Some(&'#') {
-        hashes += 1;
-        out.push(' ');
-        i += 1;
-    }
-    out.push(' ');
-    i += 1; // the opening quote
-    while i < chars.len() {
-        if chars[i] == '"' {
-            let mut ok = true;
-            for h in 0..hashes {
-                if chars.get(i + 1 + h) != Some(&'#') {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                for _ in 0..=hashes {
-                    out.push(' ');
-                }
-                return i + 1 + hashes;
-            }
-        }
-        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-        i += 1;
-    }
-    i
-}
-
-fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
-    // 'x'  '\n'  '\u{1F600}' — scan to a closing quote within bounds.
-    let mut j = i + 1;
-    if chars.get(j) == Some(&'\\') {
-        j += 1;
-        if chars.get(j) == Some(&'u') {
-            while j < chars.len() && chars[j] != '}' {
-                j += 1;
-            }
-        }
-        j += 1;
-    } else {
-        j += 1;
-    }
-    (chars.get(j) == Some(&'\'')).then_some(j)
 }
 
 fn tokenize(stripped: &str) -> Vec<Tok> {
@@ -595,9 +467,12 @@ pub fn scan_tree(repo_root: &Path) -> io::Result<Vec<LintHit>> {
     for rel in DATAPATH_PATHS {
         let path = repo_root.join(rel);
         if path.is_file() {
-            scan_file(&path, repo_root, &mut hits)?;
+            let source = std::fs::read_to_string(&path)?;
+            hits.extend(scan_source(&file_label(&path, repo_root), &source));
         } else if path.is_dir() {
-            scan_dir(&path, repo_root, &mut hits)?;
+            for (label, source) in walk_rs_files(&path, repo_root)? {
+                hits.extend(scan_source(&label, &source));
+            }
         } else {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -606,31 +481,6 @@ pub fn scan_tree(repo_root: &Path) -> io::Result<Vec<LintHit>> {
         }
     }
     Ok(hits)
-}
-
-fn scan_dir(dir: &Path, repo_root: &Path, hits: &mut Vec<LintHit>) -> io::Result<()> {
-    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
-    entries.sort_by_key(std::fs::DirEntry::path);
-    for entry in entries {
-        let path = entry.path();
-        if path.is_dir() {
-            scan_dir(&path, repo_root, hits)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            scan_file(&path, repo_root, hits)?;
-        }
-    }
-    Ok(())
-}
-
-fn scan_file(path: &Path, repo_root: &Path, hits: &mut Vec<LintHit>) -> io::Result<()> {
-    let label = path
-        .strip_prefix(repo_root)
-        .unwrap_or(path)
-        .display()
-        .to_string();
-    let source = fs::read_to_string(path)?;
-    hits.extend(scan_source(&label, &source));
-    Ok(())
 }
 
 #[cfg(test)]

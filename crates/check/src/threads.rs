@@ -13,12 +13,13 @@
 //! uses are reported as [`Severity::Info`] so the sweep shows the rule is
 //! looking at live code.
 
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use crate::drc::{Diagnostic, Report, Severity};
-use crate::lint::strip;
+use crate::source::{strip, walk_rs_files};
+
+pub use crate::source::repo_root;
 
 /// The one module allowed to create threads, relative to the repo root.
 pub const ALLOWED_THREAD_SITES: &[&str] = &["crates/bench/src/pool.rs"];
@@ -68,29 +69,6 @@ pub fn scan_source(file_label: &str, source: &str) -> Vec<ThreadSite> {
     sites
 }
 
-fn scan_dir(dir: &Path, repo_root: &Path, sites: &mut Vec<ThreadSite>) -> io::Result<()> {
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
-        .map(|e| e.map(|e| e.path()))
-        .collect::<Result<_, _>>()?;
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            scan_dir(&path, repo_root, sites)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            let label = path
-                .strip_prefix(repo_root)
-                .unwrap_or(&path)
-                .components()
-                .map(|c| c.as_os_str().to_string_lossy())
-                .collect::<Vec<_>>()
-                .join("/");
-            let source = fs::read_to_string(&path)?;
-            sites.extend(scan_source(&label, &source));
-        }
-    }
-    Ok(())
-}
-
 /// Scan the whole bench source tree under `repo_root`.
 pub fn scan_bench_tree(repo_root: &Path) -> io::Result<Vec<ThreadSite>> {
     let root = repo_root.join(BENCH_SRC);
@@ -101,7 +79,9 @@ pub fn scan_bench_tree(repo_root: &Path) -> io::Result<Vec<ThreadSite>> {
         ));
     }
     let mut sites = Vec::new();
-    scan_dir(&root, repo_root, &mut sites)?;
+    for (label, source) in walk_rs_files(&root, repo_root)? {
+        sites.extend(scan_source(&label, &source));
+    }
     Ok(sites)
 }
 
@@ -155,15 +135,6 @@ pub fn bench_thread_report(repo_root: &Path) -> io::Result<Report> {
         design: "bench thread containment".to_string(),
         diagnostics: diagnostics(&scan_bench_tree(repo_root)?),
     })
-}
-
-/// Repo root as seen from this crate's build-time manifest location.
-pub fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/check has a workspace root two levels up")
-        .to_path_buf()
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@ use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::ReadChannel;
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Fifo, Harness, Probe,
-    ProbeId, StallCause,
+    flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec, Fifo, Harness,
+    Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
 
@@ -172,6 +172,53 @@ impl DotProductDesign {
     /// Memory bandwidth the run exercises, in bytes/s.
     pub fn bandwidth_bytes_per_s(&self) -> f64 {
         2.0 * self.params.words_per_cycle_per_vector * 8.0 * self.clock.hz()
+    }
+
+    /// Static channel graph of the design (§4.1): two vector streams into
+    /// the lockstep multiplier bank, the (k−1)-adder tree behind a gated
+    /// backlog, and the §4.3 reduction circuit at the root. Analyzed by
+    /// `fblas-check` for deadlock-freedom and a sound throughput bound.
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("dot[k={}]", p.k));
+        let u = t.source("u-stream");
+        let v = t.source("v-stream");
+        let mult = t.pe("mult-bank", p.k as f64);
+        let tree = t.pe("adder-tree", (p.k - 1) as f64);
+        let reducer = t.pe("reduction", 1.0);
+        let out = t.sink("result");
+        let rate = p.words_per_cycle_per_vector;
+        t.edge(
+            "u-feed",
+            u,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 1.0,
+            },
+        );
+        t.edge(
+            "v-feed",
+            v,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 1.0,
+            },
+        );
+        t.edge("lockstep", mult, tree, EdgeKind::Wire);
+        crate::topology::attach_gated_backlog(&mut t, tree, reducer, mult, p.tree_latency());
+        crate::topology::attach_reduction_loop(&mut t, reducer, p.adder_stages);
+        t.edge(
+            "result-port",
+            reducer,
+            out,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Run `u · v` through the paper's reduction circuit.

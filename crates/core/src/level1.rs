@@ -27,8 +27,8 @@ use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::{ReadChannel, WriteChannel};
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Harness, Probe, ProbeId,
-    StallCause,
+    flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec, Harness, Probe,
+    ProbeId, StallCause, Topology,
 };
 use fblas_system::io_bound_peak_dot;
 
@@ -97,6 +97,65 @@ impl AxpyDesign {
     /// The parameter set.
     pub fn params(&self) -> &Level1Params {
         &self.params
+    }
+
+    /// Static channel graph: two input streams into k lockstep
+    /// multiplier/adder lanes, one output stream. Feed-forward — no
+    /// feedback loop, so deadlock-freedom is structural.
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("axpy[k={}]", p.k));
+        let x = t.source("x-stream");
+        let y = t.source("y-stream");
+        let mult = t.pe("mult-bank", p.k as f64);
+        let add = t.pe("adder-bank", p.k as f64);
+        let out = t.sink("out-stream");
+        let rate = p.words_per_cycle_per_stream;
+        t.edge(
+            "x-feed",
+            x,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 1.0,
+            },
+        );
+        t.edge(
+            "y-feed",
+            y,
+            add,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 1.0,
+            },
+        );
+        t.edge(
+            "mult-pipe",
+            mult,
+            add,
+            EdgeKind::Delay {
+                stages: p.mult_stages,
+            },
+        );
+        let tail = t.junction("out-port");
+        t.edge(
+            "add-pipe",
+            add,
+            tail,
+            EdgeKind::Delay {
+                stages: p.adder_stages,
+            },
+        );
+        t.edge(
+            "out-feed",
+            tail,
+            out,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute `a·x + y`, cycle by cycle.
@@ -271,6 +330,45 @@ impl ScalDesign {
         }
     }
 
+    /// Static channel graph: one input stream through k multipliers to
+    /// one output stream. Feed-forward, trivially deadlock-free.
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("scal[k={}]", p.k));
+        let x = t.source("x-stream");
+        let mult = t.pe("mult-bank", p.k as f64);
+        let out = t.sink("out-stream");
+        let rate = p.words_per_cycle_per_stream;
+        t.edge(
+            "x-feed",
+            x,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 1.0,
+            },
+        );
+        let tail = t.junction("out-port");
+        t.edge(
+            "mult-pipe",
+            mult,
+            tail,
+            EdgeKind::Delay {
+                stages: p.mult_stages,
+            },
+        );
+        t.edge(
+            "out-feed",
+            tail,
+            out,
+            EdgeKind::Channel {
+                words_per_cycle: rate,
+                flops_per_word: 0.0,
+            },
+        );
+        t
+    }
+
     /// Compute `a·x`, cycle by cycle.
     pub fn run(&self, a: f64, x: &[f64]) -> StreamOutcome {
         self.run_in(&mut Harness::new(), a, x)
@@ -436,6 +534,47 @@ impl AsumDesign {
             params,
             clock: ClockDomain::from_mhz(170.0),
         }
+    }
+
+    /// Static channel graph: the magnitude/adder-tree front end feeding
+    /// the §4.3 reduction circuit. The only feedback cycle is the
+    /// reduction loop (the circuit never back-pressures the tree, so no
+    /// backlog gate exists in this design).
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("asum[k={}]", p.k));
+        let x = t.source("x-stream");
+        let tree = t.pe("magnitude-tree", (p.k - 1) as f64);
+        let reducer = t.pe("reduction", 1.0);
+        let out = t.sink("result");
+        t.edge(
+            "x-feed",
+            x,
+            tree,
+            EdgeKind::Channel {
+                words_per_cycle: p.words_per_cycle_per_stream,
+                flops_per_word: 1.0,
+            },
+        );
+        t.edge(
+            "tree-pipe",
+            tree,
+            reducer,
+            EdgeKind::Delay {
+                stages: (p.k.ilog2() as usize * p.adder_stages).max(1),
+            },
+        );
+        crate::topology::attach_reduction_loop(&mut t, reducer, p.adder_stages);
+        t.edge(
+            "result-port",
+            reducer,
+            out,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute Σ|xᵢ| with the paper's reduction circuit.

@@ -40,5 +40,6 @@ pub mod mm;
 pub mod mvm;
 pub mod reduce;
 pub mod report;
+pub mod topology;
 
 pub use report::SimReport;

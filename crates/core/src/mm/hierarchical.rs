@@ -18,10 +18,11 @@
 //! exactly as §5.2 derives it.
 
 use super::BlockEngine;
+use super::HazardPolicy;
 use super::MmParams;
 use crate::mvm::DenseMatrix;
 use crate::report::SimReport;
-use fblas_sim::ClockDomain;
+use fblas_sim::{ClockDomain, EdgeKind, Topology};
 use fblas_system::projection::{
     hierarchical_dram_bytes_per_s, hierarchical_sram_bytes_per_s, multi_fpga_fill_cycles,
 };
@@ -178,6 +179,73 @@ impl HierarchicalMm {
     /// The clock domain.
     pub fn clock(&self) -> ClockDomain {
         self.clock
+    }
+
+    /// Static channel graph (§5.2): the DRAM port on FPGA 0 streams
+    /// 2kl/b words per cycle (each re-read b times across the SRAM-level
+    /// blocking, hence b FLOPs per delivered word), staged through SRAM
+    /// to l aggregated k-PE arrays; each FPGA's combine adder folds
+    /// block products into its C′ slice in SRAM. Two feedback loops: the
+    /// inner BRAM C′ rotation (m²/k cells, plus the α forwarding
+    /// registers under the documented-hazard policy) and the SRAM C′
+    /// slice rotation (mb/l cells per FPGA at minimum — always ≫ α).
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let (k, m, l, b) = (p.mm.k as f64, p.mm.m, p.l as f64, p.b as f64);
+        let alpha = p.mm.adder_stages;
+        let mut t = Topology::new(format!("mm-hier[k={},m={},l={},b={}]", p.mm.k, m, p.l, p.b));
+        let dram = t.source("dram-port");
+        let staging = t.junction("sram-staging");
+        let mult = t.pe("pe-mult-banks", k * l);
+        let add = t.pe("pe-adder-banks", k * l);
+        let combine = t.pe("combine-adders", l);
+        let c = t.sink("c-dram-port");
+        t.edge(
+            "dram-feed",
+            dram,
+            staging,
+            EdgeKind::Channel {
+                // Channel-rate accounting, not datapath. lint: allow(native-f64)
+                words_per_cycle: 2.0 * k * l / b,
+                flops_per_word: b,
+            },
+        );
+        t.edge("sram-feed", staging, mult, EdgeKind::Wire);
+        t.edge("mac-chain", mult, add, EdgeKind::Wire);
+        let bram = t.junction("cprime-bram");
+        t.edge("add-pipe", add, bram, EdgeKind::Delay { stages: alpha });
+        let depth = p.mm.update_interval()
+            + match p.mm.hazard_policy {
+                HazardPolicy::Enforce => 0,
+                HazardPolicy::Document => alpha,
+            };
+        t.edge("cprime-rotation", bram, add, EdgeKind::Fifo { depth });
+        t.edge("block-products", bram, combine, EdgeKind::Wire);
+        let sram = t.junction("cprime-sram");
+        t.edge(
+            "combine-pipe",
+            combine,
+            sram,
+            EdgeKind::Delay { stages: alpha },
+        );
+        t.edge(
+            "sram-rotation",
+            sram,
+            combine,
+            EdgeKind::Fifo {
+                depth: (m * p.b).div_ceil(p.l),
+            },
+        );
+        t.edge(
+            "c-drain",
+            sram,
+            c,
+            EdgeKind::Channel {
+                words_per_cycle: k * l / b,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute C = A·B. n must be a multiple of the SRAM block edge b.

@@ -27,8 +27,8 @@ use crate::mvm::DenseMatrix;
 use crate::report::SimReport;
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_sim::{
-    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Harness,
-    Probe, ProbeId, StallCause,
+    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec,
+    Harness, Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::{AreaModel, ClockModel, XC2VP50};
 
@@ -383,6 +383,75 @@ impl LinearArrayMm {
     /// The clock domain.
     pub fn clock(&self) -> ClockDomain {
         self.clock
+    }
+
+    /// Static channel graph (§5.1): A/B block streams at k/m words per
+    /// cycle each into the k-PE linear array; the C′ accumulation loop
+    /// provides m²/k cells of storage against α in-flight updates.
+    ///
+    /// Under [`HazardPolicy::Document`] the export adds the α forwarding
+    /// registers a hardware fix-up supplies (the paper's m = k = 8
+    /// configuration has m²/k = 8 < α = 14 and computes with forwarded
+    /// values), so the loop stays provably deadlock-free; under
+    /// [`HazardPolicy::Enforce`] the bare m²/k cells must cover α — the
+    /// same condition the constructor asserts.
+    pub fn topology(&self) -> Topology {
+        let p = self.params();
+        let mut t = Topology::new(format!("mm-linear[k={},m={}]", p.k, p.m));
+        let a = t.source("a-blocks");
+        let b = t.source("b-blocks");
+        let regs = t.junction("b-registers");
+        let mult = t.pe("pe-mult-bank", p.k as f64);
+        let add = t.pe("pe-adder-bank", p.k as f64);
+        let c = t.sink("c-blocks");
+        // Per §5.1 each of A, B streams k/m words per cycle; every
+        // delivered word participates in m multiply-accumulates.
+        let in_rate = p.k as f64 / p.m as f64;
+        t.edge(
+            "a-feed",
+            a,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: in_rate,
+                flops_per_word: p.m as f64,
+            },
+        );
+        t.edge(
+            "b-feed",
+            b,
+            regs,
+            EdgeKind::Channel {
+                words_per_cycle: in_rate,
+                flops_per_word: p.m as f64,
+            },
+        );
+        t.edge("b-reuse", regs, mult, EdgeKind::Wire);
+        t.edge("mac-chain", mult, add, EdgeKind::Wire);
+        let store = t.junction("cprime-store");
+        t.edge(
+            "add-pipe",
+            add,
+            store,
+            EdgeKind::Delay {
+                stages: p.adder_stages,
+            },
+        );
+        let depth = p.update_interval()
+            + match p.hazard_policy {
+                HazardPolicy::Enforce => 0,
+                HazardPolicy::Document => p.adder_stages,
+            };
+        t.edge("cprime-rotation", store, add, EdgeKind::Fifo { depth });
+        t.edge(
+            "c-drain",
+            store,
+            c,
+            EdgeKind::Channel {
+                words_per_cycle: in_rate,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute C = A·B. n must be a multiple of the block edge m.

@@ -14,8 +14,8 @@ use super::{DenseMatrix, MvmOutcome, MvmParams};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
 use fblas_sim::{
-    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Harness,
-    Probe, ProbeId, StallCause,
+    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec,
+    Harness, Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::{ClockModel, Xd1Node};
 
@@ -59,6 +59,65 @@ impl ColMajorMvm {
     /// Clock domain.
     pub fn clock(&self) -> ClockDomain {
         self.clock
+    }
+
+    /// Static channel graph (§4.2 column-major form) for an n-row
+    /// matrix: k multiplier/adder lanes accumulating into the y store,
+    /// whose per-lane rotation of ⌈n/k⌉ cells is the feedback loop's
+    /// buffering. The deadlock-freedom proof over this loop (⌈n/k⌉ cells
+    /// against α in-flight updates) is exactly the §4.2 hazard condition
+    /// n/k ≥ α.
+    pub fn topology(&self, n: usize) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("mvm-col[k={},n={n}]", p.k));
+        let a = t.source("a-stream");
+        let mult = t.pe("mult-bank", p.k as f64);
+        let add = t.pe("adder-bank", p.k as f64);
+        let y = t.sink("y-port");
+        t.edge(
+            "a-feed",
+            a,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: p.matrix_words_per_cycle,
+                flops_per_word: 2.0,
+            },
+        );
+        t.edge(
+            "mult-pipe",
+            mult,
+            add,
+            EdgeKind::Delay {
+                stages: p.mult_stages,
+            },
+        );
+        let store = t.junction("y-store");
+        t.edge(
+            "add-pipe",
+            add,
+            store,
+            EdgeKind::Delay {
+                stages: p.adder_stages,
+            },
+        );
+        t.edge(
+            "y-rotation",
+            store,
+            add,
+            EdgeKind::Fifo {
+                depth: n.div_ceil(p.k),
+            },
+        );
+        t.edge(
+            "y-write",
+            store,
+            y,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute `y = A·x`.

@@ -14,8 +14,8 @@ use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, Design, FaultKind, FaultSpec, Fifo, Harness, Probe,
-    ProbeId, StallCause,
+    flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec, Fifo, Harness,
+    Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::{ClockModel, Xd1Node};
 
@@ -72,6 +72,45 @@ impl RowMajorMvm {
     /// Clock domain.
     pub fn clock(&self) -> ClockDomain {
         self.clock
+    }
+
+    /// Static channel graph (§4.2 row-major form): the matrix stream and
+    /// per-lane x local stores feed the k-lane tree front end; each row's
+    /// partial stream accumulates in the §4.3 reduction circuit behind
+    /// the gated backlog, exactly as in the dot-product design.
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("mvm-row[k={}]", p.k));
+        let a = t.source("a-stream");
+        let xs = t.junction("x-stores");
+        let mult = t.pe("mult-bank", p.k as f64);
+        let tree = t.pe("adder-tree", (p.k - 1) as f64);
+        let reducer = t.pe("reduction", 1.0);
+        let y = t.sink("y-port");
+        t.edge(
+            "a-feed",
+            a,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: p.matrix_words_per_cycle,
+                flops_per_word: 2.0,
+            },
+        );
+        t.edge("x-reuse", xs, mult, EdgeKind::Wire);
+        t.edge("lockstep", mult, tree, EdgeKind::Wire);
+        let tree_latency = p.mult_stages + p.k.ilog2() as usize * p.adder_stages;
+        crate::topology::attach_gated_backlog(&mut t, tree, reducer, mult, tree_latency);
+        crate::topology::attach_reduction_loop(&mut t, reducer, p.adder_stages);
+        t.edge(
+            "y-write",
+            reducer,
+            y,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute `y = A·x` with the paper's reduction circuit.

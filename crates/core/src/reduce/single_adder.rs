@@ -34,7 +34,7 @@
 
 use super::{ReduceEvent, ReduceInput, Reducer};
 use fblas_fpu::PipelinedAdder;
-use fblas_sim::Histogram;
+use fblas_sim::{EdgeKind, Histogram, Topology};
 use std::collections::VecDeque;
 
 /// Per-set state: the paper's "row" of a buffer.
@@ -117,6 +117,37 @@ impl SingleAdderReducer {
     /// The claimed buffer capacity: two buffers of α² words.
     pub fn buffer_capacity(&self) -> usize {
         2 * self.alpha * self.alpha
+    }
+
+    /// Static channel graph (§4.3): one input stream into the single
+    /// pipelined adder, whose partial results circulate through the two
+    /// α²-word buffers — the feedback loop Theorem 1's buffer bound
+    /// keeps deadlock-free at full input rate.
+    pub fn topology(&self) -> Topology {
+        let mut t = Topology::new(format!("reduce-single-adder[alpha={}]", self.alpha));
+        let input = t.source("input-stream");
+        let reducer = t.pe("reduction", 1.0);
+        let out = t.sink("results");
+        t.edge(
+            "input-feed",
+            input,
+            reducer,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 1.0,
+            },
+        );
+        crate::topology::attach_reduction_loop(&mut t, reducer, self.alpha);
+        t.edge(
+            "result-port",
+            reducer,
+            out,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     fn row_mut(&mut self, set_id: u64) -> &mut Row {

@@ -254,6 +254,47 @@ mod tests {
     }
 
     #[test]
+    fn sign_bit_flip_negates_without_touching_magnitude() {
+        let v = 3.25f64;
+        let flipped = flip_f64_bit(v, 63);
+        assert_eq!(flipped.to_bits(), (-3.25f64).to_bits());
+        // Signed zero: the flip is visible in bits even where `==`
+        // cannot see it.
+        let nz = flip_f64_bit(0.0, 63);
+        assert_eq!(nz.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(nz, 0.0);
+    }
+
+    #[test]
+    fn exponent_flips_can_reach_inf_and_nan() {
+        // 1.0 has exponent 0x3FF; flipping bits 52..=62 one at a time
+        // from the right value lands exactly on all-ones (Inf).
+        let mut v = 1.0f64;
+        for bit in 52..63 {
+            if v.to_bits() & (1u64 << bit) == 0 {
+                v = flip_f64_bit(v, bit);
+            }
+        }
+        assert!(v.is_infinite(), "exponent all-ones, zero mantissa: {v}");
+        // One more flip in the mantissa turns Inf into a NaN …
+        let nan = flip_f64_bit(v, 0);
+        assert!(nan.is_nan());
+        // … and the involution property still holds through non-finite
+        // values (bit-level, since NaN != NaN).
+        assert_eq!(flip_f64_bit(nan, 0).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn mantissa_lsb_flip_is_one_ulp() {
+        let v = 1.0f64;
+        let bumped = flip_f64_bit(v, 0);
+        assert_eq!(bumped.to_bits(), v.to_bits() + 1);
+        assert!(bumped > v && bumped - v < 1e-15);
+        // Bit index is taken mod 64: bit 64 is the mantissa LSB again.
+        assert_eq!(flip_f64_bit(v, 64).to_bits(), bumped.to_bits());
+    }
+
+    #[test]
     fn kind_names_are_stable() {
         assert_eq!(
             FaultKind::BufferBitFlip { slot: 0, bit: 0 }.name(),

@@ -198,6 +198,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "fifo capacity must be >= 1")]
+    fn depth_zero_fifo_is_rejected_at_construction() {
+        // A zero-capacity buffer can never accept the token it owes the
+        // loop it sits on (the graph analyzer's `required >= 1` floor);
+        // the model refuses to build one rather than deadlock later.
+        let _ = Fifo::<u64>::new(0);
+    }
+
+    #[test]
+    fn depth_one_fifo_cycles_full_empty_full() {
+        let mut f = Fifo::new(1);
+        assert!(f.is_empty() && !f.is_full());
+        assert!(f.try_push(1).is_ok());
+        assert!(f.is_full());
+        // At depth 1, a second push must fail *until* the slot drains —
+        // there is no in-between occupancy.
+        assert!(f.try_push(2).is_err());
+        assert_eq!(f.pop(), Some(1));
+        assert!(f.is_empty());
+        assert!(f.try_push(2).is_ok(), "drained slot accepts again");
+        assert_eq!(f.high_water(), 1);
+        assert_eq!(f.total_pushed(), 2);
+    }
+
+    #[test]
     fn front_does_not_consume() {
         let mut f = Fifo::new(2);
         f.push(42);

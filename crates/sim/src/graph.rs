@@ -1,0 +1,430 @@
+//! Channel-graph topology descriptors.
+//!
+//! Every shipped architecture in this workspace is a synchronous dataflow
+//! circuit: processing elements connected by FIFOs, pipeline delay lines
+//! and rate-limited memory channels. This module defines the small static
+//! IR — [`Topology`], [`Node`], [`Edge`] — that designs export through
+//! their `topology()` methods so `fblas-check` can run structural
+//! analyses (deadlock-freedom proofs, throughput-bound cuts, composed
+//! bandwidth budgets) without simulating a single cycle.
+//!
+//! The IR is deliberately coarse: one node per architectural unit (a
+//! multiplier bank, an adder tree, a reduction circuit), one edge per
+//! channel between units. Quantities carried:
+//!
+//! * a node's **FP issue capacity** (`flops_per_cycle`) — how many
+//!   floating-point operations the unit can start per clock, the numerator
+//!   of every compute-bound cut;
+//! * a node's **initiation interval** — the minimum number of cycles
+//!   between successive tokens the unit injects into any feedback loop it
+//!   anchors (1 for a fully pipelined unit);
+//! * an edge's **kind** — buffering capacity for FIFOs, latency for delay
+//!   lines, sustained word rate (and FLOPs unlocked per word) for memory
+//!   channels.
+//!
+//! The analyses themselves live in `fblas-check` (`graph` module); this
+//! crate only owns the descriptor types so `fblas-core` designs can
+//! export them without a dependency cycle.
+
+use std::fmt;
+
+/// Index of a node within its [`Topology`]. Stable for the lifetime of
+/// the topology; produced by [`Topology::node`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// What kind of architectural unit a node models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A memory read port: tokens originate here. Sources have no
+    /// compute capacity; their outgoing [`EdgeKind::Channel`] edges carry
+    /// the rate.
+    Source,
+    /// A memory write port: tokens terminate here.
+    Sink,
+    /// A processing element (or bank of lockstep PEs): carries FP issue
+    /// capacity and an initiation interval.
+    Pe,
+    /// A non-compute junction: a buffer endpoint, router or store that
+    /// forwards tokens without issuing FLOPs.
+    Junction,
+}
+
+/// One architectural unit in a channel graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable unit name, unique within the topology
+    /// (e.g. `"mult-bank"`, `"reduction"`).
+    pub name: String,
+    /// The unit's role.
+    pub role: NodeRole,
+    /// FP operations the unit can issue per clock (0 for sources, sinks
+    /// and junctions).
+    pub flops_per_cycle: f64,
+    /// Minimum cycles between successive tokens the unit injects into a
+    /// feedback loop (1 = fully pipelined).
+    pub initiation_interval: u64,
+}
+
+/// What kind of channel an edge models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeKind {
+    /// A bounded buffer holding up to `depth` tokens; the only edge kind
+    /// that contributes storage to a feedback loop's buffering budget.
+    Fifo {
+        /// Capacity in tokens.
+        depth: usize,
+    },
+    /// A pipeline register chain: tokens spend exactly `stages` cycles in
+    /// flight and cannot stall inside the line. Contributes latency to a
+    /// loop but no elastic storage.
+    Delay {
+        /// Latency in cycles.
+        stages: usize,
+    },
+    /// A rate-limited memory channel sustaining `words_per_cycle` tokens
+    /// per clock; each delivered word permits `flops_per_word` FP
+    /// operations downstream (the I/O side of a throughput cut).
+    Channel {
+        /// Sustained delivery rate in words per cycle (may be
+        /// fractional: a derated shared read path).
+        words_per_cycle: f64,
+        /// FLOPs the datapath performs per delivered word.
+        flops_per_word: f64,
+    },
+    /// A same-cycle connection with no storage and no latency (lockstep
+    /// wiring, credit/back-pressure signals).
+    Wire,
+}
+
+/// One channel between two units.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Channel name, unique within the topology (e.g. `"backlog"`).
+    pub name: String,
+    /// Producing node.
+    pub from: NodeId,
+    /// Consuming node.
+    pub to: NodeId,
+    /// The channel's kind and quantities.
+    pub kind: EdgeKind,
+}
+
+/// A static channel graph exported by a design's `topology()` method.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Design-point name (e.g. `"dot[k=2]"`).
+    pub name: String,
+    /// Units, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// Channels.
+    pub edges: Vec<Edge>,
+}
+
+impl Topology {
+    /// Start an empty topology.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a node with an explicit role/capacity/interval.
+    pub fn node(
+        &mut self,
+        name: impl Into<String>,
+        role: NodeRole,
+        flops_per_cycle: f64,
+        initiation_interval: u64,
+    ) -> NodeId {
+        assert!(
+            initiation_interval >= 1,
+            "initiation interval must be >= 1 cycle"
+        );
+        assert!(
+            flops_per_cycle >= 0.0 && flops_per_cycle.is_finite(),
+            "flops/cycle must be finite and non-negative"
+        );
+        let name = name.into();
+        assert!(
+            self.nodes.iter().all(|n| n.name != name),
+            "duplicate node name {name:?}"
+        );
+        self.nodes.push(Node {
+            name,
+            role,
+            flops_per_cycle,
+            initiation_interval,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a memory read port.
+    pub fn source(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(name, NodeRole::Source, 0.0, 1)
+    }
+
+    /// Add a memory write port.
+    pub fn sink(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(name, NodeRole::Sink, 0.0, 1)
+    }
+
+    /// Add a fully pipelined PE (initiation interval 1).
+    pub fn pe(&mut self, name: impl Into<String>, flops_per_cycle: f64) -> NodeId {
+        self.node(name, NodeRole::Pe, flops_per_cycle, 1)
+    }
+
+    /// Add a non-compute junction.
+    pub fn junction(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(name, NodeRole::Junction, 0.0, 1)
+    }
+
+    /// Connect two nodes with a channel of the given kind.
+    pub fn edge(&mut self, name: impl Into<String>, from: NodeId, to: NodeId, kind: EdgeKind) {
+        assert!(from.0 < self.nodes.len(), "edge from unknown node");
+        assert!(to.0 < self.nodes.len(), "edge to unknown node");
+        if let EdgeKind::Channel {
+            words_per_cycle,
+            flops_per_word,
+        } = kind
+        {
+            assert!(
+                words_per_cycle > 0.0 && words_per_cycle.is_finite(),
+                "channel rate must be positive and finite"
+            );
+            assert!(
+                flops_per_word >= 0.0 && flops_per_word.is_finite(),
+                "channel flops/word must be finite and non-negative"
+            );
+        }
+        let name = name.into();
+        assert!(
+            self.edges.iter().all(|e| e.name != name),
+            "duplicate edge name {name:?}"
+        );
+        self.edges.push(Edge {
+            name,
+            from,
+            to,
+            kind,
+        });
+    }
+
+    /// Total FP issue capacity across all nodes (the compute side of a
+    /// steady-state throughput cut), in FLOPs per cycle.
+    pub fn compute_flops_per_cycle(&self) -> f64 {
+        self.nodes.iter().map(|n| n.flops_per_cycle).sum()
+    }
+
+    /// Aggregate FLOPs-per-cycle permitted by the input channels: the sum
+    /// over every [`EdgeKind::Channel`] edge leaving a [`NodeRole::Source`]
+    /// node of `words_per_cycle · flops_per_word` (the I/O side of a
+    /// steady-state throughput cut).
+    pub fn input_flops_per_cycle(&self) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| self.nodes[e.from.0].role == NodeRole::Source)
+            .filter_map(|e| match e.kind {
+                EdgeKind::Channel {
+                    words_per_cycle,
+                    flops_per_word,
+                } => Some(words_per_cycle * flops_per_word),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Aggregate words per cycle drawn from memory by all source
+    /// channels — the demand side of a composed-bandwidth budget.
+    pub fn input_words_per_cycle(&self) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| self.nodes[e.from.0].role == NodeRole::Source)
+            .filter_map(|e| match e.kind {
+                EdgeKind::Channel {
+                    words_per_cycle, ..
+                } => Some(words_per_cycle),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Aggregate words per cycle written to memory by channels entering
+    /// sink nodes.
+    pub fn output_words_per_cycle(&self) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| self.nodes[e.to.0].role == NodeRole::Sink)
+            .filter_map(|e| match e.kind {
+                EdgeKind::Channel {
+                    words_per_cycle, ..
+                } => Some(words_per_cycle),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Compose this topology with a downstream one by merging the node
+    /// and edge sets and wiring `from_sink` (a sink of `self`) to
+    /// `to_source` (a source of `other`) through `link`: the streaming
+    /// composition ROADMAP item 5 targets, where one kernel's output
+    /// channel feeds the next kernel's input without a memory round-trip.
+    ///
+    /// The bridged sink and source become junctions (the words no longer
+    /// touch memory), so the composed graph's memory budget counts only
+    /// the truly external channels.
+    ///
+    /// # Panics
+    /// Panics if `from_sink` is not a sink of `self` or `to_source` is
+    /// not a source of `other`.
+    pub fn chain(
+        mut self,
+        other: &Topology,
+        from_sink: &str,
+        to_source: &str,
+        link: EdgeKind,
+    ) -> Self {
+        let tail = self
+            .nodes
+            .iter()
+            .position(|n| n.name == from_sink && n.role == NodeRole::Sink)
+            .unwrap_or_else(|| panic!("{from_sink:?} is not a sink of {}", self.name));
+        let offset = self.nodes.len();
+        let head_local = other
+            .nodes
+            .iter()
+            .position(|n| n.name == to_source && n.role == NodeRole::Source)
+            .unwrap_or_else(|| panic!("{to_source:?} is not a source of {}", other.name));
+        for n in &other.nodes {
+            let mut n = n.clone();
+            n.name = format!("{}/{}", other.name, n.name);
+            self.nodes.push(n);
+        }
+        for e in &other.edges {
+            self.edges.push(Edge {
+                name: format!("{}/{}", other.name, e.name),
+                from: NodeId(e.from.0 + offset),
+                to: NodeId(e.to.0 + offset),
+                kind: e.kind,
+            });
+        }
+        // The bridged endpoints stop being memory ports.
+        self.nodes[tail].role = NodeRole::Junction;
+        self.nodes[head_local + offset].role = NodeRole::Junction;
+        let link_name = format!("link:{from_sink}->{to_source}");
+        self.edge(link_name, NodeId(tail), NodeId(head_local + offset), link);
+        self.name = format!("{}+{}", self.name, other.name);
+        self
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} nodes, {} edges",
+            self.name,
+            self.nodes.len(),
+            self.edges.len()
+        )?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -[{}]-> {}",
+                self.nodes[e.from.0].name, e.name, self.nodes[e.to.0].name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        let mut t = Topology::new("tiny");
+        let src = t.source("in");
+        let pe = t.pe("mult", 2.0);
+        let snk = t.sink("out");
+        t.edge(
+            "feed",
+            src,
+            pe,
+            EdgeKind::Channel {
+                words_per_cycle: 2.0,
+                flops_per_word: 1.0,
+            },
+        );
+        t.edge(
+            "emit",
+            pe,
+            snk,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn cut_quantities() {
+        let t = tiny();
+        assert_eq!(t.compute_flops_per_cycle(), 2.0);
+        assert_eq!(t.input_flops_per_cycle(), 2.0);
+        assert_eq!(t.input_words_per_cycle(), 2.0);
+        assert_eq!(t.output_words_per_cycle(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_node_rejected() {
+        let mut t = Topology::new("dup");
+        t.source("a");
+        t.source("a");
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_interval_rejected() {
+        let mut t = Topology::new("ii");
+        t.node("x", NodeRole::Pe, 1.0, 0);
+    }
+
+    #[test]
+    fn chain_bridges_sink_to_source() {
+        let a = tiny();
+        let mut b = Topology::new("next");
+        let src = b.source("in");
+        let pe = b.pe("add", 1.0);
+        let snk = b.sink("out");
+        b.edge(
+            "feed",
+            src,
+            pe,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 1.0,
+            },
+        );
+        b.edge(
+            "emit",
+            pe,
+            snk,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        let c = a.chain(&b, "out", "in", EdgeKind::Fifo { depth: 4 });
+        assert_eq!(c.name, "tiny+next");
+        // Only the outer source still counts toward the memory budget:
+        // the bridged sink/source pair became junctions.
+        assert_eq!(c.input_words_per_cycle(), 2.0);
+        assert_eq!(c.output_words_per_cycle(), 1.0);
+        assert_eq!(c.compute_flops_per_cycle(), 3.0);
+    }
+}

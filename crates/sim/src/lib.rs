@@ -16,6 +16,9 @@
 //! * [`ClockDomain`] — converts cycle counts into wall-clock time and
 //!   sustained FLOPS given a clock frequency in MHz.
 //! * [`Stats`] — occupancy/utilization counters shared by the models.
+//! * [`Topology`] — the static channel-graph descriptor (`graph` module)
+//!   designs export for `fblas-check`'s deadlock-freedom and
+//!   throughput-bound analyses.
 //!
 //! On top of the primitives sits the shared run engine:
 //!
@@ -49,6 +52,7 @@ pub mod clock;
 pub mod delay;
 pub mod fault;
 pub mod fifo;
+pub mod graph;
 pub mod harness;
 pub mod probe;
 pub mod report;
@@ -59,6 +63,7 @@ pub use clock::ClockDomain;
 pub use delay::DelayLine;
 pub use fault::{clear_f64_bit, flip_f64_bit, ArmedFaults, FaultKind, FaultLog, FaultSpec};
 pub use fifo::{Fifo, FifoFull};
+pub use graph::{Edge, EdgeKind, Node, NodeId, NodeRole, Topology};
 pub use harness::{Design, Harness, LIVELOCK_WINDOW};
 pub use probe::{ComponentStats, Probe, ProbeId, RunMark, StallCause};
 pub use report::SimReport;

@@ -14,7 +14,10 @@ use crate::csr::CsrMatrix;
 use fblas_core::reduce::{ReduceInput, Reducer, SingleAdderReducer};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
-use fblas_sim::{ClockDomain, DelayLine, Design, Harness, Probe, ProbeId, StallCause, Throttle};
+use fblas_sim::{
+    ClockDomain, DelayLine, Design, EdgeKind, Harness, Probe, ProbeId, StallCause, Throttle,
+    Topology,
+};
 use fblas_system::io_bound_peak_mvm;
 
 /// Parameters of the `SpMV` design.
@@ -93,6 +96,46 @@ impl SpmvDesign {
     /// The clock domain.
     pub fn clock(&self) -> ClockDomain {
         self.clock
+    }
+
+    /// Static channel graph: the CRS entry stream (value + column index
+    /// per token, two FLOPs each) feeds the k-lane tree front end with x
+    /// gathered from its local store; row partial streams accumulate in
+    /// the §4.3 reduction circuit behind a gated backlog, as in the
+    /// row-major `MvM` design.
+    pub fn topology(&self) -> Topology {
+        let p = &self.params;
+        let mut t = Topology::new(format!("spmv[k={}]", p.k));
+        let entries = t.source("entry-stream");
+        let xs = t.junction("x-store");
+        let mult = t.pe("mult-bank", p.k as f64);
+        let tree = t.pe("adder-tree", (p.k - 1) as f64);
+        let reducer = t.pe("reduction", 1.0);
+        let y = t.sink("y-port");
+        t.edge(
+            "entry-feed",
+            entries,
+            mult,
+            EdgeKind::Channel {
+                words_per_cycle: p.entries_per_cycle,
+                flops_per_word: 2.0,
+            },
+        );
+        t.edge("x-gather", xs, mult, EdgeKind::Wire);
+        t.edge("lockstep", mult, tree, EdgeKind::Wire);
+        let tree_latency = p.mult_stages + p.k.ilog2() as usize * p.adder_stages;
+        fblas_core::topology::attach_gated_backlog(&mut t, tree, reducer, mult, tree_latency);
+        fblas_core::topology::attach_reduction_loop(&mut t, reducer, p.adder_stages);
+        t.edge(
+            "y-write",
+            reducer,
+            y,
+            EdgeKind::Channel {
+                words_per_cycle: 1.0,
+                flops_per_word: 0.0,
+            },
+        );
+        t
     }
 
     /// Compute y = A·x with the paper's reduction circuit.
