@@ -2,8 +2,8 @@
 //! trajectory files and CI regression gates.
 //!
 //! ```sh
-//! observatory run  [--quick] [--jobs <n>] [--dir <dir>]   # measure, persist next BENCH_<n>.json
-//! observatory diff <baseline.json> [--quick] [--jobs <n>] # measure, gate against a baseline
+//! observatory run  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>]   # measure, persist next BENCH_<n>.json
+//! observatory diff <baseline.json> [--quick] [--jobs <n>] [--backend <b>] # measure, gate against a baseline
 //! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboards into EXPERIMENTS.md
 //! observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]  # fault campaign
 //! observatory analyze [--dir <dir>] [--verbose]           # channel-graph static analyses
@@ -21,6 +21,14 @@
 //! deterministic ordered reducer, so the `BENCH_<n>.json` bytes are
 //! identical for every `--jobs` value — only the wallclock sidecar (and
 //! its speedup fields) reflects the parallelism.
+//!
+//! `--backend <b>` selects the execution backend: `cycle` (default)
+//! steps every simulated cycle; `fast-forward` (alias `ff`) lets designs
+//! replay quiescent steady-state streaming in closed form; `native`
+//! additionally substitutes blocked-microkernel results where the
+//! substitution is proven bit-identical. All three produce byte-identical
+//! `BENCH_<n>.json` files — the sidecar records the backend and the
+//! stepped-vs-simulated cycle ratio (`backend_speedup`).
 //!
 //! `diff` re-measures and compares against a baseline record set
 //! (`baselines/seed.json` in CI): exact cycle/flop/word/stall-counter
@@ -51,7 +59,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fblas_bench::fault_matrix::run_fault_matrix_with_jobs;
-use fblas_bench::paper_matrix::run_matrix_with_jobs;
+use fblas_bench::paper_matrix::run_matrix_with_backend;
 use fblas_bench::pool;
 use fblas_check::graph::{cross_validate, topology_report};
 use fblas_check::Severity;
@@ -59,11 +67,12 @@ use fblas_metrics::{
     bench_file_name, diff_sets, faults as obs_faults, list_bench_files, next_bench_index,
     report as obs_report, RecordSet,
 };
+use fblas_sim::ExecBackend;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: observatory run  [--quick] [--jobs <n>] [--dir <dir>]\n\
-                observatory diff <baseline.json> [--quick] [--jobs <n>]\n\
+        "usage: observatory run  [--quick] [--jobs <n>] [--backend cycle|fast-forward|native] [--dir <dir>]\n\
+                observatory diff <baseline.json> [--quick] [--jobs <n>] [--backend <b>]\n\
                 observatory report [--dir <dir>] [--doc <markdown>]\n\
                 observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]\n\
                 observatory analyze [--dir <dir>] [--verbose]"
@@ -120,6 +129,17 @@ fn take_jobs(args: &mut Vec<String>) -> usize {
     }
 }
 
+/// Parse `--backend <b>` out of `args`; default is cycle stepping.
+fn take_backend(args: &mut Vec<String>) -> ExecBackend {
+    match take_value(args, "--backend") {
+        Some(v) => v.parse::<ExecBackend>().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        None => ExecBackend::Cycle,
+    }
+}
+
 /// Parse `--seed <s>` out of `args`; default is the canonical seed 7.
 fn take_seed(args: &mut Vec<String>) -> u64 {
     match take_value(args, "--seed") {
@@ -131,22 +151,28 @@ fn take_seed(args: &mut Vec<String>) -> u64 {
     }
 }
 
-fn measure(quick: bool, jobs: usize) -> (RecordSet, fblas_metrics::WallClock) {
+fn measure(
+    quick: bool,
+    jobs: usize,
+    backend: ExecBackend,
+) -> (RecordSet, fblas_metrics::WallClock) {
     eprintln!(
-        "observatory: running the {} paper matrix on {} job(s)...",
+        "observatory: running the {} paper matrix on {} job(s), {} backend...",
         if quick { "quick" } else { "full" },
-        jobs
+        jobs,
+        backend
     );
-    let (set, wall) = run_matrix_with_jobs(quick, jobs);
+    let (set, wall) = run_matrix_with_backend(quick, jobs, backend);
     eprintln!(
         "observatory: {} record(s), {} simulated cycles in {:.2}s elapsed \
-         ({:.2}s summed, {:.2}x speedup, {:.2}M cycles/s)",
+         ({:.2}s summed, {:.2}x speedup, {:.2}M cycles/s, {:.2}x backend speedup)",
         set.records.len(),
         wall.total_cycles(),
         wall.elapsed_seconds,
         wall.total_seconds(),
         wall.aggregate_speedup(),
-        wall.cycles_per_second() / 1e6
+        wall.cycles_per_second() / 1e6,
+        wall.backend_speedup()
     );
     (set, wall)
 }
@@ -154,11 +180,12 @@ fn measure(quick: bool, jobs: usize) -> (RecordSet, fblas_metrics::WallClock) {
 fn cmd_run(mut args: Vec<String>) -> ExitCode {
     let quick = take_flag(&mut args, "--quick");
     let jobs = take_jobs(&mut args);
+    let backend = take_backend(&mut args);
     let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
     if !args.is_empty() {
         return usage();
     }
-    let (set, wall) = measure(quick, jobs);
+    let (set, wall) = measure(quick, jobs, backend);
     let index = next_bench_index(&dir);
     let path = dir.join(bench_file_name(index));
     if let Err(e) = set.save(&path) {
@@ -191,6 +218,7 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
 fn cmd_diff(mut args: Vec<String>) -> ExitCode {
     let quick = take_flag(&mut args, "--quick");
     let jobs = take_jobs(&mut args);
+    let backend = take_backend(&mut args);
     if args.len() != 1 {
         return usage();
     }
@@ -202,7 +230,7 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (run, _) = measure(quick, jobs);
+    let (run, _) = measure(quick, jobs, backend);
     let report = diff_sets(&baseline, &run);
     print!("{}", report.render());
     println!("\nPaper-parity scoreboard (this run):\n");

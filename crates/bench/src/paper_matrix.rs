@@ -32,7 +32,7 @@ use fblas_core::reduce::{run_sets_in, SingleAdderReducer};
 use fblas_fpu::FP_ADDER;
 use fblas_mem::DmaModel;
 use fblas_metrics::{RecordSet, RunRecord, StallBreakdown, WallClock};
-use fblas_sim::Harness;
+use fblas_sim::{ExecBackend, Harness};
 use fblas_sparse::{SpmvDesign, SpmvParams};
 use fblas_system::projection::scaled_sustained_gflops;
 use fblas_system::{
@@ -51,13 +51,17 @@ use crate::workloads::laplacian_2d;
 struct Entry {
     record: RunRecord,
     seconds: Option<f64>,
+    /// Cycles the harness fast-forwarded through fused replays during
+    /// this job (0 on the cycle backend, or when the design declined).
+    ff_cycles: u64,
 }
 
 impl Entry {
-    fn simulated(record: RunRecord, seconds: f64) -> Self {
+    fn simulated(record: RunRecord, seconds: f64, ff_cycles: u64) -> Self {
         Self {
             record,
             seconds: Some(seconds),
+            ff_cycles,
         }
     }
 
@@ -65,15 +69,18 @@ impl Entry {
         Self {
             record,
             seconds: None,
+            ff_cycles: 0,
         }
     }
 }
 
-/// Run one simulated kernel on `h`, timing it and attributing its stalls.
-fn timed<T>(h: &mut Harness, run: impl FnOnce(&mut Harness) -> T) -> (T, StallBreakdown, f64) {
+/// Run one simulated kernel on `h`, timing it, attributing its stalls
+/// and counting the cycles the backend fast-forwarded.
+fn timed<T>(h: &mut Harness, run: impl FnOnce(&mut Harness) -> T) -> (T, StallBreakdown, f64, u64) {
     let t0 = Instant::now();
+    let ff0 = h.ff_cycles();
     let (out, stalls) = measure(h, run);
-    (out, stalls, t0.elapsed().as_secs_f64())
+    (out, stalls, t0.elapsed().as_secs_f64(), h.ff_cycles() - ff0)
 }
 
 /// The full (or quick) paper matrix as an ordered job list. Submission
@@ -90,7 +97,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let dot = DotProductDesign::new(DotParams::table3(), &node);
         let u = synth_int(1, n, 8);
         let v = synth_int(2, n, 8);
-        let (out, stalls, secs) = timed(h, |h| dot.run_in(h, &u, &v));
+        let (out, stalls, secs, ff) = timed(h, |h| dot.run_in(h, &u, &v));
         let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
         assert_eq!(out.result, dref, "dot result mismatch");
         let mut r = RunRecord::from_sim(
@@ -107,7 +114,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 .with_paper("table3.dot.mflops", mflops)
                 .with_paper("table3.dot.slices", f64::from(area.dot_design(2)));
         }
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     // ---- Level 1: axpy / scal / asum streams ----
@@ -115,7 +122,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let axpy = AxpyDesign::new(Level1Params::with_k(2));
         let x = synth_int(5, n, 8);
         let y = synth_int(6, n, 8);
-        let (out, stalls, secs) = timed(h, |h| axpy.run_in(h, 3.0, &x, &y));
+        let (out, stalls, secs, ff) = timed(h, |h| axpy.run_in(h, 3.0, &x, &y));
         let r = RunRecord::from_sim(
             "axpy",
             &[("k", 2), ("n", n as i64)],
@@ -124,13 +131,13 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     list.push(Job::new("scal", move |h| {
         let scal = ScalDesign::new(Level1Params::with_k(2));
         let x = synth_int(5, n, 8);
-        let (out, stalls, secs) = timed(h, |h| scal.run_in(h, 3.0, &x));
+        let (out, stalls, secs, ff) = timed(h, |h| scal.run_in(h, 3.0, &x));
         let r = RunRecord::from_sim(
             "scal",
             &[("k", 2), ("n", n as i64)],
@@ -139,14 +146,14 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     let an = if quick { 200 } else { 1000 };
     list.push(Job::new("asum", move |h| {
         let asum = AsumDesign::new(Level1Params::with_k(4));
         let ax = synth_int(7, an, 8);
-        let (out, stalls, secs) = timed(h, |h| asum.run_in(h, &ax));
+        let (out, stalls, secs, ff) = timed(h, |h| asum.run_in(h, &ax));
         let r = RunRecord::from_sim(
             "asum",
             &[("k", 4), ("n", an as i64)],
@@ -155,7 +162,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     // ---- Level 2: row- and column-major matrix-vector ----
@@ -166,7 +173,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
         let a = DenseMatrix::from_rows(mn, mn, synth_int(3, mn * mn, 8));
         let xv = synth_int(4, mn, 8);
-        let (out, stalls, secs) = timed(h, |h| mvm.run_in(h, &a, &xv));
+        let (out, stalls, secs, ff) = timed(h, |h| mvm.run_in(h, &a, &xv));
         assert_eq!(out.y, a.ref_mvm(&xv), "row-major mvm mismatch");
         let mut r = RunRecord::from_sim(
             "mvm/row",
@@ -182,7 +189,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 .with_paper("table3.mvm.mflops", mflops)
                 .with_paper("table3.mvm.slices", f64::from(area.mvm_design(4)));
         }
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     let cn = if quick { 128 } else { 512 };
@@ -191,7 +198,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let col = ColMajorMvm::new(MvmParams::with_k(4), &node);
         let ca = DenseMatrix::from_rows(cn, cn, synth_int(8, cn * cn, 8));
         let cx = synth_int(9, cn, 8);
-        let (out, stalls, secs) = timed(h, |h| col.run_in(h, &ca, &cx));
+        let (out, stalls, secs, ff) = timed(h, |h| col.run_in(h, &ca, &cx));
         assert_eq!(out.y, ca.ref_mvm(&cx), "col-major mvm mismatch");
         let r = RunRecord::from_sim(
             "mvm/col",
@@ -201,7 +208,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     // ---- Level 2 on XD1 (Table 4): compute + DRAM→SRAM staging ----
@@ -214,7 +221,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             let l2 = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
             let a2 = DenseMatrix::from_rows(n2, n2, synth_int(5, n2 * n2, 8));
             let x2 = synth_int(6, n2, 8);
-            let (out, stalls, secs) = timed(h, |h| l2.run_in(h, &a2, &x2));
+            let (out, stalls, secs, ff) = timed(h, |h| l2.run_in(h, &a2, &x2));
             let dma = DmaModel::xd1_dram();
             let staging_s = dma.transfer_seconds_words((n2 * n2 + n2) as u64);
             let total_s = out.report.latency_seconds(&l2_clock) + staging_s;
@@ -233,7 +240,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 "table4.l2.peak-pct",
                 sustained / io_bound_peak_mvm(dma.bandwidth_bytes_per_s) * 100.0,
             );
-            Entry::simulated(r, secs)
+            Entry::simulated(r, secs, ff)
         }));
     }
 
@@ -245,7 +252,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let mm = LinearArrayMm::new(MmParams::test(4, bm));
         let ma = DenseMatrix::from_rows(bn, bn, synth_int(5, bn * bn, 4));
         let mb = DenseMatrix::from_rows(bn, bn, synth_int(6, bn * bn, 4));
-        let (out, stalls, secs) = timed(h, |h| mm.run_in(h, &ma, &mb));
+        let (out, stalls, secs, ff) = timed(h, |h| mm.run_in(h, &ma, &mb));
         let r = RunRecord::from_sim(
             "mm/linear",
             &[("k", 4), ("m", bm as i64), ("n", bn as i64)],
@@ -254,13 +261,16 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             u64::from(area.mm_design(4)),
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     // ---- Level 3: hierarchical design on one XD1 FPGA (Table 4) ----
     // `HierarchicalMm::run` aggregates its blocks analytically (no
     // harness), so stall attribution is empty; classification falls back
-    // to arithmetic intensity.
+    // to arithmetic intensity. Because the harness never steps a single
+    // one of its millions of modeled cycles, the entry also contributes
+    // nothing to the throughput sidecar — counting analytic cycles as
+    // "stepped" would swamp the backend cycle-compression ratio.
     if !quick {
         list.push(Job::new("mm/hierarchical", move |_h| {
             let area = AreaModel::default();
@@ -269,9 +279,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             let n3 = 512usize;
             let ha = DenseMatrix::from_rows(n3, n3, synth_int(7, n3 * n3, 4));
             let hb = DenseMatrix::from_rows(n3, n3, synth_int(8, n3 * n3, 4));
-            let t0 = Instant::now();
             let out = hier.run(&ha, &hb);
-            let secs = t0.elapsed().as_secs_f64();
             let r = RunRecord::from_sim(
                 "mm/hierarchical",
                 &[("b", 512), ("k", 8), ("m", 8), ("n", n3 as i64)],
@@ -285,7 +293,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 "table4.l3.latency-ms",
                 out.report.latency_seconds(&out.clock) * 1e3,
             );
-            Entry::simulated(r, secs)
+            Entry::modeled(r)
         }));
     }
 
@@ -299,7 +307,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             .collect();
         let total_words: u64 = sets.iter().map(|s| s.len() as u64).sum();
         let mut red = SingleAdderReducer::new(alpha);
-        let (run, stalls, secs) = timed(h, |h| run_sets_in(h, &mut red, &sets));
+        let (run, stalls, secs, ff) = timed(h, |h| run_sets_in(h, &mut red, &sets));
         let r = RunRecord::from_sim(
             "reduce/single-adder",
             &[("alpha", alpha as i64), ("sets", n_sets as i64)],
@@ -314,7 +322,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             FP_ADDER.clock_mhz,
             u64::from(area.reduction_slices),
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     // ---- Sparse matrix-vector (tree design + reduction circuit) ----
@@ -324,7 +332,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let sn = grid * grid;
         let sx = synth_int(11, sn, 8);
         let spmv = SpmvDesign::new(SpmvParams::with_k(4));
-        let (out, stalls, secs) = timed(h, |h| spmv.run_in(h, &sa, &sx));
+        let (out, stalls, secs, ff) = timed(h, |h| spmv.run_in(h, &sa, &sx));
         let r = RunRecord::from_sim(
             "spmv",
             &[("k", 4), ("n", sn as i64)],
@@ -333,7 +341,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs)
+        Entry::simulated(r, secs, ff)
     }));
 
     // ---- Modeled records: Figure 9 and the §6 projections ----
@@ -416,8 +424,22 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
 /// reduce over independent jobs); only the sidecar's timings — and its
 /// `jobs`/`elapsed_seconds`/speedup fields — vary.
 pub fn run_matrix_with_jobs(quick: bool, workers: usize) -> (RecordSet, WallClock) {
+    run_matrix_with_backend(quick, workers, ExecBackend::Cycle)
+}
+
+/// [`run_matrix_with_jobs`] under an execution backend. The record set
+/// is byte-identical for every backend — accelerated backends replay
+/// the exact probe sequence (or substitute bit-identical microkernel
+/// results) — while the sidecar reports which backend ran, how many
+/// cycles were actually stepped, and the resulting cycle-compression
+/// ratio ([`WallClock::backend_speedup`]).
+pub fn run_matrix_with_backend(
+    quick: bool,
+    workers: usize,
+    backend: ExecBackend,
+) -> (RecordSet, WallClock) {
     let t0 = Instant::now();
-    let entries = pool::run_ordered(jobs(quick), workers);
+    let entries = pool::run_ordered_with_backend(jobs(quick), workers, backend);
     let elapsed = t0.elapsed().as_secs_f64();
 
     let mut set = RecordSet::new(if quick {
@@ -427,10 +449,17 @@ pub fn run_matrix_with_jobs(quick: bool, workers: usize) -> (RecordSet, WallCloc
     });
     let mut wall = WallClock::new();
     wall.jobs = workers.max(1) as u64;
+    wall.backend = backend.to_string();
     wall.elapsed_seconds = elapsed;
     for entry in entries {
         if let Some(seconds) = entry.seconds {
-            wall.push(&entry.record.key(), entry.record.cycles, seconds);
+            let cycles = entry.record.cycles;
+            wall.push(
+                &entry.record.key(),
+                cycles,
+                cycles - entry.ff_cycles,
+                seconds,
+            );
         }
         set.push(entry.record);
     }
@@ -466,6 +495,42 @@ mod tests {
         let (b, _) = run_matrix(true);
         let d = fblas_metrics::diff_sets(&a, &b);
         assert!(d.passes(), "{}", d.render());
+    }
+
+    /// The tentpole invariant: every execution backend serializes to the
+    /// exact bytes of the cycle-stepped matrix — fast-forward replays
+    /// the probe sequence, native substitutes bit-identical microkernel
+    /// results — and only the sidecar's backend/stepped-cycle provenance
+    /// differs.
+    #[test]
+    fn backends_produce_identical_bytes() {
+        let (cycle, wc) = run_matrix_with_backend(true, 1, ExecBackend::Cycle);
+        let (ff, wf) = run_matrix_with_backend(true, 2, ExecBackend::FastForward);
+        let (nat, wn) = run_matrix_with_backend(true, 1, ExecBackend::Native);
+        assert_eq!(
+            cycle.to_json_string(),
+            ff.to_json_string(),
+            "fast-forward bytes diverged"
+        );
+        assert_eq!(
+            cycle.to_json_string(),
+            nat.to_json_string(),
+            "native bytes diverged"
+        );
+        // Cycle backend: every cycle stepped, ratio exactly 1.
+        assert_eq!(wc.backend, "cycle");
+        assert_eq!(wc.total_stepped_cycles(), wc.total_cycles());
+        assert!((wc.backend_speedup() - 1.0).abs() < 1e-12);
+        // Accelerated backends: same cycle totals, fewer stepped.
+        assert_eq!(wf.backend, "fast-forward");
+        assert_eq!(wf.total_cycles(), wc.total_cycles());
+        assert!(
+            wf.total_stepped_cycles() < wf.total_cycles(),
+            "quick matrix has fast-forwardable kernels"
+        );
+        assert!(wf.backend_speedup() > 1.0);
+        assert_eq!(wn.backend, "native");
+        assert_eq!(wn.total_stepped_cycles(), wf.total_stepped_cycles());
     }
 
     /// The tentpole invariant: the pooled matrix must serialize to the

@@ -29,7 +29,7 @@
 use std::collections::VecDeque;
 use std::sync::{mpsc, Mutex};
 
-use fblas_sim::Harness;
+use fblas_sim::{ExecBackend, Harness};
 
 /// One schedulable unit: a label (for diagnostics) plus a closure that
 /// runs a kernel on a worker-owned harness and returns its result.
@@ -72,10 +72,22 @@ pub fn default_jobs() -> usize {
 /// correctness asserts) propagates to the caller after the other workers
 /// drain.
 pub fn run_ordered<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> Vec<T> {
+    run_ordered_with_backend(jobs, workers, ExecBackend::Cycle)
+}
+
+/// [`run_ordered`] with every worker harness created on the given
+/// execution backend, so the whole matrix runs cycle-stepped,
+/// fast-forwarded or native. Scheduling and ordered reduction are
+/// unchanged — backend choice affects wall clock only, never bytes.
+pub fn run_ordered_with_backend<T: Send>(
+    jobs: Vec<Job<T>>,
+    workers: usize,
+    backend: ExecBackend,
+) -> Vec<T> {
     let n = jobs.len();
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
-        let mut harness = Harness::new();
+        let mut harness = Harness::with_backend(backend);
         return jobs.into_iter().map(|j| (j.run)(&mut harness)).collect();
     }
 
@@ -91,7 +103,7 @@ pub fn run_ordered<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> Vec<T> {
                 // Each worker owns one harness for its whole lifetime;
                 // records are probe deltas, so reuse across jobs cannot
                 // leak state into the results.
-                let mut harness = Harness::new();
+                let mut harness = Harness::with_backend(backend);
                 loop {
                     let claimed = queue.lock().expect("queue poisoned").pop_front();
                     let Some((index, job)) = claimed else { break };

@@ -1,0 +1,218 @@
+//! Randomized cross-backend parity properties.
+//!
+//! The unit suites in `fblas-core` pin the backends to each other on a
+//! handful of named shapes; this suite is the property-style sweep: for
+//! hundreds of randomized (shape, blocking, seed) triples, the
+//! cycle-stepped datapath, the event-driven fast-forward and the native
+//! blocked microkernel must produce bit-identical results *and*
+//! bit-identical probe counters. No proptest dependency — the workspace
+//! vendors nothing — so shrinking is replaced by printing the failing
+//! `(trial, seed, shape, k)` tuple in every assert message.
+//!
+//! Data regimes follow DESIGN.md §13: kernels whose reduction order
+//! differs between datapath and microkernel (dot, asum, row-major MVM)
+//! are swept with small-integer data, where every intermediate is exact
+//! and association cannot change the answer; kernels whose update order
+//! is provably identical (axpy, scal, col-major MVM) are swept with
+//! arbitrary random reals.
+
+use fblas_core::dot::{DotParams, DotProductDesign};
+use fblas_core::level1::{AsumDesign, AxpyDesign, Level1Params, ScalDesign};
+use fblas_core::mvm::{ColMajorMvm, DenseMatrix, MvmParams, RowMajorMvm};
+use fblas_sim::{ExecBackend, Harness, SimReport};
+
+/// xorshift64* — the same tiny deterministic generator the unit suites
+/// use, seeded per trial so failures reproduce from the printed tuple.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut s = self.0;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.0 = s;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    fn size(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// Small integer-valued f64 in `[-8, 8)` — exact under any
+    /// association of softfloat adds.
+    fn int(&mut self) -> f64 {
+        (self.next_u64() % 16) as f64 - 8.0
+    }
+
+    /// Arbitrary real in roughly `[-8, 8)` with a full mantissa.
+    fn real(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 50) as f64 - 8.0
+    }
+
+    fn int_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.int()).collect()
+    }
+
+    fn real_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.real()).collect()
+    }
+}
+
+/// Run one closure under all three backends and assert the scalar/vector
+/// payload and the probe report agree bit for bit. Returns the stepped
+/// cycles saved by the fast-forward harness (0 when the design declined).
+fn assert_backends_agree<T, F>(ctx: &str, run: F) -> u64
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&mut Harness) -> (T, SimReport),
+{
+    let mut cycle = Harness::with_backend(ExecBackend::Cycle);
+    let (base_out, base_report) = run(&mut cycle);
+    assert_eq!(cycle.ff_cycles(), 0, "{ctx}: cycle backend fast-forwarded");
+    let mut saved = 0;
+    for backend in [ExecBackend::FastForward, ExecBackend::Native] {
+        let mut h = Harness::with_backend(backend);
+        let (out, report) = run(&mut h);
+        assert_eq!(out, base_out, "{ctx}: {backend} result diverged");
+        assert_eq!(report, base_report, "{ctx}: {backend} report diverged");
+        saved = h.ff_cycles();
+    }
+    saved
+}
+
+/// Bit-pattern view of an f64 vector, so `assert_eq!` compares exact
+/// representations (NaN-safe, -0.0 ≠ 0.0) instead of numeric values.
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn dot_product_backends_agree_across_random_shapes() {
+    let mut saved_total = 0;
+    for trial in 0..24 {
+        let mut rng = Rng::new(0xD07 + trial);
+        let k = [2, 4, 8][rng.size(0, 2)];
+        let n = rng.size(1, 220);
+        let u = rng.int_vec(n);
+        let v = rng.int_vec(n);
+        let ctx = format!("dot trial={trial} n={n} k={k}");
+        let design = DotProductDesign::standalone(DotParams::with_k(k), 170.0);
+        saved_total += assert_backends_agree(&ctx, |h| {
+            let out = design.run_in(h, &u, &v);
+            (out.result.to_bits(), out.report)
+        });
+    }
+    assert!(saved_total > 0, "no dot trial ever fast-forwarded");
+}
+
+#[test]
+fn axpy_and_scal_backends_agree_on_random_reals() {
+    let mut saved_total = 0;
+    for trial in 0..24 {
+        let mut rng = Rng::new(0xA1_97 + trial);
+        let k = [2, 4, 8][rng.size(0, 2)];
+        let n = rng.size(1, 200);
+        let a = rng.real();
+        let x = rng.real_vec(n);
+        let y = rng.real_vec(n);
+        let ctx = format!("axpy trial={trial} n={n} k={k}");
+        let axpy = AxpyDesign::new(Level1Params::with_k(k));
+        saved_total += assert_backends_agree(&ctx, |h| {
+            let out = axpy.run_in(h, a, &x, &y);
+            (bits(&out.result), out.report)
+        });
+        let ctx = format!("scal trial={trial} n={n} k={k}");
+        let scal = ScalDesign::new(Level1Params::with_k(k));
+        saved_total += assert_backends_agree(&ctx, |h| {
+            let out = scal.run_in(h, a, &x);
+            (bits(&out.result), out.report)
+        });
+    }
+    assert!(saved_total > 0, "no level-1 trial ever fast-forwarded");
+}
+
+#[test]
+fn asum_backends_agree_on_integer_data() {
+    let mut saved_total = 0;
+    for trial in 0..24 {
+        let mut rng = Rng::new(0xA5_13 + trial);
+        let k = [2, 4, 8][rng.size(0, 2)];
+        let n = rng.size(1, 200);
+        let x = rng.int_vec(n);
+        let ctx = format!("asum trial={trial} n={n} k={k}");
+        let asum = AsumDesign::new(Level1Params::with_k(k));
+        saved_total += assert_backends_agree(&ctx, |h| {
+            let out = asum.run_in(h, &x);
+            (out.result.to_bits(), out.report)
+        });
+    }
+    assert!(saved_total > 0, "no asum trial ever fast-forwarded");
+}
+
+#[test]
+fn row_major_mvm_backends_agree_on_integer_matrices() {
+    let mut saved_total = 0;
+    for trial in 0..12 {
+        let mut rng = Rng::new(0x20_77 + trial);
+        let k = [2, 4, 8][rng.size(0, 2)];
+        let rows = rng.size(1, 48);
+        let cols = rng.size(1, 48);
+        let a = DenseMatrix::from_rows(rows, cols, rng.int_vec(rows * cols));
+        let x = rng.int_vec(cols);
+        let ctx = format!("row-mvm trial={trial} rows={rows} cols={cols} k={k}");
+        let mvm = RowMajorMvm::standalone(MvmParams::with_k(k), 170.0);
+        saved_total += assert_backends_agree(&ctx, |h| {
+            let out = mvm.run_in(h, &a, &x);
+            (bits(&out.y), out.report)
+        });
+    }
+    assert!(saved_total > 0, "no row-mvm trial ever fast-forwarded");
+}
+
+#[test]
+fn col_major_mvm_backends_agree_on_random_reals() {
+    let mut saved_total = 0;
+    for trial in 0..10 {
+        let mut rng = Rng::new(0xC0_11 + trial);
+        let k = [2, 4][rng.size(0, 1)];
+        // The §4.2 hazard condition demands rows/k ≥ α = 14 in-flight
+        // chunks per column; randomize above that floor.
+        let rows = k * rng.size(14, 24);
+        let cols = rng.size(1, 40);
+        let a = DenseMatrix::from_rows(rows, cols, rng.real_vec(rows * cols));
+        let x = rng.real_vec(cols);
+        let ctx = format!("col-mvm trial={trial} rows={rows} cols={cols} k={k}");
+        let mvm = ColMajorMvm::standalone(MvmParams::with_k(k), 170.0);
+        saved_total += assert_backends_agree(&ctx, |h| {
+            let out = mvm.run_in(h, &a, &x);
+            (bits(&out.y), out.report)
+        });
+    }
+    assert!(saved_total > 0, "no col-mvm trial ever fast-forwarded");
+}
+
+/// The substitution rule itself: the native backend may only replace the
+/// datapath's answer where DESIGN.md §13 proves bit-identity, so a
+/// *fractional-rate* design (which declines to fast-forward) must still
+/// agree under the native backend — it falls back to stepping.
+#[test]
+fn fractional_rate_designs_step_identically_under_native() {
+    let mut rng = Rng::new(0xF2AC);
+    let n = 96;
+    let u = rng.int_vec(n);
+    let v = rng.int_vec(n);
+    let mut params = DotParams::with_k(4);
+    params.words_per_cycle_per_vector = 2.0; // starved: below k
+    let design = DotProductDesign::standalone(params, 170.0);
+    let saved = assert_backends_agree("fractional dot n=96 k=4", |h| {
+        let out = design.run_in(h, &u, &v);
+        (out.result.to_bits(), out.report)
+    });
+    assert_eq!(saved, 0, "starved channel must decline fast-forward");
+}

@@ -5,6 +5,8 @@
 //! * the bench-thread-containment rule over the bench sources;
 //! * the fault-hook-purity rule over the whole workspace;
 //! * the workspace determinism lint over the result-affecting crates;
+//! * the fast-path parity coverage rule (every `fast_forward` override
+//!   pinned bit-identical by the backend parity suite);
 //! * the channel-graph analyses (deadlock-freedom proofs, throughput
 //!   bounds, composed-bandwidth budgets) over every shipped topology;
 //! * the BENCH cross-validation (measured rate vs. static bound) over
@@ -31,6 +33,7 @@
 
 use fblas_check::determinism::determinism_report;
 use fblas_check::drc::{check, infeasible_k10_with_rt_core, shipped_design_points};
+use fblas_check::fastpath::fast_path_report;
 use fblas_check::graph::{bench_cross_validation_report, topology_report};
 use fblas_check::hooks::fault_hook_report;
 use fblas_check::parity::coverage_report;
@@ -77,7 +80,7 @@ fn main() {
     let mut reports: Vec<Report> = points.iter().map(check).collect();
     reports.push(coverage_report());
     let root = repo_root();
-    let scans: [(&str, Result<Report, String>); 3] = [
+    let scans: [(&str, Result<Report, String>); 4] = [
         (
             "bench sources",
             bench_thread_report(&root).map_err(|e| e.to_string()),
@@ -89,6 +92,10 @@ fn main() {
         (
             "policed sources",
             determinism_report(&root).map_err(|e| e.to_string()),
+        ),
+        (
+            "fast-path sources",
+            fast_path_report(&root).map_err(|e| e.to_string()),
         ),
     ];
     for (what, scan) in scans {

@@ -27,7 +27,10 @@ use std::path::Path;
 use crate::drc::{Diagnostic, Report, Severity};
 use crate::source::{strip, walk_rs_files};
 
-/// The result-affecting source trees, relative to the repo root.
+/// The result-affecting source trees, relative to the repo root. The
+/// `sw` crate joined the list when its blocked microkernel became the
+/// native backend's value engine: its outputs now land in committed
+/// records, so it is held to the same no-ambient-reads bar.
 pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/sim/src",
@@ -35,6 +38,7 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/metrics/src",
     "crates/faults/src",
     "crates/bench/src",
+    "crates/sw/src",
 ];
 
 /// Ambient reads proven harmless, as `(file, class)` pairs. Each entry

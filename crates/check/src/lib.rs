@@ -32,6 +32,10 @@
 //! * [`determinism`] — a **workspace determinism lint**: result-affecting
 //!   code in the simulation and bench crates must not read wall clocks,
 //!   host parallelism, ambient randomness, or iterate hash containers.
+//! * [`fastpath`] — a **fast-path parity coverage rule**: every design
+//!   overriding `Design::fast_forward` must be claimed by a randomized
+//!   backend-parity test, so an accelerated replay can never ship
+//!   without a bit-equality pin against cycle stepping.
 //!
 //! The shared [`source`] module supplies the comment-/string-stripping
 //! and tree-walking primitives all source-level rules build on.
@@ -43,6 +47,7 @@
 
 pub mod determinism;
 pub mod drc;
+pub mod fastpath;
 pub mod graph;
 pub mod hooks;
 pub mod lint;
@@ -55,6 +60,7 @@ pub use drc::{
     check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
     Kernel, Platform, Report, Severity,
 };
+pub use fastpath::{check_fast_paths, fast_path_report, FAST_PATH_CLAIMS};
 pub use graph::{
     analyze_topology, bench_cross_validation_report, shipped_topologies, topology_report,
     CycleProof, ThroughputBound,

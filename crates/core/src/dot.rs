@@ -19,8 +19,8 @@ use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::ReadChannel;
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec, Fifo, Harness,
-    Probe, ProbeId, StallCause, Topology,
+    flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend, FaultKind,
+    FaultSpec, Fifo, Harness, Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
 
@@ -275,13 +275,26 @@ impl DotProductDesign {
             reducer,
             result: None,
             limit: (n as u64 + 64) * 32 + 100_000,
+            // Rate precondition for fast-forwarding (k as f64 is exact).
+            // Rate accounting, not datapath. lint: allow(native-f64)
+            full_rate: self.params.words_per_cycle_per_vector >= k as f64,
             ids: None,
         };
         let report = harness.run(&mut run);
         let buffer_id = run.ids.expect("setup ran").reduction_buffer;
 
+        // Under the native backend the numeric answer comes from the
+        // `fblas-sw` softfloat microkernel, not the datapath replay
+        // (never while faults are armed — substitution would silently
+        // heal injected corruption). See DESIGN.md §13.
+        let result = if harness.backend().native_results() && !harness.faults_armed() {
+            fblas_sw::microkernel::dot(u, v)
+        } else {
+            run.result.expect("harness exits on result")
+        };
+
         DotOutcome {
-            result: run.result.expect("harness exits on result"),
+            result,
             report,
             clock: self.clock,
             peak_flops: io_bound_peak_dot(self.bandwidth_bytes_per_s()),
@@ -320,6 +333,10 @@ struct DotRun<'a, R: Reducer> {
     reducer: &'a mut R,
     result: Option<f64>,
     limit: u64,
+    // Both streams sustain k words/cycle, so every group fires the cycle
+    // its words arrive — one precondition of the fused fast-forward
+    // replay (the other is a never-stalling reduction circuit).
+    full_rate: bool,
     ids: Option<DotIds>,
 }
 
@@ -432,6 +449,120 @@ impl<R: Reducer> Design for DotRun<'_, R> {
 
     fn progress(&self) -> Option<u64> {
         Some(self.groups_in as u64 + self.reducer.adds_issued())
+    }
+
+    /// Fused replay of the whole run (DESIGN.md §13). Sound only when
+    /// both streams sustain `k` words/cycle (every group then fires the
+    /// cycle its words arrive, making the feed schedule the closed form
+    /// "group t at cycle t") and the reduction circuit never exerts
+    /// back-pressure (the backlog FIFO is then provably empty at every
+    /// sample point, and tree outputs flow straight into the reducer
+    /// `tree_latency` cycles after their group fired). Anything else —
+    /// e.g. the SRC deployment's fractional stream rate, or a stalling
+    /// ablation reducer — declines to the cycle-stepped reference path.
+    ///
+    /// Probe counters are reconstructed analytically: the replay loop
+    /// accumulates plain integers (busy cycles, drain stalls, run-length
+    /// encoded buffer depths) and lands them through the probe's batched
+    /// recording API afterwards, landing on the exact state the
+    /// per-cycle calls would have produced — the parity suites assert
+    /// bit-equality. The savings come from bypassing the channels,
+    /// throttles, delay line, FIFO, per-cycle buffer churn *and* the
+    /// per-cycle probe traffic.
+    fn fast_forward(&mut self, probe: &mut Probe, backend: ExecBackend) -> u64 {
+        if !self.full_rate || !self.reducer.never_stalls() {
+            return 0;
+        }
+        debug_assert!(
+            self.groups_in == 0 && self.result.is_none(),
+            "fast_forward requires fresh run state"
+        );
+        let ids = self.ids.expect("setup registered components");
+        let n = self.u_ch.len();
+        let latency = self.tree.latency() as u64;
+        let groups = self.groups as u64;
+        // Under the native backend the reducer is fed zeroed operands:
+        // its schedule is value-independent and the numeric answer is
+        // substituted from the microkernel after the run.
+        let native = backend.native_results();
+        let mut products: Vec<f64> = Vec::with_capacity(self.k);
+        let mut busy_cycles: u64 = 0;
+        let mut drains: u64 = 0;
+        let mut last_drain: u64 = 0;
+        let mut buffer_runs = DepthRuns::new(ids.reduction_buffer);
+        let mut t: u64 = 0;
+        while self.result.is_none() {
+            t += 1;
+            assert!(
+                t < self.limit,
+                "dot: simulation exceeded cycle limit {}",
+                self.limit
+            );
+
+            // Front end: group t's words arrive and it fires, in one
+            // cycle — the feed schedule is the closed form "group t at
+            // cycle t", so only the reduction circuit needs stepping.
+            let feeding = t <= groups;
+
+            // Tree delivery: group t − latency reaches the reduction
+            // circuit this cycle (the backlog stays empty throughout).
+            let red_in = if t > latency && t <= groups + latency {
+                let g = t - latency;
+                let value = if native {
+                    0.0
+                } else {
+                    let lo = (g as usize - 1) * self.k;
+                    let hi = (lo + self.k).min(n);
+                    products.clear();
+                    for i in lo..hi {
+                        products.push(mul_f64(self.u_ch.data()[i], self.v_ch.data()[i]));
+                    }
+                    balanced_sum(&products)
+                };
+                Some(ReduceInput {
+                    set_id: 0,
+                    value,
+                    last: g == groups,
+                })
+            } else {
+                None
+            };
+            if feeding || red_in.is_some() {
+                busy_cycles += 1;
+            }
+            if red_in.is_none() && t >= groups {
+                drains += 1;
+                last_drain = t;
+            }
+            if let Some(ev) = self.reducer.tick(red_in) {
+                self.result = Some(ev.value);
+            }
+            buffer_runs.push(probe, self.reducer.buffered());
+        }
+        self.groups_in = self.groups;
+        buffer_runs.finish(probe);
+
+        // Counter reconstruction: the totals the stepped run's per-cycle
+        // probe calls would have accumulated over its t cycles.
+        probe.io_in(2 * n as u64);
+        probe.flops(2 * n as u64);
+        probe.io_out(1);
+        probe.record_busy_cycles(busy_cycles);
+        probe.record_busy_marks(ids.front_end, groups);
+        probe.record_busy_marks(ids.reducer, groups);
+        probe.record_stalls(ids.reducer, StallCause::Drain, drains, last_drain);
+        probe.record_depths(ids.backlog, 0, t);
+        // Stream-rate histograms: delta k on every full-group cycle, the
+        // ragged tail group once, 0 through the drain.
+        let tail = n - (groups as usize - 1) * self.k;
+        for id in [ids.u_stream, ids.v_stream] {
+            let full = if tail == self.k { groups } else { groups - 1 };
+            probe.record_depths(id, self.k, full);
+            probe.record_depths(id, tail, groups - full);
+            probe.record_depths(id, 0, t - groups);
+            probe.record_rate_base(id, n as u64);
+        }
+        t
     }
 
     fn inject(&mut self, fault: &FaultSpec) -> bool {
@@ -597,6 +728,74 @@ mod tests {
         // Slower than the XD1 deployment, as Table 1's bandwidths dictate.
         let xd1 = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
         assert!(out.report.cycles > xd1.run(&u, &v).report.cycles);
+    }
+
+    /// Tentpole parity: the fast-forward and native backends replay the
+    /// run with bit-identical results and bit-identical probe-derived
+    /// reports, while actually skipping the cycle stepper.
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        for n in [1usize, 5, 256, 2048] {
+            let (u, v) = vecs(n);
+            let d = DotProductDesign::new(DotParams::table3(), &Xd1Node::default());
+            let mut cy = Harness::new();
+            let mut ff = Harness::with_backend(ExecBackend::FastForward);
+            let mut nat = Harness::with_backend(ExecBackend::Native);
+            let out_cy = d.run_in(&mut cy, &u, &v);
+            let out_ff = d.run_in(&mut ff, &u, &v);
+            let out_nat = d.run_in(&mut nat, &u, &v);
+            assert_eq!(ff.ff_cycles(), out_cy.report.cycles, "n = {n}");
+            assert_eq!(out_ff.result.to_bits(), out_cy.result.to_bits());
+            assert_eq!(out_ff.report, out_cy.report, "n = {n}");
+            assert_eq!(out_nat.report, out_cy.report, "n = {n}");
+            // Integer workload: the microkernel's sequential association
+            // agrees exactly with the datapath.
+            assert_eq!(out_nat.result.to_bits(), out_cy.result.to_bits());
+            assert_eq!(
+                out_ff.reduction_buffer_high_water,
+                out_cy.reduction_buffer_high_water
+            );
+            assert_eq!(
+                cy.probe().stall_totals(),
+                ff.probe().stall_totals(),
+                "n = {n}"
+            );
+            assert_eq!(cy.probe().stall_totals(), nat.probe().stall_totals());
+        }
+    }
+
+    /// The SRC deployment's fractional stream rate (≈1.76 < k words per
+    /// cycle) violates the fast path's full-rate precondition: the run
+    /// must decline to the cycle stepper, not replay an unsound
+    /// schedule.
+    #[test]
+    fn fractional_rate_declines_fast_forward() {
+        use fblas_system::src_station::SrcMapStation;
+        let d = DotProductDesign::on_src(2, &SrcMapStation::default());
+        let (u, v) = vecs(512);
+        let mut cy = Harness::new();
+        let mut ff = Harness::with_backend(ExecBackend::FastForward);
+        let out_cy = d.run_in(&mut cy, &u, &v);
+        let out_ff = d.run_in(&mut ff, &u, &v);
+        assert_eq!(ff.ff_cycles(), 0, "fractional rate must cycle-step");
+        assert_eq!(out_ff.result.to_bits(), out_cy.result.to_bits());
+        assert_eq!(out_ff.report, out_cy.report);
+    }
+
+    /// A stalling ablation reducer fails the never-stalls precondition:
+    /// fast-forward declines and both backends still agree.
+    #[test]
+    fn stalling_reducer_declines_fast_forward() {
+        use crate::reduce::StallingReducer;
+        let (u, v) = vecs(256);
+        let d = DotProductDesign::standalone(DotParams::with_k(2), 170.0);
+        let mut ff = Harness::with_backend(ExecBackend::FastForward);
+        let mut r1 = StallingReducer::new(ADDER_STAGES);
+        let out_ff = d.run_with_reducer_in(&mut ff, &u, &v, &mut r1);
+        assert_eq!(ff.ff_cycles(), 0, "stalling reducer must cycle-step");
+        let mut r2 = StallingReducer::new(ADDER_STAGES);
+        let out_cy = d.run_with_reducer(&u, &v, &mut r2);
+        assert_eq!(out_ff.report, out_cy.report);
     }
 
     #[test]

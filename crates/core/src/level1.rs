@@ -27,8 +27,8 @@ use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::{ReadChannel, WriteChannel};
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec, Harness, Probe,
-    ProbeId, StallCause, Topology,
+    flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend, FaultKind,
+    FaultSpec, Harness, Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::io_bound_peak_dot;
 
@@ -184,12 +184,24 @@ impl AxpyDesign {
             yb: Vec::with_capacity(k),
             fed: 0,
             limit: (n as u64 + 64) * 16 + 100_000,
+            // Rate precondition for fast-forwarding (k as f64 is exact).
+            // Rate accounting, not datapath. lint: allow(native-f64)
+            full_rate: rate >= k as f64,
             ids: None,
         };
         let report = harness.run(&mut run);
 
+        // Native backend: the numeric answer comes from the `fblas-sw`
+        // softfloat microkernel (never while faults are armed — see
+        // DESIGN.md §13).
+        let result = if harness.backend().native_results() && !harness.faults_armed() {
+            fblas_sw::microkernel::axpy(a, x, y)
+        } else {
+            run.out_ch.into_data()
+        };
+
         StreamOutcome {
-            result: run.out_ch.into_data(),
+            result,
             report,
             clock: self.clock,
         }
@@ -219,6 +231,10 @@ struct AxpyRun {
     yb: Vec<f64>,
     fed: usize,
     limit: u64,
+    // All three streams sustain k words/cycle — the precondition of the
+    // fused fast-forward replay (batch t fires at cycle t, emerges at
+    // t + pipeline latency, and the output port never back-pressures).
+    full_rate: bool,
     ids: Option<AxpyIds>,
 }
 
@@ -289,6 +305,67 @@ impl Design for AxpyRun {
 
     fn progress(&self) -> Option<u64> {
         Some(self.fed as u64 + self.out_ch.words_written() as u64)
+    }
+
+    /// Fused replay (DESIGN.md §13): at full rate the schedule is the
+    /// closed form "batch t fires at cycle t, emerges at t + P", so the
+    /// whole run collapses to `groups + P` cycles. Probe counters are
+    /// reconstructed analytically through the batched recording API —
+    /// bit-identical to the stepped run's, as the parity suites assert —
+    /// and the elementwise values are computed in one flat pass.
+    fn fast_forward(&mut self, probe: &mut Probe, backend: ExecBackend) -> u64 {
+        if !self.full_rate {
+            return 0;
+        }
+        let ids = self.ids.expect("setup registered components");
+        let n = self.n as u64;
+        let k = self.k as u64;
+        let groups = n.div_ceil(k.max(1));
+        let pipe_lat = self.pipe.latency() as u64;
+        let native = backend.native_results();
+        let total = groups + pipe_lat;
+        assert!(
+            total < self.limit,
+            "axpy: simulation exceeded cycle limit {}",
+            self.limit
+        );
+
+        // Values, in stream order. Under the native backend zeros are
+        // pushed — the answer is substituted from the microkernel.
+        for i in 0..self.n {
+            let v = if native {
+                0.0
+            } else {
+                add_f64(mul_f64(self.a, self.x_ch.data()[i]), self.y_ch.data()[i])
+            };
+            self.out_ch.push_unthrottled(v);
+        }
+        self.fed = self.n;
+
+        // Counter reconstruction.
+        probe.io_in(2 * n);
+        probe.flops(2 * n);
+        probe.io_out(n);
+        probe.record_busy_marks(ids.lanes, groups);
+        probe.record_busy_cycles(groups);
+        probe.record_stalls(ids.lanes, StallCause::Drain, pipe_lat, total);
+        let mut pipe_runs = DepthRuns::new(ids.pipeline);
+        for t in 1..=total {
+            let in_flight = t.min(groups) - t.saturating_sub(pipe_lat).min(groups);
+            pipe_runs.push(probe, in_flight as usize);
+        }
+        pipe_runs.finish(probe);
+        // Stream-rate histograms: delta k per full group, the ragged
+        // tail once, 0 elsewhere (the fill for out, the drain for in).
+        let tail = n - (groups - 1) * k;
+        let full = if tail == k { groups } else { groups - 1 };
+        for id in [ids.x_stream, ids.y_stream, ids.out_stream] {
+            probe.record_depths(id, k as usize, full);
+            probe.record_depths(id, tail as usize, groups - full);
+            probe.record_depths(id, 0, pipe_lat);
+            probe.record_rate_base(id, n);
+        }
+        total
     }
 
     fn inject(&mut self, fault: &FaultSpec) -> bool {
@@ -389,12 +466,22 @@ impl ScalDesign {
             xb: Vec::with_capacity(k),
             fed: 0,
             limit: (n as u64 + 64) * 16 + 100_000,
+            // Rate precondition for fast-forwarding (k as f64 is exact).
+            // Rate accounting, not datapath. lint: allow(native-f64)
+            full_rate: rate >= k as f64,
             ids: None,
         };
         let report = harness.run(&mut run);
 
+        // Native backend: microkernel result, never under armed faults.
+        let result = if harness.backend().native_results() && !harness.faults_armed() {
+            fblas_sw::microkernel::scal(a, x)
+        } else {
+            run.out_ch.into_data()
+        };
+
         StreamOutcome {
-            result: run.out_ch.into_data(),
+            result,
             report,
             clock: self.clock,
         }
@@ -421,6 +508,8 @@ struct ScalRun {
     xb: Vec<f64>,
     fed: usize,
     limit: u64,
+    // Both streams sustain k words/cycle (fast-forward precondition).
+    full_rate: bool,
     ids: Option<ScalIds>,
 }
 
@@ -482,6 +571,58 @@ impl Design for ScalRun {
 
     fn progress(&self) -> Option<u64> {
         Some(self.fed as u64 + self.out_ch.words_written() as u64)
+    }
+
+    /// Fused replay (DESIGN.md §13), same closed-form schedule as axpy
+    /// with the multiplier-only pipeline and a single input stream.
+    fn fast_forward(&mut self, probe: &mut Probe, backend: ExecBackend) -> u64 {
+        if !self.full_rate {
+            return 0;
+        }
+        let ids = self.ids.expect("setup registered components");
+        let n = self.n as u64;
+        let k = self.k as u64;
+        let groups = n.div_ceil(k.max(1));
+        let pipe_lat = self.pipe.latency() as u64;
+        let native = backend.native_results();
+        let total = groups + pipe_lat;
+        assert!(
+            total < self.limit,
+            "scal: simulation exceeded cycle limit {}",
+            self.limit
+        );
+
+        for i in 0..self.n {
+            let v = if native {
+                0.0
+            } else {
+                mul_f64(self.a, self.x_ch.data()[i])
+            };
+            self.out_ch.push_unthrottled(v);
+        }
+        self.fed = self.n;
+
+        probe.io_in(n);
+        probe.flops(n);
+        probe.io_out(n);
+        probe.record_busy_marks(ids.lanes, groups);
+        probe.record_busy_cycles(groups);
+        probe.record_stalls(ids.lanes, StallCause::Drain, pipe_lat, total);
+        let mut pipe_runs = DepthRuns::new(ids.pipeline);
+        for t in 1..=total {
+            let in_flight = t.min(groups) - t.saturating_sub(pipe_lat).min(groups);
+            pipe_runs.push(probe, in_flight as usize);
+        }
+        pipe_runs.finish(probe);
+        let tail = n - (groups - 1) * k;
+        let full = if tail == k { groups } else { groups - 1 };
+        for id in [ids.x_stream, ids.out_stream] {
+            probe.record_depths(id, k as usize, full);
+            probe.record_depths(id, tail as usize, groups - full);
+            probe.record_depths(id, 0, pipe_lat);
+            probe.record_rate_base(id, n);
+        }
+        total
     }
 
     fn inject(&mut self, fault: &FaultSpec) -> bool {
@@ -607,12 +748,22 @@ impl AsumDesign {
             groups_in: 0,
             result: None,
             limit: (n as u64 + 64) * 16 + 100_000,
+            // Rate precondition for fast-forwarding (k as f64 is exact).
+            // Rate accounting, not datapath. lint: allow(native-f64)
+            full_rate: self.params.words_per_cycle_per_stream >= k as f64,
             ids: None,
         };
         let report = harness.run(&mut run);
 
+        // Native backend: microkernel result, never under armed faults.
+        let result = if harness.backend().native_results() && !harness.faults_armed() {
+            fblas_sw::microkernel::asum(x)
+        } else {
+            run.result.expect("harness exits on result")
+        };
+
         AsumOutcome {
-            result: run.result.expect("harness exits on result"),
+            result,
             report,
             clock: self.clock,
             peak_flops: io_bound_peak_dot(
@@ -644,6 +795,9 @@ struct AsumRun {
     groups_in: usize,
     result: Option<f64>,
     limit: u64,
+    // The stream sustains k words/cycle (fast-forward precondition; the
+    // reducer is always the §4.3 circuit, which never back-pressures).
+    full_rate: bool,
     ids: Option<AsumIds>,
 }
 
@@ -717,6 +871,92 @@ impl Design for AsumRun {
 
     fn progress(&self) -> Option<u64> {
         Some(self.groups_in as u64 + self.reducer.adds_issued())
+    }
+
+    /// Fused replay (DESIGN.md §13): the dot-product schedule with one
+    /// stream and no backlog gate — group t fires at cycle t and its
+    /// balanced magnitude sum reaches the reduction circuit
+    /// tree-latency cycles later.
+    fn fast_forward(&mut self, probe: &mut Probe, backend: ExecBackend) -> u64 {
+        if !self.full_rate {
+            return 0;
+        }
+        let ids = self.ids.expect("setup registered components");
+        let n = self.n as u64;
+        let groups = self.groups as u64;
+        let latency = self.tree.latency() as u64;
+        let native = backend.native_results();
+        let mut mags: Vec<f64> = Vec::with_capacity(self.k);
+        let mut busy_cycles: u64 = 0;
+        let mut drains: u64 = 0;
+        let mut last_drain: u64 = 0;
+        let mut buffer_runs = DepthRuns::new(ids.reduction_buffer);
+        let mut t: u64 = 0;
+        while self.result.is_none() {
+            t += 1;
+            assert!(
+                t < self.limit,
+                "asum: simulation exceeded cycle limit {}",
+                self.limit
+            );
+            let feeding = t <= groups;
+            let red_in = if t > latency && t <= groups + latency {
+                let g = t - latency;
+                let value = if native {
+                    0.0
+                } else {
+                    let lo = (g as usize - 1) * self.k;
+                    let hi = (lo + self.k).min(self.n);
+                    mags.clear();
+                    for v in &self.x_ch.data()[lo..hi] {
+                        mags.push(f64::from_bits(v.to_bits() & !SIGN_MASK));
+                    }
+                    balanced(&mags)
+                };
+                Some(ReduceInput {
+                    set_id: 0,
+                    value,
+                    last: g == groups,
+                })
+            } else {
+                None
+            };
+            if feeding || red_in.is_some() {
+                busy_cycles += 1;
+            }
+            if red_in.is_none() && t >= groups {
+                drains += 1;
+                last_drain = t;
+            }
+            if let Some(ev) = self.reducer.tick(red_in) {
+                self.result = Some(ev.value);
+            }
+            buffer_runs.push(probe, self.reducer.buffered());
+        }
+        self.groups_in = self.groups;
+        buffer_runs.finish(probe);
+
+        probe.io_in(n);
+        probe.flops(n);
+        probe.io_out(1);
+        probe.record_busy_cycles(busy_cycles);
+        probe.record_busy_marks(ids.front_end, groups);
+        probe.record_busy_marks(ids.reducer, groups);
+        // Every post-feed cycle stalls the front end; the reducer's own
+        // drain gaps were counted in the loop.
+        probe.record_stalls(ids.front_end, StallCause::Drain, t - groups, t);
+        probe.record_stalls(ids.reducer, StallCause::Drain, drains, last_drain);
+        let tail = n - (groups - 1) * self.k as u64;
+        let full = if tail == self.k as u64 {
+            groups
+        } else {
+            groups - 1
+        };
+        probe.record_depths(ids.x_stream, self.k, full);
+        probe.record_depths(ids.x_stream, tail as usize, groups - full);
+        probe.record_depths(ids.x_stream, 0, t - groups);
+        probe.record_rate_base(ids.x_stream, n);
+        t
     }
 
     fn inject(&mut self, fault: &FaultSpec) -> bool {
@@ -867,5 +1107,59 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn axpy_mismatched_lengths_rejected() {
         AxpyDesign::new(Level1Params::with_k(2)).run(1.0, &[1.0], &[1.0, 2.0]);
+    }
+
+    /// Tentpole parity: each streaming design replays bit-identically
+    /// (results and probe-derived reports) under fast-forward and
+    /// native, while skipping the cycle stepper entirely.
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        for n in [1usize, 3, 63, 1000] {
+            let x = int_vec(1, n);
+            let y = int_vec(2, n);
+            let backends = || {
+                [
+                    Harness::new(),
+                    Harness::with_backend(ExecBackend::FastForward),
+                    Harness::with_backend(ExecBackend::Native),
+                ]
+            };
+
+            let axpy = AxpyDesign::new(Level1Params::with_k(4));
+            let [mut cy, mut ff, mut nat] = backends();
+            let out_cy = axpy.run_in(&mut cy, 3.0, &x, &y);
+            let out_ff = axpy.run_in(&mut ff, 3.0, &x, &y);
+            let out_nat = axpy.run_in(&mut nat, 3.0, &x, &y);
+            assert_eq!(ff.ff_cycles(), out_cy.report.cycles, "axpy n = {n}");
+            assert_eq!(out_ff.result, out_cy.result, "axpy n = {n}");
+            assert_eq!(out_ff.report, out_cy.report, "axpy n = {n}");
+            assert_eq!(out_nat.result, out_cy.result, "axpy n = {n}");
+            assert_eq!(out_nat.report, out_cy.report, "axpy n = {n}");
+            assert_eq!(cy.probe().stall_totals(), ff.probe().stall_totals());
+
+            let scal = ScalDesign::new(Level1Params::with_k(4));
+            let [mut cy, mut ff, mut nat] = backends();
+            let out_cy = scal.run_in(&mut cy, -2.5, &x);
+            let out_ff = scal.run_in(&mut ff, -2.5, &x);
+            let out_nat = scal.run_in(&mut nat, -2.5, &x);
+            assert_eq!(ff.ff_cycles(), out_cy.report.cycles, "scal n = {n}");
+            assert_eq!(out_ff.result, out_cy.result, "scal n = {n}");
+            assert_eq!(out_ff.report, out_cy.report, "scal n = {n}");
+            assert_eq!(out_nat.result, out_cy.result, "scal n = {n}");
+            assert_eq!(out_nat.report, out_cy.report, "scal n = {n}");
+            assert_eq!(cy.probe().stall_totals(), ff.probe().stall_totals());
+
+            let asum = AsumDesign::new(Level1Params::with_k(4));
+            let [mut cy, mut ff, mut nat] = backends();
+            let out_cy = asum.run_in(&mut cy, &x);
+            let out_ff = asum.run_in(&mut ff, &x);
+            let out_nat = asum.run_in(&mut nat, &x);
+            assert_eq!(ff.ff_cycles(), out_cy.report.cycles, "asum n = {n}");
+            assert_eq!(out_ff.result.to_bits(), out_cy.result.to_bits());
+            assert_eq!(out_ff.report, out_cy.report, "asum n = {n}");
+            assert_eq!(out_nat.result.to_bits(), out_cy.result.to_bits());
+            assert_eq!(out_nat.report, out_cy.report, "asum n = {n}");
+            assert_eq!(cy.probe().stall_totals(), ff.probe().stall_totals());
+        }
     }
 }

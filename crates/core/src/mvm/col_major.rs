@@ -14,8 +14,8 @@ use super::{DenseMatrix, MvmOutcome, MvmParams};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
 use fblas_sim::{
-    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, Design, EdgeKind, FaultKind, FaultSpec,
-    Harness, Probe, ProbeId, StallCause, Topology,
+    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend,
+    FaultKind, FaultSpec, Harness, Probe, ProbeId, StallCause, Topology,
 };
 use fblas_system::{ClockModel, Xd1Node};
 
@@ -173,6 +173,8 @@ impl ColMajorMvm {
             rows,
             cols,
             chunks_per_col,
+            // Rate accounting, not datapath. lint: allow(native-f64)
+            full_rate: self.params.matrix_words_per_cycle >= k as f64,
             x,
             y_store,
             a_ch: ReadChannel::new(a.col_major_stream(), self.params.matrix_words_per_cycle),
@@ -194,7 +196,15 @@ impl ColMajorMvm {
         };
         let report = harness.run(&mut run);
 
-        let y = run.y_store.contents().to_vec();
+        // The interleaved accumulator updates each y element once per
+        // column in ascending-j order — exactly the microkernel's fold —
+        // so the native substitution is bit-identical on *all* data, not
+        // just integer workloads. Never substitute with faults armed.
+        let y = if harness.backend().native_results() && !harness.faults_armed() {
+            fblas_sw::microkernel::gemv(a.as_slice(), rows, cols, x, y0)
+        } else {
+            run.y_store.contents().to_vec()
+        };
         MvmOutcome::new(y, report, self.clock, self.params.matrix_words_per_cycle)
     }
 }
@@ -214,6 +224,9 @@ struct ColMvmRun<'a> {
     rows: usize,
     cols: usize,
     chunks_per_col: usize,
+    /// Channel rate covers a whole chunk per cycle — precondition of the
+    /// fused fast-forward schedule.
+    full_rate: bool,
     x: &'a [f64],
     y_store: LocalStore,
     a_ch: ReadChannel,
@@ -333,6 +346,114 @@ impl Design for ColMvmRun<'_> {
         self.a_ch.probe_utilization(probe, ids.a_stream);
     }
 
+    /// Fused replay of the whole run. At full channel rate the feed is
+    /// gapless — feed slot f covers chunk `(f-1) % cpc` of column
+    /// `(f-1) / cpc` — so every pipeline stage is closed-form: the
+    /// multiplier bank issues slot f's adds at f+M and the adder retires
+    /// them at f+M+α, making the run exactly F+M+α cycles. The hazard
+    /// condition (rows/k ≥ α) guarantees no other update touches a y
+    /// element between issue and retire, so the read-modify-writes fold
+    /// into one flat pass over A in retire order. Probe counters are
+    /// reconstructed analytically: an integer-only replay of the stepped
+    /// loop's stall/busy/occupancy conditions, landed through the
+    /// batched recording API — bit-identical to the stepped run's, as
+    /// the parity suites assert.
+    fn fast_forward(&mut self, probe: &mut Probe, backend: ExecBackend) -> u64 {
+        if !self.full_rate {
+            return 0;
+        }
+        debug_assert!(
+            self.col == 0 && self.writes_done == 0,
+            "fast_forward must run before the first cycle"
+        );
+        let ids = self.ids.expect("setup registered components");
+        let cpc = self.chunks_per_col as u64;
+        let feed_total = self.cols as u64 * cpc;
+        let m = self.mult.latency() as u64;
+        let alpha = self.adder.latency() as u64;
+        let native = backend.native_results();
+        let total = feed_total + m + alpha;
+        assert!(
+            total < self.limit,
+            "col-mvm: simulation exceeded cycle limit {}",
+            self.limit
+        );
+
+        // Values: retires happen in ascending feed-slot order, which is
+        // exactly ascending (column, row) — one flat pass over A with
+        // the same y-store read/modify/write sequence as the stepped
+        // datapath. The native backend skips it (the answer is
+        // substituted from the microkernel after the run).
+        if !native {
+            for col in 0..self.cols {
+                let xj = self.x[col];
+                for i in 0..self.rows {
+                    let aij = self.a_ch.data()[col * self.rows + i];
+                    let v = add_f64(self.y_store.read(i), mul_f64(aij, xj));
+                    self.y_store.write(i, v);
+                }
+            }
+        }
+        let elems = self.rows as u64 * self.cols as u64;
+        self.writes_done = self.total_writes;
+        self.values_fed += elems;
+        self.col = self.cols;
+
+        // Integer-only replay of the stepped loop's per-cycle stall,
+        // busy and adder-occupancy conditions.
+        let mut busy_cycles: u64 = 0;
+        let mut front_drains: u64 = 0;
+        let mut hazards = (0u64, 0u64);
+        let mut lane_drains = (0u64, 0u64);
+        let mut occ_runs = DepthRuns::new(ids.hazard_window);
+        for t in 1..=total {
+            let front = t <= feed_total;
+            let lanes = t > m && t <= feed_total + m;
+            if front || lanes {
+                busy_cycles += 1;
+            }
+            if !front {
+                front_drains += 1;
+            }
+            if !lanes {
+                // Batches issued but not yet retired lock the issue slot.
+                let live = (t.saturating_sub(1).min(feed_total + m))
+                    .saturating_sub(t.saturating_sub(alpha).max(m));
+                if live > 0 {
+                    hazards = (hazards.0 + 1, t);
+                } else if t >= feed_total {
+                    lane_drains = (lane_drains.0 + 1, t);
+                }
+            }
+            // Adder fill: batches entered in (t−α, t] intersected with
+            // the issue window (M, F+M].
+            let occ = (t.min(feed_total + m)).saturating_sub(t.saturating_sub(alpha).max(m));
+            occ_runs.push(probe, occ as usize);
+        }
+        occ_runs.finish(probe);
+
+        // Counter reconstruction: totals the stepped run's per-cycle
+        // probe calls would have accumulated, including the broadcast x
+        // word on each column's first chunk.
+        probe.io_in(elems + self.cols as u64);
+        probe.flops(2 * elems);
+        probe.record_busy_cycles(busy_cycles);
+        probe.record_busy_marks(ids.front_end, feed_total);
+        probe.record_busy_marks(ids.lanes, feed_total);
+        probe.record_stalls(ids.front_end, StallCause::Drain, front_drains, total);
+        probe.record_stalls(ids.lanes, StallCause::HazardWindow, hazards.0, hazards.1);
+        probe.record_stalls(ids.lanes, StallCause::Drain, lane_drains.0, lane_drains.1);
+        // Stream-rate histogram: delta k per full chunk, each column's
+        // ragged tail chunk, 0 through the pipeline drain.
+        let tail = self.rows - (self.chunks_per_col - 1) * self.k;
+        let full = if tail == self.k { cpc } else { cpc - 1 };
+        probe.record_depths(ids.a_stream, self.k, self.cols as u64 * full);
+        probe.record_depths(ids.a_stream, tail, self.cols as u64 * (cpc - full));
+        probe.record_depths(ids.a_stream, 0, m + alpha);
+        probe.record_rate_base(ids.a_stream, elems);
+        total
+    }
+
     fn drain(&mut self, probe: &mut Probe) {
         // y streams back to memory once the accumulators settle.
         probe.io_out(self.rows as u64);
@@ -442,6 +563,84 @@ mod tests {
             "cycles {} too far above {lower}",
             out.report.cycles
         );
+    }
+
+    /// Deterministic xorshift64* stream of finite doubles in (-8, 8).
+    fn random_vec(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 50) as f64 - 8.0
+            })
+            .collect()
+    }
+
+    /// The tentpole parity pin, on *random* data: the interleaved
+    /// accumulator's update order is exactly the microkernel's
+    /// ascending-j fold, so even the native backend is bit-identical on
+    /// rounding-sensitive inputs (unlike the tree-based designs, which
+    /// need association-independent data).
+    #[test]
+    fn backends_agree_bit_for_bit_on_random_data() {
+        for n in [64usize, 129] {
+            let a = DenseMatrix::from_rows(n, n, random_vec(n as u64, n * n));
+            let x = random_vec(n as u64 + 3, n);
+            let y0 = random_vec(n as u64 + 9, n);
+            for y0 in [None, Some(&y0[..])] {
+                let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+                let mut cy = Harness::new();
+                let mut ff = Harness::with_backend(ExecBackend::FastForward);
+                let mut nat = Harness::with_backend(ExecBackend::Native);
+                let out_cy = d.run_with_initial_in(&mut cy, &a, &x, y0);
+                let out_ff = d.run_with_initial_in(&mut ff, &a, &x, y0);
+                let out_nat = d.run_with_initial_in(&mut nat, &a, &x, y0);
+                assert_eq!(ff.ff_cycles(), out_cy.report.cycles, "n = {n}");
+                assert_eq!(nat.ff_cycles(), out_cy.report.cycles, "n = {n}");
+                let bits = |y: &[f64]| y.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&out_ff.y), bits(&out_cy.y), "n = {n}");
+                assert_eq!(bits(&out_nat.y), bits(&out_cy.y), "n = {n}");
+                assert_eq!(out_ff.report, out_cy.report, "n = {n}");
+                assert_eq!(out_nat.report, out_cy.report, "n = {n}");
+                assert_eq!(cy.probe().stall_totals(), ff.probe().stall_totals());
+                assert_eq!(cy.probe().stall_totals(), nat.probe().stall_totals());
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_backends_agree() {
+        let a = DenseMatrix::from_fn(60, 9, |i, j| ((i + 2 * j) % 5) as f64);
+        let x: Vec<f64> = (0..9).map(|j| f64::from(j % 3)).collect();
+        let d = ColMajorMvm::standalone(MvmParams::with_k(4), 170.0);
+        let mut cy = Harness::new();
+        let mut ff = Harness::with_backend(ExecBackend::FastForward);
+        let out_cy = d.run_in(&mut cy, &a, &x);
+        let out_ff = d.run_in(&mut ff, &a, &x);
+        assert_eq!(ff.ff_cycles(), out_cy.report.cycles);
+        assert_eq!(out_ff.y, out_cy.y);
+        assert_eq!(out_ff.report, out_cy.report);
+    }
+
+    /// A sub-chunk stream rate violates the full-rate precondition: the
+    /// run declines to the cycle stepper.
+    #[test]
+    fn fractional_rate_declines_fast_forward() {
+        let params = MvmParams {
+            matrix_words_per_cycle: 2.0,
+            ..MvmParams::with_k(4)
+        };
+        let (a, x) = int_case(64);
+        let d = ColMajorMvm::standalone(params, 170.0);
+        let mut cy = Harness::new();
+        let mut ff = Harness::with_backend(ExecBackend::FastForward);
+        let out_cy = d.run_in(&mut cy, &a, &x);
+        let out_ff = d.run_in(&mut ff, &a, &x);
+        assert_eq!(ff.ff_cycles(), 0, "fractional rate must cycle-step");
+        assert_eq!(out_ff.y, out_cy.y);
+        assert_eq!(out_ff.report, out_cy.report);
     }
 
     #[test]

@@ -78,6 +78,18 @@ pub trait Reducer {
     /// The proposed circuit always returns true — its headline property.
     fn ready(&self) -> bool;
 
+    /// True if [`Reducer::ready`] is *constantly* true — the circuit
+    /// never back-pressures its input stream — and its cycle-by-cycle
+    /// schedule is value-independent. Opting in (the proposed §4.3
+    /// circuit does) lets owning designs fast-forward their streaming
+    /// phase under `ExecBackend::FastForward`/`Native`: with no
+    /// back-pressure possible, the feed schedule is a closed form and
+    /// the backlog FIFO is provably empty every cycle. The conservative
+    /// default keeps every other circuit on the cycle-stepped path.
+    fn never_stalls(&self) -> bool {
+        false
+    }
+
     /// Advance one clock cycle, optionally consuming one input (only legal
     /// when [`Reducer::ready`] returned true) and possibly emitting one
     /// completed set.

@@ -194,6 +194,14 @@ impl Reducer for SingleAdderReducer {
         true
     }
 
+    /// `ready()` is constantly true and the §4.3 schedule pairs values
+    /// by arrival time and set boundaries only — never by value — so
+    /// owning designs may fast-forward their streaming phase around
+    /// this circuit.
+    fn never_stalls(&self) -> bool {
+        true
+    }
+
     fn tick(&mut self, input: Option<ReduceInput>) -> Option<ReduceEvent> {
         self.cycles += 1;
 

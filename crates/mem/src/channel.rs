@@ -95,6 +95,13 @@ impl ReadChannel {
         self.throttle.rate()
     }
 
+    /// Borrow the full backing stream (delivered and undelivered words
+    /// alike). Fused fast-forward replays consume the stream by index
+    /// arithmetic instead of per-cycle reads, so they address it whole.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Sample channel utilization (words delivered since the last sample)
     /// into a probe. Call once per cycle from the owning design.
     pub fn probe_utilization(&self, probe: &mut fblas_sim::Probe, id: fblas_sim::ProbeId) {
@@ -157,6 +164,15 @@ impl WriteChannel {
         } else {
             false
         }
+    }
+
+    /// Deliver a word without drawing bandwidth credit. Fused
+    /// fast-forward replays use this after proving the rate
+    /// precondition (emergent words per cycle never exceed the channel
+    /// rate), so the throttle is bypassed rather than simulated; the
+    /// caller reconstructs `probe_utilization` totals itself.
+    pub fn push_unthrottled(&mut self, v: f64) {
+        self.data.push(v);
     }
 
     /// Words written so far.

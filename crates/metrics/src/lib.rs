@@ -45,5 +45,6 @@ pub use json::Json;
 pub use record::{Bound, PaperParity, RecordKind, RunRecord, StallBreakdown, SCHEMA_VERSION};
 pub use store::{
     bench_file_name, list_bench_files, next_bench_index, parse_bench_index, RecordSet, WallClock,
+    WallClockEntry,
 };
 pub use tolerance::{lookup, PaperTolerance, ParityGate, PAPER_TOLERANCES};

@@ -103,6 +103,22 @@ impl RecordSet {
     }
 }
 
+/// One simulated run's volatile throughput measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallClockEntry {
+    /// Record identity key, e.g. `dot[k=2,n=2048]`.
+    pub key: String,
+    /// Simulated cycles the record accounts for.
+    pub cycles: u64,
+    /// Cycles the harness stepped one `Design::cycle` at a time — the
+    /// remainder were fast-forwarded through a fused replay. Equal to
+    /// `cycles` on the cycle backend; the per-run cycle-compression
+    /// ratio is `cycles / stepped_cycles`.
+    pub stepped_cycles: u64,
+    /// Host wall seconds the run took.
+    pub seconds: f64,
+}
+
 /// Volatile per-run simulator-throughput measurements, kept out of the
 /// deterministic record set. One entry per simulated record: the key and
 /// the host wall-clock rate at which the harness retired simulated cycles.
@@ -111,12 +127,20 @@ impl RecordSet {
 /// job count and the end-to-end elapsed time, from which it derives the
 /// aggregate speedup (sum of per-entry seconds over elapsed seconds) and a
 /// per-entry `speedup_share` (that entry's contribution to the aggregate).
+/// Since the matrix can also run under an accelerated execution backend,
+/// it carries the backend name and the stepped-cycle totals from which
+/// the backend cycle-compression ratio ([`WallClock::backend_speedup`])
+/// is derived.
 #[derive(Debug, Clone)]
 pub struct WallClock {
-    /// `(record key, simulated cycles, wall seconds)` per run.
-    pub entries: Vec<(String, u64, f64)>,
+    /// Per-run measurements, in record order.
+    pub entries: Vec<WallClockEntry>,
     /// Worker count the matrix ran with (1 = serial).
     pub jobs: u64,
+    /// Execution backend the matrix ran under (`cycle`, `fast-forward`
+    /// or `native`) — provenance only; the record bytes are
+    /// backend-invariant.
+    pub backend: String,
     /// End-to-end wall time for the whole matrix. Under a pool this is
     /// less than [`WallClock::total_seconds`]; 0.0 means "not measured".
     pub elapsed_seconds: f64,
@@ -127,6 +151,7 @@ impl Default for WallClock {
         Self {
             entries: Vec::new(),
             jobs: 1,
+            backend: "cycle".to_string(),
             elapsed_seconds: 0.0,
         }
     }
@@ -139,18 +164,42 @@ impl WallClock {
     }
 
     /// Record one run.
-    pub fn push(&mut self, key: &str, cycles: u64, seconds: f64) {
-        self.entries.push((key.to_string(), cycles, seconds));
+    pub fn push(&mut self, key: &str, cycles: u64, stepped_cycles: u64, seconds: f64) {
+        self.entries.push(WallClockEntry {
+            key: key.to_string(),
+            cycles,
+            stepped_cycles,
+            seconds,
+        });
     }
 
     /// Total simulated cycles across entries.
     pub fn total_cycles(&self) -> u64 {
-        self.entries.iter().map(|(_, c, _)| c).sum()
+        self.entries.iter().map(|e| e.cycles).sum()
+    }
+
+    /// Total cycles stepped one at a time across entries.
+    pub fn total_stepped_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.stepped_cycles).sum()
+    }
+
+    /// Backend cycle-compression ratio: simulated cycles accounted for
+    /// per cycle actually stepped. 1.0 on the cycle backend; under
+    /// fast-forward the ratio is what the fused replays bought. 0 when
+    /// nothing was stepped at all (the same zero-denominator clamp the
+    /// rates use).
+    pub fn backend_speedup(&self) -> f64 {
+        let stepped = self.total_stepped_cycles();
+        if stepped > 0 {
+            self.total_cycles() as f64 / stepped as f64
+        } else {
+            0.0
+        }
     }
 
     /// Total wall seconds across entries.
     pub fn total_seconds(&self) -> f64 {
-        self.entries.iter().map(|(_, _, s)| s).sum()
+        self.entries.iter().map(|e| e.seconds).sum()
     }
 
     /// Aggregate simulated cycles per wall second (0 if nothing ran).
@@ -186,8 +235,14 @@ impl WallClock {
         Json::obj()
             .with("schema_version", Json::Num(SCHEMA_VERSION as f64))
             .with("jobs", Json::Num(self.jobs as f64))
+            .with("backend", Json::Str(self.backend.clone()))
             .with("sim_cycles_per_second", Json::Num(self.cycles_per_second()))
             .with("total_cycles", Json::Num(self.total_cycles() as f64))
+            .with(
+                "total_stepped_cycles",
+                Json::Num(self.total_stepped_cycles() as f64),
+            )
+            .with("backend_speedup", Json::Num(self.backend_speedup()))
             .with("total_seconds", Json::Num(self.total_seconds()))
             .with("elapsed_seconds", Json::Num(self.elapsed_seconds))
             .with("aggregate_speedup", Json::Num(self.aggregate_speedup()))
@@ -196,15 +251,24 @@ impl WallClock {
                 Json::Arr(
                     self.entries
                         .iter()
-                        .map(|(key, cycles, seconds)| {
+                        .map(|e| {
                             Json::obj()
-                                .with("key", Json::Str(key.clone()))
-                                .with("cycles", Json::Num(*cycles as f64))
-                                .with("seconds", Json::Num(*seconds))
+                                .with("key", Json::Str(e.key.clone()))
+                                .with("cycles", Json::Num(e.cycles as f64))
+                                .with("stepped_cycles", Json::Num(e.stepped_cycles as f64))
+                                .with(
+                                    "backend_speedup",
+                                    Json::Num(if e.stepped_cycles > 0 {
+                                        e.cycles as f64 / e.stepped_cycles as f64
+                                    } else {
+                                        0.0
+                                    }),
+                                )
+                                .with("seconds", Json::Num(e.seconds))
                                 .with(
                                     "cycles_per_second",
-                                    Json::Num(if *seconds > 0.0 {
-                                        *cycles as f64 / *seconds
+                                    Json::Num(if e.seconds > 0.0 {
+                                        e.cycles as f64 / e.seconds
                                     } else {
                                         0.0
                                     }),
@@ -212,7 +276,7 @@ impl WallClock {
                                 .with(
                                     "speedup_share",
                                     Json::Num(if self.elapsed_seconds > 0.0 {
-                                        *seconds / self.elapsed_seconds
+                                        e.seconds / self.elapsed_seconds
                                     } else {
                                         0.0
                                     }),
@@ -346,13 +410,50 @@ mod tests {
     #[test]
     fn wallclock_aggregates() {
         let mut w = WallClock::new();
-        w.push("dot[k=2,n=64]", 1000, 0.5);
-        w.push("mvm[k=4,n=64]", 3000, 0.5);
+        w.push("dot[k=2,n=64]", 1000, 1000, 0.5);
+        w.push("mvm[k=4,n=64]", 3000, 3000, 0.5);
         assert_eq!(w.total_cycles(), 4000);
         assert!((w.cycles_per_second() - 4000.0).abs() < 1e-9);
         let text = w.to_json_string();
         assert!(text.contains("sim_cycles_per_second"));
         assert_eq!(WallClock::new().cycles_per_second(), 0.0);
+    }
+
+    /// Backend accounting: the sidecar names the backend, totals the
+    /// stepped cycles, and derives the cycle-compression ratio with the
+    /// usual zero-denominator clamp.
+    #[test]
+    fn wallclock_backend_speedup_fields() {
+        let mut w = WallClock::new();
+        assert_eq!(w.backend, "cycle", "cycle by default");
+        assert_eq!(w.backend_speedup(), 0.0, "empty sidecar clamps");
+        w.backend = "fast-forward".to_string();
+        w.push("dot[k=2,n=64]", 1000, 100, 0.1);
+        w.push("mvm[k=4,n=64]", 3000, 300, 0.1);
+        assert_eq!(w.total_stepped_cycles(), 400);
+        assert!((w.backend_speedup() - 10.0).abs() < 1e-12);
+        let doc = Json::parse(&w.to_json_string()).unwrap();
+        assert_eq!(
+            doc.get("backend").and_then(Json::as_str),
+            Some("fast-forward")
+        );
+        assert_eq!(
+            doc.get("total_stepped_cycles").and_then(Json::as_u64),
+            Some(400)
+        );
+        assert_eq!(
+            doc.get("backend_speedup").and_then(Json::as_f64),
+            Some(10.0)
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            runs[0].get("stepped_cycles").and_then(Json::as_u64),
+            Some(100)
+        );
+        assert_eq!(
+            runs[0].get("backend_speedup").and_then(Json::as_f64),
+            Some(10.0)
+        );
     }
 
     /// Regression for the sidecar rate math: an entry that measures 0.0
@@ -361,7 +462,7 @@ mod tests {
     #[test]
     fn wallclock_zero_second_entry_renders_zero_rate() {
         let mut w = WallClock::new();
-        w.push("dot[k=2,n=64]", 1000, 0.0);
+        w.push("dot[k=2,n=64]", 1000, 1000, 0.0);
         assert_eq!(w.cycles_per_second(), 0.0);
         let text = w.to_json_string();
         assert!(!text.contains("inf") && !text.contains("null"), "{text}");
@@ -384,8 +485,8 @@ mod tests {
         let mut w = WallClock::new();
         assert_eq!(w.jobs, 1, "serial by default");
         assert_eq!(w.aggregate_speedup(), 0.0, "unmeasured elapsed clamps");
-        w.push("dot[k=2,n=64]", 1000, 1.5);
-        w.push("mvm[k=4,n=64]", 3000, 0.5);
+        w.push("dot[k=2,n=64]", 1000, 1000, 1.5);
+        w.push("mvm[k=4,n=64]", 3000, 3000, 0.5);
         w.jobs = 2;
         w.elapsed_seconds = 1.0;
         assert!((w.aggregate_speedup() - 2.0).abs() < 1e-12);

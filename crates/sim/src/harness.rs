@@ -13,6 +13,7 @@
 //! first increments the cycle counter, asserts it is below
 //! [`Design::cycle_limit`], then runs [`Design::cycle`] once.
 
+use crate::backend::ExecBackend;
 use crate::fault::{ArmedFaults, FaultLog, FaultSpec};
 use crate::probe::Probe;
 use crate::SimReport;
@@ -77,6 +78,31 @@ pub trait Design {
     fn inject(&mut self, _fault: &FaultSpec) -> bool {
         false
     }
+
+    /// Replay this design's run in a fused loop, skipping the
+    /// cycle-stepped machinery (see [`ExecBackend`] and DESIGN.md §13).
+    ///
+    /// Called by the harness **once, at run start** (after
+    /// [`Design::setup`], before the first [`Design::cycle`]) and only
+    /// when the harness backend fast-forwards, no fault schedule is
+    /// armed, and the probe is in summary mode. Implementations either:
+    ///
+    /// * return `0` to *decline* — the harness falls back to cycle
+    ///   stepping with no observable difference (the default, and the
+    ///   required answer whenever a soundness precondition fails, e.g. a
+    ///   channel rate below the consume width or a reducer that can
+    ///   stall); or
+    /// * execute the **entire run** — identical softfloat arithmetic in
+    ///   identical order (or zeroed operands under
+    ///   [`ExecBackend::Native`]), identical per-cycle probe samples,
+    ///   bulk-reconstructed busy/stall/flop/io counters — leaving
+    ///   [`Design::done`] true, and return the number of cycles the run
+    ///   took. A partial fast-forward is not allowed: the fused loop
+    ///   bypasses the design's channels and pipelines, so resuming
+    ///   `cycle()` mid-run would observe inconsistent state.
+    fn fast_forward(&mut self, _probe: &mut Probe, _backend: ExecBackend) -> u64 {
+        0
+    }
 }
 
 /// Drives a [`Design`] to completion and assembles its [`SimReport`].
@@ -98,6 +124,13 @@ pub struct Harness {
     /// Armed fault schedule, if any. `None` (the default) keeps the run
     /// loop on the zero-cost path: one `Option` test per cycle.
     faults: Option<ArmedFaults>,
+    /// How runs execute: cycle-stepped (default), fast-forwarded, or
+    /// native-microkernel results over the fast-forward cost loop.
+    backend: ExecBackend,
+    /// Cycles skipped past the cycle-stepper by `Design::fast_forward`,
+    /// cumulative across runs (the wallclock sidecar reports per-run
+    /// deltas the same way it reports stall deltas).
+    ff_cycles: u64,
 }
 
 /// Compile-time audit: the simulation stack owns all of its state, so
@@ -115,18 +148,12 @@ impl Harness {
     /// A harness with a summary-mode probe (the default for `run()`
     /// entry points).
     pub fn new() -> Self {
-        Self {
-            probe: Probe::new(),
-            faults: None,
-        }
+        Self::with_probe(Probe::new())
     }
 
     /// A harness recording deep traces (waveforms + trace events).
     pub fn deep() -> Self {
-        Self {
-            probe: Probe::deep(),
-            faults: None,
-        }
+        Self::with_probe(Probe::deep())
     }
 
     /// A harness over a caller-constructed probe.
@@ -134,7 +161,41 @@ impl Harness {
         Self {
             probe,
             faults: None,
+            backend: ExecBackend::Cycle,
+            ff_cycles: 0,
         }
+    }
+
+    /// A summary-probe harness running on `backend`.
+    pub fn with_backend(backend: ExecBackend) -> Self {
+        let mut h = Self::new();
+        h.backend = backend;
+        h
+    }
+
+    /// Select the execution backend for subsequent runs.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The execution backend subsequent runs will use.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Whether a fault schedule is currently armed. Fault injection and
+    /// fast-forwarding are mutually exclusive: an armed harness always
+    /// cycle-steps (and native result substitution must not be applied,
+    /// or injected faults would be silently healed).
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Cycles skipped past the cycle-stepper by fast-forwarding,
+    /// cumulative across this harness's runs (0 under the cycle
+    /// backend). Snapshot around a run for the per-run delta.
+    pub fn ff_cycles(&self) -> u64 {
+        self.ff_cycles
     }
 
     /// Arm a fault schedule: every subsequent [`Harness::run`] delivers
@@ -190,8 +251,31 @@ impl Harness {
         design.setup(&mut self.probe);
         let limit = design.cycle_limit();
         let mut cycles: u64 = 0;
+        // One fast-forward attempt, at run start only: the fused replay
+        // either executes the whole run (returning its cycle count) or
+        // declines with 0 and the stepper below runs untouched. Armed
+        // faults and deep probes force the reference path — faults need
+        // per-cycle inject dispatch, waveforms need per-cycle samples of
+        // components the fused loop bypasses.
+        if self.backend.fast_forwards() && self.faults.is_none() && !self.probe.is_deep() {
+            let skipped = design.fast_forward(&mut self.probe, self.backend);
+            if skipped > 0 {
+                assert!(
+                    skipped < limit,
+                    "{}: simulation exceeded cycle limit {limit}",
+                    design.name()
+                );
+                assert!(
+                    design.done(),
+                    "{}: fast_forward returned {skipped} cycles without completing the run",
+                    design.name()
+                );
+                cycles = skipped;
+                self.ff_cycles += skipped;
+            }
+        }
         let mut last_progress = design.progress();
-        let mut stuck_since: u64 = 0;
+        let mut stuck_since: u64 = cycles;
         while !design.done() {
             cycles += 1;
             assert!(

@@ -48,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod clock;
 pub mod delay;
 pub mod fault;
@@ -59,13 +60,14 @@ pub mod report;
 pub mod stats;
 pub mod throttle;
 
+pub use backend::ExecBackend;
 pub use clock::ClockDomain;
 pub use delay::DelayLine;
 pub use fault::{clear_f64_bit, flip_f64_bit, ArmedFaults, FaultKind, FaultLog, FaultSpec};
 pub use fifo::{Fifo, FifoFull};
 pub use graph::{Edge, EdgeKind, Node, NodeId, NodeRole, Topology};
 pub use harness::{Design, Harness, LIVELOCK_WINDOW};
-pub use probe::{ComponentStats, Probe, ProbeId, RunMark, StallCause};
+pub use probe::{ComponentStats, DepthRuns, Probe, ProbeId, RunMark, StallCause};
 pub use report::SimReport;
 pub use stats::{Histogram, Stats};
 pub use throttle::Throttle;

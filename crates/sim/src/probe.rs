@@ -77,6 +77,46 @@ impl StallCause {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeId(usize);
 
+/// Run-length encoder for a varying occupancy series inside a fused
+/// fast-forward loop: push one depth per cycle, and maximal runs of
+/// equal depths land in the probe as single [`Probe::record_depths`]
+/// batches — the exact histogram a per-cycle
+/// [`Probe::sample_depth`] sequence would have produced, at one integer
+/// compare per cycle for the (common) steady-state plateaus.
+#[derive(Debug)]
+pub struct DepthRuns {
+    id: ProbeId,
+    depth: usize,
+    run: u64,
+}
+
+impl DepthRuns {
+    /// Start an empty series for component `id`.
+    pub fn new(id: ProbeId) -> Self {
+        Self {
+            id,
+            depth: 0,
+            run: 0,
+        }
+    }
+
+    /// Observe this cycle's depth.
+    pub fn push(&mut self, probe: &mut Probe, depth: usize) {
+        if depth == self.depth {
+            self.run += 1;
+        } else {
+            probe.record_depths(self.id, self.depth, self.run);
+            self.depth = depth;
+            self.run = 1;
+        }
+    }
+
+    /// Flush the trailing run.
+    pub fn finish(self, probe: &mut Probe) {
+        probe.record_depths(self.id, self.depth, self.run);
+    }
+}
+
 /// Number of occupancy-histogram buckets per component.
 const OCCUPANCY_BUCKETS: usize = 64;
 
@@ -283,6 +323,68 @@ impl Probe {
         let delta = total.saturating_sub(self.comps[id.0].last_total) as usize;
         self.comps[id.0].last_total = total;
         self.sample_depth(id, delta);
+    }
+
+    // ---- batched recording (fast-forward reconstruction) ----
+    //
+    // A fused fast-forward (DESIGN.md §13) reconstructs the counters a
+    // cycle-stepped run would have produced without paying one method
+    // call per cycle: it accumulates plain integers in its replay loop
+    // and lands them here in bulk. Every summary-mode counter is a sum,
+    // a max or a last-write, so batched application is exact — the
+    // parity suites assert bit-equality of the resulting reports. Deep
+    // probes are excluded (the harness never fast-forwards them):
+    // waveforms and trace events are order-sensitive and genuinely need
+    // the per-cycle path.
+
+    /// Batched [`Probe::end_cycle`] outcome: add `n` busy cycles.
+    pub fn record_busy_cycles(&mut self, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        self.busy_cycles += n;
+    }
+
+    /// Batched [`Probe::busy`]: add `n` FP-issue marks to `id` without
+    /// touching the per-cycle busy flag (pair with
+    /// [`Probe::record_busy_cycles`]).
+    pub fn record_busy_marks(&mut self, id: ProbeId, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        self.comps[id.0].busy_marks += n;
+    }
+
+    /// Batched [`Probe::stall`]: attribute `n` stalled cycles of `id` to
+    /// `cause`, the latest at run-relative cycle `last_cycle` (feeds the
+    /// stall diagnosis exactly like the per-cycle path). No-op when
+    /// `n == 0`.
+    pub fn record_stalls(&mut self, id: ProbeId, cause: StallCause, n: u64, last_cycle: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        if n == 0 {
+            return;
+        }
+        let c = &mut self.comps[id.0];
+        c.stalls[cause.index()] += n;
+        c.last_stall = Some((cause, self.time_base + last_cycle));
+    }
+
+    /// Batched [`Probe::sample_depth`]: record `n` occupancy samples of
+    /// the same `depth` for `id`. No-op when `n == 0`.
+    pub fn record_depths(&mut self, id: ProbeId, depth: usize, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        if n == 0 {
+            return;
+        }
+        let c = &mut self.comps[id.0];
+        c.hist.record_n(depth, n);
+        c.depth_sum += depth as u64 * n;
+        c.high_water = c.high_water.max(depth);
+    }
+
+    /// Batched [`Probe::sample_rate`] epilogue: after recording a run's
+    /// per-cycle word deltas via [`Probe::record_depths`], advance the
+    /// monotone base so a later per-cycle `sample_rate` continues from
+    /// the right total.
+    pub fn record_rate_base(&mut self, id: ProbeId, total: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        self.comps[id.0].last_total = total;
     }
 
     // ---- queries ----

@@ -85,9 +85,20 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: usize) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` samples of the same value at once. Histograms are
+    /// order-free, so a fast-forwarding design can batch a whole
+    /// steady-state plateau into one call and land on the exact state a
+    /// per-cycle [`Histogram::record`] sequence would have produced.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = value.min(self.buckets.len() - 1);
-        self.buckets[idx] += 1;
-        self.samples += 1;
+        self.buckets[idx] += n;
+        self.samples += n;
         self.max_seen = self.max_seen.max(value);
     }
 

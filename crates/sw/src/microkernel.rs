@@ -1,0 +1,270 @@
+//! Blocked softfloat microkernels: the *native* execution backend's
+//! numeric engine (DESIGN.md §13).
+//!
+//! Under `ExecBackend::Native` a design's cost accounting still comes
+//! from its fused fast-forward replay, but the numeric answer is
+//! computed here — on the host, with packed panels and register-blocked
+//! tiles in the style of an optimized CPU BLAS — while every FLOP is
+//! routed through the `fblas-fpu` softfloat primitives so results stay
+//! bit-compatible with the FPGA datapath's arithmetic.
+//!
+//! Bit-identity domains (pinned by tests here and by the parity suite
+//! in `fblas-bench`):
+//!
+//! * [`axpy`], [`scal`] and the column-order [`gemv`] fold replicate the
+//!   datapath's per-element operation order exactly, so they are
+//!   bit-identical to the cycle-stepped designs for **all** inputs.
+//! * [`dot`], [`asum`] and row-order matrix-vector products accumulate
+//!   sequentially where the datapath uses a balanced adder tree plus
+//!   the §4.3 reduction circuit; those agree bit-for-bit on
+//!   association-independent data (e.g. the integer-valued workloads
+//!   every committed benchmark uses) and to rounding otherwise.
+//! * [`gemm`] accumulates each output element in ascending-q order from
+//!   a zero seed regardless of blocking, so it is bit-identical to the
+//!   crate's native-`f64` reference ladder on integer data and to any
+//!   q-ascending softfloat evaluation on all data (blocking invariance,
+//!   pinned by a randomized test).
+
+use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
+
+/// Register-tile height (rows of C computed per microkernel call).
+pub const MR: usize = 4;
+/// Register-tile width (columns of C computed per microkernel call).
+pub const NR: usize = 4;
+/// Column-panel width used by [`gemv`] to keep the x slice hot.
+const GEMV_PANEL: usize = 256;
+
+/// |x| by clearing the sign bit — the datapath's wire-level magnitude.
+#[inline]
+fn magnitude(v: f64) -> f64 {
+    f64::from_bits(v.to_bits() & !SIGN_MASK)
+}
+
+/// Softfloat dot product, sequential accumulation in index order.
+pub fn dot(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "vectors must have equal length");
+    let mut acc = 0.0f64;
+    for (a, b) in u.iter().zip(v) {
+        acc = add_f64(acc, mul_f64(*a, *b));
+    }
+    acc
+}
+
+/// Softfloat y ← a·x + y, element order and operand order exactly as the
+/// k-lane datapath computes it (`add(mul(a, xᵢ), yᵢ)`).
+pub fn axpy(a: f64, x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "vectors must have equal length");
+    x.iter()
+        .zip(y)
+        .map(|(xi, yi)| add_f64(mul_f64(a, *xi), *yi))
+        .collect()
+}
+
+/// Softfloat x ← a·x, operand order as the multiplier lanes compute it.
+pub fn scal(a: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|xi| mul_f64(a, *xi)).collect()
+}
+
+/// Softfloat Σ|xᵢ|: free magnitude extraction, sequential accumulation.
+pub fn asum(x: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for v in x {
+        acc = add_f64(acc, magnitude(*v));
+    }
+    acc
+}
+
+/// Softfloat y ← A·x (+ y₀), dense row-major `rows × cols`.
+///
+/// Column-panelled for cache locality, but each `y[i]` accumulates
+/// directly in ascending-j order from its seed — the same per-element
+/// association the column-major MVM datapath produces (one
+/// `add(yᵢ, aᵢⱼ·xⱼ)` per column), and the order the deduplicated native
+/// ladder in [`crate::gemv`] uses.
+pub fn gemv(a: &[f64], rows: usize, cols: usize, x: &[f64], y0: Option<&[f64]>) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(x.len(), cols, "x length mismatch");
+    let mut y = match y0 {
+        Some(seed) => {
+            assert_eq!(seed.len(), rows, "y0 length mismatch");
+            seed.to_vec()
+        }
+        None => vec![0.0f64; rows],
+    };
+    let mut lo = 0;
+    while lo < cols {
+        let hi = (lo + GEMV_PANEL).min(cols);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &a[i * cols + lo..i * cols + hi];
+            let xs = &x[lo..hi];
+            for (aij, xj) in row.iter().zip(xs) {
+                *yi = add_f64(*yi, mul_f64(*aij, *xj));
+            }
+        }
+        lo = hi;
+    }
+    y
+}
+
+/// Softfloat C ← A·B, dense row-major n×n, packed + register-blocked.
+///
+/// B is packed one NR-wide column panel at a time (contiguous, so the
+/// q-loop streams it unit-stride); each MR×NR tile of C lives in a flat
+/// register-tile accumulator array across the whole q sweep. Every
+/// element still accumulates in ascending-q order from a zero seed, so
+/// blocking never changes a single bit of the result.
+pub fn gemm(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "A shape mismatch");
+    assert_eq!(b.len(), n * n, "B shape mismatch");
+    let mut c = vec![0.0f64; n * n];
+    let mut bp = vec![0.0f64; n * NR];
+    for j0 in (0..n).step_by(NR) {
+        let nw = NR.min(n - j0);
+        // Pack the B panel: bp[q·nw + jj] = B[q][j0 + jj].
+        for q in 0..n {
+            bp[q * nw..(q + 1) * nw].copy_from_slice(&b[q * n + j0..q * n + j0 + nw]);
+        }
+        for i0 in (0..n).step_by(MR) {
+            let mh = MR.min(n - i0);
+            let mut acc = [0.0f64; MR * NR];
+            for q in 0..n {
+                let brow = &bp[q * nw..(q + 1) * nw];
+                for ii in 0..mh {
+                    let aiq = a[(i0 + ii) * n + q];
+                    let tile = &mut acc[ii * NR..ii * NR + nw];
+                    for (cv, bv) in tile.iter_mut().zip(brow) {
+                        *cv = add_f64(*cv, mul_f64(aiq, *bv));
+                    }
+                }
+            }
+            for ii in 0..mh {
+                c[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + nw]
+                    .copy_from_slice(&acc[ii * NR..ii * NR + nw]);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream of finite doubles in (-8, 8).
+    fn random_vec(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 50) as f64 - 8.0
+            })
+            .collect()
+    }
+
+    fn int_vec(seed: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 7 + seed * 3 + 1) % 16) as f64 - 8.0)
+            .collect()
+    }
+
+    /// Unblocked q-ascending softfloat multiply: the association oracle.
+    fn gemm_softfloat_ref(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        let mut c = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for q in 0..n {
+                    acc = add_f64(acc, mul_f64(a[i * n + q], b[q * n + j]));
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_blocking_never_changes_bits_on_random_data() {
+        for n in [1usize, 3, 4, 5, 8, 13, 16, 17] {
+            let a = random_vec(n as u64, n * n);
+            let b = random_vec(n as u64 + 99, n * n);
+            let tiled = gemm(&a, &b, n);
+            let flat = gemm_softfloat_ref(&a, &b, n);
+            assert!(
+                tiled
+                    .iter()
+                    .zip(&flat)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_native_ladder_on_integers() {
+        for n in [4usize, 8, 17] {
+            let a: Vec<f64> = (0..n * n).map(|i| ((i * 5 + 3) % 8) as f64).collect();
+            let b: Vec<f64> = (0..n * n).map(|i| ((i * 7 + 1) % 8) as f64).collect();
+            assert_eq!(gemm(&a, &b, n), crate::gemm_naive(&a, &b, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn gemv_panelling_never_changes_bits_on_random_data() {
+        for (rows, cols) in [(1usize, 1usize), (7, 300), (16, 257), (33, 512)] {
+            let a = random_vec(7, rows * cols);
+            let x = random_vec(8, cols);
+            // An unpanelled j-ascending fold is the association oracle.
+            let flat: Vec<f64> = (0..rows)
+                .map(|i| {
+                    let mut acc = 0.0f64;
+                    for j in 0..cols {
+                        acc = add_f64(acc, mul_f64(a[i * cols + j], x[j]));
+                    }
+                    acc
+                })
+                .collect();
+            let panelled = gemv(&a, rows, cols, &x, None);
+            assert!(
+                panelled
+                    .iter()
+                    .zip(&flat)
+                    .all(|(p, f)| p.to_bits() == f.to_bits()),
+                "{rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_seeds_from_y0() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let y = gemv(&a, 2, 2, &[1.0, 1.0], Some(&[10.0, 20.0]));
+        assert_eq!(y, vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn level1_matches_native_on_integers() {
+        let x = int_vec(1, 777);
+        let y = int_vec(2, 777);
+        assert_eq!(dot(&x, &y), crate::dot_naive(&x, &y));
+        assert_eq!(asum(&x), crate::asum(&x));
+        let mut yn = y.clone();
+        crate::axpy(3.0, &x, &mut yn);
+        assert_eq!(axpy(3.0, &x, &y), yn);
+        let mut xn = x.clone();
+        crate::scal(-2.0, &mut xn);
+        assert_eq!(scal(-2.0, &x), xn);
+    }
+
+    #[test]
+    fn asum_drops_sign_of_negative_zero() {
+        assert_eq!(asum(&[-0.0, -1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dot_mismatched_lengths_rejected() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}
