@@ -2,9 +2,10 @@
 //! trajectory files and CI regression gates.
 //!
 //! ```sh
-//! observatory run  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>]   # measure, persist next BENCH_<n>.json
+//! observatory run  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>]   # measure, persist next BENCH_<n>.json + TELEM_<n>.json
 //! observatory diff <baseline.json> [--quick] [--jobs <n>] [--backend <b>] # measure, gate against a baseline
 //! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboards into EXPERIMENTS.md
+//! observatory trend  [--dir <dir>] [--doc <md>]           # splice telemetry dashboard, gate efficiency model
 //! observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]  # fault campaign
 //! observatory analyze [--dir <dir>] [--verbose]           # channel-graph static analyses
 //! ```
@@ -15,6 +16,25 @@
 //! `--dir` (default: current directory). The records are
 //! byte-deterministic; host throughput (simulated cycles per second)
 //! goes to a `BENCH_<n>.wallclock.json` sidecar instead.
+//!
+//! Windowed telemetry is on by default: the same run seals one
+//! time-resolved series per simulated kernel (busy/stall/occupancy per
+//! [`DEFAULT_TELEM_WINDOW`]-cycle window plus completion-latency
+//! histograms) and persists them as `TELEM_<n>.json` — byte-deterministic
+//! under every `--jobs` count and every backend, exactly like the record
+//! set. `--telemetry-window <cycles>` overrides the window width;
+//! `--no-telemetry` disables sampling (the sidecar records either way
+//! via its `telemetry_enabled`/`telemetry_window` fields).
+//!
+//! `trend` loads the whole committed trajectory (`BENCH_*.json` plus
+//! each point's `TELEM_<n>.json`, where present), renders the telemetry
+//! dashboard — per-run utilization timelines with fill/steady/drain
+//! phase segmentation, the stall heatmap, completion-latency digest,
+//! the steady-state efficiency scoreboard against the paper's `n/(n+α)`
+//! model, and cross-PR utilization sparklines — and splices it into
+//! `EXPERIMENTS.md` between the telemetry markers. Exit status is
+//! non-zero if any efficiency row of the latest point falls outside the
+//! model tolerance, so CI gates on the paper's efficiency law holding.
 //!
 //! `--jobs <n>` runs the matrix entries on an n-worker pool (default:
 //! the host's available parallelism). The pool merges results through a
@@ -59,21 +79,25 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fblas_bench::fault_matrix::run_fault_matrix_with_jobs;
-use fblas_bench::paper_matrix::run_matrix_with_backend;
+use fblas_bench::paper_matrix::{run_matrix_telemetry, run_matrix_with_backend};
 use fblas_bench::pool;
 use fblas_check::graph::{cross_validate, topology_report};
 use fblas_check::Severity;
 use fblas_metrics::{
     bench_file_name, diff_sets, faults as obs_faults, list_bench_files, next_bench_index,
-    report as obs_report, RecordSet,
+    report as obs_report, RecordSet, WallClock,
 };
-use fblas_sim::ExecBackend;
+use fblas_sim::{ExecBackend, DEFAULT_TELEM_WINDOW};
+use fblas_telemetry::trend::TrendPoint;
+use fblas_telemetry::{render_trend_section, splice_trend_section, telem_file_name, TelemSet};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: observatory run  [--quick] [--jobs <n>] [--backend cycle|fast-forward|native] [--dir <dir>]\n\
+                                [--telemetry-window <cycles>] [--no-telemetry]\n\
                 observatory diff <baseline.json> [--quick] [--jobs <n>] [--backend <b>]\n\
                 observatory report [--dir <dir>] [--doc <markdown>]\n\
+                observatory trend  [--dir <dir>] [--doc <markdown>]\n\
                 observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]\n\
                 observatory analyze [--dir <dir>] [--verbose]"
     );
@@ -151,18 +175,54 @@ fn take_seed(args: &mut Vec<String>) -> u64 {
     }
 }
 
+/// Parse the telemetry flags: `--no-telemetry` disables sampling,
+/// `--telemetry-window <cycles>` overrides the default window width.
+/// The two together are a contradiction and rejected.
+fn take_telemetry(args: &mut Vec<String>) -> Option<u64> {
+    let off = take_flag(args, "--no-telemetry");
+    let window = take_value(args, "--telemetry-window").map(|v| {
+        v.parse::<u64>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("error: --telemetry-window requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+    });
+    if off && window.is_some() {
+        eprintln!("error: --no-telemetry contradicts --telemetry-window");
+        std::process::exit(2);
+    }
+    if off {
+        None
+    } else {
+        Some(window.unwrap_or(DEFAULT_TELEM_WINDOW))
+    }
+}
+
 fn measure(
     quick: bool,
     jobs: usize,
     backend: ExecBackend,
-) -> (RecordSet, fblas_metrics::WallClock) {
+    telemetry: Option<u64>,
+) -> (RecordSet, WallClock, Option<TelemSet>) {
     eprintln!(
-        "observatory: running the {} paper matrix on {} job(s), {} backend...",
+        "observatory: running the {} paper matrix on {} job(s), {} backend, telemetry {}...",
         if quick { "quick" } else { "full" },
         jobs,
-        backend
+        backend,
+        telemetry.map_or_else(|| "off".to_string(), |w| format!("window={w}")),
     );
-    let (set, wall) = run_matrix_with_backend(quick, jobs, backend);
+    let (set, wall, telem) = match telemetry {
+        Some(window) => {
+            let (set, wall, telem) = run_matrix_telemetry(quick, jobs, backend, window);
+            (set, wall, Some(telem))
+        }
+        None => {
+            let (set, wall) = run_matrix_with_backend(quick, jobs, backend);
+            (set, wall, None)
+        }
+    };
     eprintln!(
         "observatory: {} record(s), {} simulated cycles in {:.2}s elapsed \
          ({:.2}s summed, {:.2}x speedup, {:.2}M cycles/s, {:.2}x backend speedup)",
@@ -174,18 +234,19 @@ fn measure(
         wall.cycles_per_second() / 1e6,
         wall.backend_speedup()
     );
-    (set, wall)
+    (set, wall, telem)
 }
 
 fn cmd_run(mut args: Vec<String>) -> ExitCode {
     let quick = take_flag(&mut args, "--quick");
     let jobs = take_jobs(&mut args);
     let backend = take_backend(&mut args);
+    let telemetry = take_telemetry(&mut args);
     let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
     if !args.is_empty() {
         return usage();
     }
-    let (set, wall) = measure(quick, jobs, backend);
+    let (set, wall, telem) = measure(quick, jobs, backend, telemetry);
     let index = next_bench_index(&dir);
     let path = dir.join(bench_file_name(index));
     if let Err(e) = set.save(&path) {
@@ -199,6 +260,18 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
     }
     println!("wrote {}", path.display());
     println!("wrote {} (not for committing)", sidecar.display());
+    if let Some(telem) = telem {
+        let telem_path = dir.join(telem_file_name(index));
+        if let Err(e) = telem.save(&telem_path) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} run(s))",
+            telem_path.display(),
+            telem.runs.len()
+        );
+    }
     let failing: Vec<&str> = set
         .records
         .iter()
@@ -215,10 +288,38 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// Validate the wallclock sidecars `diff` can see: the freshly-measured
+/// one must round-trip through the schema-validating parser (a
+/// self-check on the writer), and a committed sibling of the baseline —
+/// `<baseline>.wallclock.json`, when present — must parse with
+/// consistent telemetry-config fields. Returns an error message when
+/// either check fails.
+fn validate_sidecars(wall: &WallClock, baseline_path: &std::path::Path) -> Result<(), String> {
+    let own = WallClock::from_json_str(&wall.to_json_string())
+        .map_err(|e| format!("own sidecar failed validation: {e}"))?;
+    if own.telemetry_window != wall.telemetry_window {
+        return Err("own sidecar telemetry config did not round-trip".to_string());
+    }
+    let sibling = baseline_path.with_extension("wallclock.json");
+    if sibling.exists() {
+        let parsed = WallClock::load(&sibling)?;
+        eprintln!(
+            "observatory: baseline sidecar {} ok (backend {}, telemetry {})",
+            sibling.display(),
+            parsed.backend,
+            parsed
+                .telemetry_window
+                .map_or_else(|| "off".to_string(), |w| format!("window={w}")),
+        );
+    }
+    Ok(())
+}
+
 fn cmd_diff(mut args: Vec<String>) -> ExitCode {
     let quick = take_flag(&mut args, "--quick");
     let jobs = take_jobs(&mut args);
     let backend = take_backend(&mut args);
+    let telemetry = take_telemetry(&mut args);
     if args.len() != 1 {
         return usage();
     }
@@ -230,7 +331,11 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (run, _) = measure(quick, jobs, backend);
+    let (run, wall, _telem) = measure(quick, jobs, backend, telemetry);
+    if let Err(e) = validate_sidecars(&wall, &baseline_path) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let report = diff_sets(&baseline, &run);
     print!("{}", report.render());
     println!("\nPaper-parity scoreboard (this run):\n");
@@ -302,6 +407,76 @@ fn cmd_report(mut args: Vec<String>) -> ExitCode {
         spliced.len()
     );
     ExitCode::SUCCESS
+}
+
+/// `trend`: load the committed `BENCH_*.json` trajectory plus each
+/// point's `TELEM_<n>.json` (older points legitimately have none),
+/// render the telemetry dashboard and splice it into the document
+/// between the telemetry markers. Non-zero exit if any efficiency row
+/// of the latest point is outside the paper-model tolerance.
+fn cmd_trend(mut args: Vec<String>) -> ExitCode {
+    let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
+    let doc =
+        PathBuf::from(take_value(&mut args, "--doc").unwrap_or_else(|| "EXPERIMENTS.md".into()));
+    if !args.is_empty() {
+        return usage();
+    }
+    let bench_files = list_bench_files(&dir);
+    if bench_files.is_empty() {
+        eprintln!("error: no BENCH_*.json found in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut points = Vec::new();
+    let mut with_telem = 0usize;
+    for (index, path) in bench_files {
+        let records = match RecordSet::load(&path) {
+            Ok(set) => set,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let telem_path = dir.join(telem_file_name(index));
+        let telem = if telem_path.exists() {
+            match TelemSet::load(&telem_path) {
+                Ok(set) => {
+                    with_telem += 1;
+                    Some(set)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        };
+        points.push(TrendPoint {
+            label: format!("BENCH_{index:04}"),
+            records,
+            telem,
+        });
+    }
+    let (section, out_of_tol) = render_trend_section(&points);
+    let document = std::fs::read_to_string(&doc).unwrap_or_default();
+    let spliced = splice_trend_section(&document, &section);
+    if let Err(e) = std::fs::write(&doc, &spliced) {
+        eprintln!("error: cannot write {}: {e}", doc.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "spliced telemetry dashboard ({} point(s), {} with telemetry) into {}",
+        points.len(),
+        with_telem,
+        doc.display()
+    );
+    if out_of_tol == 0 {
+        println!("efficiency model: every streaming design within tolerance of n/(n+α)");
+        ExitCode::SUCCESS
+    } else {
+        println!("efficiency model: FAIL — {out_of_tol} design(s) outside tolerance");
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_faults(mut args: Vec<String>) -> ExitCode {
@@ -390,6 +565,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "diff" => cmd_diff(args),
         "report" => cmd_report(args),
+        "trend" => cmd_trend(args),
         "faults" => cmd_faults(args),
         "analyze" => cmd_analyze(args),
         _ => usage(),

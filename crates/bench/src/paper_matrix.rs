@@ -32,13 +32,14 @@ use fblas_core::reduce::{run_sets_in, SingleAdderReducer};
 use fblas_fpu::FP_ADDER;
 use fblas_mem::DmaModel;
 use fblas_metrics::{RecordSet, RunRecord, StallBreakdown, WallClock};
-use fblas_sim::{ExecBackend, Harness};
+use fblas_sim::{ExecBackend, Harness, TelemSeries};
 use fblas_sparse::{SpmvDesign, SpmvParams};
 use fblas_system::projection::scaled_sustained_gflops;
 use fblas_system::{
     device_peak_flops, io_bound_peak_mvm, AreaModel, ChassisProjection, ClockModel, Xd1Node,
     XC2VP100, XC2VP50,
 };
+use fblas_telemetry::TelemSet;
 
 use crate::pool::{self, Job};
 use crate::record_sink::measure;
@@ -47,21 +48,31 @@ use crate::workloads::laplacian_2d;
 
 /// What one matrix job yields: the deterministic record plus, for
 /// simulated entries, the host seconds the kernel took (`None` for
-/// modeled records, which contribute no wall-clock entry).
+/// modeled records, which contribute no wall-clock entry) and, when
+/// windowed telemetry is on, the run's sealed series.
 struct Entry {
     record: RunRecord,
     seconds: Option<f64>,
     /// Cycles the harness fast-forwarded through fused replays during
     /// this job (0 on the cycle backend, or when the design declined).
     ff_cycles: u64,
+    /// The run's sealed telemetry series (`None` with telemetry off,
+    /// and for analytic entries that never touch the harness).
+    telem: Option<TelemSeries>,
 }
 
 impl Entry {
-    fn simulated(record: RunRecord, seconds: f64, ff_cycles: u64) -> Self {
+    fn simulated(
+        record: RunRecord,
+        seconds: f64,
+        ff_cycles: u64,
+        telem: Option<TelemSeries>,
+    ) -> Self {
         Self {
             record,
             seconds: Some(seconds),
             ff_cycles,
+            telem,
         }
     }
 
@@ -70,23 +81,45 @@ impl Entry {
             record,
             seconds: None,
             ff_cycles: 0,
+            telem: None,
         }
     }
 }
 
-/// Run one simulated kernel on `h`, timing it, attributing its stalls
-/// and counting the cycles the backend fast-forwarded.
-fn timed<T>(h: &mut Harness, run: impl FnOnce(&mut Harness) -> T) -> (T, StallBreakdown, f64, u64) {
+/// Run one simulated kernel on `h`, timing it, attributing its stalls,
+/// counting the cycles the backend fast-forwarded and — when a
+/// telemetry window is given — harvesting the run's sealed series.
+///
+/// Telemetry is (re-)enabled on the worker-owned harness before the run;
+/// `Probe::enable_telemetry` is idempotent per window width, and the
+/// recorded windows are run-relative, so a job's series is independent
+/// of whatever ran on the same worker before it — the property that
+/// keeps `TELEM_<n>.json` byte-identical at any `--jobs` count.
+fn timed<T>(
+    h: &mut Harness,
+    telem_window: Option<u64>,
+    run: impl FnOnce(&mut Harness) -> T,
+) -> (T, StallBreakdown, f64, u64, Option<TelemSeries>) {
+    if let Some(w) = telem_window {
+        h.enable_telemetry(w);
+    }
     let t0 = Instant::now();
     let ff0 = h.ff_cycles();
     let (out, stalls) = measure(h, run);
-    (out, stalls, t0.elapsed().as_secs_f64(), h.ff_cycles() - ff0)
+    let secs = t0.elapsed().as_secs_f64();
+    let ff = h.ff_cycles() - ff0;
+    let telem = if telem_window.is_some() {
+        h.take_telemetry().pop()
+    } else {
+        None
+    };
+    (out, stalls, secs, ff, telem)
 }
 
 /// The full (or quick) paper matrix as an ordered job list. Submission
 /// order is the record order of the serialized set — the byte format —
 /// so jobs must be listed here in the canonical sequence.
-fn jobs(quick: bool) -> Vec<Job<Entry>> {
+fn jobs(quick: bool, telem_window: Option<u64>) -> Vec<Job<Entry>> {
     let mut list: Vec<Job<Entry>> = Vec::new();
 
     // ---- Level 1: dot product (Table 3, k = 2) ----
@@ -97,7 +130,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let dot = DotProductDesign::new(DotParams::table3(), &node);
         let u = synth_int(1, n, 8);
         let v = synth_int(2, n, 8);
-        let (out, stalls, secs, ff) = timed(h, |h| dot.run_in(h, &u, &v));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| dot.run_in(h, &u, &v));
         let dref: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
         assert_eq!(out.result, dref, "dot result mismatch");
         let mut r = RunRecord::from_sim(
@@ -114,7 +147,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 .with_paper("table3.dot.mflops", mflops)
                 .with_paper("table3.dot.slices", f64::from(area.dot_design(2)));
         }
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     // ---- Level 1: axpy / scal / asum streams ----
@@ -122,7 +155,8 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let axpy = AxpyDesign::new(Level1Params::with_k(2));
         let x = synth_int(5, n, 8);
         let y = synth_int(6, n, 8);
-        let (out, stalls, secs, ff) = timed(h, |h| axpy.run_in(h, 3.0, &x, &y));
+        let (out, stalls, secs, ff, telem) =
+            timed(h, telem_window, |h| axpy.run_in(h, 3.0, &x, &y));
         let r = RunRecord::from_sim(
             "axpy",
             &[("k", 2), ("n", n as i64)],
@@ -131,13 +165,13 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     list.push(Job::new("scal", move |h| {
         let scal = ScalDesign::new(Level1Params::with_k(2));
         let x = synth_int(5, n, 8);
-        let (out, stalls, secs, ff) = timed(h, |h| scal.run_in(h, 3.0, &x));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| scal.run_in(h, 3.0, &x));
         let r = RunRecord::from_sim(
             "scal",
             &[("k", 2), ("n", n as i64)],
@@ -146,14 +180,14 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     let an = if quick { 200 } else { 1000 };
     list.push(Job::new("asum", move |h| {
         let asum = AsumDesign::new(Level1Params::with_k(4));
         let ax = synth_int(7, an, 8);
-        let (out, stalls, secs, ff) = timed(h, |h| asum.run_in(h, &ax));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| asum.run_in(h, &ax));
         let r = RunRecord::from_sim(
             "asum",
             &[("k", 4), ("n", an as i64)],
@@ -162,7 +196,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     // ---- Level 2: row- and column-major matrix-vector ----
@@ -173,7 +207,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let mvm = RowMajorMvm::new(MvmParams::table3(), &node);
         let a = DenseMatrix::from_rows(mn, mn, synth_int(3, mn * mn, 8));
         let xv = synth_int(4, mn, 8);
-        let (out, stalls, secs, ff) = timed(h, |h| mvm.run_in(h, &a, &xv));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| mvm.run_in(h, &a, &xv));
         assert_eq!(out.y, a.ref_mvm(&xv), "row-major mvm mismatch");
         let mut r = RunRecord::from_sim(
             "mvm/row",
@@ -189,7 +223,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 .with_paper("table3.mvm.mflops", mflops)
                 .with_paper("table3.mvm.slices", f64::from(area.mvm_design(4)));
         }
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     let cn = if quick { 128 } else { 512 };
@@ -198,7 +232,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let col = ColMajorMvm::new(MvmParams::with_k(4), &node);
         let ca = DenseMatrix::from_rows(cn, cn, synth_int(8, cn * cn, 8));
         let cx = synth_int(9, cn, 8);
-        let (out, stalls, secs, ff) = timed(h, |h| col.run_in(h, &ca, &cx));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| col.run_in(h, &ca, &cx));
         assert_eq!(out.y, ca.ref_mvm(&cx), "col-major mvm mismatch");
         let r = RunRecord::from_sim(
             "mvm/col",
@@ -208,7 +242,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     // ---- Level 2 on XD1 (Table 4): compute + DRAM→SRAM staging ----
@@ -221,7 +255,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             let l2 = RowMajorMvm::standalone(MvmParams::table3(), l2_clock.mhz());
             let a2 = DenseMatrix::from_rows(n2, n2, synth_int(5, n2 * n2, 8));
             let x2 = synth_int(6, n2, 8);
-            let (out, stalls, secs, ff) = timed(h, |h| l2.run_in(h, &a2, &x2));
+            let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| l2.run_in(h, &a2, &x2));
             let dma = DmaModel::xd1_dram();
             let staging_s = dma.transfer_seconds_words((n2 * n2 + n2) as u64);
             let total_s = out.report.latency_seconds(&l2_clock) + staging_s;
@@ -240,7 +274,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
                 "table4.l2.peak-pct",
                 sustained / io_bound_peak_mvm(dma.bandwidth_bytes_per_s) * 100.0,
             );
-            Entry::simulated(r, secs, ff)
+            Entry::simulated(r, secs, ff, telem)
         }));
     }
 
@@ -252,7 +286,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let mm = LinearArrayMm::new(MmParams::test(4, bm));
         let ma = DenseMatrix::from_rows(bn, bn, synth_int(5, bn * bn, 4));
         let mb = DenseMatrix::from_rows(bn, bn, synth_int(6, bn * bn, 4));
-        let (out, stalls, secs, ff) = timed(h, |h| mm.run_in(h, &ma, &mb));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| mm.run_in(h, &ma, &mb));
         let r = RunRecord::from_sim(
             "mm/linear",
             &[("k", 4), ("m", bm as i64), ("n", bn as i64)],
@@ -261,7 +295,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             u64::from(area.mm_design(4)),
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     // ---- Level 3: hierarchical design on one XD1 FPGA (Table 4) ----
@@ -307,7 +341,8 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             .collect();
         let total_words: u64 = sets.iter().map(|s| s.len() as u64).sum();
         let mut red = SingleAdderReducer::new(alpha);
-        let (run, stalls, secs, ff) = timed(h, |h| run_sets_in(h, &mut red, &sets));
+        let (run, stalls, secs, ff, telem) =
+            timed(h, telem_window, |h| run_sets_in(h, &mut red, &sets));
         let r = RunRecord::from_sim(
             "reduce/single-adder",
             &[("alpha", alpha as i64), ("sets", n_sets as i64)],
@@ -322,7 +357,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             FP_ADDER.clock_mhz,
             u64::from(area.reduction_slices),
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     // ---- Sparse matrix-vector (tree design + reduction circuit) ----
@@ -332,7 +367,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
         let sn = grid * grid;
         let sx = synth_int(11, sn, 8);
         let spmv = SpmvDesign::new(SpmvParams::with_k(4));
-        let (out, stalls, secs, ff) = timed(h, |h| spmv.run_in(h, &sa, &sx));
+        let (out, stalls, secs, ff, telem) = timed(h, telem_window, |h| spmv.run_in(h, &sa, &sx));
         let r = RunRecord::from_sim(
             "spmv",
             &[("k", 4), ("n", sn as i64)],
@@ -341,7 +376,7 @@ fn jobs(quick: bool) -> Vec<Job<Entry>> {
             out.clock.mhz(),
             0,
         );
-        Entry::simulated(r, secs, ff)
+        Entry::simulated(r, secs, ff, telem)
     }));
 
     // ---- Modeled records: Figure 9 and the §6 projections ----
@@ -438,19 +473,54 @@ pub fn run_matrix_with_backend(
     workers: usize,
     backend: ExecBackend,
 ) -> (RecordSet, WallClock) {
+    let (set, wall, _telem) = run_matrix_inner(quick, workers, backend, None);
+    (set, wall)
+}
+
+/// [`run_matrix_with_backend`] with windowed telemetry enabled at
+/// `window` cycles: additionally returns the [`TelemSet`] holding one
+/// sealed series per simulated entry (the analytic hierarchical design
+/// never touches a harness and contributes none).
+///
+/// The telemetry set inherits both matrix invariants: byte-identical
+/// for every `workers` value (run-relative windows on worker-owned
+/// harnesses, ordered reduction) and for every backend (fast-forward
+/// reconstructs the positioned telemetry of the cycles it skips — the
+/// `telemetry_parity` suite pins this per design).
+pub fn run_matrix_telemetry(
+    quick: bool,
+    workers: usize,
+    backend: ExecBackend,
+    window: u64,
+) -> (RecordSet, WallClock, TelemSet) {
+    run_matrix_inner(quick, workers, backend, Some(window))
+}
+
+fn run_matrix_inner(
+    quick: bool,
+    workers: usize,
+    backend: ExecBackend,
+    telem_window: Option<u64>,
+) -> (RecordSet, WallClock, TelemSet) {
     let t0 = Instant::now();
-    let entries = pool::run_ordered_with_backend(jobs(quick), workers, backend);
+    let entries = pool::run_ordered_with_backend(jobs(quick, telem_window), workers, backend);
     let elapsed = t0.elapsed().as_secs_f64();
 
-    let mut set = RecordSet::new(if quick {
+    let generator = if quick {
         "observatory-quick"
     } else {
         "observatory"
-    });
+    };
+    let mut set = RecordSet::new(generator);
+    let mut telem_set = TelemSet::new(
+        generator,
+        telem_window.unwrap_or(fblas_sim::DEFAULT_TELEM_WINDOW),
+    );
     let mut wall = WallClock::new();
     wall.jobs = workers.max(1) as u64;
     wall.backend = backend.to_string();
     wall.elapsed_seconds = elapsed;
+    wall.telemetry_window = telem_window;
     for entry in entries {
         if let Some(seconds) = entry.seconds {
             let cycles = entry.record.cycles;
@@ -461,9 +531,12 @@ pub fn run_matrix_with_backend(
                 seconds,
             );
         }
+        if let Some(series) = entry.telem {
+            telem_set.push(&entry.record.key(), series);
+        }
         set.push(entry.record);
     }
-    (set, wall)
+    (set, wall, telem_set)
 }
 
 /// Serial paper matrix: [`run_matrix_with_jobs`] with one worker.

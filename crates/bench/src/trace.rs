@@ -17,6 +17,13 @@ use std::path::PathBuf;
 
 use fblas_sim::Harness;
 
+/// Telemetry window for traced runs. Much finer than the
+/// [`fblas_sim::DEFAULT_TELEM_WINDOW`] the observatory uses: trace
+/// kernels are a few hundred cycles, and the counter tracks are for
+/// *looking at* in a trace viewer, so ~4-cycle-per-pixel resolution
+/// beats RLE compactness here.
+pub const TRACE_TELEM_WINDOW: u64 = 64;
+
 /// Result of scanning the process arguments for `--trace`.
 pub struct TraceOption {
     path: Option<PathBuf>,
@@ -55,9 +62,15 @@ impl TraceOption {
     /// Summary mode adds no waveform work, and cycle counts are
     /// identical in both modes, so binaries thread this harness
     /// unconditionally without changing their printed tables.
+    ///
+    /// Traced harnesses also run windowed telemetry at
+    /// [`TRACE_TELEM_WINDOW`] cycles, so the written trace carries the
+    /// per-window busy/stall counter tracks next to the waveforms.
     pub fn harness(&self) -> Harness {
         if self.enabled() {
-            Harness::deep()
+            let mut h = Harness::deep();
+            h.enable_telemetry(TRACE_TELEM_WINDOW);
+            h
         } else {
             Harness::new()
         }

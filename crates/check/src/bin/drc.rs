@@ -7,6 +7,8 @@
 //! * the workspace determinism lint over the result-affecting crates;
 //! * the fast-path parity coverage rule (every `fast_forward` override
 //!   pinned bit-identical by the backend parity suite);
+//! * the telemetry-metric-registry rule (every emitted component id
+//!   declared with a docstring, every declaration still emitted);
 //! * the channel-graph analyses (deadlock-freedom proofs, throughput
 //!   bounds, composed-bandwidth budgets) over every shipped topology;
 //! * the BENCH cross-validation (measured rate vs. static bound) over
@@ -37,6 +39,7 @@ use fblas_check::fastpath::fast_path_report;
 use fblas_check::graph::{bench_cross_validation_report, topology_report};
 use fblas_check::hooks::fault_hook_report;
 use fblas_check::parity::coverage_report;
+use fblas_check::telemetry::metric_registry_report;
 use fblas_check::threads::{bench_thread_report, repo_root};
 use fblas_check::{Report, Severity};
 use fblas_metrics::Json;
@@ -80,7 +83,7 @@ fn main() {
     let mut reports: Vec<Report> = points.iter().map(check).collect();
     reports.push(coverage_report());
     let root = repo_root();
-    let scans: [(&str, Result<Report, String>); 4] = [
+    let scans: [(&str, Result<Report, String>); 5] = [
         (
             "bench sources",
             bench_thread_report(&root).map_err(|e| e.to_string()),
@@ -96,6 +99,10 @@ fn main() {
         (
             "fast-path sources",
             fast_path_report(&root).map_err(|e| e.to_string()),
+        ),
+        (
+            "datapath metric sites",
+            metric_registry_report(&root).map_err(|e| e.to_string()),
         ),
     ];
     for (what, scan) in scans {

@@ -36,6 +36,11 @@
 //!   overriding `Design::fast_forward` must be claimed by a randomized
 //!   backend-parity test, so an accelerated replay can never ship
 //!   without a bit-equality pin against cycle stepping.
+//! * [`telemetry`] — a **telemetry-metric-registry rule**: every
+//!   `.component("…")` id the datapath designs emit must be declared
+//!   with a docstring in [`fblas_telemetry::METRICS`], and every
+//!   declared id must still be emitted, so no telemetry metric is ever
+//!   undocumented or stale.
 //!
 //! The shared [`source`] module supplies the comment-/string-stripping
 //! and tree-walking primitives all source-level rules build on.
@@ -53,6 +58,7 @@ pub mod hooks;
 pub mod lint;
 pub mod parity;
 pub mod source;
+pub mod telemetry;
 pub mod threads;
 
 pub use determinism::{determinism_report, scan_workspace as scan_determinism, DeterminismSite};
@@ -68,4 +74,5 @@ pub use graph::{
 pub use hooks::{fault_hook_report, scan_workspace_tree, HookContext, HookSite};
 pub use lint::{scan_source, scan_tree, LintHit};
 pub use parity::{check_claims, coverage_report, CLAIMS};
+pub use telemetry::{check_sites, metric_registry_report, scan_metric_sites, MetricSite};
 pub use threads::{bench_thread_report, scan_bench_tree, ThreadSite};

@@ -19,8 +19,8 @@ use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::ReadChannel;
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend, FaultKind,
-    FaultSpec, Fifo, Harness, Probe, ProbeId, StallCause, Topology,
+    flip_f64_bit, BusyRuns, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend,
+    FaultKind, FaultSpec, Fifo, Harness, Probe, ProbeId, StallCause, StallRuns, Topology,
 };
 use fblas_system::{io_bound_peak_dot, ClockModel, Xd1Node};
 
@@ -431,6 +431,9 @@ impl<R: Reducer> Design for DotRun<'_, R> {
         if let Some(ev) = self.reducer.tick(red_in) {
             self.result = Some(ev.value);
             probe.io_out(1);
+            // Completion latency of the single result: the whole run.
+            let rc = probe.run_cycle();
+            probe.latency(ids.reducer, rc);
         }
 
         self.backlog.probe_occupancy(probe, ids.backlog);
@@ -486,9 +489,8 @@ impl<R: Reducer> Design for DotRun<'_, R> {
         // substituted from the microkernel after the run.
         let native = backend.native_results();
         let mut products: Vec<f64> = Vec::with_capacity(self.k);
-        let mut busy_cycles: u64 = 0;
-        let mut drains: u64 = 0;
-        let mut last_drain: u64 = 0;
+        let mut busy_runs = BusyRuns::new();
+        let mut drain_runs = StallRuns::new(ids.reducer, StallCause::Drain);
         let mut buffer_runs = DepthRuns::new(ids.reduction_buffer);
         let mut t: u64 = 0;
         while self.result.is_none() {
@@ -528,11 +530,10 @@ impl<R: Reducer> Design for DotRun<'_, R> {
                 None
             };
             if feeding || red_in.is_some() {
-                busy_cycles += 1;
+                busy_runs.mark(probe, t);
             }
             if red_in.is_none() && t >= groups {
-                drains += 1;
-                last_drain = t;
+                drain_runs.mark(probe, t);
             }
             if let Some(ev) = self.reducer.tick(red_in) {
                 self.result = Some(ev.value);
@@ -540,28 +541,31 @@ impl<R: Reducer> Design for DotRun<'_, R> {
             buffer_runs.push(probe, self.reducer.buffered());
         }
         self.groups_in = self.groups;
+        busy_runs.finish(probe);
+        drain_runs.finish(probe);
         buffer_runs.finish(probe);
 
-        // Counter reconstruction: the totals the stepped run's per-cycle
-        // probe calls would have accumulated over its t cycles.
+        // Counter reconstruction: positioned spans matching the stepped
+        // run's per-cycle probe calls over its t cycles (exact windowed
+        // telemetry when enabled; the same totals either way).
         probe.io_in(2 * n as u64);
         probe.flops(2 * n as u64);
         probe.io_out(1);
-        probe.record_busy_cycles(busy_cycles);
-        probe.record_busy_marks(ids.front_end, groups);
-        probe.record_busy_marks(ids.reducer, groups);
-        probe.record_stalls(ids.reducer, StallCause::Drain, drains, last_drain);
-        probe.record_depths(ids.backlog, 0, t);
+        probe.record_busy_marks_at(ids.front_end, 1, groups);
+        probe.record_busy_marks_at(ids.reducer, latency + 1, groups);
+        probe.record_depths_at(ids.backlog, 0, 1, t);
         // Stream-rate histograms: delta k on every full-group cycle, the
         // ragged tail group once, 0 through the drain.
         let tail = n - (groups as usize - 1) * self.k;
         for id in [ids.u_stream, ids.v_stream] {
             let full = if tail == self.k { groups } else { groups - 1 };
-            probe.record_depths(id, self.k, full);
-            probe.record_depths(id, tail, groups - full);
-            probe.record_depths(id, 0, t - groups);
+            probe.record_depths_at(id, self.k, 1, full);
+            probe.record_depths_at(id, tail, full + 1, groups - full);
+            probe.record_depths_at(id, 0, groups + 1, t - groups);
             probe.record_rate_base(id, n as u64);
         }
+        // The single result emerges on the final cycle.
+        probe.record_latencies(ids.reducer, t, 1);
         t
     }
 

@@ -27,8 +27,8 @@ use fblas_fpu::softfloat::{add_f64, mul_f64, SIGN_MASK};
 use fblas_fpu::{ADDER_STAGES, MULTIPLIER_STAGES};
 use fblas_mem::{ReadChannel, WriteChannel};
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend, FaultKind,
-    FaultSpec, Harness, Probe, ProbeId, StallCause, Topology,
+    flip_f64_bit, BusyRuns, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend,
+    FaultKind, FaultSpec, Harness, Probe, ProbeId, StallCause, StallRuns, Topology,
 };
 use fblas_system::io_bound_peak_dot;
 
@@ -342,13 +342,16 @@ impl Design for AxpyRun {
         }
         self.fed = self.n;
 
-        // Counter reconstruction.
+        // Counter reconstruction, positioned so windowed telemetry (if
+        // enabled) lands on the same per-window vectors the stepped run
+        // produces: groups fire at cycles 1..=groups, the pipeline
+        // drains through groups+1..=total.
         probe.io_in(2 * n);
         probe.flops(2 * n);
         probe.io_out(n);
-        probe.record_busy_marks(ids.lanes, groups);
-        probe.record_busy_cycles(groups);
-        probe.record_stalls(ids.lanes, StallCause::Drain, pipe_lat, total);
+        probe.record_busy_marks_at(ids.lanes, 1, groups);
+        probe.record_busy_cycles_at(1, groups);
+        probe.record_stalls_at(ids.lanes, StallCause::Drain, groups + 1, pipe_lat);
         let mut pipe_runs = DepthRuns::new(ids.pipeline);
         for t in 1..=total {
             let in_flight = t.min(groups) - t.saturating_sub(pipe_lat).min(groups);
@@ -356,16 +359,35 @@ impl Design for AxpyRun {
         }
         pipe_runs.finish(probe);
         // Stream-rate histograms: delta k per full group, the ragged
-        // tail once, 0 elsewhere (the fill for out, the drain for in).
+        // tail once, 0 elsewhere — the inputs drain at the end while
+        // the output fills at the head (trailing by the pipe latency).
         let tail = n - (groups - 1) * k;
         let full = if tail == k { groups } else { groups - 1 };
-        for id in [ids.x_stream, ids.y_stream, ids.out_stream] {
-            probe.record_depths(id, k as usize, full);
-            probe.record_depths(id, tail as usize, groups - full);
-            probe.record_depths(id, 0, pipe_lat);
+        for id in [ids.x_stream, ids.y_stream] {
+            probe.record_depths_at(id, k as usize, 1, full);
+            probe.record_depths_at(id, tail as usize, full + 1, groups - full);
+            probe.record_depths_at(id, 0, groups + 1, pipe_lat);
             probe.record_rate_base(id, n);
         }
+        probe.record_depths_at(ids.out_stream, 0, 1, pipe_lat);
+        probe.record_depths_at(ids.out_stream, k as usize, pipe_lat + 1, full);
+        probe.record_depths_at(
+            ids.out_stream,
+            tail as usize,
+            pipe_lat + full + 1,
+            groups - full,
+        );
+        probe.record_rate_base(ids.out_stream, n);
         total
+    }
+
+    fn drain(&mut self, probe: &mut Probe) {
+        // Completion latency: every batch spends exactly the pipeline
+        // latency between firing and emerging — recorded here so the
+        // stepped and fast-forwarded paths share one source.
+        let ids = self.ids.expect("setup registered components");
+        let groups = (self.n as u64).div_ceil(self.k.max(1) as u64);
+        probe.record_latencies(ids.lanes, self.pipe.latency() as u64, groups);
     }
 
     fn inject(&mut self, fault: &FaultSpec) -> bool {
@@ -605,9 +627,9 @@ impl Design for ScalRun {
         probe.io_in(n);
         probe.flops(n);
         probe.io_out(n);
-        probe.record_busy_marks(ids.lanes, groups);
-        probe.record_busy_cycles(groups);
-        probe.record_stalls(ids.lanes, StallCause::Drain, pipe_lat, total);
+        probe.record_busy_marks_at(ids.lanes, 1, groups);
+        probe.record_busy_cycles_at(1, groups);
+        probe.record_stalls_at(ids.lanes, StallCause::Drain, groups + 1, pipe_lat);
         let mut pipe_runs = DepthRuns::new(ids.pipeline);
         for t in 1..=total {
             let in_flight = t.min(groups) - t.saturating_sub(pipe_lat).min(groups);
@@ -616,13 +638,28 @@ impl Design for ScalRun {
         pipe_runs.finish(probe);
         let tail = n - (groups - 1) * k;
         let full = if tail == k { groups } else { groups - 1 };
-        for id in [ids.x_stream, ids.out_stream] {
-            probe.record_depths(id, k as usize, full);
-            probe.record_depths(id, tail as usize, groups - full);
-            probe.record_depths(id, 0, pipe_lat);
-            probe.record_rate_base(id, n);
-        }
+        probe.record_depths_at(ids.x_stream, k as usize, 1, full);
+        probe.record_depths_at(ids.x_stream, tail as usize, full + 1, groups - full);
+        probe.record_depths_at(ids.x_stream, 0, groups + 1, pipe_lat);
+        probe.record_rate_base(ids.x_stream, n);
+        probe.record_depths_at(ids.out_stream, 0, 1, pipe_lat);
+        probe.record_depths_at(ids.out_stream, k as usize, pipe_lat + 1, full);
+        probe.record_depths_at(
+            ids.out_stream,
+            tail as usize,
+            pipe_lat + full + 1,
+            groups - full,
+        );
+        probe.record_rate_base(ids.out_stream, n);
         total
+    }
+
+    fn drain(&mut self, probe: &mut Probe) {
+        // Completion latency: constant pipeline transit per batch,
+        // shared by the stepped and fast-forwarded paths.
+        let ids = self.ids.expect("setup registered components");
+        let groups = (self.n as u64).div_ceil(self.k.max(1) as u64);
+        probe.record_latencies(ids.lanes, self.pipe.latency() as u64, groups);
     }
 
     fn inject(&mut self, fault: &FaultSpec) -> bool {
@@ -855,6 +892,9 @@ impl Design for AsumRun {
         if let Some(ev) = self.reducer.tick(red_in) {
             self.result = Some(ev.value);
             probe.io_out(1);
+            // Completion latency of the single result: the whole run.
+            let rc = probe.run_cycle();
+            probe.latency(ids.reducer, rc);
         }
 
         probe.sample_depth(ids.reduction_buffer, self.reducer.buffered());
@@ -887,9 +927,8 @@ impl Design for AsumRun {
         let latency = self.tree.latency() as u64;
         let native = backend.native_results();
         let mut mags: Vec<f64> = Vec::with_capacity(self.k);
-        let mut busy_cycles: u64 = 0;
-        let mut drains: u64 = 0;
-        let mut last_drain: u64 = 0;
+        let mut busy_runs = BusyRuns::new();
+        let mut drain_runs = StallRuns::new(ids.reducer, StallCause::Drain);
         let mut buffer_runs = DepthRuns::new(ids.reduction_buffer);
         let mut t: u64 = 0;
         while self.result.is_none() {
@@ -922,11 +961,10 @@ impl Design for AsumRun {
                 None
             };
             if feeding || red_in.is_some() {
-                busy_cycles += 1;
+                busy_runs.mark(probe, t);
             }
             if red_in.is_none() && t >= groups {
-                drains += 1;
-                last_drain = t;
+                drain_runs.mark(probe, t);
             }
             if let Some(ev) = self.reducer.tick(red_in) {
                 self.result = Some(ev.value);
@@ -934,28 +972,30 @@ impl Design for AsumRun {
             buffer_runs.push(probe, self.reducer.buffered());
         }
         self.groups_in = self.groups;
+        busy_runs.finish(probe);
+        drain_runs.finish(probe);
         buffer_runs.finish(probe);
 
         probe.io_in(n);
         probe.flops(n);
         probe.io_out(1);
-        probe.record_busy_cycles(busy_cycles);
-        probe.record_busy_marks(ids.front_end, groups);
-        probe.record_busy_marks(ids.reducer, groups);
+        probe.record_busy_marks_at(ids.front_end, 1, groups);
+        probe.record_busy_marks_at(ids.reducer, latency + 1, groups);
         // Every post-feed cycle stalls the front end; the reducer's own
-        // drain gaps were counted in the loop.
-        probe.record_stalls(ids.front_end, StallCause::Drain, t - groups, t);
-        probe.record_stalls(ids.reducer, StallCause::Drain, drains, last_drain);
+        // drain gaps were positioned in the loop.
+        probe.record_stalls_at(ids.front_end, StallCause::Drain, groups + 1, t - groups);
         let tail = n - (groups - 1) * self.k as u64;
         let full = if tail == self.k as u64 {
             groups
         } else {
             groups - 1
         };
-        probe.record_depths(ids.x_stream, self.k, full);
-        probe.record_depths(ids.x_stream, tail as usize, groups - full);
-        probe.record_depths(ids.x_stream, 0, t - groups);
+        probe.record_depths_at(ids.x_stream, self.k, 1, full);
+        probe.record_depths_at(ids.x_stream, tail as usize, full + 1, groups - full);
+        probe.record_depths_at(ids.x_stream, 0, groups + 1, t - groups);
         probe.record_rate_base(ids.x_stream, n);
+        // The single result emerges on the final cycle.
+        probe.record_latencies(ids.reducer, t, 1);
         t
     }
 

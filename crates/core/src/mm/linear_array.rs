@@ -266,6 +266,15 @@ impl Design for BlockRun<'_> {
         self.add_pipe.probe_occupancy(probe, ids.add_pipe);
     }
 
+    fn drain(&mut self, probe: &mut Probe) {
+        // Every MAC transits the multiplier and adder pipes in a fixed
+        // number of cycles regardless of the residency schedule: the
+        // per-update completion latency.
+        let ids = self.ids.expect("setup registered components");
+        let transit = (self.mult_pipe.latency() + self.add_pipe.latency()) as u64;
+        probe.record_latencies(ids.accumulators, transit, self.total_writes);
+    }
+
     fn done(&self) -> bool {
         self.writes_done >= self.total_writes
     }

@@ -14,8 +14,8 @@ use super::{DenseMatrix, MvmOutcome, MvmParams};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
 use fblas_sim::{
-    clear_f64_bit, flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend,
-    FaultKind, FaultSpec, Harness, Probe, ProbeId, StallCause, Topology,
+    clear_f64_bit, flip_f64_bit, BusyRuns, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind,
+    ExecBackend, FaultKind, FaultSpec, Harness, Probe, ProbeId, StallCause, StallRuns, Topology,
 };
 use fblas_system::{ClockModel, Xd1Node};
 
@@ -401,55 +401,61 @@ impl Design for ColMvmRun<'_> {
 
         // Integer-only replay of the stepped loop's per-cycle stall,
         // busy and adder-occupancy conditions.
-        let mut busy_cycles: u64 = 0;
-        let mut front_drains: u64 = 0;
-        let mut hazards = (0u64, 0u64);
-        let mut lane_drains = (0u64, 0u64);
+        let mut busy_runs = BusyRuns::new();
+        let mut hazard_runs = StallRuns::new(ids.lanes, StallCause::HazardWindow);
+        let mut lane_drain_runs = StallRuns::new(ids.lanes, StallCause::Drain);
         let mut occ_runs = DepthRuns::new(ids.hazard_window);
+        let mut stream_runs = DepthRuns::new(ids.a_stream);
         for t in 1..=total {
             let front = t <= feed_total;
             let lanes = t > m && t <= feed_total + m;
             if front || lanes {
-                busy_cycles += 1;
-            }
-            if !front {
-                front_drains += 1;
+                busy_runs.mark(probe, t);
             }
             if !lanes {
                 // Batches issued but not yet retired lock the issue slot.
                 let live = (t.saturating_sub(1).min(feed_total + m))
                     .saturating_sub(t.saturating_sub(alpha).max(m));
                 if live > 0 {
-                    hazards = (hazards.0 + 1, t);
+                    hazard_runs.mark(probe, t);
                 } else if t >= feed_total {
-                    lane_drains = (lane_drains.0 + 1, t);
+                    lane_drain_runs.mark(probe, t);
                 }
             }
             // Adder fill: batches entered in (t−α, t] intersected with
             // the issue window (M, F+M].
             let occ = (t.min(feed_total + m)).saturating_sub(t.saturating_sub(alpha).max(m));
             occ_runs.push(probe, occ as usize);
+            // Matrix-channel words consumed this cycle: one full or
+            // ragged chunk per feed slot, nothing through the drain.
+            let delta = if front {
+                let lo = ((t - 1) % cpc) as usize * self.k;
+                (lo + self.k).min(self.rows) - lo
+            } else {
+                0
+            };
+            stream_runs.push(probe, delta);
         }
+        busy_runs.finish(probe);
+        hazard_runs.finish(probe);
+        lane_drain_runs.finish(probe);
         occ_runs.finish(probe);
+        stream_runs.finish(probe);
 
-        // Counter reconstruction: totals the stepped run's per-cycle
-        // probe calls would have accumulated, including the broadcast x
-        // word on each column's first chunk.
+        // Counter reconstruction: positioned spans matching the stepped
+        // run's per-cycle probe calls (exact windowed telemetry when
+        // enabled), including the broadcast x word on each column's
+        // first chunk.
         probe.io_in(elems + self.cols as u64);
         probe.flops(2 * elems);
-        probe.record_busy_cycles(busy_cycles);
-        probe.record_busy_marks(ids.front_end, feed_total);
-        probe.record_busy_marks(ids.lanes, feed_total);
-        probe.record_stalls(ids.front_end, StallCause::Drain, front_drains, total);
-        probe.record_stalls(ids.lanes, StallCause::HazardWindow, hazards.0, hazards.1);
-        probe.record_stalls(ids.lanes, StallCause::Drain, lane_drains.0, lane_drains.1);
-        // Stream-rate histogram: delta k per full chunk, each column's
-        // ragged tail chunk, 0 through the pipeline drain.
-        let tail = self.rows - (self.chunks_per_col - 1) * self.k;
-        let full = if tail == self.k { cpc } else { cpc - 1 };
-        probe.record_depths(ids.a_stream, self.k, self.cols as u64 * full);
-        probe.record_depths(ids.a_stream, tail, self.cols as u64 * (cpc - full));
-        probe.record_depths(ids.a_stream, 0, m + alpha);
+        probe.record_busy_marks_at(ids.front_end, 1, feed_total);
+        probe.record_busy_marks_at(ids.lanes, m + 1, feed_total);
+        probe.record_stalls_at(
+            ids.front_end,
+            StallCause::Drain,
+            feed_total + 1,
+            total - feed_total,
+        );
         probe.record_rate_base(ids.a_stream, elems);
         total
     }
@@ -457,6 +463,17 @@ impl Design for ColMvmRun<'_> {
     fn drain(&mut self, probe: &mut Probe) {
         // y streams back to memory once the accumulators settle.
         probe.io_out(self.rows as u64);
+        // Every MAC batch transits multiplier + adder in exactly M + α
+        // cycles regardless of feed rate: the per-batch completion
+        // latency, recorded here once for stepped and fast-forwarded
+        // runs alike.
+        let ids = self.ids.expect("setup registered components");
+        let transit = (self.mult.latency() + self.adder.latency()) as u64;
+        probe.record_latencies(
+            ids.lanes,
+            transit,
+            self.cols as u64 * self.chunks_per_col as u64,
+        );
     }
 
     fn done(&self) -> bool {

@@ -14,8 +14,8 @@ use crate::reduce::{ReduceInput, Reducer, SingleAdderReducer};
 use fblas_fpu::softfloat::{add_f64, mul_f64};
 use fblas_mem::{LocalStore, ReadChannel};
 use fblas_sim::{
-    flip_f64_bit, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend, FaultKind,
-    FaultSpec, Fifo, Harness, Probe, ProbeId, StallCause, Topology,
+    flip_f64_bit, BusyRuns, ClockDomain, DelayLine, DepthRuns, Design, EdgeKind, ExecBackend,
+    FaultKind, FaultSpec, Fifo, Harness, MarkRuns, Probe, ProbeId, StallCause, StallRuns, Topology,
 };
 use fblas_system::{ClockModel, Xd1Node};
 
@@ -203,6 +203,7 @@ impl RowMajorMvm {
             y0,
             // The extra y0 element is injected as the first value of each set.
             y0_injected: y0.is_none(),
+            row_start: vec![0; rows],
             y: vec![f64::NAN; rows],
             done_rows: 0,
             values_fed: 0,
@@ -256,6 +257,8 @@ struct RowMvmRun<'a, R: Reducer> {
     group_in_row: usize,
     y0: Option<&'a [f64]>,
     y0_injected: bool,
+    /// Run cycle each row's first value entered the tree (latency base).
+    row_start: Vec<u64>,
     y: Vec<f64>,
     done_rows: usize,
     values_fed: u64,
@@ -290,6 +293,7 @@ impl<R: Reducer> Design for RowMvmRun<'_, R> {
                 // FP unit issues and no new words stream in, so neither
                 // busy nor flops nor I/O is charged.
                 tree_in = Some((self.row as u64, self.y0.expect("guarded")[self.row], false));
+                self.row_start[self.row] = probe.run_cycle();
                 self.y0_injected = true;
                 self.values_fed += 1;
             } else {
@@ -318,6 +322,9 @@ impl<R: Reducer> Design for RowMvmRun<'_, R> {
                     self.group.clear();
                     let last = self.group_in_row + 1 == self.groups_per_row;
                     tree_in = Some((self.row as u64, value, last));
+                    if self.group_in_row == 0 && self.y0.is_none() {
+                        self.row_start[self.row] = probe.run_cycle();
+                    }
                     self.group_in_row += 1;
                     self.values_fed += 1;
                     if last {
@@ -360,6 +367,10 @@ impl<R: Reducer> Design for RowMvmRun<'_, R> {
             self.y[ev.set_id as usize] = ev.value;
             self.done_rows += 1;
             probe.io_out(1);
+            // Row completion latency: emission cycle minus the cycle the
+            // row's first value entered the tree, inclusive.
+            let rc = probe.run_cycle();
+            probe.latency(ids.reducer, rc - self.row_start[ev.set_id as usize] + 1);
         }
 
         self.backlog.probe_occupancy(probe, ids.backlog);
@@ -395,10 +406,11 @@ impl<R: Reducer> Design for RowMvmRun<'_, R> {
         let elems = rows * self.cols as u64;
         let native = backend.native_results();
         let mut prods: Vec<f64> = Vec::with_capacity(self.k);
-        let mut busy_cycles: u64 = 0;
-        let mut drains: u64 = 0;
-        let mut last_drain: u64 = 0;
+        let mut busy_runs = BusyRuns::new();
+        let mut feed_runs = MarkRuns::new(ids.front_end);
+        let mut drain_runs = StallRuns::new(ids.reducer, StallCause::Drain);
         let mut buffer_runs = DepthRuns::new(ids.reduction_buffer);
+        let mut stream_runs = DepthRuns::new(ids.a_stream);
         let mut t: u64 = 0;
         while self.done_rows < self.rows {
             t += 1;
@@ -449,41 +461,60 @@ impl<R: Reducer> Design for RowMvmRun<'_, R> {
             } else {
                 None
             };
+            if feeding {
+                feed_runs.mark(probe, t);
+            }
             if feeding || red_in.is_some() {
-                busy_cycles += 1;
+                busy_runs.mark(probe, t);
             }
             if red_in.is_none() && t >= feed_total {
-                drains += 1;
-                last_drain = t;
+                drain_runs.mark(probe, t);
             }
             if let Some(ev) = self.reducer.tick(red_in) {
                 self.y[ev.set_id as usize] = ev.value;
                 self.done_rows += 1;
+                // Row completion latency: the feed schedule is gapless,
+                // so row r's first value entered the tree at r·per_row+1.
+                probe.latency(ids.reducer, t - ev.set_id * per_row);
             }
             buffer_runs.push(probe, self.reducer.buffered());
+            // Matrix-channel words consumed this cycle: a full or ragged
+            // group on feed slots, nothing on injections and the drain.
+            let delta = if t <= feed_total {
+                let pos = (t - 1) % per_row;
+                if pos < inj {
+                    0
+                } else {
+                    let lo = (pos - inj) as usize * self.k;
+                    (lo + self.k).min(self.cols) - lo
+                }
+            } else {
+                0
+            };
+            stream_runs.push(probe, delta);
         }
         self.values_fed += feed_total;
         self.row = self.rows;
+        busy_runs.finish(probe);
+        feed_runs.finish(probe);
+        drain_runs.finish(probe);
         buffer_runs.finish(probe);
+        stream_runs.finish(probe);
 
-        // Counter reconstruction: totals the stepped run's per-cycle
-        // probe calls would have accumulated over its t cycles.
+        // Counter reconstruction: positioned spans matching the stepped
+        // run's per-cycle probe calls over its t cycles (exact windowed
+        // telemetry when enabled; the same totals either way).
         probe.io_in(elems);
         probe.flops(2 * elems);
         probe.io_out(rows);
-        probe.record_busy_cycles(busy_cycles);
-        probe.record_busy_marks(ids.front_end, rows * gpr);
-        probe.record_busy_marks(ids.reducer, feed_total);
-        probe.record_stalls(ids.front_end, StallCause::Drain, t - feed_total, t);
-        probe.record_stalls(ids.reducer, StallCause::Drain, drains, last_drain);
-        probe.record_depths(ids.backlog, 0, t);
-        // Stream-rate histogram: delta k per full group, each row's
-        // ragged tail group, 0 on injection and drain cycles.
-        let tail = self.cols as u64 - (gpr - 1) * self.k as u64;
-        let full = if tail == self.k as u64 { gpr } else { gpr - 1 };
-        probe.record_depths(ids.a_stream, self.k, rows * full);
-        probe.record_depths(ids.a_stream, tail as usize, rows * (gpr - full));
-        probe.record_depths(ids.a_stream, 0, rows * inj + (t - feed_total));
+        probe.record_busy_marks_at(ids.reducer, latency + 1, feed_total);
+        probe.record_stalls_at(
+            ids.front_end,
+            StallCause::Drain,
+            feed_total + 1,
+            t - feed_total,
+        );
+        probe.record_depths_at(ids.backlog, 0, 1, t);
         probe.record_rate_base(ids.a_stream, elems);
         t
     }

@@ -154,6 +154,8 @@ struct ReduceFeed<'a, R: Reducer> {
     results: Vec<ReduceEvent>,
     stall_cycles: u64,
     consumed: u64,
+    /// Run cycle each set's first value was accepted (latency base).
+    set_start: Vec<u64>,
     limit: u64,
     ids: Option<(fblas_sim::ProbeId, fblas_sim::ProbeId)>,
 }
@@ -185,10 +187,18 @@ impl<R: Reducer> Design for ReduceFeed<'_, R> {
             }
             None
         };
-        if feed.is_some() {
+        if let Some(i) = &feed {
             probe.busy(circuit);
+            let idx = i.set_id as usize;
+            if self.set_start[idx] == 0 {
+                self.set_start[idx] = probe.run_cycle();
+            }
         }
         if let Some(ev) = self.reducer.tick(feed) {
+            // Set completion latency: emission cycle minus the cycle the
+            // set's first value was accepted, inclusive.
+            let rc = probe.run_cycle();
+            probe.latency(circuit, rc - self.set_start[ev.set_id as usize] + 1);
             self.results.push(ev);
         }
         probe.sample_depth(buffer, self.reducer.buffered());
@@ -247,6 +257,7 @@ pub fn run_sets_in<R: Reducer>(h: &mut Harness, r: &mut R, sets: &[Vec<f64>]) ->
         results: Vec::with_capacity(sets.len()),
         stall_cycles: 0,
         consumed: 0,
+        set_start: vec![0; sets.len()],
         // Generous budget: even the stalling baseline needs only ~α cycles
         // per input plus a drain tail.
         limit: total_inputs * 64 + 100_000,

@@ -144,6 +144,11 @@ pub struct WallClock {
     /// End-to-end wall time for the whole matrix. Under a pool this is
     /// less than [`WallClock::total_seconds`]; 0.0 means "not measured".
     pub elapsed_seconds: f64,
+    /// Telemetry window width (cycles) the matrix ran with, `None` when
+    /// windowed telemetry was disabled. Provenance for the sidecar's
+    /// sibling `TELEM_<n>.json` store; the record bytes are
+    /// telemetry-invariant either way.
+    pub telemetry_window: Option<u64>,
 }
 
 impl Default for WallClock {
@@ -153,6 +158,7 @@ impl Default for WallClock {
             jobs: 1,
             backend: "cycle".to_string(),
             elapsed_seconds: 0.0,
+            telemetry_window: None,
         }
     }
 }
@@ -232,11 +238,20 @@ impl WallClock {
     /// than `inf`; the JSON writer would otherwise have to degrade the
     /// value to `null`.
     pub fn to_json_string(&self) -> String {
-        Json::obj()
+        let mut doc = Json::obj()
             .with("schema_version", Json::Num(SCHEMA_VERSION as f64))
             .with("jobs", Json::Num(self.jobs as f64))
             .with("backend", Json::Str(self.backend.clone()))
-            .with("sim_cycles_per_second", Json::Num(self.cycles_per_second()))
+            .with(
+                "telemetry_enabled",
+                Json::Bool(self.telemetry_window.is_some()),
+            );
+        // The window key is present exactly when telemetry ran; the
+        // sidecar never renders `null` (see the zero-rate regression).
+        if let Some(w) = self.telemetry_window {
+            doc.set("telemetry_window", Json::Num(w as f64));
+        }
+        doc.with("sim_cycles_per_second", Json::Num(self.cycles_per_second()))
             .with("total_cycles", Json::Num(self.total_cycles() as f64))
             .with(
                 "total_stepped_cycles",
@@ -286,6 +301,104 @@ impl WallClock {
                 ),
             )
             .render()
+    }
+
+    /// Parse a sidecar document written by [`WallClock::to_json_string`].
+    ///
+    /// Validates the schema version and the telemetry-config fields —
+    /// `telemetry_enabled` must agree with `telemetry_window` being a
+    /// number — so `observatory diff` can reject a sidecar whose
+    /// provenance was hand-edited into inconsistency. Derived rates
+    /// (`backend_speedup`, `cycles_per_second`, …) are recomputed from
+    /// the parsed entries, not read back.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "sidecar missing 'schema_version'".to_string())?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "sidecar schema version mismatch: file has v{version}, this tool speaks \
+                 v{SCHEMA_VERSION}"
+            ));
+        }
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "sidecar missing 'jobs'".to_string())?;
+        let backend = doc
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "sidecar missing 'backend'".to_string())?
+            .to_string();
+        let enabled = doc
+            .get("telemetry_enabled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "sidecar missing 'telemetry_enabled'".to_string())?;
+        let telemetry_window = match (enabled, doc.get("telemetry_window")) {
+            (true, Some(w)) => {
+                Some(w.as_u64().filter(|&w| w >= 1).ok_or_else(|| {
+                    "sidecar telemetry_window is not a positive integer".to_string()
+                })?)
+            }
+            (true, None) => {
+                return Err(
+                    "sidecar telemetry_enabled=true but telemetry_window is missing".to_string(),
+                )
+            }
+            (false, None) => None,
+            (false, Some(_)) => {
+                return Err(
+                    "sidecar telemetry_enabled=false but telemetry_window is set".to_string(),
+                )
+            }
+        };
+        let elapsed_seconds = doc
+            .get("elapsed_seconds")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "sidecar missing 'elapsed_seconds'".to_string())?;
+        let runs = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "sidecar missing 'runs' array".to_string())?;
+        let mut wall = WallClock {
+            entries: Vec::with_capacity(runs.len()),
+            jobs,
+            backend,
+            elapsed_seconds,
+            telemetry_window,
+        };
+        for run in runs {
+            let key = run
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "sidecar run missing 'key'".to_string())?;
+            let field = |name: &str| {
+                run.get(name)
+                    .ok_or_else(|| format!("sidecar run {key} missing '{name}'"))
+            };
+            wall.push(
+                key,
+                field("cycles")?
+                    .as_u64()
+                    .ok_or_else(|| format!("sidecar run {key}: bad 'cycles'"))?,
+                field("stepped_cycles")?
+                    .as_u64()
+                    .ok_or_else(|| format!("sidecar run {key}: bad 'stepped_cycles'"))?,
+                field("seconds")?
+                    .as_f64()
+                    .ok_or_else(|| format!("sidecar run {key}: bad 'seconds'"))?,
+            );
+        }
+        Ok(wall)
+    }
+
+    /// Read and parse a sidecar file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
@@ -503,5 +616,73 @@ mod tests {
             .map(|r| r.get("speedup_share").and_then(Json::as_f64).unwrap())
             .sum();
         assert!((shares - w.aggregate_speedup()).abs() < 1e-12);
+    }
+
+    /// Satellite contract: the sidecar carries its telemetry config,
+    /// round-trips through the parser, and the parser rejects both
+    /// schema-version mismatches and inconsistent telemetry fields.
+    #[test]
+    fn wallclock_telemetry_fields_round_trip() {
+        let mut w = WallClock::new();
+        w.jobs = 4;
+        w.backend = "fast-forward".to_string();
+        w.elapsed_seconds = 0.25;
+        w.telemetry_window = Some(4096);
+        w.push("dot[k=2,n=64]", 1000, 100, 0.125);
+        let text = w.to_json_string();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("telemetry_enabled").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("telemetry_window").and_then(Json::as_u64),
+            Some(4096)
+        );
+        let parsed = WallClock::from_json_str(&text).unwrap();
+        assert_eq!(parsed.telemetry_window, Some(4096));
+        assert_eq!(parsed.jobs, 4);
+        assert_eq!(parsed.backend, "fast-forward");
+        assert_eq!(parsed.entries, w.entries);
+        assert!((parsed.backend_speedup() - 10.0).abs() < 1e-12);
+
+        // Disabled telemetry: no window key, parses back to None.
+        w.telemetry_window = None;
+        let text = w.to_json_string();
+        assert!(!text.contains("telemetry_window"));
+        assert_eq!(
+            WallClock::from_json_str(&text).unwrap().telemetry_window,
+            None
+        );
+    }
+
+    #[test]
+    fn wallclock_parser_rejects_bad_documents() {
+        let mut w = WallClock::new();
+        w.telemetry_window = Some(64);
+        w.push("dot[k=2,n=64]", 1000, 1000, 0.1);
+        let text = w.to_json_string();
+
+        let bumped = text.replacen(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
+            1,
+        );
+        let err = WallClock::from_json_str(&bumped).unwrap_err();
+        assert!(err.contains("schema version mismatch"), "{err}");
+
+        // telemetry_enabled=true with the window edited away.
+        let clipped = text.replacen("  \"telemetry_window\": 64,\n", "", 1);
+        let err = WallClock::from_json_str(&clipped).unwrap_err();
+        assert!(err.contains("telemetry_window is missing"), "{err}");
+
+        // telemetry_enabled hand-flipped to false with the window left in.
+        let flipped = text.replacen(
+            "\"telemetry_enabled\": true",
+            "\"telemetry_enabled\": false",
+            1,
+        );
+        let err = WallClock::from_json_str(&flipped).unwrap_err();
+        assert!(err.contains("telemetry_window is set"), "{err}");
     }
 }

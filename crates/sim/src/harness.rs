@@ -219,6 +219,18 @@ impl Harness {
         self.faults.as_ref().map(ArmedFaults::log)
     }
 
+    /// Enable windowed telemetry on this harness's probe: every
+    /// subsequent run seals one [`TelemSeries`](crate::TelemSeries),
+    /// drained via [`Probe::take_telemetry`]. See DESIGN.md §14.
+    pub fn enable_telemetry(&mut self, window: u64) {
+        self.probe.enable_telemetry(window);
+    }
+
+    /// Drain the telemetry series sealed by runs since the last call.
+    pub fn take_telemetry(&mut self) -> Vec<crate::TelemSeries> {
+        self.probe.take_telemetry()
+    }
+
     /// The probe (for queries after a run).
     pub fn probe(&self) -> &Probe {
         &self.probe

@@ -58,6 +58,7 @@ pub mod harness;
 pub mod probe;
 pub mod report;
 pub mod stats;
+pub mod telem;
 pub mod throttle;
 
 pub use backend::ExecBackend;
@@ -69,5 +70,6 @@ pub use graph::{Edge, EdgeKind, Node, NodeId, NodeRole, Topology};
 pub use harness::{Design, Harness, LIVELOCK_WINDOW};
 pub use probe::{ComponentStats, DepthRuns, Probe, ProbeId, RunMark, StallCause};
 pub use report::SimReport;
-pub use stats::{Histogram, Stats};
+pub use stats::{Histogram, LogHistogram, Stats};
+pub use telem::{BusyRuns, CompSeries, MarkRuns, StallRuns, TelemSeries, DEFAULT_TELEM_WINDOW};
 pub use throttle::Throttle;

@@ -27,6 +27,7 @@
 //! *observes* more, it never feeds back into the design.
 
 use crate::stats::Histogram;
+use crate::telem::{TelemRecorder, TelemSeries};
 
 /// Why a component failed to do useful work in a cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +54,9 @@ impl StallCause {
         StallCause::Drain,
     ];
 
-    fn index(self) -> usize {
+    /// Stable position of this cause in per-cause arrays (matches
+    /// [`StallCause::ALL`] order).
+    pub fn index(self) -> usize {
         match self {
             StallCause::InputStarved => 0,
             StallCause::OutputBackpressured => 1,
@@ -78,16 +81,19 @@ impl StallCause {
 pub struct ProbeId(usize);
 
 /// Run-length encoder for a varying occupancy series inside a fused
-/// fast-forward loop: push one depth per cycle, and maximal runs of
-/// equal depths land in the probe as single [`Probe::record_depths`]
-/// batches — the exact histogram a per-cycle
-/// [`Probe::sample_depth`] sequence would have produced, at one integer
-/// compare per cycle for the (common) steady-state plateaus.
+/// fast-forward loop: push one depth per cycle (starting at run-relative
+/// cycle 1), and maximal runs of equal depths land in the probe as
+/// single positioned [`Probe::record_depths_at`] batches — the exact
+/// histogram *and* telemetry windows a per-cycle [`Probe::sample_depth`]
+/// sequence would have produced, at one integer compare per cycle for
+/// the (common) steady-state plateaus.
 #[derive(Debug)]
 pub struct DepthRuns {
     id: ProbeId,
     depth: usize,
     run: u64,
+    /// Run-relative cycle of the current run's first sample.
+    at: u64,
 }
 
 impl DepthRuns {
@@ -97,6 +103,7 @@ impl DepthRuns {
             id,
             depth: 0,
             run: 0,
+            at: 1,
         }
     }
 
@@ -105,7 +112,8 @@ impl DepthRuns {
         if depth == self.depth {
             self.run += 1;
         } else {
-            probe.record_depths(self.id, self.depth, self.run);
+            probe.record_depths_at(self.id, self.depth, self.at, self.run);
+            self.at += self.run;
             self.depth = depth;
             self.run = 1;
         }
@@ -113,7 +121,7 @@ impl DepthRuns {
 
     /// Flush the trailing run.
     pub fn finish(self, probe: &mut Probe) {
-        probe.record_depths(self.id, self.depth, self.run);
+        probe.record_depths_at(self.id, self.depth, self.at, self.run);
     }
 }
 
@@ -194,6 +202,9 @@ pub struct Probe {
     busy_wave_last: Option<bool>,
     busy_waveform: Vec<(u64, bool)>,
     comps: Vec<Comp>,
+    /// Windowed time-series recorder; `None` (the default) keeps every
+    /// telemetry hook to a single branch.
+    telem: Option<TelemRecorder>,
 }
 
 impl Default for Probe {
@@ -217,6 +228,7 @@ impl Probe {
             busy_wave_last: None,
             busy_waveform: Vec::new(),
             comps: Vec::new(),
+            telem: None,
         }
     }
 
@@ -232,10 +244,58 @@ impl Probe {
         self.deep
     }
 
+    /// Enable windowed telemetry (DESIGN.md §14): from now on every
+    /// per-cycle sample is additionally folded into `window`-cycle
+    /// windows, completion latencies are recorded, and one
+    /// [`TelemSeries`] is sealed per run. Idempotent per window width;
+    /// re-enabling with a different width restarts the recorder.
+    pub fn enable_telemetry(&mut self, window: u64) {
+        match &self.telem {
+            Some(t) if t.window() == window => {}
+            _ => self.telem = Some(TelemRecorder::new(window)),
+        }
+    }
+
+    /// True if windowed telemetry is enabled. Fused fast-forward
+    /// implementations that cannot position their batched records must
+    /// check this and decline (return 0) so the cycle stepper produces
+    /// the windows instead.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telem.is_some()
+    }
+
+    /// The telemetry window width, if telemetry is enabled.
+    pub fn telemetry_window(&self) -> Option<u64> {
+        self.telem.as_ref().map(TelemRecorder::window)
+    }
+
+    /// Drain the telemetry series sealed since the last call (one per
+    /// completed run, oldest first). Empty if telemetry is disabled.
+    pub fn take_telemetry(&mut self) -> Vec<TelemSeries> {
+        self.telem
+            .as_mut()
+            .map(TelemRecorder::take)
+            .unwrap_or_default()
+    }
+
+    /// The current run-relative cycle (1-based) — what
+    /// [`Probe::begin_cycle`] last observed. Designs use this to
+    /// timestamp block starts for completion-latency recording.
+    pub fn run_cycle(&self) -> u64 {
+        self.now - self.time_base
+    }
+
     /// Register (or look up) a component by name. Registration is
     /// idempotent: a blocked driver re-running a design reuses the rows.
+    ///
+    /// Re-registration resets the [`Probe::sample_rate`] monotone base:
+    /// designs rebuild their channels per run, so a new run's counters
+    /// restart at zero, and carrying the previous run's base across
+    /// would make the first delta of the new run depend on what else the
+    /// shared harness executed before it.
     pub fn component(&mut self, name: &str) -> ProbeId {
         if let Some(i) = self.comps.iter().position(|c| c.name == name) {
+            self.comps[i].last_total = 0;
             return ProbeId(i);
         }
         self.comps.push(Comp::new(name));
@@ -249,12 +309,18 @@ impl Probe {
     pub fn begin_cycle(&mut self, cycle: u64) {
         self.now = self.time_base + cycle;
         self.busy_this_cycle = false;
+        if let Some(t) = self.telem.as_mut() {
+            t.begin_cycle(cycle);
+        }
     }
 
     /// Close the cycle: fold the FP-issue flag into `busy_cycles`.
     pub fn end_cycle(&mut self) {
         if self.busy_this_cycle {
             self.busy_cycles += 1;
+            if let Some(t) = self.telem.as_mut() {
+                t.busy_cycle();
+            }
         }
         if self.deep && self.busy_wave_last != Some(self.busy_this_cycle) {
             self.busy_wave_last = Some(self.busy_this_cycle);
@@ -264,8 +330,13 @@ impl Probe {
 
     /// Advance the trace time base past a finished run of `cycles`
     /// cycles, so consecutive runs through one probe do not overlap on
-    /// the exported timeline.
+    /// the exported timeline. Seals the run's telemetry series, if
+    /// telemetry is enabled.
     pub fn finish_run(&mut self, cycles: u64) {
+        if let Some(t) = self.telem.as_mut() {
+            let names: Vec<String> = self.comps.iter().map(|c| c.name.clone()).collect();
+            t.seal(cycles, &names);
+        }
         self.time_base += cycles + 1;
     }
 
@@ -275,6 +346,9 @@ impl Probe {
     pub fn busy(&mut self, id: ProbeId) {
         self.busy_this_cycle = true;
         self.comps[id.0].busy_marks += 1;
+        if let Some(t) = self.telem.as_mut() {
+            t.busy_mark(id.0);
+        }
     }
 
     /// Account `n` floating-point operations.
@@ -300,6 +374,9 @@ impl Probe {
         if self.deep {
             c.stall_events.push((self.now, cause));
         }
+        if let Some(t) = self.telem.as_mut() {
+            t.stall(id.0, cause.index());
+        }
     }
 
     /// Sample an occupancy (FIFO depth, pipeline fill, buffered words)
@@ -313,6 +390,29 @@ impl Probe {
         if self.deep && c.wave_last != Some(depth) {
             c.wave_last = Some(depth);
             c.waveform.push((self.now, depth));
+        }
+        if let Some(t) = self.telem.as_mut() {
+            t.depth_sample(id.0, depth as u64);
+        }
+    }
+
+    /// Record the completion latency (in cycles) of one block/request
+    /// attributed to component `id`. Feeds the per-component
+    /// [`LogHistogram`](crate::stats::LogHistogram) of the current
+    /// telemetry series; a no-op while telemetry is disabled, so the
+    /// always-on probe cost is unchanged.
+    pub fn latency(&mut self, id: ProbeId, cycles: u64) {
+        if let Some(t) = self.telem.as_mut() {
+            t.latency(id.0, cycles, 1);
+        }
+    }
+
+    /// Batched [`Probe::latency`]: `n` blocks that all completed with
+    /// the same latency (histograms are order-free, so fused
+    /// fast-forward replays use this for constant-latency pipelines).
+    pub fn record_latencies(&mut self, id: ProbeId, cycles: u64, n: u64) {
+        if let Some(t) = self.telem.as_mut() {
+            t.latency(id.0, cycles, n);
         }
     }
 
@@ -340,6 +440,11 @@ impl Probe {
     /// Batched [`Probe::end_cycle`] outcome: add `n` busy cycles.
     pub fn record_busy_cycles(&mut self, n: u64) {
         debug_assert!(!self.deep, "bulk recording on a deep probe");
+        debug_assert!(
+            self.telem.is_none(),
+            "unpositioned batch recording with telemetry enabled; \
+             use record_busy_cycles_at"
+        );
         self.busy_cycles += n;
     }
 
@@ -348,6 +453,11 @@ impl Probe {
     /// [`Probe::record_busy_cycles`]).
     pub fn record_busy_marks(&mut self, id: ProbeId, n: u64) {
         debug_assert!(!self.deep, "bulk recording on a deep probe");
+        debug_assert!(
+            self.telem.is_none(),
+            "unpositioned batch recording with telemetry enabled; \
+             use record_busy_marks_at"
+        );
         self.comps[id.0].busy_marks += n;
     }
 
@@ -357,6 +467,11 @@ impl Probe {
     /// `n == 0`.
     pub fn record_stalls(&mut self, id: ProbeId, cause: StallCause, n: u64, last_cycle: u64) {
         debug_assert!(!self.deep, "bulk recording on a deep probe");
+        debug_assert!(
+            self.telem.is_none(),
+            "unpositioned batch recording with telemetry enabled; \
+             use record_stalls_at"
+        );
         if n == 0 {
             return;
         }
@@ -369,6 +484,11 @@ impl Probe {
     /// the same `depth` for `id`. No-op when `n == 0`.
     pub fn record_depths(&mut self, id: ProbeId, depth: usize, n: u64) {
         debug_assert!(!self.deep, "bulk recording on a deep probe");
+        debug_assert!(
+            self.telem.is_none(),
+            "unpositioned batch recording with telemetry enabled; \
+             use record_depths_at"
+        );
         if n == 0 {
             return;
         }
@@ -376,6 +496,77 @@ impl Probe {
         c.hist.record_n(depth, n);
         c.depth_sum += depth as u64 * n;
         c.high_water = c.high_water.max(depth);
+    }
+
+    // ---- positioned batched recording (telemetry-aware fast-forward) ----
+    //
+    // When windowed telemetry is enabled an aggregate count is not
+    // enough: the recorder must know *which* run-relative cycles a batch
+    // covers so it can split the count across windows. The `_at` variants
+    // take a 1-based span start `start` (covering `start..start + n`),
+    // update exactly the same always-on counters as their unpositioned
+    // twins, and additionally feed the telemetry windows. The fused
+    // fast-forwards use only these, so one code path serves telemetry-on
+    // and telemetry-off runs; the unpositioned variants debug-assert
+    // telemetry is off so an accidental mix is caught in tests.
+
+    /// Positioned [`Probe::record_busy_cycles`]: `n` busy cycles covering
+    /// run-relative cycles `start..start + n`. No-op when `n == 0`.
+    pub fn record_busy_cycles_at(&mut self, start: u64, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        if n == 0 {
+            return;
+        }
+        self.busy_cycles += n;
+        if let Some(t) = self.telem.as_mut() {
+            t.busy_cycles_at(start, n);
+        }
+    }
+
+    /// Positioned [`Probe::record_busy_marks`]: one FP-issue mark of `id`
+    /// per cycle of `start..start + n`. No-op when `n == 0`.
+    pub fn record_busy_marks_at(&mut self, id: ProbeId, start: u64, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        if n == 0 {
+            return;
+        }
+        self.comps[id.0].busy_marks += n;
+        if let Some(t) = self.telem.as_mut() {
+            t.busy_marks_at(id.0, start, n);
+        }
+    }
+
+    /// Positioned [`Probe::record_stalls`]: one stalled cycle of `id`
+    /// attributed to `cause` per cycle of `start..start + n`; the stall
+    /// diagnosis sees the span's last cycle. No-op when `n == 0`.
+    pub fn record_stalls_at(&mut self, id: ProbeId, cause: StallCause, start: u64, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        if n == 0 {
+            return;
+        }
+        let c = &mut self.comps[id.0];
+        c.stalls[cause.index()] += n;
+        c.last_stall = Some((cause, self.time_base + start + n - 1));
+        if let Some(t) = self.telem.as_mut() {
+            t.stalls_at(id.0, cause.index(), start, n);
+        }
+    }
+
+    /// Positioned [`Probe::record_depths`]: one occupancy sample of
+    /// `depth` for `id` per cycle of `start..start + n`. No-op when
+    /// `n == 0`.
+    pub fn record_depths_at(&mut self, id: ProbeId, depth: usize, start: u64, n: u64) {
+        debug_assert!(!self.deep, "bulk recording on a deep probe");
+        if n == 0 {
+            return;
+        }
+        let c = &mut self.comps[id.0];
+        c.hist.record_n(depth, n);
+        c.depth_sum += depth as u64 * n;
+        c.high_water = c.high_water.max(depth);
+        if let Some(t) = self.telem.as_mut() {
+            t.depths_at(id.0, depth as u64, start, n);
+        }
     }
 
     /// Batched [`Probe::sample_rate`] epilogue: after recording a run's
@@ -543,11 +734,17 @@ impl Probe {
     ///
     /// Emits, per component: a thread-name metadata record, an occupancy
     /// counter track ("C" events, one per change), and one complete-span
-    /// ("X") event per contiguous stall run, named by its cause. The
-    /// output is deterministic down to the byte for a given run (the
-    /// golden-trace test relies on this). Time is reported in
-    /// cycle-as-microsecond units. Only meaningful on a deep probe;
-    /// a summary probe exports metadata but no events.
+    /// ("X") event per contiguous stall run, named by its cause. When
+    /// windowed telemetry is enabled, per-window counter tracks ride
+    /// along: a global busy-cycles-per-window track plus one
+    /// busy/stalled track per active component, one "C" event per
+    /// window, timestamped at the window's first cycle on the same
+    /// multi-run timeline the waveforms use. The output is deterministic
+    /// down to the byte for a given run (the golden-trace test relies on
+    /// this). Time is reported in cycle-as-microsecond units. Waveforms
+    /// and stall spans are only recorded on a deep probe; a summary
+    /// probe exports metadata (and telemetry tracks, if enabled) but no
+    /// per-cycle events.
     pub fn chrome_trace(&self) -> String {
         let mut ev: Vec<String> = Vec::new();
         ev.push(
@@ -592,6 +789,43 @@ impl Probe {
                     dur,
                     escape(&c.name)
                 ));
+            }
+        }
+        if let Some(t) = self.telem.as_ref() {
+            // Per-run series are run-relative; reconstruct each run's
+            // absolute start offset by walking the sealed list the same
+            // way finish_run advances the time base (cycles + 1 apart).
+            let mut offset = 0u64;
+            for s in t.sealed() {
+                for (w, &busy) in s.busy.iter().enumerate() {
+                    ev.push(format!(
+                        "{{\"name\":\"busy/window\",\"ph\":\"C\",\"pid\":1,\
+                         \"tid\":0,\"ts\":{},\"args\":{{\"busy\":{}}}}}",
+                        offset + w as u64 * s.window + 1,
+                        busy
+                    ));
+                }
+                for c in &s.comps {
+                    let tid = self
+                        .comps
+                        .iter()
+                        .position(|p| p.name == c.name)
+                        .map_or(0, |i| i + 1);
+                    for w in 0..s.windows() {
+                        let stalled: u64 = c.stalls.iter().map(|v| v[w]).sum();
+                        ev.push(format!(
+                            "{{\"name\":\"{}/window\",\"ph\":\"C\",\"pid\":1,\
+                             \"tid\":{},\"ts\":{},\
+                             \"args\":{{\"busy\":{},\"stalled\":{}}}}}",
+                            escape(&c.name),
+                            tid,
+                            offset + w as u64 * s.window + 1,
+                            c.busy[w],
+                            stalled
+                        ));
+                    }
+                }
+                offset += s.cycles + 1;
             }
         }
         format!(
@@ -823,6 +1057,141 @@ mod tests {
             p.chrome_trace()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_windows_fold_per_cycle_samples() {
+        let mut p = Probe::new();
+        p.enable_telemetry(4);
+        let a = p.component("a");
+        for cy in 1..=10u64 {
+            p.begin_cycle(cy);
+            if cy <= 6 {
+                p.busy(a);
+                p.sample_depth(a, 2);
+            } else {
+                p.stall(a, StallCause::Drain);
+            }
+            p.end_cycle();
+        }
+        p.latency(a, 7);
+        p.finish_run(10);
+        let series = p.take_telemetry();
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.busy, vec![4, 2, 0]);
+        assert_eq!(s.comps.len(), 1);
+        assert_eq!(s.comps[0].busy, vec![4, 2, 0]);
+        assert_eq!(s.comps[0].stalls[StallCause::Drain.index()], vec![0, 2, 2]);
+        assert_eq!(s.comps[0].depth_sum, vec![8, 4, 0]);
+        assert_eq!(s.comps[0].depth_samples, vec![4, 2, 0]);
+        assert_eq!(s.comps[0].latency.samples(), 1);
+        assert_eq!(s.comps[0].latency.percentile(0.5), 7);
+        assert!(p.take_telemetry().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn telemetry_disabled_records_and_returns_nothing() {
+        let mut p = Probe::new();
+        let a = p.component("a");
+        p.begin_cycle(1);
+        p.busy(a);
+        p.latency(a, 3);
+        p.end_cycle();
+        p.finish_run(1);
+        assert!(!p.telemetry_enabled());
+        assert!(p.take_telemetry().is_empty());
+    }
+
+    #[test]
+    fn positioned_batches_match_per_cycle_telemetry() {
+        let stepped = {
+            let mut p = Probe::new();
+            p.enable_telemetry(4);
+            let a = p.component("a");
+            for cy in 1..=10u64 {
+                p.begin_cycle(cy);
+                if (3..=9).contains(&cy) {
+                    p.busy(a);
+                    p.sample_depth(a, 5);
+                } else {
+                    p.stall(a, StallCause::InputStarved);
+                }
+                p.end_cycle();
+            }
+            p.finish_run(10);
+            p
+        };
+        let batched = {
+            let mut p = Probe::new();
+            p.enable_telemetry(4);
+            let a = p.component("a");
+            p.record_busy_cycles_at(3, 7);
+            p.record_busy_marks_at(a, 3, 7);
+            p.record_depths_at(a, 5, 3, 7);
+            p.record_stalls_at(a, StallCause::InputStarved, 1, 2);
+            p.record_stalls_at(a, StallCause::InputStarved, 10, 1);
+            p.finish_run(10);
+            p
+        };
+        assert_eq!(
+            stepped.clone().take_telemetry(),
+            batched.clone().take_telemetry()
+        );
+        assert_eq!(stepped.busy_cycles(), batched.busy_cycles());
+        assert_eq!(stepped.component_stats(), batched.component_stats());
+    }
+
+    #[test]
+    fn positioned_stalls_feed_the_diagnosis() {
+        let mut p = Probe::new();
+        p.enable_telemetry(4);
+        let a = p.component("alpha");
+        p.record_stalls_at(a, StallCause::Drain, 5, 3);
+        let d = p.stall_diagnosis();
+        assert!(d.contains("alpha"), "{d}");
+        assert!(d.contains("at cycle 7"), "{d}");
+    }
+
+    #[test]
+    fn enable_telemetry_is_idempotent_per_width() {
+        let mut p = Probe::new();
+        p.enable_telemetry(8);
+        let a = p.component("a");
+        p.begin_cycle(1);
+        p.busy(a);
+        p.end_cycle();
+        p.enable_telemetry(8); // same width: keeps the recorder
+        p.finish_run(1);
+        assert_eq!(p.take_telemetry().len(), 1);
+        assert_eq!(p.telemetry_window(), Some(8));
+        p.enable_telemetry(16); // new width: restarts
+        assert_eq!(p.telemetry_window(), Some(16));
+    }
+
+    #[test]
+    fn chrome_trace_folds_telemetry_counter_tracks() {
+        let mut p = Probe::new();
+        p.enable_telemetry(4);
+        let a = p.component("a");
+        for cy in 1..=6u64 {
+            p.begin_cycle(cy);
+            p.busy(a);
+            p.end_cycle();
+        }
+        p.finish_run(6);
+        // Second run: offsets continue past cycles + 1.
+        p.begin_cycle(1);
+        p.busy(a);
+        p.end_cycle();
+        p.finish_run(1);
+        let trace = p.chrome_trace();
+        assert!(trace.contains("\"name\":\"busy/window\""), "{trace}");
+        assert!(trace.contains("\"name\":\"a/window\""), "{trace}");
+        // Run 1 windows start at ts 1 and 5; run 2's single window at 8.
+        assert!(trace.contains("\"ts\":5"), "{trace}");
+        assert!(trace.contains("\"ts\":8"), "{trace}");
     }
 
     #[test]

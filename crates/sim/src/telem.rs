@@ -1,0 +1,465 @@
+//! Time-resolved telemetry: deterministic windowed series per run.
+//!
+//! When enabled on a [`Probe`](crate::Probe), every per-cycle sample is
+//! additionally folded into fixed-width cycle windows: global busy
+//! cycles, per-component busy marks, per-cause stall counts, and
+//! occupancy/bandwidth sample sums. One [`TelemSeries`] is sealed per
+//! harness run; runs are *run-relative* (window 0 always starts at the
+//! run's cycle 1), so the series a job produces is independent of what
+//! else its worker harness executed before it — the property that keeps
+//! `observatory run --jobs N` byte-deterministic.
+//!
+//! Fused fast-forward replays reconstruct the same windows through the
+//! probe's *positioned* batched-recording API
+//! ([`Probe::record_busy_cycles_at`](crate::Probe::record_busy_cycles_at)
+//! and friends): a positioned batch spreads its count across the windows
+//! its cycle span covers, landing on the exact vectors the per-cycle
+//! path would have produced. The telemetry parity suites assert
+//! bit-equality of stepped and fast-forwarded series.
+//!
+//! Completion latencies ride along: [`Probe::latency`](crate::Probe::latency)
+//! records per-block/per-request latencies into a per-component
+//! [`LogHistogram`] inside the current series. All latency recording is
+//! a no-op while telemetry is disabled, so the always-on probe cost is
+//! unchanged.
+
+use crate::stats::LogHistogram;
+
+/// Default telemetry window width, in cycles. Chosen so the paper-matrix
+/// runs (≈500–1 000 000 cycles) produce tens-to-hundreds of windows:
+/// enough to segment fill/steady/drain phases, small enough that the
+/// committed `TELEM_<n>.json` store stays reviewable.
+pub const DEFAULT_TELEM_WINDOW: u64 = 4096;
+
+/// Windowed counters of one probe component over one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompSeries {
+    /// Component name as registered (e.g. `"dot/front-end"`).
+    pub name: String,
+    /// FP-issue marks per window.
+    pub busy: Vec<u64>,
+    /// Stalled cycles per cause per window, indexed like
+    /// [`StallCause::ALL`](crate::StallCause::ALL).
+    pub stalls: [Vec<u64>; 4],
+    /// Sum of occupancy/bandwidth samples per window.
+    pub depth_sum: Vec<u64>,
+    /// Number of occupancy/bandwidth samples per window.
+    pub depth_samples: Vec<u64>,
+    /// Completion-latency histogram (per-block/per-request), whole-run.
+    pub latency: LogHistogram,
+}
+
+impl CompSeries {
+    /// True if any counter of this component moved during the run.
+    fn active(&self) -> bool {
+        self.busy.iter().any(|&v| v > 0)
+            || self.stalls.iter().flatten().any(|&v| v > 0)
+            || self.depth_samples.iter().any(|&v| v > 0)
+            || self.latency.samples() > 0
+    }
+
+    /// Pad every window vector to exactly `n` windows.
+    fn pad_to(&mut self, n: usize) {
+        self.busy.resize(n, 0);
+        for s in &mut self.stalls {
+            s.resize(n, 0);
+        }
+        self.depth_sum.resize(n, 0);
+        self.depth_samples.resize(n, 0);
+    }
+}
+
+/// The sealed telemetry of one harness run: global busy windows plus one
+/// [`CompSeries`] per component that recorded anything this run (in
+/// registration order — components registered by *earlier* runs on a
+/// shared probe that stayed silent are excluded, which is what makes the
+/// series independent of worker job history).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemSeries {
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// Window width in cycles.
+    pub window: u64,
+    /// Busy cycles per window.
+    pub busy: Vec<u64>,
+    /// Active components' windowed counters.
+    pub comps: Vec<CompSeries>,
+}
+
+impl TelemSeries {
+    /// Number of windows (the last may be partial).
+    pub fn windows(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Width in cycles of window `w` (all `window` wide except a
+    /// partial tail).
+    pub fn window_width(&self, w: usize) -> u64 {
+        let full = self.cycles / self.window;
+        if w < full as usize {
+            self.window
+        } else {
+            self.cycles - full * self.window
+        }
+    }
+}
+
+/// Accumulates windowed counters during a run; owned by the probe.
+#[derive(Debug, Clone)]
+pub(crate) struct TelemRecorder {
+    window: u64,
+    /// Window index of the current run-relative cycle, computed once per
+    /// cycle in `begin_cycle` so the per-sample hooks stay division-free.
+    cur_w: usize,
+    busy: Vec<u64>,
+    comps: Vec<CompTelem>,
+    sealed: Vec<TelemSeries>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CompTelem {
+    busy: Vec<u64>,
+    stalls: [Vec<u64>; 4],
+    depth_sum: Vec<u64>,
+    depth_samples: Vec<u64>,
+    latency: LogHistogram,
+}
+
+/// Grow-and-add on a lazily sized window vector.
+fn bump(v: &mut Vec<u64>, w: usize, n: u64) {
+    if w >= v.len() {
+        v.resize(w + 1, 0);
+    }
+    v[w] = v[w].saturating_add(n);
+}
+
+impl TelemRecorder {
+    pub(crate) fn new(window: u64) -> Self {
+        assert!(window >= 1, "telemetry window must be at least one cycle");
+        Self {
+            window,
+            cur_w: 0,
+            busy: Vec::new(),
+            comps: Vec::new(),
+            sealed: Vec::new(),
+        }
+    }
+
+    pub(crate) fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn comp(&mut self, idx: usize) -> &mut CompTelem {
+        if idx >= self.comps.len() {
+            self.comps.resize_with(idx + 1, CompTelem::default);
+        }
+        &mut self.comps[idx]
+    }
+
+    // ---- per-cycle path ----
+
+    pub(crate) fn begin_cycle(&mut self, cycle: u64) {
+        self.cur_w = ((cycle.max(1) - 1) / self.window) as usize;
+    }
+
+    pub(crate) fn busy_cycle(&mut self) {
+        bump(&mut self.busy, self.cur_w, 1);
+    }
+
+    pub(crate) fn busy_mark(&mut self, idx: usize) {
+        let w = self.cur_w;
+        bump(&mut self.comp(idx).busy, w, 1);
+    }
+
+    pub(crate) fn stall(&mut self, idx: usize, cause: usize) {
+        let w = self.cur_w;
+        bump(&mut self.comp(idx).stalls[cause], w, 1);
+    }
+
+    pub(crate) fn depth_sample(&mut self, idx: usize, depth: u64) {
+        let w = self.cur_w;
+        let c = self.comp(idx);
+        bump(&mut c.depth_sum, w, depth);
+        bump(&mut c.depth_samples, w, 1);
+    }
+
+    pub(crate) fn latency(&mut self, idx: usize, value: u64, n: u64) {
+        self.comp(idx).latency.record_n(value, n);
+    }
+
+    // ---- positioned batched path (fast-forward reconstruction) ----
+    //
+    // A span covers run-relative cycles [start, start + n); each helper
+    // splits the span across the windows it touches. Spans are short
+    // relative to runs, so the per-window loop is negligible against the
+    // per-cycle work it replaces.
+
+    /// Call `f(window, cycles_in_window)` for each window the span
+    /// [start, start+n) intersects.
+    fn each_window(window: u64, start: u64, n: u64, mut f: impl FnMut(usize, u64)) {
+        if n == 0 {
+            return;
+        }
+        let start = start.max(1);
+        let mut c = start;
+        let end = start + n;
+        while c < end {
+            let w = (c - 1) / window;
+            let next = w * window + window + 1;
+            let take = next.min(end) - c;
+            f(w as usize, take);
+            c += take;
+        }
+    }
+
+    pub(crate) fn busy_cycles_at(&mut self, start: u64, n: u64) {
+        let window = self.window;
+        let busy = &mut self.busy;
+        Self::each_window(window, start, n, |w, take| bump(busy, w, take));
+    }
+
+    pub(crate) fn busy_marks_at(&mut self, idx: usize, start: u64, n: u64) {
+        let window = self.window;
+        let c = self.comp(idx);
+        Self::each_window(window, start, n, |w, take| bump(&mut c.busy, w, take));
+    }
+
+    pub(crate) fn stalls_at(&mut self, idx: usize, cause: usize, start: u64, n: u64) {
+        let window = self.window;
+        let c = self.comp(idx);
+        Self::each_window(window, start, n, |w, take| {
+            bump(&mut c.stalls[cause], w, take);
+        });
+    }
+
+    pub(crate) fn depths_at(&mut self, idx: usize, depth: u64, start: u64, n: u64) {
+        let window = self.window;
+        let c = self.comp(idx);
+        Self::each_window(window, start, n, |w, take| {
+            bump(&mut c.depth_sum, w, depth.saturating_mul(take));
+            bump(&mut c.depth_samples, w, take);
+        });
+    }
+
+    // ---- run lifecycle ----
+
+    /// Seal the current run into a [`TelemSeries`], naming components
+    /// from the probe's registry. Components with no activity this run
+    /// are dropped (they belong to other runs sharing the probe).
+    pub(crate) fn seal(&mut self, cycles: u64, names: &[String]) {
+        let n_windows = if cycles == 0 {
+            0
+        } else {
+            cycles.div_ceil(self.window) as usize
+        };
+        let mut busy = std::mem::take(&mut self.busy);
+        busy.resize(n_windows, 0);
+        let mut comps = Vec::new();
+        for (idx, raw) in std::mem::take(&mut self.comps).into_iter().enumerate() {
+            let mut series = CompSeries {
+                name: names.get(idx).cloned().unwrap_or_default(),
+                busy: raw.busy,
+                stalls: raw.stalls,
+                depth_sum: raw.depth_sum,
+                depth_samples: raw.depth_samples,
+                latency: raw.latency,
+            };
+            if series.active() {
+                series.pad_to(n_windows);
+                comps.push(series);
+            }
+        }
+        self.sealed.push(TelemSeries {
+            cycles,
+            window: self.window,
+            busy,
+            comps,
+        });
+        self.cur_w = 0;
+    }
+
+    /// Drain every sealed series (oldest first).
+    pub(crate) fn take(&mut self) -> Vec<TelemSeries> {
+        std::mem::take(&mut self.sealed)
+    }
+
+    /// Peek the sealed series without draining them (trace exporters).
+    pub(crate) fn sealed(&self) -> &[TelemSeries] {
+        &self.sealed
+    }
+}
+
+/// Contiguous-span accumulator for *busy cycles* inside a fused
+/// fast-forward loop: `mark` each busy cycle in ascending order, and
+/// maximal contiguous spans land through
+/// [`Probe::record_busy_cycles_at`](crate::Probe::record_busy_cycles_at).
+#[derive(Debug, Default)]
+pub struct BusyRuns {
+    start: u64,
+    len: u64,
+}
+
+impl BusyRuns {
+    /// Start an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that run-relative cycle `t` was busy.
+    pub fn mark(&mut self, probe: &mut crate::Probe, t: u64) {
+        if t == self.start + self.len {
+            self.len += 1;
+        } else {
+            probe.record_busy_cycles_at(self.start, self.len);
+            self.start = t;
+            self.len = 1;
+        }
+    }
+
+    /// Flush the trailing span.
+    pub fn finish(self, probe: &mut crate::Probe) {
+        probe.record_busy_cycles_at(self.start, self.len);
+    }
+}
+
+/// Contiguous-span accumulator for one component's *FP-issue marks*
+/// inside a fused fast-forward loop (positioned analogue of counting
+/// marks and calling
+/// [`Probe::record_busy_marks`](crate::Probe::record_busy_marks) once).
+#[derive(Debug)]
+pub struct MarkRuns {
+    id: crate::ProbeId,
+    start: u64,
+    len: u64,
+}
+
+impl MarkRuns {
+    /// Start an empty accumulator for component `id`.
+    pub fn new(id: crate::ProbeId) -> Self {
+        Self {
+            id,
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Record an FP-issue mark of the component at run-relative cycle `t`.
+    pub fn mark(&mut self, probe: &mut crate::Probe, t: u64) {
+        if t == self.start + self.len {
+            self.len += 1;
+        } else {
+            probe.record_busy_marks_at(self.id, self.start, self.len);
+            self.start = t;
+            self.len = 1;
+        }
+    }
+
+    /// Flush the trailing span.
+    pub fn finish(self, probe: &mut crate::Probe) {
+        probe.record_busy_marks_at(self.id, self.start, self.len);
+    }
+}
+
+/// Contiguous-span accumulator for one component's stalls of one cause
+/// inside a fused fast-forward loop. Spans land through
+/// [`Probe::record_stalls_at`](crate::Probe::record_stalls_at), which
+/// also maintains the last-stall diagnosis exactly like the per-cycle
+/// path.
+#[derive(Debug)]
+pub struct StallRuns {
+    id: crate::ProbeId,
+    cause: crate::StallCause,
+    start: u64,
+    len: u64,
+}
+
+impl StallRuns {
+    /// Start an empty accumulator for component `id`, cause `cause`.
+    pub fn new(id: crate::ProbeId, cause: crate::StallCause) -> Self {
+        Self {
+            id,
+            cause,
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Record a stalled cycle at run-relative cycle `t`.
+    pub fn mark(&mut self, probe: &mut crate::Probe, t: u64) {
+        if t == self.start + self.len {
+            self.len += 1;
+        } else {
+            probe.record_stalls_at(self.id, self.cause, self.start, self.len);
+            self.start = t;
+            self.len = 1;
+        }
+    }
+
+    /// Flush the trailing span.
+    pub fn finish(self, probe: &mut crate::Probe) {
+        probe.record_stalls_at(self.id, self.cause, self.start, self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_spans_split_correctly() {
+        let mut hits: Vec<(usize, u64)> = Vec::new();
+        TelemRecorder::each_window(4, 3, 7, |w, n| hits.push((w, n)));
+        // Cycles 3..=9 over 4-wide windows: [3,4]→w0, [5,8]→w1, [9]→w2.
+        assert_eq!(hits, vec![(0, 2), (1, 4), (2, 1)]);
+    }
+
+    #[test]
+    fn span_of_zero_is_a_no_op() {
+        let mut hits = 0;
+        TelemRecorder::each_window(4, 10, 0, |_, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn seal_pads_and_drops_inactive_components() {
+        let mut r = TelemRecorder::new(4);
+        r.begin_cycle(1);
+        r.busy_cycle();
+        r.busy_mark(1);
+        r.seal(10, &["silent".into(), "active".into()]);
+        let series = r.take();
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.windows(), 3);
+        assert_eq!(s.busy, vec![1, 0, 0]);
+        assert_eq!(s.comps.len(), 1);
+        assert_eq!(s.comps[0].name, "active");
+        assert_eq!(s.comps[0].busy, vec![1, 0, 0]);
+        assert_eq!(s.window_width(0), 4);
+        assert_eq!(s.window_width(2), 2);
+        assert!(r.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn positioned_and_per_cycle_paths_agree() {
+        let mut stepped = TelemRecorder::new(4);
+        for t in 1..=10u64 {
+            stepped.begin_cycle(t);
+            if (3..=9).contains(&t) {
+                stepped.busy_cycle();
+                stepped.busy_mark(0);
+                stepped.stall(0, 3);
+                stepped.depth_sample(0, 2);
+            }
+        }
+        stepped.seal(10, &["c".into()]);
+        let mut batched = TelemRecorder::new(4);
+        batched.busy_cycles_at(3, 7);
+        batched.busy_marks_at(0, 3, 7);
+        batched.stalls_at(0, 3, 3, 7);
+        batched.depths_at(0, 2, 3, 7);
+        batched.seal(10, &["c".into()]);
+        assert_eq!(stepped.take(), batched.take());
+    }
+}

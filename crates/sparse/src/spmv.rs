@@ -211,6 +211,7 @@ impl SpmvDesign {
             dense_rows,
             next_row: 0,
             current: None,
+            row_start: vec![0; n_rows],
             done: 0,
             values_fed: 0,
             reducer,
@@ -260,6 +261,8 @@ struct SpmvRun<'a, R: Reducer> {
     dense_rows: Vec<usize>,
     next_row: usize,
     current: Option<ActiveRow>,
+    /// Run cycle each row's first group entered the tree (latency base).
+    row_start: Vec<u64>,
     done: usize,
     values_fed: u64,
     reducer: &'a mut R,
@@ -321,6 +324,9 @@ impl<R: Reducer> Design for SpmvRun<'_, R> {
                         .collect();
                     prods.resize(self.k, 0.0);
                     let value = balanced(&prods);
+                    if *consumed == 0 {
+                        self.row_start[*r] = probe.run_cycle();
+                    }
                     *consumed += want;
                     let last = *consumed == entries.len();
                     tree_in = Some((*r as u64, value, last));
@@ -369,6 +375,10 @@ impl<R: Reducer> Design for SpmvRun<'_, R> {
             self.y[ev.set_id as usize] = ev.value;
             self.done += 1;
             probe.io_out(1);
+            // Row completion latency: emission cycle minus the cycle the
+            // row's first group entered the tree, inclusive.
+            let rc = probe.run_cycle();
+            probe.latency(ids.reducer, rc - self.row_start[ev.set_id as usize] + 1);
         }
 
         probe.sample_depth(ids.backlog, self.backlog.len());

@@ -1,0 +1,337 @@
+//! Deterministic textual exporters for telemetry stores.
+//!
+//! Two formats, both byte-deterministic by construction (every line is
+//! derived from the store's own ordered data; no timestamps, no host
+//! state):
+//!
+//! * [`jsonl_events`] — one JSON object per line per `(run, window)`
+//!   pair, in run order then window order: the replayable event log of
+//!   a matrix execution, suitable for `grep`/`jq`-style slicing.
+//! * [`prometheus_snapshot`] — a Prometheus-style text exposition of the
+//!   whole-run aggregates, with metric `# HELP`/`# TYPE` headers and the
+//!   per-component docstrings from the central [`registry`](crate::registry)
+//!   emitted as comments next to their first sample.
+
+use fblas_metrics::Json;
+use fblas_sim::{CompSeries, StallCause, TelemSeries};
+
+use crate::registry;
+use crate::store::TelemSet;
+
+fn window_event(key: &str, series: &TelemSeries, w: usize) -> Json {
+    let start = w as u64 * series.window;
+    let width = series.window_width(w);
+    let mut comps = Json::obj();
+    for c in &series.comps {
+        let mut stalls = Json::obj();
+        for &cause in &StallCause::ALL {
+            let v = c.stalls[cause.index()][w];
+            if v > 0 {
+                stalls.set(cause.name(), Json::Num(v as f64));
+            }
+        }
+        let mut entry = Json::obj().with("busy", Json::Num(c.busy[w] as f64));
+        if let Json::Obj(pairs) = &stalls {
+            if !pairs.is_empty() {
+                entry.set("stalls", stalls);
+            }
+        }
+        if c.depth_samples[w] > 0 {
+            entry.set(
+                "depth_avg",
+                Json::Num(c.depth_sum[w] as f64 / c.depth_samples[w] as f64),
+            );
+        }
+        comps.set(&c.name, entry);
+    }
+    Json::obj()
+        .with("key", Json::Str(key.to_string()))
+        .with("window", Json::Num(w as f64))
+        .with("start_cycle", Json::Num(start as f64))
+        .with("cycles", Json::Num(width as f64))
+        .with("busy", Json::Num(series.busy[w] as f64))
+        .with("comps", comps)
+}
+
+/// Render the JSONL event log of a store: one line per `(run, window)`,
+/// runs in record order, windows in time order, terminated by a final
+/// newline (empty string for a store with no windows).
+pub fn jsonl_events(set: &TelemSet) -> String {
+    let mut out = String::new();
+    for run in &set.runs {
+        for w in 0..run.series.windows() {
+            out.push_str(&window_event(&run.key, &run.series, w).render_compact());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn label_escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+struct PromFamily {
+    name: &'static str,
+    help: &'static str,
+    kind: &'static str,
+    lines: Vec<String>,
+}
+
+impl PromFamily {
+    fn new(name: &'static str, help: &'static str, kind: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            kind,
+            lines: Vec::new(),
+        }
+    }
+
+    fn sample(&mut self, labels: &[(&str, &str)], value: f64) {
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|&(k, v)| format!("{k}=\"{}\"", label_escape(v)))
+            .collect();
+        self.lines.push(format!(
+            "{}{{{}}} {}",
+            self.name,
+            rendered.join(","),
+            fmt_num(value)
+        ));
+    }
+
+    fn render_into(&self, out: &mut String) {
+        if self.lines.is_empty() {
+            return;
+        }
+        out.push_str(&format!("# HELP {} {}\n", self.name, self.help));
+        out.push_str(&format!("# TYPE {} {}\n", self.name, self.kind));
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+}
+
+fn comp_totals(c: &CompSeries) -> (u64, [u64; 4], u64, u64) {
+    let busy = c.busy.iter().sum();
+    let mut stalls = [0u64; 4];
+    for &cause in &StallCause::ALL {
+        stalls[cause.index()] = c.stalls[cause.index()].iter().sum();
+    }
+    let depth_sum = c.depth_sum.iter().sum();
+    let depth_samples = c.depth_samples.iter().sum();
+    (busy, stalls, depth_sum, depth_samples)
+}
+
+/// Render a Prometheus-style text snapshot of a store's whole-run
+/// aggregates.
+///
+/// Leads with a comment block mapping every component id that appears
+/// in the store to its docstring from the central metric registry
+/// (unregistered ids — impossible for shipped designs once the
+/// `telemetry-metric-registry` DRC rule passes — are flagged inline),
+/// then one metric family per aggregate with standard `# HELP`/`# TYPE`
+/// headers. Runs and components keep store order; output is
+/// byte-deterministic.
+pub fn prometheus_snapshot(set: &TelemSet) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for run in &set.runs {
+        for c in &run.series.comps {
+            if !seen.contains(&c.name.as_str()) {
+                seen.push(&c.name);
+            }
+        }
+    }
+    seen.sort_unstable();
+    for name in &seen {
+        match registry::lookup(name) {
+            Some(doc) => out.push_str(&format!("# {name}: {doc}\n")),
+            None => out.push_str(&format!("# {name}: (not in the metric registry)\n")),
+        }
+    }
+    if !seen.is_empty() {
+        out.push('\n');
+    }
+
+    let mut run_cycles = PromFamily::new(
+        "fblas_run_cycles_total",
+        "total simulated cycles of the run",
+        "counter",
+    );
+    let mut run_busy = PromFamily::new(
+        "fblas_run_busy_cycles_total",
+        "design-level busy cycles of the run",
+        "counter",
+    );
+    let mut comp_busy = PromFamily::new(
+        "fblas_component_busy_total",
+        "per-component busy cycles / issue marks (see the component comment block)",
+        "counter",
+    );
+    let mut comp_stall = PromFamily::new(
+        "fblas_component_stall_cycles_total",
+        "per-component stall cycles by cause",
+        "counter",
+    );
+    let mut comp_depth = PromFamily::new(
+        "fblas_component_queue_depth_avg",
+        "average sampled FIFO/occupancy depth over the run",
+        "gauge",
+    );
+    let mut lat_quant = PromFamily::new(
+        "fblas_component_latency_cycles",
+        "completion-latency quantiles in cycles (log-bucketed histogram)",
+        "summary",
+    );
+    let mut lat_count = PromFamily::new(
+        "fblas_component_latency_samples_total",
+        "completion-latency samples recorded",
+        "counter",
+    );
+
+    for run in &set.runs {
+        let key = run.key.as_str();
+        run_cycles.sample(&[("run", key)], run.series.cycles as f64);
+        run_busy.sample(&[("run", key)], run.series.busy.iter().sum::<u64>() as f64);
+        for c in &run.series.comps {
+            let (busy, stalls, depth_sum, depth_samples) = comp_totals(c);
+            let labels = [("run", key), ("component", c.name.as_str())];
+            comp_busy.sample(&labels, busy as f64);
+            for &cause in &StallCause::ALL {
+                let v = stalls[cause.index()];
+                if v > 0 {
+                    comp_stall.sample(
+                        &[
+                            ("run", key),
+                            ("component", c.name.as_str()),
+                            ("cause", cause.name()),
+                        ],
+                        v as f64,
+                    );
+                }
+            }
+            if depth_samples > 0 {
+                comp_depth.sample(&labels, depth_sum as f64 / depth_samples as f64);
+            }
+            if c.latency.samples() > 0 {
+                let [p50, p95, p99, p999] = c.latency.quantiles();
+                for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99), ("0.999", p999)] {
+                    lat_quant.sample(
+                        &[
+                            ("run", key),
+                            ("component", c.name.as_str()),
+                            ("quantile", q),
+                        ],
+                        v as f64,
+                    );
+                }
+                lat_count.sample(&labels, c.latency.samples() as f64);
+            }
+        }
+    }
+
+    for family in [
+        &run_cycles,
+        &run_busy,
+        &comp_busy,
+        &comp_stall,
+        &comp_depth,
+        &lat_quant,
+        &lat_count,
+    ] {
+        family.render_into(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::testutil::sample_set;
+
+    #[test]
+    fn jsonl_is_one_line_per_window_and_parses() {
+        let set = sample_set();
+        let text = jsonl_events(&set);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "10 cycles at window 4 → 3 windows");
+        for line in &lines {
+            let obj = Json::parse(line).unwrap();
+            assert_eq!(obj.get("key").and_then(Json::as_str), Some("dot[k=2,n=16]"));
+            assert!(obj.get("comps").is_some());
+        }
+        // Final partial window reports its true width.
+        let last = Json::parse(lines[2]).unwrap();
+        assert_eq!(last.get("cycles").and_then(Json::as_u64), Some(2));
+        assert_eq!(last.get("start_cycle").and_then(Json::as_u64), Some(8));
+    }
+
+    #[test]
+    fn jsonl_omits_zero_stalls_and_empty_depths() {
+        let text = jsonl_events(&sample_set());
+        let first = Json::parse(text.lines().next().unwrap()).unwrap();
+        let front = first
+            .get("comps")
+            .and_then(|c| c.get("dot/front-end"))
+            .unwrap();
+        assert!(front.get("stalls").is_none(), "all-zero stalls are omitted");
+        assert_eq!(front.get("depth_avg").and_then(Json::as_f64), Some(2.0));
+        let reducer = first
+            .get("comps")
+            .and_then(|c| c.get("dot/reducer"))
+            .unwrap();
+        assert!(reducer.get("stalls").is_some());
+        assert!(
+            reducer.get("depth_avg").is_none(),
+            "no samples → no average"
+        );
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_headers_and_registry_comments() {
+        let text = prometheus_snapshot(&sample_set());
+        assert!(text.starts_with("# dot/front-end: "), "{text}");
+        assert!(text.contains("# HELP fblas_run_cycles_total "));
+        assert!(text.contains("# TYPE fblas_component_latency_cycles summary"));
+        assert!(text.contains("fblas_run_cycles_total{run=\"dot[k=2,n=16]\"} 10"));
+        assert!(text.contains(
+            "fblas_component_busy_total{run=\"dot[k=2,n=16]\",component=\"dot/reducer\"} 8"
+        ));
+        assert!(text.contains("cause=\"drain\"} 2"));
+        assert!(text.contains("quantile=\"0.5\"} "));
+        assert!(
+            !text.contains("cause=\"input-starved\""),
+            "zero stall causes are omitted"
+        );
+    }
+
+    #[test]
+    fn exporters_are_byte_deterministic() {
+        let a = sample_set();
+        let b = sample_set();
+        assert_eq!(jsonl_events(&a), jsonl_events(&b));
+        assert_eq!(prometheus_snapshot(&a), prometheus_snapshot(&b));
+    }
+
+    #[test]
+    fn empty_store_renders_empty() {
+        let set = TelemSet::new("t", 8);
+        assert_eq!(jsonl_events(&set), "");
+        assert_eq!(prometheus_snapshot(&set), "");
+    }
+}

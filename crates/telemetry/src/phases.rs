@@ -1,0 +1,378 @@
+//! Fill/steady/drain phase segmentation and the paper's steady-state
+//! efficiency model.
+//!
+//! Section 4.2 of the paper argues that every streaming kernel sustains
+//! `n/(n+α)` of peak throughput: `n` cycles of useful feed followed by a
+//! fixed architectural tail `α` (deep floating-point pipelines, the
+//! adder tree, and the reduction circuit draining). Section 5.1 states
+//! the same law for the blocked matrix multiplier as `m²/(m²+α)` — the
+//! work term is the `m²`-cycle block phase instead of the stream length,
+//! but the shape is identical: useful work over useful work plus a
+//! size-independent tail.
+//!
+//! [`STEADY_MODELS`] pins `α` per kernel family. The constants are
+//! *measured*, not assumed: the deterministic paper matrix was run at
+//! both the full and the quick problem sizes and `cycles − busy_cycles`
+//! came out byte-identical per family across sizes (68 for the
+//! tree+reduction designs, 25/11 for the axpy/scal pipes, 14 for the
+//! column-major hazard window, …), which is exactly the paper's claim
+//! that the tail is architectural. Families whose tail provably scales
+//! with the workload (the §4.3 reduction-circuit stress design, whose
+//! schedule tail grows with the set count) are deliberately absent and
+//! documented below — the model does not apply to them.
+//!
+//! [`segment`] splits a run's windowed busy series into fill, steady and
+//! drain phases; [`efficiency_row`] combines a record with its family
+//! model into the pass/fail row the trend dashboard and CI gate consume.
+
+use fblas_metrics::{RecordKind, RunRecord};
+use fblas_sim::TelemSeries;
+
+/// Relative tolerance of the efficiency gate: a measured utilization
+/// must be within this fraction of the family prediction. The exact
+/// drain-tail families match to machine precision; the 2% headroom
+/// exists for `SpMV`, whose tail wobbles by a few cycles with the sparsity
+/// pattern of the matrix (6–7 cycles across the Laplacian sizes).
+pub const STEADY_TOL: f64 = 0.02;
+
+/// Windows whose utilization reaches this fraction of the run's peak
+/// window count as steady state; leading windows below it are fill,
+/// trailing ones drain.
+pub const STEADY_THRESHOLD: f64 = 0.5;
+
+/// Which form of the paper's efficiency law a family instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFlavor {
+    /// §4.2 streaming form: `n/(n+α)`, `n` the feed length in cycles.
+    NOverNAlpha,
+    /// §5.1 blocked-multiplier form: `m²/(m²+α)`, the work term being
+    /// the accumulated block-phase cycles.
+    MSquared,
+}
+
+impl ModelFlavor {
+    /// The formula as it appears in the paper, for report tables.
+    pub fn formula(self) -> &'static str {
+        match self {
+            Self::NOverNAlpha => "n/(n+α)",
+            Self::MSquared => "m²/(m²+α)",
+        }
+    }
+}
+
+/// One family's instantiation of the steady-state efficiency law.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyModel {
+    /// Kernel family key as recorded (`RunRecord::kernel`).
+    pub kernel: &'static str,
+    /// Architectural tail in cycles, measured size-invariant across the
+    /// full and quick deterministic matrices.
+    pub alpha: u64,
+    /// Which form of the law the family instantiates.
+    pub flavor: ModelFlavor,
+    /// Where the tail comes from architecturally.
+    pub note: &'static str,
+}
+
+/// Per-family efficiency models, sorted by kernel key.
+///
+/// Deliberately absent: `reduce/single-adder` — the §4.3
+/// reduction-circuit stress design's schedule tail grows with the input
+/// set count (measured 108 cycles at 40 sets, 218 at 150), so no
+/// size-independent `α` exists and the streaming law does not apply.
+/// Modeled records (`mm/model`, `model/*`) simulate no cycles and are
+/// skipped by construction.
+pub const STEADY_MODELS: &[SteadyModel] = &[
+    SteadyModel {
+        kernel: "asum",
+        alpha: 68,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "adder-tree depth plus reduction-circuit drain",
+    },
+    SteadyModel {
+        kernel: "axpy",
+        alpha: 25,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "multiply-add pipeline drain",
+    },
+    SteadyModel {
+        kernel: "dot",
+        alpha: 68,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "multiplier + adder-tree depth plus reduction-circuit drain",
+    },
+    SteadyModel {
+        kernel: "mm/hierarchical",
+        alpha: 55,
+        flavor: ModelFlavor::MSquared,
+        note: "blocked multiplier pipeline tail past the final block phase",
+    },
+    SteadyModel {
+        kernel: "mm/linear",
+        alpha: 351,
+        flavor: ModelFlavor::MSquared,
+        note: "linear-array fill/flush skew plus accumulation-pipe drain",
+    },
+    SteadyModel {
+        kernel: "mvm/col",
+        alpha: 14,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "MAC-lane transit past the last column chunk",
+    },
+    SteadyModel {
+        kernel: "mvm/row",
+        alpha: 68,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "adder-tree depth plus reduction drain of the final row",
+    },
+    SteadyModel {
+        kernel: "mvm/xd1-l2",
+        alpha: 68,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "same row-major datapath behind the XD1 L2 stream",
+    },
+    SteadyModel {
+        kernel: "scal",
+        alpha: 11,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "multiplier pipeline drain",
+    },
+    SteadyModel {
+        kernel: "spmv",
+        alpha: 7,
+        flavor: ModelFlavor::NOverNAlpha,
+        note: "tree + reducer drain of the last row (±1–2 cycles with sparsity pattern)",
+    },
+];
+
+/// The efficiency model of a kernel family, if the streaming law
+/// applies to it.
+pub fn steady_model(kernel: &str) -> Option<&'static SteadyModel> {
+    STEADY_MODELS
+        .binary_search_by(|m| m.kernel.cmp(kernel))
+        .ok()
+        .map(|i| &STEADY_MODELS[i])
+}
+
+/// A run's busy series segmented into fill / steady / drain windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSplit {
+    /// Leading windows below the steady threshold (pipelines filling).
+    pub fill: usize,
+    /// Windows at or above [`STEADY_THRESHOLD`] × the peak window
+    /// utilization, including any interior dips between the first and
+    /// last such window.
+    pub steady: usize,
+    /// Trailing windows below the threshold (pipelines draining).
+    pub drain: usize,
+    /// Measured efficiency over the steady span: Σ busy / Σ width.
+    pub steady_efficiency: f64,
+}
+
+/// Segment a sealed series into fill, steady and drain phases from its
+/// design-level busy windows.
+///
+/// A window is "steady" when its utilization reaches
+/// [`STEADY_THRESHOLD`] of the run's peak window utilization; the steady
+/// span runs from the first to the last such window (interior dips stay
+/// inside it), fill is everything before, drain everything after. A
+/// series with no windows or no busy cycles is all drain.
+pub fn segment(series: &TelemSeries) -> PhaseSplit {
+    let windows = series.windows();
+    let util = |w: usize| {
+        let width = series.window_width(w);
+        if width == 0 {
+            0.0
+        } else {
+            series.busy[w] as f64 / width as f64
+        }
+    };
+    let peak = (0..windows).map(util).fold(0.0f64, f64::max);
+    if windows == 0 || peak <= 0.0 {
+        return PhaseSplit {
+            fill: 0,
+            steady: 0,
+            drain: windows,
+            steady_efficiency: 0.0,
+        };
+    }
+    let cut = STEADY_THRESHOLD * peak;
+    let first = (0..windows).find(|&w| util(w) >= cut).unwrap_or(windows);
+    let last = (0..windows).rfind(|&w| util(w) >= cut).unwrap_or(0);
+    let (busy_sum, width_sum) = (first..=last).fold((0u64, 0u64), |(b, w), i| {
+        (b + series.busy[i], w + series.window_width(i))
+    });
+    PhaseSplit {
+        fill: first,
+        steady: last + 1 - first,
+        drain: windows - 1 - last,
+        steady_efficiency: if width_sum == 0 {
+            0.0
+        } else {
+            busy_sum as f64 / width_sum as f64
+        },
+    }
+}
+
+/// One record checked against its family's efficiency prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyRow {
+    /// Record identity key.
+    pub key: String,
+    /// Work term `n` (or accumulated `m²` phases): the measured busy
+    /// cycles of the run.
+    pub n: u64,
+    /// Architectural tail from [`STEADY_MODELS`].
+    pub alpha: u64,
+    /// Which form of the law applied.
+    pub flavor: ModelFlavor,
+    /// Predicted efficiency `n/(n+α)`.
+    pub predicted: f64,
+    /// Measured whole-run efficiency `busy_cycles/cycles`.
+    pub measured: f64,
+    /// Measured steady-phase efficiency from the telemetry series, when
+    /// a series was recorded (analytic designs run no harness).
+    pub steady: Option<f64>,
+    /// Whether `measured` is within [`STEADY_TOL`] of `predicted`.
+    pub within: bool,
+}
+
+/// Check a simulated record against its family's steady-state model.
+///
+/// Returns `None` for modeled records and for families outside
+/// [`STEADY_MODELS`]. `steady` is the telemetry-measured steady-phase
+/// efficiency to carry into the row, when a series exists for the run.
+pub fn efficiency_row(record: &RunRecord, steady: Option<f64>) -> Option<EfficiencyRow> {
+    if record.kind != RecordKind::Simulated || record.cycles == 0 {
+        return None;
+    }
+    let model = steady_model(&record.kernel)?;
+    let n = record.busy_cycles;
+    let predicted = n as f64 / (n + model.alpha) as f64;
+    let measured = record.utilization();
+    let within = predicted > 0.0 && ((measured - predicted) / predicted).abs() <= STEADY_TOL;
+    Some(EfficiencyRow {
+        key: record.key(),
+        n,
+        alpha: model.alpha,
+        flavor: model.flavor,
+        predicted,
+        measured,
+        steady,
+        within,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_metrics::StallBreakdown;
+
+    fn series(window: u64, cycles: u64, busy: Vec<u64>) -> TelemSeries {
+        TelemSeries {
+            cycles,
+            window,
+            busy,
+            comps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn models_are_sorted_and_resolvable() {
+        for pair in STEADY_MODELS.windows(2) {
+            assert!(pair[0].kernel < pair[1].kernel);
+        }
+        assert_eq!(steady_model("dot").unwrap().alpha, 68);
+        assert_eq!(steady_model("spmv").unwrap().alpha, 7);
+        // The §4.3 stress design is deliberately outside the law.
+        assert!(steady_model("reduce/single-adder").is_none());
+        assert!(steady_model("model/device-peak").is_none());
+    }
+
+    #[test]
+    fn segment_finds_fill_steady_drain() {
+        // 10 windows of 8: ramp up, hold, ramp down.
+        let s = series(8, 80, vec![1, 3, 8, 8, 8, 8, 8, 8, 2, 0]);
+        let p = segment(&s);
+        assert_eq!((p.fill, p.steady, p.drain), (2, 6, 2));
+        assert!((p.steady_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_dips_stay_inside_steady() {
+        let s = series(4, 24, vec![0, 4, 1, 4, 4, 0]);
+        let p = segment(&s);
+        assert_eq!((p.fill, p.steady, p.drain), (1, 4, 1));
+        assert!((p.steady_efficiency - 13.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_window_run_is_all_steady() {
+        let s = series(4096, 221, vec![153]);
+        let p = segment(&s);
+        assert_eq!((p.fill, p.steady, p.drain), (0, 1, 0));
+        assert!((p.steady_efficiency - 153.0 / 221.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_series_is_all_drain() {
+        let p = segment(&series(4, 8, vec![0, 0]));
+        assert_eq!((p.fill, p.steady, p.drain), (0, 0, 2));
+        assert_eq!(p.steady_efficiency, 0.0);
+        let empty = segment(&series(4, 0, Vec::new()));
+        assert_eq!((empty.fill, empty.steady, empty.drain), (0, 0, 0));
+    }
+
+    fn sim_record(kernel: &str, cycles: u64, busy: u64) -> RunRecord {
+        RunRecord {
+            kernel: kernel.to_string(),
+            config: vec![("n".to_string(), 256)],
+            kind: RecordKind::Simulated,
+            cycles,
+            flops: 0,
+            words_in: 0,
+            words_out: 0,
+            busy_cycles: busy,
+            stalls: StallBreakdown::default(),
+            clock_mhz: 170.0,
+            modeled_slices: 0,
+            sustained_mflops: 0.0,
+            bound: fblas_metrics::Bound::Unclassified,
+            paper: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exact_tail_families_match_their_prediction() {
+        // The measured quick-matrix dot point: n=153 busy, 68-cycle tail.
+        let row = efficiency_row(&sim_record("dot", 221, 153), Some(0.69)).unwrap();
+        assert_eq!(row.n, 153);
+        assert_eq!(row.alpha, 68);
+        assert!((row.predicted - row.measured).abs() < 1e-12);
+        assert!(row.within);
+        assert_eq!(row.flavor, ModelFlavor::NOverNAlpha);
+        assert_eq!(row.flavor.formula(), "n/(n+α)");
+    }
+
+    #[test]
+    fn out_of_model_runs_fail_the_gate() {
+        // Twice the architectural tail: well outside 2%.
+        let row = efficiency_row(&sim_record("dot", 289, 153), None).unwrap();
+        assert!(!row.within);
+    }
+
+    #[test]
+    fn spmv_wobble_stays_within_tolerance() {
+        // Quick Laplacian point: tail 6 against the modeled α = 7.
+        let row = efficiency_row(&sim_record("spmv", 145, 139), None).unwrap();
+        assert!(row.within, "Δ = {}", (row.measured - row.predicted).abs());
+    }
+
+    #[test]
+    fn modeled_and_unmodeled_records_are_skipped() {
+        let mut modeled = sim_record("dot", 0, 0);
+        modeled.kind = RecordKind::Modeled;
+        assert!(efficiency_row(&modeled, None).is_none());
+        assert!(efficiency_row(&sim_record("reduce/single-adder", 3748, 3640), None).is_none());
+    }
+}
