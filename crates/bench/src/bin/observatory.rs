@@ -7,6 +7,7 @@
 //! observatory report [--dir <dir>] [--doc <md>]           # splice scoreboards into EXPERIMENTS.md
 //! observatory trend  [--dir <dir>] [--doc <md>]           # splice telemetry dashboard, gate efficiency model
 //! observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]  # fault campaign
+//! observatory serve  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>] [--diff <baseline.json>]  # serving campaign
 //! observatory analyze [--dir <dir>] [--verbose]           # channel-graph static analyses
 //! ```
 //!
@@ -68,6 +69,17 @@
 //! identical at any `--jobs` value. Exit status is non-zero if any
 //! ABFT-covered kernel (`mvm/*`, `mm/*`) shows a silent corruption.
 //!
+//! `serve` runs the BLAS-as-a-service campaign of `fblas-serve` across
+//! the same worker pool: seeded multi-tenant arrival streams, admission
+//! control and batch scheduling over the simulated fleet, one cell per
+//! pool job. Without `--diff` it persists the next free `SERVE_<n>.json`
+//! in `--dir`; with `--diff <baseline>` it instead gates the fresh
+//! campaign against a committed store (exact counters, digests and SLO
+//! verdicts). Either way the `fblas-check` conservation and
+//! batch-amortization rules must pass. The records are byte-identical
+//! at any `--jobs` count and under every backend, like everything else
+//! the observatory writes.
+//!
 //! `analyze` runs the `fblas-check` channel-graph analyses — the
 //! deadlock-freedom proof and throughput/bandwidth cuts over every
 //! shipped topology — then cross-validates every committed
@@ -78,14 +90,15 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fblas_bench::cli;
 use fblas_bench::fault_matrix::run_fault_matrix_with_jobs;
 use fblas_bench::paper_matrix::{run_matrix_telemetry, run_matrix_with_backend};
-use fblas_bench::pool;
+use fblas_bench::serve_matrix::run_serve_matrix_with_jobs;
 use fblas_check::graph::{cross_validate, topology_report};
-use fblas_check::Severity;
+use fblas_check::{check_serve_set, Severity};
 use fblas_metrics::{
     bench_file_name, diff_sets, faults as obs_faults, list_bench_files, next_bench_index,
-    report as obs_report, RecordSet, WallClock,
+    next_serve_index, report as obs_report, serve_file_name, RecordSet, ServeSet, WallClock,
 };
 use fblas_sim::{ExecBackend, DEFAULT_TELEM_WINDOW};
 use fblas_telemetry::trend::TrendPoint;
@@ -99,106 +112,50 @@ fn usage() -> ExitCode {
                 observatory report [--dir <dir>] [--doc <markdown>]\n\
                 observatory trend  [--dir <dir>] [--doc <markdown>]\n\
                 observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]\n\
+                observatory serve  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>]\n\
+                                [--diff <baseline.json>]\n\
                 observatory analyze [--dir <dir>] [--verbose]"
     );
     ExitCode::from(2)
 }
 
-/// Parse `--flag <value>` / `--flag=<value>` out of `args`, removing it.
-fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let prefix = format!("{flag}=");
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == flag {
-            if i + 1 >= args.len() {
-                eprintln!("error: {flag} requires a value");
-                std::process::exit(2);
-            }
-            args.remove(i);
-            return Some(args.remove(i));
-        }
-        if let Some(v) = args[i].strip_prefix(&prefix) {
-            let v = v.to_string();
-            args.remove(i);
-            return Some(v);
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Parse a bare `--flag`, removing it.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    let before = args.len();
-    args.retain(|a| a != flag);
-    args.len() != before
-}
-
-/// Validate a `--jobs` value: a positive integer, or a diagnostic.
-fn parse_jobs(v: &str) -> Result<usize, String> {
-    match v.parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(n),
-        _ => Err(format!("--jobs requires a positive integer, got {v:?}")),
-    }
-}
-
-/// Parse `--jobs <n>` out of `args`; default is the host parallelism.
-fn take_jobs(args: &mut Vec<String>) -> usize {
-    match take_value(args, "--jobs") {
-        Some(v) => parse_jobs(&v).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }),
-        None => pool::default_jobs(),
-    }
-}
-
-/// Parse `--backend <b>` out of `args`; default is cycle stepping.
-fn take_backend(args: &mut Vec<String>) -> ExecBackend {
-    match take_value(args, "--backend") {
-        Some(v) => v.parse::<ExecBackend>().unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }),
-        None => ExecBackend::Cycle,
-    }
-}
-
-/// Parse `--seed <s>` out of `args`; default is the canonical seed 7.
-fn take_seed(args: &mut Vec<String>) -> u64 {
-    match take_value(args, "--seed") {
-        Some(v) => v.parse::<u64>().unwrap_or_else(|_| {
-            eprintln!("error: --seed requires an unsigned integer, got {v:?}");
-            std::process::exit(2);
-        }),
-        None => 7,
-    }
-}
-
-/// Parse the telemetry flags: `--no-telemetry` disables sampling,
-/// `--telemetry-window <cycles>` overrides the default window width.
-/// The two together are a contradiction and rejected.
-fn take_telemetry(args: &mut Vec<String>) -> Option<u64> {
-    let off = take_flag(args, "--no-telemetry");
-    let window = take_value(args, "--telemetry-window").map(|v| {
-        v.parse::<u64>()
-            .ok()
-            .filter(|&w| w >= 1)
-            .unwrap_or_else(|| {
-                eprintln!("error: --telemetry-window requires a positive integer, got {v:?}");
-                std::process::exit(2);
-            })
-    });
-    if off && window.is_some() {
-        eprintln!("error: --no-telemetry contradicts --telemetry-window");
+/// Unwrap a CLI parse result or exit 2 — the one funnel every usage
+/// error goes through, so `run`, `diff`, `faults` and `serve` cannot
+/// drift in how they reject `--jobs 0` or an unknown `--backend`.
+fn or_usage_error<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         std::process::exit(2);
-    }
-    if off {
-        None
-    } else {
-        Some(window.unwrap_or(DEFAULT_TELEM_WINDOW))
-    }
+    })
 }
+
+/// Parse `--jobs` with the shared validator, exiting 2 on bad input.
+fn take_jobs(args: &mut Vec<String>) -> usize {
+    or_usage_error(cli::take_jobs(args))
+}
+
+/// Parse `--backend` with the shared validator, exiting 2 on bad input.
+fn take_backend(args: &mut Vec<String>) -> ExecBackend {
+    or_usage_error(cli::take_backend(args))
+}
+
+/// Parse `--seed` with the shared validator, exiting 2 on bad input.
+fn take_seed(args: &mut Vec<String>) -> u64 {
+    or_usage_error(cli::take_seed(args))
+}
+
+/// Parse the telemetry flags with the shared validator.
+fn take_telemetry(args: &mut Vec<String>) -> Option<u64> {
+    or_usage_error(cli::take_telemetry(args, DEFAULT_TELEM_WINDOW))
+}
+
+/// Parse `--flag <value>` with the shared helper, exiting 2 on a flag
+/// missing its value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    or_usage_error(cli::take_value(args, flag))
+}
+
+use cli::take_flag;
 
 fn measure(
     quick: bool,
@@ -555,6 +512,83 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `serve`: run the BLAS-as-a-service campaign on the worker pool,
+/// persist the next free `SERVE_<n>.json`, re-check the store's
+/// conservation/amortization rules, and — with `--diff <baseline>` —
+/// gate the fresh campaign byte-for-byte against a committed store.
+/// Exit status: 2 on usage/IO errors, 1 on any failed gate.
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    let quick = take_flag(&mut args, "--quick");
+    let jobs = take_jobs(&mut args);
+    let backend = take_backend(&mut args);
+    let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
+    let baseline = take_value(&mut args, "--diff").map(PathBuf::from);
+    if !args.is_empty() {
+        return usage();
+    }
+    eprintln!(
+        "observatory: running the {} serving campaign on {} job(s), {} backend...",
+        if quick { "quick" } else { "full" },
+        jobs,
+        backend
+    );
+    let set = run_serve_matrix_with_jobs(quick, jobs, backend);
+    for r in &set.records {
+        println!(
+            "{:24} offered {:5}  completed {:5}  rejected {:4}  in-flight {:3}  \
+             batches {:4}  staging {:9} ns  p99 {}  slo {}",
+            r.cell,
+            r.offered(),
+            r.completed(),
+            r.rejected(),
+            r.in_flight(),
+            r.batches,
+            r.staging_ns,
+            r.latency
+                .p99()
+                .map_or_else(|| "-".to_string(), |p| format!("{p} ns")),
+            if r.slo_pass { "PASS" } else { "FAIL" },
+        );
+    }
+    let report = check_serve_set(&set);
+    print!("{}", report.render(false));
+    if report.count(Severity::Error) > 0 {
+        println!("observatory serve: FAIL — conservation/amortization rules violated");
+        return ExitCode::FAILURE;
+    }
+    if let Some(baseline_path) = baseline {
+        let baseline = match ServeSet::load(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = fblas_metrics::diff_serve(&set, &baseline);
+        print!("{}", diff.render());
+        if !diff.pass() {
+            println!(
+                "observatory serve: FAIL — campaign drifted from {}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "observatory serve: PASS (baseline {})",
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let index = next_serve_index(&dir);
+    let path = dir.join(serve_file_name(index));
+    if let Err(e) = set.save(&path) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {} ({} cell(s))", path.display(), set.records.len());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -567,30 +601,8 @@ fn main() -> ExitCode {
         "report" => cmd_report(args),
         "trend" => cmd_trend(args),
         "faults" => cmd_faults(args),
+        "serve" => cmd_serve(args),
         "analyze" => cmd_analyze(args),
         _ => usage(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::parse_jobs;
-
-    #[test]
-    fn parse_jobs_accepts_positive_integers() {
-        assert_eq!(parse_jobs("1"), Ok(1));
-        assert_eq!(parse_jobs("16"), Ok(16));
-    }
-
-    #[test]
-    fn parse_jobs_rejects_zero_and_garbage() {
-        for bad in ["0", "-3", "four", "", "1.5"] {
-            let err = parse_jobs(bad).unwrap_err();
-            assert!(
-                err.contains("requires a positive integer"),
-                "{bad:?}: {err}"
-            );
-            assert!(err.contains(bad) || bad.is_empty(), "{bad:?}: {err}");
-        }
     }
 }

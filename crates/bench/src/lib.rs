@@ -28,14 +28,19 @@
 //! executes the full paper matrix ([`paper_matrix`]) and persists a
 //! `BENCH_<n>.json` trajectory file, `observatory diff` gates a fresh
 //! run against a committed baseline, `observatory report` renders
-//! the scoreboard into `EXPERIMENTS.md`, and `observatory faults` fans
+//! the scoreboard into `EXPERIMENTS.md`, `observatory faults` fans
 //! the seeded fault-injection campaign ([`fault_matrix`]) across the
-//! same worker pool.
+//! same worker pool, and `observatory serve` runs the BLAS-as-a-service
+//! campaign ([`serve_matrix`]) and persists `SERVE_<n>.json`. All of
+//! them parse their flags through the shared, unit-tested [`cli`]
+//! helpers (usage errors exit 2; gate failures exit 1).
 
+pub mod cli;
 pub mod fault_matrix;
 pub mod paper_matrix;
 pub mod pool;
 pub mod record_sink;
+pub mod serve_matrix;
 pub mod trace;
 pub mod workloads;
 

@@ -145,6 +145,8 @@ fn observatory_rejects_bad_jobs_values() {
         ("run", "four"),
         ("diff", "0"),
         ("faults", "-2"),
+        ("serve", "0"),
+        ("serve", "none"),
     ] {
         let output = Command::new(observatory)
             .args([cmd, "--quick", "--jobs", bad])
@@ -162,6 +164,65 @@ fn observatory_rejects_bad_jobs_values() {
             "{cmd} --jobs {bad}: stderr was {stderr:?}"
         );
     }
+}
+
+/// Unknown `--backend` names must be rejected with exit status 2 and the
+/// shared parser's diagnostic on every subcommand that accepts the flag.
+#[test]
+fn observatory_rejects_unknown_backends() {
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+    for cmd in ["run", "diff", "serve"] {
+        let output = Command::new(observatory)
+            .args([cmd, "--quick", "--backend", "warp-drive"])
+            .output()
+            .expect("failed to launch observatory");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{cmd} --backend warp-drive: {:?}",
+            output.status
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--backend:"),
+            "{cmd}: stderr was {stderr:?}"
+        );
+    }
+}
+
+/// `observatory serve --quick` smoke: the run must write a loadable
+/// `SERVE_0001.json`, pass the conservation checks it runs internally,
+/// and a `--diff` against its own output must be clean (exit 0).
+#[test]
+fn observatory_serve_writes_store_and_self_diffs_clean() {
+    let dir = std::env::temp_dir().join("fblas_observatory_serve_smoke");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+
+    for _ in 0..2 {
+        let status = Command::new(observatory)
+            .args(["serve", "--quick", "--dir"])
+            .arg(&dir)
+            .status()
+            .expect("failed to launch observatory serve");
+        assert!(status.success(), "observatory serve exited with {status}");
+    }
+    let first = std::fs::read(dir.join("SERVE_0001.json")).expect("SERVE_0001 missing");
+    let second = std::fs::read(dir.join("SERVE_0002.json")).expect("SERVE_0002 missing");
+    assert_eq!(first, second, "SERVE files must be byte-identical");
+
+    let set =
+        fblas_metrics::ServeSet::load(&dir.join("SERVE_0001.json")).expect("store must parse");
+    assert!(!set.records.is_empty(), "serve campaign must emit records");
+
+    let status = Command::new(observatory)
+        .args(["serve", "--quick", "--diff"])
+        .arg(dir.join("SERVE_0001.json"))
+        .status()
+        .expect("failed to launch observatory serve --diff");
+    assert!(status.success(), "self-diff must be clean, got {status}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// `observatory faults` smoke: the campaign must exit clean (zero silent

@@ -39,6 +39,7 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/faults/src",
     "crates/bench/src",
     "crates/sw/src",
+    "crates/serve/src",
 ];
 
 /// Ambient reads proven harmless, as `(file, class)` pairs. Each entry

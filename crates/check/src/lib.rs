@@ -36,6 +36,12 @@
 //!   overriding `Design::fast_forward` must be claimed by a randomized
 //!   backend-parity test, so an accelerated replay can never ship
 //!   without a bit-equality pin against cycle stepping.
+//! * [`serve`] — **serving-store conservation rules**: every tenant in
+//!   every committed `SERVE_*.json` cell must balance its books
+//!   (arrivals = completed + rejected + in-flight), latency digests
+//!   must be monotone and honest about emptiness, and every
+//!   batched/unbatched cell pair must actually demonstrate the staging
+//!   amortization the front end claims.
 //! * [`telemetry`] — a **telemetry-metric-registry rule**: every
 //!   `.component("…")` id the datapath designs emit must be declared
 //!   with a docstring in [`fblas_telemetry::METRICS`], and every
@@ -57,6 +63,7 @@ pub mod graph;
 pub mod hooks;
 pub mod lint;
 pub mod parity;
+pub mod serve;
 pub mod source;
 pub mod telemetry;
 pub mod threads;
@@ -74,5 +81,6 @@ pub use graph::{
 pub use hooks::{fault_hook_report, scan_workspace_tree, HookContext, HookSite};
 pub use lint::{scan_source, scan_tree, LintHit};
 pub use parity::{check_claims, coverage_report, CLAIMS};
+pub use serve::check_serve_set;
 pub use telemetry::{check_sites, metric_registry_report, scan_metric_sites, MetricSite};
 pub use threads::{bench_thread_report, scan_bench_tree, ThreadSite};

@@ -36,7 +36,7 @@ pub mod store;
 pub use channel::{ReadChannel, WriteChannel};
 pub use hierarchy::{Level, LevelSpec, MemoryHierarchy};
 pub use sram::SramBanks;
-pub use staging::DmaModel;
+pub use staging::{BatchStaging, DmaModel, XD1_DRAM_BURST_BYTES};
 pub use store::LocalStore;
 
 /// Bytes in one double-precision word.

@@ -427,9 +427,80 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
+/// Run-length encode a counter vector as `[value, run]` pairs — the
+/// compact serialized form shared by the telemetry store's window
+/// vectors and the serving store's per-tenant series (steady state
+/// produces long constant stretches, so the committed files stay
+/// reviewable).
+pub fn rle_encode(values: &[u64]) -> Json {
+    let mut pairs: Vec<Json> = Vec::new();
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut n = 1u64;
+        while i + (n as usize) < values.len() && values[i + n as usize] == v {
+            n += 1;
+        }
+        pairs.push(Json::Arr(vec![Json::Num(v as f64), Json::Num(n as f64)]));
+        i += n as usize;
+    }
+    Json::Arr(pairs)
+}
+
+/// Decode `[value, run]` pairs back into a counter vector of exactly
+/// `len` entries; `what` names the field in diagnostics.
+pub fn rle_decode(json: &Json, len: usize, what: &str) -> Result<Vec<u64>, String> {
+    let pairs = json
+        .as_arr()
+        .ok_or_else(|| format!("{what}: expected an RLE array"))?;
+    let mut out = Vec::with_capacity(len);
+    for pair in pairs {
+        let items = pair
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| format!("{what}: RLE entries are [value, run] pairs"))?;
+        let value = items[0]
+            .as_u64()
+            .ok_or_else(|| format!("{what}: RLE value is not an integer"))?;
+        let run = items[1]
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{what}: RLE run is not a positive integer"))?;
+        for _ in 0..run {
+            out.push(value);
+        }
+    }
+    if out.len() != len {
+        return Err(format!(
+            "{what}: RLE decodes to {} windows, expected {len}",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rle_round_trips_and_validates() {
+        let v = vec![0u64, 0, 0, 5, 5, 1, 0, 0, 0, 0];
+        let encoded = rle_encode(&v);
+        assert_eq!(rle_decode(&encoded, v.len(), "t").unwrap(), v);
+        // Wrong expected length is a hard error, not a silent pad.
+        assert!(rle_decode(&encoded, v.len() + 1, "t")
+            .unwrap_err()
+            .contains("expected"));
+        // Empty vectors encode to an empty array.
+        assert_eq!(
+            rle_decode(&rle_encode(&[]), 0, "t").unwrap(),
+            Vec::<u64>::new()
+        );
+        // Zero-length runs are rejected.
+        let bad = Json::Arr(vec![Json::Arr(vec![Json::Num(1.0), Json::Num(0.0)])]);
+        assert!(rle_decode(&bad, 1, "t").unwrap_err().contains("positive"));
+    }
 
     #[test]
     fn round_trips_a_nested_document() {

@@ -22,6 +22,10 @@
 //! * [`faults`] — fault-coverage records and the reliability scoreboard
 //!   emitted by `observatory faults` (same determinism contract, its own
 //!   schema version and `EXPERIMENTS.md` marker pair).
+//! * [`serve`] — serving-campaign records (`SERVE_<n>.json`): per-tenant
+//!   admission/latency/SLO accounting for the BLAS-as-a-service front
+//!   end, with the same byte-determinism contract and a strict baseline
+//!   diff gate.
 //!
 //! JSON is hand-rolled ([`json`]) because the workspace vendors no
 //! serialization crates; the writer is byte-deterministic by contract.
@@ -33,6 +37,7 @@ pub mod faults;
 pub mod json;
 pub mod record;
 pub mod report;
+pub mod serve;
 pub mod store;
 pub mod tolerance;
 
@@ -43,6 +48,10 @@ pub use faults::{
 };
 pub use json::Json;
 pub use record::{Bound, PaperParity, RecordKind, RunRecord, StallBreakdown, SCHEMA_VERSION};
+pub use serve::{
+    diff_serve, list_serve_files, next_serve_index, parse_serve_index, serve_file_name,
+    LatencyDigest, ServeDiff, ServeRecord, ServeSet, TenantRecord, SERVE_SCHEMA_VERSION,
+};
 pub use store::{
     bench_file_name, list_bench_files, next_bench_index, parse_bench_index, RecordSet, WallClock,
     WallClockEntry,

@@ -1,0 +1,168 @@
+//! Deterministic discrete-event clock: a time-ordered queue with stable
+//! FIFO tie-breaking.
+//!
+//! The cycle-stepped harness is the right engine for the *inside* of a
+//! kernel — some unit does work almost every cycle. A serving campaign is
+//! the opposite regime: millions of requests whose interesting moments
+//! (arrival, admission, dispatch, completion) are sparse in time. The
+//! [`EventQueue`] is the substrate `fblas-serve` builds its request
+//! front end on: events are ordered by timestamp, and events with equal
+//! timestamps pop in *push order* (a monotone sequence number breaks
+//! ties), so a campaign replay is a pure function of its inputs — the
+//! property that keeps `SERVE_<n>.json` byte-identical at any `--jobs`
+//! count and under every execution backend.
+//!
+//! Timestamps are plain `u64`s; the unit (cycles, nanoseconds) is the
+//! caller's contract. `fblas-serve` uses nanoseconds so designs closing
+//! timing at different clocks (the 170 MHz tree front end, the 164 MHz
+//! XD1 Level-2 array) share one timeline.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: timestamp, tie-breaking sequence, payload.
+#[derive(Debug, Clone)]
+struct Event<T> {
+    time: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest*
+    /// (time, seq) pair first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use fblas_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(30, "late");
+/// q.push(10, "first");
+/// q.push(10, "second"); // same time: FIFO among equals
+/// assert_eq!(q.pop(), Some((10, "first")));
+/// assert_eq!(q.pop(), Some((10, "second")));
+/// assert_eq!(q.pop(), Some((30, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time`. Events at equal times are popped in
+    /// push order.
+    pub fn push(&mut self, time: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &(t, v) in &[(50u64, 'a'), (10, 'b'), (40, 'c'), (20, 'd')] {
+            q.push(t, v);
+        }
+        let order: Vec<(u64, char)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, 'b'), (20, 'd'), (40, 'c'), (50, 'a')]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(7, i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_fifo_among_equals() {
+        let mut q = EventQueue::new();
+        q.push(5, "a");
+        q.push(5, "b");
+        assert_eq!(q.pop(), Some((5, "a")));
+        q.push(5, "c");
+        q.push(3, "urgent");
+        assert_eq!(q.pop(), Some((3, "urgent")));
+        assert_eq!(q.pop(), Some((5, "b")));
+        assert_eq!(q.pop(), Some((5, "c")));
+    }
+
+    #[test]
+    fn peek_and_len_observe_without_draining() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(9, ());
+        q.push(4, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(4));
+        assert_eq!(q.len(), 2, "peek must not drain");
+    }
+}

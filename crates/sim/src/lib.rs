@@ -51,6 +51,7 @@
 pub mod backend;
 pub mod clock;
 pub mod delay;
+pub mod event;
 pub mod fault;
 pub mod fifo;
 pub mod graph;
@@ -64,6 +65,7 @@ pub mod throttle;
 pub use backend::ExecBackend;
 pub use clock::ClockDomain;
 pub use delay::DelayLine;
+pub use event::EventQueue;
 pub use fault::{clear_f64_bit, flip_f64_bit, ArmedFaults, FaultKind, FaultLog, FaultSpec};
 pub use fifo::{Fifo, FifoFull};
 pub use graph::{Edge, EdgeKind, Node, NodeId, NodeRole, Topology};

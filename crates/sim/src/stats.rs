@@ -279,35 +279,57 @@ impl LogHistogram {
 
     /// Value covering at least fraction `p` (0..=1) of the samples:
     /// the floor of the covering bucket, clamped to the observed
-    /// [min, max]. Returns 0 when empty; never panics (non-finite `p`
-    /// clamps like [`Histogram::percentile`]).
+    /// [min, max]. Returns 0 when empty — callers that must distinguish
+    /// "no samples" from "a 0-valued sample" (a serving campaign under
+    /// full rejection completes zero requests) use
+    /// [`LogHistogram::try_percentile`] instead. Never panics
+    /// (non-finite `p` clamps like [`Histogram::percentile`]).
     pub fn percentile(&self, p: f64) -> u64 {
+        self.try_percentile(p).unwrap_or(0)
+    }
+
+    /// [`LogHistogram::percentile`] with the empty case made explicit:
+    /// `None` when no samples were ever recorded, so an empty histogram
+    /// can never masquerade as a population of zero-latency requests.
+    pub fn try_percentile(&self, p: f64) -> Option<u64> {
         let p = if p > 0.0 { p.min(1.0) } else { 0.0 };
         if self.samples == 0 {
-            return 0;
+            return None;
         }
         let target = ((p * self.samples as f64).ceil() as u64).max(1);
-        self.value_at_rank(target)
+        Some(self.value_at_rank(target))
     }
 
     /// Exact integer-rank extraction of (p50, p95, p99, p999) — no
     /// floating-point in the rank computation, so the quadruple is
-    /// byte-stable across platforms.
+    /// byte-stable across platforms. Returns `[0; 4]` when empty —
+    /// documented sentinel, not a rank; callers that must tell the two
+    /// apart use [`LogHistogram::try_quantiles`].
     pub fn quantiles(&self) -> [u64; 4] {
+        self.try_quantiles().unwrap_or([0; 4])
+    }
+
+    /// [`LogHistogram::quantiles`] with the empty case made explicit:
+    /// `None` when the histogram holds no samples. This is the entry
+    /// point the serving layer's latency digests use — a tenant whose
+    /// every request was rejected has *no* latency population, and its
+    /// percentiles must serialize as absent rather than as a bogus
+    /// all-zero quadruple.
+    pub fn try_quantiles(&self) -> Option<[u64; 4]> {
         if self.samples == 0 {
-            return [0; 4];
+            return None;
         }
         let n = u128::from(self.samples);
         let rank = |num: u128, den: u128| -> u64 {
             let r = (n * num).div_ceil(den).max(1);
             u64::try_from(r).unwrap_or(u64::MAX)
         };
-        [
+        Some([
             self.value_at_rank(rank(1, 2)),
             self.value_at_rank(rank(19, 20)),
             self.value_at_rank(rank(99, 100)),
             self.value_at_rank(rank(999, 1000)),
-        ]
+        ])
     }
 
     /// Bucketed value of the sample at 1-based `rank` (callers guard
@@ -515,6 +537,30 @@ mod tests {
         s.record_n(3, 10);
         assert_eq!(s.samples(), u64::MAX);
         assert_eq!(s.quantiles(), [3; 4]);
+    }
+
+    /// Regression (serving-layer call sites): an empty histogram — zero
+    /// completed requests under full rejection — must answer `None` from
+    /// the `try_*` extractors for every probe, never a fabricated rank.
+    /// A pre-fix implementation that computed `ceil(p·0).max(1) = 1` and
+    /// walked the (empty) bucket vector would fall through to `self.max`
+    /// and report 0 indistinguishably from a real zero-latency sample.
+    #[test]
+    fn empty_log_histogram_quantiles_are_none_not_a_bogus_rank() {
+        let h = LogHistogram::new();
+        assert_eq!(h.try_quantiles(), None);
+        for p in [0.0, 0.5, 0.99, 1.0, -1.0, 42.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(h.try_percentile(p), None, "p = {p}");
+        }
+        // The sentinel forms stay documented and stable.
+        assert_eq!(h.quantiles(), [0; 4]);
+        assert_eq!(h.percentile(0.99), 0);
+        // And the ambiguity the Option forms resolve: one genuine
+        // 0-valued sample answers Some(0), not None.
+        let mut z = LogHistogram::new();
+        z.record(0);
+        assert_eq!(z.try_quantiles(), Some([0; 4]));
+        assert_eq!(z.try_percentile(0.5), Some(0));
     }
 
     #[test]

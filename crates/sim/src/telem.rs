@@ -441,6 +441,49 @@ mod tests {
         assert!(r.take().is_empty(), "take drains");
     }
 
+    /// Regression (observatory `--telemetry-window` edge cases): a
+    /// window wider than the whole run must degrade to exactly one
+    /// window holding the entire series — deterministically, with the
+    /// partial-tail width equal to the run length — and the per-cycle
+    /// and positioned paths must agree on it. A zero-width window is a
+    /// constructor error (the CLI layer rejects it before any recorder
+    /// exists; see `fblas-bench`'s shared `cli` helpers).
+    #[test]
+    fn window_wider_than_the_run_is_one_giant_window() {
+        let giant = 1u64 << 40;
+        let mut stepped = TelemRecorder::new(giant);
+        for t in 1..=100u64 {
+            stepped.begin_cycle(t);
+            if t % 2 == 0 {
+                stepped.busy_cycle();
+                stepped.busy_mark(0);
+            }
+        }
+        stepped.seal(100, &["c".into()]);
+        let mut batched = TelemRecorder::new(giant);
+        for t in 1..=100u64 {
+            if t % 2 == 0 {
+                batched.busy_cycles_at(t, 1);
+                batched.busy_marks_at(0, t, 1);
+            }
+        }
+        batched.seal(100, &["c".into()]);
+        let a = stepped.take();
+        let b = batched.take();
+        assert_eq!(a, b, "stepped and positioned series must be identical");
+        let s = &a[0];
+        assert_eq!(s.windows(), 1, "one giant window");
+        assert_eq!(s.busy, vec![50]);
+        assert_eq!(s.comps[0].busy, vec![50]);
+        assert_eq!(s.window_width(0), 100, "tail width is the run length");
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry window must be at least one cycle")]
+    fn zero_width_window_is_rejected_at_construction() {
+        let _ = TelemRecorder::new(0);
+    }
+
     #[test]
     fn positioned_and_per_cycle_paths_agree() {
         let mut stepped = TelemRecorder::new(4);

@@ -20,6 +20,7 @@
 
 use std::path::{Path, PathBuf};
 
+use fblas_metrics::json::{rle_decode, rle_encode};
 use fblas_metrics::Json;
 use fblas_sim::{CompSeries, LogHistogram, StallCause, TelemSeries};
 
@@ -45,54 +46,6 @@ pub struct TelemSet {
     pub window: u64,
     /// The runs, in record order.
     pub runs: Vec<TelemRun>,
-}
-
-/// Run-length encode a window vector as `[value, run]` pairs.
-fn rle_encode(values: &[u64]) -> Json {
-    let mut pairs: Vec<Json> = Vec::new();
-    let mut i = 0;
-    while i < values.len() {
-        let v = values[i];
-        let mut n = 1u64;
-        while i + (n as usize) < values.len() && values[i + n as usize] == v {
-            n += 1;
-        }
-        pairs.push(Json::Arr(vec![Json::Num(v as f64), Json::Num(n as f64)]));
-        i += n as usize;
-    }
-    Json::Arr(pairs)
-}
-
-/// Decode `[value, run]` pairs back into a window vector of exactly
-/// `len` entries.
-fn rle_decode(json: &Json, len: usize, what: &str) -> Result<Vec<u64>, String> {
-    let pairs = json
-        .as_arr()
-        .ok_or_else(|| format!("{what}: expected an RLE array"))?;
-    let mut out = Vec::with_capacity(len);
-    for pair in pairs {
-        let items = pair
-            .as_arr()
-            .filter(|a| a.len() == 2)
-            .ok_or_else(|| format!("{what}: RLE entries are [value, run] pairs"))?;
-        let value = items[0]
-            .as_u64()
-            .ok_or_else(|| format!("{what}: RLE value is not an integer"))?;
-        let run = items[1]
-            .as_u64()
-            .filter(|&n| n > 0)
-            .ok_or_else(|| format!("{what}: RLE run is not a positive integer"))?;
-        for _ in 0..run {
-            out.push(value);
-        }
-    }
-    if out.len() != len {
-        return Err(format!(
-            "{what}: RLE decodes to {} windows, expected {len}",
-            out.len()
-        ));
-    }
-    Ok(out)
 }
 
 fn histogram_to_json(h: &LogHistogram) -> Json {
