@@ -8,6 +8,7 @@
 //! observatory trend  [--dir <dir>] [--doc <md>]           # splice telemetry dashboard, gate efficiency model
 //! observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]  # fault campaign
 //! observatory serve  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>] [--diff <baseline.json>]  # serving campaign
+//! observatory scale  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>] [--diff <baseline.json>]  # multi-FPGA scaling campaign
 //! observatory analyze [--dir <dir>] [--verbose]           # channel-graph static analyses
 //! ```
 //!
@@ -61,7 +62,9 @@
 //! paper-parity scoreboard, the kernel table and the sustained-MFLOPS
 //! trajectory sparklines, and splices them into `EXPERIMENTS.md` between
 //! the observatory markers. When a committed `FAULTS.json` exists it also
-//! splices the fault-coverage scoreboard between the fault markers.
+//! splices the fault-coverage scoreboard between the fault markers, and
+//! when `SCALE_*.json` stores exist it splices the latest multi-FPGA
+//! scaling ladder between the scale markers.
 //!
 //! `faults` runs the seeded fault-injection campaign of `fblas-faults`
 //! across the same worker pool: every trial is a pure function of
@@ -80,6 +83,18 @@
 //! at any `--jobs` count and under every backend, like everything else
 //! the observatory writes.
 //!
+//! `scale` runs the multi-FPGA scaling campaign of `fblas-fabric`:
+//! every shipped shard plan (linear-array MM across 1–12 FPGAs and up
+//! to two chassis, both `MvM` orientations across 1–6 FPGAs) simulated
+//! over the RocketIO/RapidArray fabric model, one plan per pool job.
+//! Every row is gated against the §6.4 linear-scaling projection — a
+//! measured rate above the model is a hard error, divergence beyond the
+//! committed tolerance a warning — and against the `fblas-check`
+//! fabric-link-budget and scale-store rules. Without `--diff` it
+//! persists the next free `SCALE_<n>.json` in `--dir`; with `--diff
+//! <baseline>` it gates the fresh campaign against a committed store.
+//! Byte-identical at any `--jobs` count and under every backend.
+//!
 //! `analyze` runs the `fblas-check` channel-graph analyses — the
 //! deadlock-freedom proof and throughput/bandwidth cuts over every
 //! shipped topology — then cross-validates every committed
@@ -93,12 +108,14 @@ use std::process::ExitCode;
 use fblas_bench::cli;
 use fblas_bench::fault_matrix::run_fault_matrix_with_jobs;
 use fblas_bench::paper_matrix::{run_matrix_telemetry, run_matrix_with_backend};
+use fblas_bench::scale_matrix::run_scale_matrix_with_jobs;
 use fblas_bench::serve_matrix::run_serve_matrix_with_jobs;
 use fblas_check::graph::{cross_validate, topology_report};
-use fblas_check::{check_serve_set, Severity};
+use fblas_check::{check_scale_set, check_serve_set, fabric_link_budget_report, Severity};
 use fblas_metrics::{
     bench_file_name, diff_sets, faults as obs_faults, list_bench_files, next_bench_index,
-    next_serve_index, report as obs_report, serve_file_name, RecordSet, ServeSet, WallClock,
+    next_serve_index, report as obs_report, scale as obs_scale, serve_file_name, RecordSet,
+    ScaleSet, ServeSet, WallClock,
 };
 use fblas_sim::{ExecBackend, DEFAULT_TELEM_WINDOW};
 use fblas_telemetry::trend::TrendPoint;
@@ -113,6 +130,8 @@ fn usage() -> ExitCode {
                 observatory trend  [--dir <dir>] [--doc <markdown>]\n\
                 observatory faults [--quick] [--seed <s>] [--jobs <n>] [--out <json>]\n\
                 observatory serve  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>]\n\
+                                [--diff <baseline.json>]\n\
+                observatory scale  [--quick] [--jobs <n>] [--backend <b>] [--dir <dir>]\n\
                                 [--diff <baseline.json>]\n\
                 observatory analyze [--dir <dir>] [--verbose]"
     );
@@ -352,14 +371,32 @@ fn cmd_report(mut args: Vec<String>) -> ExitCode {
             }
         }
     }
+    let mut scale_note = String::new();
+    if let Some((index, path)) = obs_scale::list_scale_files(&dir).last() {
+        match ScaleSet::load(path) {
+            Ok(set) => {
+                let section = obs_scale::render_scale_section(&set);
+                spliced = obs_scale::splice_scale_section(&spliced, &section);
+                scale_note = format!(
+                    " + scaling ladder (SCALE_{index:04}, {} rows)",
+                    set.records.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if let Err(e) = std::fs::write(&doc, &spliced) {
         eprintln!("error: cannot write {}: {e}", doc.display());
         return ExitCode::from(2);
     }
     println!(
-        "spliced {} run(s){} into {} ({} bytes)",
+        "spliced {} run(s){}{} into {} ({} bytes)",
         runs.len(),
         fault_note,
+        scale_note,
         doc.display(),
         spliced.len()
     );
@@ -589,6 +626,85 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `scale`: run the multi-FPGA scaling campaign on the worker pool,
+/// gate every row against the §6.4 projection and the `fblas-check`
+/// fabric rules, persist the next free `SCALE_<n>.json`, and — with
+/// `--diff <baseline>` — gate the fresh campaign against a committed
+/// store. Exit status: 2 on usage/IO errors, 1 on any failed gate.
+fn cmd_scale(mut args: Vec<String>) -> ExitCode {
+    let quick = take_flag(&mut args, "--quick");
+    let jobs = take_jobs(&mut args);
+    let backend = take_backend(&mut args);
+    let dir = PathBuf::from(take_value(&mut args, "--dir").unwrap_or_else(|| ".".into()));
+    let baseline = take_value(&mut args, "--diff").map(PathBuf::from);
+    if !args.is_empty() {
+        return usage();
+    }
+    eprintln!(
+        "observatory: running the {} scaling campaign on {} job(s), {} backend...",
+        if quick { "quick" } else { "full" },
+        jobs,
+        backend
+    );
+    let set = run_scale_matrix_with_jobs(quick, jobs, backend);
+    for r in &set.records {
+        println!(
+            "{:14} n {:4}  cycles {:9}  {:8.1} MFLOPS  speedup {:6.3}  eff {:5.3}  \
+             model {:8.1}  div {:5.1}%  starved {:7}  backpressured {:7}  {}",
+            r.cell(),
+            r.n,
+            r.cycles,
+            r.sustained_mflops,
+            r.speedup,
+            r.efficiency,
+            r.modeled_mflops,
+            r.divergence * 100.0,
+            r.stalls_starved,
+            r.stalls_backpressured,
+            if r.within_bound { "ok" } else { "OVER MODEL" },
+        );
+    }
+    let budgets = fabric_link_budget_report();
+    print!("{}", budgets.render(false));
+    let report = check_scale_set(&set);
+    print!("{}", report.render(false));
+    if budgets.count(Severity::Error) + report.count(Severity::Error) > 0 {
+        println!("observatory scale: FAIL — fabric budget/soundness rules violated");
+        return ExitCode::FAILURE;
+    }
+    if let Some(baseline_path) = baseline {
+        let baseline = match ScaleSet::load(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = fblas_metrics::diff_scale(&set, &baseline);
+        print!("{}", diff.render());
+        if !diff.pass() {
+            println!(
+                "observatory scale: FAIL — campaign drifted from {}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "observatory scale: PASS (baseline {})",
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let index = obs_scale::next_scale_index(&dir);
+    let path = dir.join(obs_scale::scale_file_name(index));
+    if let Err(e) = set.save(&path) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {} ({} row(s))", path.display(), set.records.len());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -602,6 +718,7 @@ fn main() -> ExitCode {
         "trend" => cmd_trend(args),
         "faults" => cmd_faults(args),
         "serve" => cmd_serve(args),
+        "scale" => cmd_scale(args),
         "analyze" => cmd_analyze(args),
         _ => usage(),
     }

@@ -30,8 +30,11 @@
 //! run against a committed baseline, `observatory report` renders
 //! the scoreboard into `EXPERIMENTS.md`, `observatory faults` fans
 //! the seeded fault-injection campaign ([`fault_matrix`]) across the
-//! same worker pool, and `observatory serve` runs the BLAS-as-a-service
-//! campaign ([`serve_matrix`]) and persists `SERVE_<n>.json`. All of
+//! same worker pool, `observatory serve` runs the BLAS-as-a-service
+//! campaign ([`serve_matrix`]) and persists `SERVE_<n>.json`, and
+//! `observatory scale` shards the linear-array kernels across the
+//! simulated multi-FPGA fabric ([`scale_matrix`]) and persists
+//! `SCALE_<n>.json` gated against the §6.4 projections. All of
 //! them parse their flags through the shared, unit-tested [`cli`]
 //! helpers (usage errors exit 2; gate failures exit 1).
 
@@ -40,6 +43,7 @@ pub mod fault_matrix;
 pub mod paper_matrix;
 pub mod pool;
 pub mod record_sink;
+pub mod scale_matrix;
 pub mod serve_matrix;
 pub mod trace;
 pub mod workloads;

@@ -147,6 +147,8 @@ fn observatory_rejects_bad_jobs_values() {
         ("faults", "-2"),
         ("serve", "0"),
         ("serve", "none"),
+        ("scale", "0"),
+        ("scale", "none"),
     ] {
         let output = Command::new(observatory)
             .args([cmd, "--quick", "--jobs", bad])
@@ -171,7 +173,7 @@ fn observatory_rejects_bad_jobs_values() {
 #[test]
 fn observatory_rejects_unknown_backends() {
     let observatory = env!("CARGO_BIN_EXE_observatory");
-    for cmd in ["run", "diff", "serve"] {
+    for cmd in ["run", "diff", "serve", "scale"] {
         let output = Command::new(observatory)
             .args([cmd, "--quick", "--backend", "warp-drive"])
             .output()
@@ -223,6 +225,53 @@ fn observatory_serve_writes_store_and_self_diffs_clean() {
         .expect("failed to launch observatory serve --diff");
     assert!(status.success(), "self-diff must be clean, got {status}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `observatory scale --quick` smoke: two runs into the same directory
+/// must write byte-identical SCALE stores, the store must load and carry
+/// records, a `--diff` against the first file must be clean (exit 0),
+/// and a stray positional argument must be rejected with exit status 2.
+#[test]
+fn observatory_scale_writes_store_and_self_diffs_clean() {
+    let dir = std::env::temp_dir().join("fblas_observatory_scale_smoke");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let observatory = env!("CARGO_BIN_EXE_observatory");
+
+    for _ in 0..2 {
+        let status = Command::new(observatory)
+            .args(["scale", "--quick", "--dir"])
+            .arg(&dir)
+            .status()
+            .expect("failed to launch observatory scale");
+        assert!(status.success(), "observatory scale exited with {status}");
+    }
+    let first = std::fs::read(dir.join("SCALE_0001.json")).expect("SCALE_0001 missing");
+    let second = std::fs::read(dir.join("SCALE_0002.json")).expect("SCALE_0002 missing");
+    assert_eq!(first, second, "SCALE files must be byte-identical");
+
+    let set =
+        fblas_metrics::ScaleSet::load(&dir.join("SCALE_0001.json")).expect("store must parse");
+    assert!(!set.records.is_empty(), "scale campaign must emit records");
+
+    let status = Command::new(observatory)
+        .args(["scale", "--quick", "--diff"])
+        .arg(dir.join("SCALE_0001.json"))
+        .status()
+        .expect("failed to launch observatory scale --diff");
+    assert!(status.success(), "self-diff must be clean, got {status}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let output = Command::new(observatory)
+        .args(["scale", "--quick", "extra-positional"])
+        .output()
+        .expect("failed to launch observatory scale");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "stray positional must exit 2: {:?}",
+        output.status
+    );
 }
 
 /// `observatory faults` smoke: the campaign must exit clean (zero silent

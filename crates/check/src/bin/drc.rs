@@ -11,6 +11,8 @@
 //!   declared with a docstring, every declaration still emitted);
 //! * the channel-graph analyses (deadlock-freedom proofs, throughput
 //!   bounds, composed-bandwidth budgets) over every shipped topology;
+//! * the fabric-link-budget rule (steady-state demand vs. link rate)
+//!   over every multi-FPGA plan the scaling campaign ships;
 //! * the BENCH cross-validation (measured rate vs. static bound) over
 //!   the committed `BENCH_0001.json`.
 //!
@@ -35,6 +37,7 @@
 
 use fblas_check::determinism::determinism_report;
 use fblas_check::drc::{check, infeasible_k10_with_rt_core, shipped_design_points};
+use fblas_check::fabric::fabric_link_budget_report;
 use fblas_check::fastpath::fast_path_report;
 use fblas_check::graph::{bench_cross_validation_report, topology_report};
 use fblas_check::hooks::fault_hook_report;
@@ -115,6 +118,7 @@ fn main() {
         }
     }
     reports.extend(topology_report());
+    reports.push(fabric_link_budget_report());
     match bench_cross_validation_report(&root.join("BENCH_0001.json")) {
         Ok(report) => reports.push(report),
         Err(e) => {

@@ -40,6 +40,7 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/bench/src",
     "crates/sw/src",
     "crates/serve/src",
+    "crates/fabric/src",
 ];
 
 /// Ambient reads proven harmless, as `(file, class)` pairs. Each entry

@@ -40,6 +40,7 @@ use fblas_core::level1::{AsumDesign, AxpyDesign, Level1Params, ScalDesign};
 use fblas_core::mm::{HierarchicalMm, HierarchicalParams, LinearArrayMm, MmParams};
 use fblas_core::mvm::{ColMajorMvm, MvmParams, RowMajorMvm};
 use fblas_core::reduce::SingleAdderReducer;
+use fblas_fabric::{FabricMm, FabricMvm, MmShardPlan, MvmShardPlan, Orientation};
 use fblas_metrics::{RecordKind, RecordSet, RunRecord};
 use fblas_sim::{EdgeKind, NodeRole, Topology};
 use fblas_sparse::{SpmvDesign, SpmvParams};
@@ -360,9 +361,11 @@ fn composition_diagnostics(topology: &Topology) -> Vec<Diagnostic> {
 
 /// Every shipped design point's channel graph with the clock (MHz) its
 /// BENCH record runs at — the set [`topology_report`] analyzes and the
-/// tests prove deadlock-free. The last entry is a chained composition
-/// (`scal` feeding `axpy`, `y = β·(α·x) + z`) exercising the
-/// composed-bandwidth rule on a bridged link.
+/// tests prove deadlock-free. Beyond the single-FPGA designs the set
+/// carries a chained composition (`scal` feeding `axpy`,
+/// `y = β·(α·x) + z`) exercising the composed-bandwidth rule on a
+/// bridged link, and four multi-FPGA fabric compositions whose ring and
+/// trunk channels the analyzer must prove just like any on-chip FIFO.
 pub fn shipped_topologies() -> Vec<(Topology, f64)> {
     let scal = ScalDesign::new(Level1Params::with_k(2)).topology();
     let axpy = AxpyDesign::new(Level1Params::with_k(2)).topology();
@@ -404,6 +407,55 @@ pub fn shipped_topologies() -> Vec<(Topology, f64)> {
         (SingleAdderReducer::new(14).topology(), 170.0),
         (SpmvDesign::new(SpmvParams::with_k(4)).topology(), 170.0),
         (fused, 170.0),
+        // The multi-FPGA fabric compositions: a full six-FPGA chassis,
+        // the two-chassis twelve-FPGA §6.4.1 point, and both sharded
+        // MvM orientations.
+        (
+            FabricMm::on_xd1(MmShardPlan {
+                n: 384,
+                k: 8,
+                m: 64,
+                shards: 6,
+                chassis: 1,
+                clock_mhz: 130.0,
+            })
+            .topology(),
+            130.0,
+        ),
+        (
+            FabricMm::on_xd1(MmShardPlan {
+                n: 384,
+                k: 8,
+                m: 64,
+                shards: 12,
+                chassis: 2,
+                clock_mhz: 130.0,
+            })
+            .topology(),
+            130.0,
+        ),
+        (
+            FabricMvm::on_xd1(MvmShardPlan {
+                orientation: Orientation::Row,
+                n: 384,
+                k: 4,
+                shards: 4,
+                clock_mhz: 164.0,
+            })
+            .topology(),
+            164.0,
+        ),
+        (
+            FabricMvm::on_xd1(MvmShardPlan {
+                orientation: Orientation::Col,
+                n: 384,
+                k: 4,
+                shards: 6,
+                clock_mhz: 164.0,
+            })
+            .topology(),
+            164.0,
+        ),
     ]
 }
 
@@ -663,7 +715,7 @@ mod tests {
     #[test]
     fn shipped_topologies_all_pass() {
         let reports = topology_report();
-        assert_eq!(reports.len(), 12);
+        assert_eq!(reports.len(), 16);
         for report in &reports {
             assert!(
                 report.is_feasible(),

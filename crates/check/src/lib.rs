@@ -42,6 +42,12 @@
 //!   must be monotone and honest about emptiness, and every
 //!   batched/unbatched cell pair must actually demonstrate the staging
 //!   amortization the front end claims.
+//! * [`fabric`] — **fabric-link-budget and scaling-store rules**: every
+//!   shipped multi-FPGA shard plan's steady-state traffic must fit the
+//!   modeled RocketIO/RapidArray link capacities on every hop, and every
+//!   committed `SCALE_*.json` row must stay at or below its §6.4
+//!   linear-scaling projection with consistent speedup/efficiency
+//!   arithmetic and in-tolerance divergence.
 //! * [`telemetry`] — a **telemetry-metric-registry rule**: every
 //!   `.component("…")` id the datapath designs emit must be declared
 //!   with a docstring in [`fblas_telemetry::METRICS`], and every
@@ -58,6 +64,7 @@
 
 pub mod determinism;
 pub mod drc;
+pub mod fabric;
 pub mod fastpath;
 pub mod graph;
 pub mod hooks;
@@ -73,6 +80,7 @@ pub use drc::{
     check, infeasible_k10_with_rt_core, min_cycles, shipped_design_points, DesignPoint, Diagnostic,
     Kernel, Platform, Report, Severity,
 };
+pub use fabric::{check_scale_set, fabric_link_budget_report, fabric_link_budget_report_with_spec};
 pub use fastpath::{check_fast_paths, fast_path_report, FAST_PATH_CLAIMS};
 pub use graph::{
     analyze_topology, bench_cross_validation_report, shipped_topologies, topology_report,

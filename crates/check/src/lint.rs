@@ -61,6 +61,7 @@ pub const DATAPATH_PATHS: &[&str] = &[
     "crates/fpu/src/pipelined.rs",
     "crates/mem/src",
     "crates/sw/src/microkernel.rs",
+    "crates/fabric/src",
 ];
 
 /// Function-name fragments that mark a function as performance

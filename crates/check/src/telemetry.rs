@@ -31,7 +31,7 @@ pub use crate::source::repo_root;
 /// relative to the repo root. These are the shipped datapath designs;
 /// test-only components (e.g. the probe unit tests' jitter feeds) live
 /// under `tests/` and are deliberately outside the registry.
-pub const POLICED_TREES: &[&str] = &["crates/core/src", "crates/sparse/src"];
+pub const POLICED_TREES: &[&str] = &["crates/core/src", "crates/fabric/src", "crates/sparse/src"];
 
 /// One `.component(...)` call site found by the scanner.
 #[derive(Debug, Clone, PartialEq, Eq)]

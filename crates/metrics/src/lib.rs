@@ -26,6 +26,9 @@
 //!   admission/latency/SLO accounting for the BLAS-as-a-service front
 //!   end, with the same byte-determinism contract and a strict baseline
 //!   diff gate.
+//! * [`scale`] — multi-FPGA scaling records (`SCALE_<n>.json`): one row
+//!   per shard plan of the simulated fabric campaign, gated against the
+//!   §6.4 projections with a committed per-kernel tolerance table.
 //!
 //! JSON is hand-rolled ([`json`]) because the workspace vendors no
 //! serialization crates; the writer is byte-deterministic by contract.
@@ -37,6 +40,7 @@ pub mod faults;
 pub mod json;
 pub mod record;
 pub mod report;
+pub mod scale;
 pub mod serve;
 pub mod store;
 pub mod tolerance;
@@ -48,6 +52,11 @@ pub use faults::{
 };
 pub use json::Json;
 pub use record::{Bound, PaperParity, RecordKind, RunRecord, StallBreakdown, SCHEMA_VERSION};
+pub use scale::{
+    diff_scale, list_scale_files, next_scale_index, parse_scale_index, render_scale_section,
+    scale_file_name, scale_tolerance, splice_scale_section, ScaleDiff, ScaleRecord, ScaleSet,
+    SCALE_SCHEMA_VERSION, SCALE_SOUNDNESS_EPS, SCALE_TOLERANCES,
+};
 pub use serve::{
     diff_serve, list_serve_files, next_serve_index, parse_serve_index, serve_file_name,
     LatencyDigest, ServeDiff, ServeRecord, ServeSet, TenantRecord, SERVE_SCHEMA_VERSION,

@@ -22,6 +22,10 @@
 //! * [`projection`] — the §6.4 projections behind Figures 11 and 12 and
 //!   the single/multi-chassis predictions (12.4 and 148.3 GFLOPS), with
 //!   their bandwidth-requirement checks.
+//! * [`rate`] — clamped-denominator rate helpers shared by the
+//!   projection and interconnect formulas: a degenerate operating point
+//!   (zero FPGAs, zero bandwidth, a zero-cycle interval) yields an
+//!   honest zero rate, never a NaN that would sail through gates.
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +34,7 @@ pub mod clock;
 pub mod device;
 pub mod peak;
 pub mod projection;
+pub mod rate;
 pub mod ring;
 pub mod src_station;
 pub mod xd1;
@@ -39,5 +44,6 @@ pub use clock::ClockModel;
 pub use device::{FpgaDevice, XC2VP100, XC2VP50};
 pub use peak::{device_peak_flops, io_bound_peak_dot, io_bound_peak_mvm};
 pub use projection::{ChassisProjection, ProjectionPoint};
+pub use rate::{rate_or_zero, units_per};
 pub use ring::{simulate_ring, RingConfig, RingStats};
 pub use xd1::{Xd1Chassis, Xd1Node, Xd1System};

@@ -18,6 +18,7 @@
 //!   forwarding.
 
 use crate::device::FpgaDevice;
+use crate::rate::{rate_or_zero, units_per};
 use fblas_mem::WORD_BYTES;
 
 /// Fraction of projected performance retained after routing degradation
@@ -75,8 +76,7 @@ impl ChassisProjection {
     /// Evaluate one (area, clock) point. Uses k = m = PEs-per-device, as in
     /// §6.4's bandwidth accounting.
     pub fn point(&self, pe_slices: u32, pe_clock_mhz: f64) -> ProjectionPoint {
-        assert!(pe_slices > 0);
-        let pes = self.device.slices / pe_slices;
+        let pes = units_per(self.device.slices, pe_slices);
         let l = f64::from(self.fpgas_per_chassis);
         let gflops = 2.0 * f64::from(pes) * pe_clock_mhz * 1e6 * l * ROUTING_DERATE / 1e9;
         let hz = pe_clock_mhz * 1e6;
@@ -84,9 +84,9 @@ impl ChassisProjection {
         let words = WORD_BYTES as f64;
         // C′ storage: one read + one write per cycle; C forwarding: two m×m
         // blocks per m²b/(k·l) cycles.
-        let sram = (2.0 + 2.0 * k * l / self.b as f64) * words * hz;
+        let sram = (2.0 + rate_or_zero(2.0 * k * l, self.b as f64)) * words * hz;
         // A, B in and C out: three m×m blocks per m²b/(k·l) cycles.
-        let dram = 3.0 * k * l / self.b as f64 * words * hz;
+        let dram = rate_or_zero(3.0 * k * l, self.b as f64) * words * hz;
         ProjectionPoint {
             pe_slices,
             pe_clock_mhz,
@@ -126,13 +126,16 @@ pub fn multi_fpga_fill_cycles(k: u32, total_fpgas: usize) -> u64 {
 /// DRAM / inter-FPGA bandwidth (bytes/s) required by the hierarchical
 /// design: three m×m blocks per m²b/(k·l) cycles.
 pub fn hierarchical_dram_bytes_per_s(k: u32, l: usize, b: u64, clock_mhz: f64) -> f64 {
-    3.0 * f64::from(k) * l as f64 / b as f64 * WORD_BYTES as f64 * clock_mhz * 1e6
+    rate_or_zero(3.0 * f64::from(k) * l as f64, b as f64) * WORD_BYTES as f64 * clock_mhz * 1e6
 }
 
 /// SRAM bandwidth (bytes/s) required per FPGA by the hierarchical design:
 /// C′ read+write every cycle plus C-block forwarding.
 pub fn hierarchical_sram_bytes_per_s(k: u32, l: usize, b: u64, clock_mhz: f64) -> f64 {
-    (2.0 + 2.0 * f64::from(k) * l as f64 / b as f64) * WORD_BYTES as f64 * clock_mhz * 1e6
+    (2.0 + rate_or_zero(2.0 * f64::from(k) * l as f64, b as f64))
+        * WORD_BYTES as f64
+        * clock_mhz
+        * 1e6
 }
 
 /// DRAM bandwidth (bytes/s) required by the *naive* multi-FPGA design —
@@ -143,7 +146,7 @@ pub fn hierarchical_sram_bytes_per_s(k: u32, l: usize, b: u64, clock_mhz: f64) -
 /// growing linearly with l, which is what makes the hierarchical design
 /// necessary.
 pub fn naive_multi_fpga_dram_bytes_per_s(k: u32, l: usize, m: u64, clock_mhz: f64) -> f64 {
-    3.0 * f64::from(k) * l as f64 / m as f64 * WORD_BYTES as f64 * clock_mhz * 1e6
+    rate_or_zero(3.0 * f64::from(k) * l as f64, m as f64) * WORD_BYTES as f64 * clock_mhz * 1e6
 }
 
 #[cfg(test)]
@@ -249,6 +252,50 @@ mod tests {
         for p in &pts {
             assert!(p.chassis_gflops > 13.0 && p.chassis_gflops < 28.0);
         }
+    }
+
+    #[test]
+    fn degenerate_operating_points_yield_zeros_not_nan() {
+        // A zero-slice PE fits no PEs: everything collapses to honest
+        // zeros instead of a divide-by-zero panic or inf.
+        let p = ChassisProjection::xd1(XC2VP50).point(0, 200.0);
+        assert_eq!(p.pes_per_device, 0);
+        assert_eq!(p.chassis_gflops, 0.0);
+        assert!(p.required_dram_bytes_per_s == 0.0);
+        assert!(p.required_sram_bytes_per_s.is_finite());
+
+        // Zero SRAM blocking: the per-block terms vanish finitely.
+        let proj = ChassisProjection {
+            device: XC2VP50,
+            fpgas_per_chassis: 6,
+            b: 0,
+        };
+        let p = proj.point(1600, 200.0);
+        assert_eq!(p.required_dram_bytes_per_s, 0.0);
+        assert!(p.required_sram_bytes_per_s.is_finite());
+
+        // Zero FPGAs / zero blocking in the free functions.
+        assert_eq!(hierarchical_dram_bytes_per_s(8, 0, 2048, 130.0), 0.0);
+        assert_eq!(hierarchical_dram_bytes_per_s(8, 6, 0, 130.0), 0.0);
+        assert!(hierarchical_sram_bytes_per_s(8, 6, 0, 130.0).is_finite());
+        assert_eq!(naive_multi_fpga_dram_bytes_per_s(8, 6, 0, 130.0), 0.0);
+        assert_eq!(scaled_sustained_gflops(2.06, 0), 0.0);
+        // None of the degenerate values is NaN — NaN would sneak
+        // through every `<=` gate downstream.
+        for v in [
+            hierarchical_dram_bytes_per_s(0, 0, 0, 0.0),
+            hierarchical_sram_bytes_per_s(0, 0, 0, 0.0),
+            naive_multi_fpga_dram_bytes_per_s(0, 0, 0, 0.0),
+        ] {
+            assert!(!v.is_nan());
+        }
+    }
+
+    #[test]
+    fn zero_interval_ring_demand_is_zero() {
+        let mut cfg = crate::ring::RingConfig::xd1_chassis();
+        cfg.interval_cycles = 0;
+        assert_eq!(cfg.demand_words_per_cycle(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Clamped-denominator rate arithmetic shared by the platform models.
+//!
+//! The projection and interconnect formulas are ratios — words per
+//! cycle, bytes per second, PEs per device — and a degenerate operating
+//! point (zero FPGAs, a zero-cycle interval, a zero-slice PE) turns a
+//! naive division into `NaN` or `±inf`. Those values then leak into
+//! JSON records (where the canonical writer spells non-finite numbers
+//! as `null`) and comparisons (where every `NaN` ordering is false), so
+//! a nonsense configuration would *pass* gates instead of failing them.
+//! The helpers here pin the convention once: a rate over a degenerate
+//! denominator is an honest zero, never a NaN.
+
+/// `numer / denom`, clamped: zero when the denominator is zero,
+/// negative or non-finite, or when the numerator is non-finite. A
+/// degenerate operating point has no sustained rate, so the honest
+/// answer is 0, not `NaN`/`inf`.
+pub fn rate_or_zero(numer: f64, denom: f64) -> f64 {
+    if !numer.is_finite() || !denom.is_finite() || denom <= 0.0 {
+        return 0.0;
+    }
+    let rate = numer / denom;
+    if rate.is_finite() {
+        rate
+    } else {
+        0.0
+    }
+}
+
+/// Integer capacity division: how many units of size `per` fit in
+/// `total`, zero when `per` is zero (a zero-size unit fits nowhere
+/// meaningful, and the projection treats it as "no PEs fit").
+pub fn units_per(total: u32, per: u32) -> u32 {
+    total.checked_div(per).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_rates_divide() {
+        assert!((rate_or_zero(6.0, 3.0) - 2.0).abs() < 1e-15);
+        assert!((rate_or_zero(0.0, 5.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_denominators_are_honest_zeros() {
+        assert_eq!(rate_or_zero(1.0, 0.0), 0.0);
+        assert_eq!(rate_or_zero(1.0, -2.0), 0.0);
+        assert_eq!(rate_or_zero(1.0, f64::NAN), 0.0);
+        assert_eq!(rate_or_zero(1.0, f64::INFINITY), 0.0);
+        assert_eq!(rate_or_zero(f64::NAN, 1.0), 0.0);
+        // The result is pinned finite even for extreme ratios.
+        assert!(rate_or_zero(f64::MAX, f64::MIN_POSITIVE).is_finite());
+    }
+
+    #[test]
+    fn units_per_clamps_zero_divisors() {
+        assert_eq!(units_per(23_616, 1_600), 14);
+        assert_eq!(units_per(100, 0), 0);
+        assert_eq!(units_per(0, 7), 0);
+    }
+}

@@ -46,9 +46,13 @@ impl RingConfig {
         }
     }
 
-    /// Demand in words per cycle.
+    /// Demand in words per cycle (an honest zero for a degenerate
+    /// zero-cycle interval, never a NaN — see [`crate::rate`]).
     pub fn demand_words_per_cycle(&self) -> f64 {
-        (self.blocks_per_interval * self.block_words) as f64 / self.interval_cycles as f64
+        crate::rate::rate_or_zero(
+            (self.blocks_per_interval * self.block_words) as f64,
+            self.interval_cycles as f64,
+        )
     }
 }
 

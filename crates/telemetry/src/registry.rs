@@ -6,7 +6,7 @@
 //! passed to [`Probe::component`](fblas_sim::Probe::component). An id
 //! that exists only in source is undocumented; an id that exists only
 //! here is stale. The `fblas-check` `telemetry-metric-registry` rule
-//! scans `crates/core` and `crates/sparse` for `.component("…")`
+//! scans `crates/core`, `crates/fabric` and `crates/sparse` for `.component("…")`
 //! literals and proves both directions: every emitted id is declared
 //! below, and every declaration is still emitted.
 //!
@@ -91,6 +91,14 @@ pub const METRICS: &[(&str, &str)] = &[
     (
         "dot/v-stream",
         "dot product v input stream bandwidth (words per cycle)",
+    ),
+    (
+        "fabric/pe-fleet",
+        "multi-FPGA fabric PE fleet: one mark per cycle any shard issues MACs",
+    ),
+    (
+        "fabric/ring",
+        "multi-FPGA fabric interconnect: one mark per cycle any link moves words",
     ),
     (
         "mm/accumulators",
